@@ -1,0 +1,27 @@
+"""Memoized publish runs shared by the publish-time figures (10-13)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale
+
+from repro.core import DataOwner, MethodConfig, PublishedData, SystemConfig
+from repro.workloads import load_dataset
+
+_CACHE: dict[tuple[str, str, int], PublishedData] = {}
+_DATASETS: dict[str, object] = {}
+
+
+def dataset_for(name: str):
+    if name not in _DATASETS:
+        _DATASETS[name] = load_dataset(name, scale=bench_scale())
+    return _DATASETS[name]
+
+
+def published(dataset_name: str, method: str, k: int) -> PublishedData:
+    key = (dataset_name, method, k)
+    if key not in _CACHE:
+        dataset = dataset_for(dataset_name)
+        owner = DataOwner(dataset.graph, dataset.schema)
+        config = SystemConfig(k=k, method=MethodConfig.from_name(method))
+        _CACHE[key] = owner.publish(config)
+    return _CACHE[key]

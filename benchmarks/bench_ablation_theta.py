@@ -1,0 +1,86 @@
+"""Ablation: the label-privacy parameter θ (group size).
+
+The paper fixes θ=2 throughout its evaluation ("The default value of θ
+... is 2 in all the experiments"); this ablation sweeps θ to expose the
+privacy/performance trade-off it implies: larger groups hide each label
+among more alternatives but make every query label group less
+selective, inflating the star search space and the candidate sets the
+client must filter.
+"""
+
+from conftest import bench_queries, bench_scale
+
+from repro.bench import format_table, ms, print_report
+from repro.core import PrivacyPreservingSystem, SystemConfig
+from repro.exceptions import ResultBudgetExceeded
+from repro.workloads import generate_workload, load_dataset
+
+THETAS = (2, 3, 4)
+K = 3
+
+
+def _run(theta: int):
+    dataset = load_dataset("Web-NotreDame", scale=bench_scale())
+    workload = generate_workload(dataset.graph, 6, bench_queries(), seed=21)
+    system = PrivacyPreservingSystem.setup(
+        dataset.graph,
+        dataset.schema,
+        SystemConfig(k=K, theta=theta, max_intermediate_results=500_000),
+        sample_workload=workload[:6],
+    )
+    cloud_seconds = 0.0
+    candidates = 0
+    results = 0
+    completed = 0
+    for query in workload:
+        try:
+            metrics = system.query(query).metrics
+        except ResultBudgetExceeded:
+            continue
+        cloud_seconds += metrics.cloud_seconds
+        candidates += metrics.candidate_count
+        results += metrics.result_count
+        completed += 1
+    group_count = system.published.lct.group_count()
+    return (
+        cloud_seconds / max(completed, 1),
+        candidates / max(completed, 1),
+        results / max(completed, 1),
+        group_count,
+    )
+
+
+def test_theta3_publish(benchmark):
+    dataset = load_dataset("Web-NotreDame", scale=bench_scale())
+
+    def run():
+        return PrivacyPreservingSystem.setup(
+            dataset.graph, dataset.schema, SystemConfig(k=K, theta=3)
+        )
+
+    system = benchmark.pedantic(run, rounds=1, iterations=1)
+    system.published.lct.verify()  # every group >= 3 labels
+
+
+def test_report_ablation_theta(benchmark):
+    def run():
+        rows = []
+        raw = {}
+        for theta in THETAS:
+            cloud_ms, candidates, results, groups = _run(theta)
+            raw[theta] = (cloud_ms, candidates)
+            rows.append(
+                [theta, groups, ms(cloud_ms), round(candidates, 1), round(results, 1)]
+            )
+        table = format_table(
+            ["theta", "label groups", "cloud ms", "candidates", "exact results"],
+            rows,
+            title="[Ablation] privacy parameter theta (k=3, Web analogue)",
+        )
+        return table, raw
+
+    table, raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(table)
+
+    # shape: bigger groups -> fewer groups -> more candidate work
+    assert raw[THETAS[-1]][1] >= raw[THETAS[0]][1] * 0.9

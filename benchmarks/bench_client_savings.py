@@ -1,0 +1,82 @@
+"""Section 3's motivating claim: outsourcing saves the client real work.
+
+"the baseline solution already saves the client from executing the
+very expensive subgraph matching query herself" — i.e. even the worst
+cloud method leaves the client with only the linear-time filter, far
+cheaper than running subgraph isomorphism over G locally.
+
+This bench compares, per query: (a) local VF2 matching on G (no cloud)
+vs (b) the client-side cost in the EFF pipeline (expand + filter).
+"""
+
+from conftest import bench_queries, bench_scale
+
+from repro.bench import format_table, ms, print_report
+from repro.core import PrivacyPreservingSystem, SystemConfig
+from repro.matching import find_subgraph_matches
+from repro.workloads import generate_workload, load_dataset
+
+import time
+
+SIZES = (6, 12)
+K = 3
+
+
+def _compare(dataset_name: str):
+    dataset = load_dataset(dataset_name, scale=bench_scale())
+    rows = []
+    totals = [0.0, 0.0]
+    for size in SIZES:
+        workload = generate_workload(dataset.graph, size, bench_queries(), seed=17)
+        system = PrivacyPreservingSystem.setup(
+            dataset.graph,
+            dataset.schema,
+            SystemConfig(k=K, max_intermediate_results=500_000),
+            sample_workload=workload[:6],
+        )
+        local_seconds = 0.0
+        client_seconds = 0.0
+        for query in workload:
+            started = time.perf_counter()
+            local = find_subgraph_matches(query, dataset.graph)
+            local_seconds += time.perf_counter() - started
+            outcome = system.query(query)
+            client_seconds += outcome.metrics.client_seconds
+            assert outcome.metrics.result_count == len(local)
+        n = len(workload)
+        rows.append(
+            [dataset_name, size, ms(local_seconds / n), ms(client_seconds / n)]
+        )
+        totals[0] += local_seconds
+        totals[1] += client_seconds
+    return rows, totals
+
+
+def test_local_matching_cost(benchmark):
+    dataset = load_dataset("Web-NotreDame", scale=bench_scale())
+    query = generate_workload(dataset.graph, 6, 1, seed=17)[0]
+    matches = benchmark(lambda: find_subgraph_matches(query, dataset.graph))
+    assert matches
+
+
+def test_report_client_savings(benchmark):
+    def run():
+        all_rows = []
+        local_total = client_total = 0.0
+        for dataset_name in ("Web-NotreDame", "DBpedia", "UK-2002"):
+            rows, (local, client) = _compare(dataset_name)
+            all_rows.extend(rows)
+            local_total += local
+            client_total += client
+        table = format_table(
+            ["dataset", "|E(Q)|", "local matching ms", "pipeline client ms"],
+            all_rows,
+            title="[Section 3] client cost: local matching vs outsourced filter",
+        )
+        return table, local_total, client_total
+
+    table, local_total, client_total = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(table)
+
+    # the outsourced client does strictly less work than local matching
+    assert client_total < local_total

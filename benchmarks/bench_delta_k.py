@@ -1,0 +1,62 @@
+"""Section 5.1's δ(k) claim: "δ(k) is far less than 1 when k is small".
+
+δ(k) bounds how much the symmetric row-union inflates a label group's
+frequency on Gk relative to the group's raw-label mass on G (the bound
+the cost-model derivation of Expression 4 leans on).  The paper asserts
+it stays well below 1 for small k; this bench measures it on every
+dataset and k.
+"""
+
+from _publish_cache import dataset_for, published
+from conftest import bench_datasets, bench_ks
+
+from repro.anonymize import measure_delta_k
+from repro.bench import format_series, print_report
+from repro.graph import compute_statistics
+
+
+def _delta(dataset_name: str, k: int, aggregate: str = "max") -> float:
+    data = published(dataset_name, "EFF", k)
+    original_stats = compute_statistics(dataset_for(dataset_name).graph)
+    gk_stats = compute_statistics(data.transform.gk)
+    return measure_delta_k(original_stats, gk_stats, data.lct, aggregate=aggregate)
+
+
+def test_measure_delta_k3(benchmark):
+    data = published("Web-NotreDame", "EFF", 3)
+    original_stats = compute_statistics(dataset_for("Web-NotreDame").graph)
+    gk_stats = compute_statistics(data.transform.gk)
+    value = benchmark(lambda: measure_delta_k(original_stats, gk_stats, data.lct))
+    assert value >= 0.0
+
+
+def test_report_delta_k(benchmark):
+    def run() -> str:
+        worst = {
+            dataset_name: [_delta(dataset_name, k, "max") for k in bench_ks()]
+            for dataset_name in bench_datasets()
+        }
+        typical = {
+            dataset_name: [_delta(dataset_name, k, "mean") for k in bench_ks()]
+            for dataset_name in bench_datasets()
+        }
+        return (
+            format_series(
+                "[Section 5.1] delta(k), worst group", "k", bench_ks(), worst
+            )
+            + "\n\n"
+            + format_series(
+                "[Section 5.1] delta(k), mean over groups", "k", bench_ks(), typical
+            )
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+
+    # the bound's ceiling holds for the worst group; the paper's
+    # "far less than 1 for small k" holds for the typical group
+    smallest_k = bench_ks()[0]
+    for dataset_name in bench_datasets():
+        assert _delta(dataset_name, smallest_k, "mean") < 1.0
+        for k in bench_ks():
+            assert _delta(dataset_name, k, "max") <= k - 1 + 1e-9

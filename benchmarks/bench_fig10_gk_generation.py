@@ -1,0 +1,55 @@
+"""Figure 10 (+ Figure 23): time cost of generating Gk.
+
+Paper shape: the three label-anonymization strategies (EFF, RAN, FSIM)
+generate Gk in near-identical time — grouping cost is negligible next
+to partitioning + alignment + edge copy — and the cost rises moderately
+with k.
+"""
+
+from _publish_cache import published
+from conftest import GO_METHODS, bench_datasets, bench_ks, bench_scale
+
+from repro.bench import format_series, print_report
+from repro.core import DataOwner, SystemConfig
+from repro.workloads import load_dataset
+
+
+def publish_metrics(dataset_name: str, method: str, k: int):
+    return published(dataset_name, method, k).metrics
+
+
+def test_generate_gk_eff_k3(benchmark):
+    """Representative timed cell: EFF, k=3, Web-NotreDame analogue."""
+    dataset = load_dataset("Web-NotreDame", scale=bench_scale())
+    owner = DataOwner(dataset.graph, dataset.schema)
+    config = SystemConfig(k=3)
+
+    result = benchmark(lambda: owner.publish(config))
+    assert result.metrics.gk_edges > dataset.graph.edge_count
+
+
+def test_report_fig10_generation_time(benchmark):
+    """Print the Figure 10/23 series: Gk generation time vs k."""
+
+    def run() -> str:
+        blocks = []
+        for dataset_name in bench_datasets():
+            series = {}
+            for method in GO_METHODS:
+                series[method] = [
+                    publish_metrics(dataset_name, method, k).generation_seconds
+                    for k in bench_ks()
+                ]
+            blocks.append(
+                format_series(
+                    f"[Figure 10] Gk generation time (s) — {dataset_name}",
+                    "k",
+                    bench_ks(),
+                    series,
+                )
+            )
+        return "\n\n".join(blocks)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+    assert report

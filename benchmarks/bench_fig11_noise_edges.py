@@ -1,0 +1,56 @@
+"""Figure 11 (+ Figure 24): number of noise edges in Gk.
+
+Paper shape: noise-edge count is essentially independent of the label
+strategy (the transform never looks at labels) and grows roughly
+linearly as k goes from 2 to 6.
+"""
+
+from _publish_cache import published
+from conftest import GO_METHODS, bench_datasets, bench_ks
+
+from repro.bench import format_series, print_report
+
+
+def test_noise_edge_count_k3(benchmark):
+    """Timed cell: counting the noise edges is free once published."""
+    data = published("Web-NotreDame", "EFF", 3)
+    count = benchmark(lambda: data.transform.noise_edge_count)
+    assert count > 0
+
+
+def test_report_fig11_noise_edges(benchmark):
+    def run() -> str:
+        blocks = []
+        for dataset_name in bench_datasets():
+            series = {
+                method: [
+                    published(dataset_name, method, k).metrics.noise_edges
+                    for k in bench_ks()
+                ]
+                for method in GO_METHODS
+            }
+            blocks.append(
+                format_series(
+                    f"[Figure 11] noise edges in Gk — {dataset_name}",
+                    "k",
+                    bench_ks(),
+                    series,
+                )
+            )
+        return "\n\n".join(blocks)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+
+    # shape assertions: strategy-independent (within 25%), growing in k
+    for dataset_name in bench_datasets():
+        per_k = {
+            k: [published(dataset_name, m, k).metrics.noise_edges for m in GO_METHODS]
+            for k in bench_ks()
+        }
+        for k, values in per_k.items():
+            assert max(values) <= 1.25 * max(min(values), 1)
+        ks = bench_ks()
+        first = min(per_k[ks[0]])
+        last = max(per_k[ks[-1]])
+        assert last > first

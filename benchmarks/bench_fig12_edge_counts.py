@@ -1,0 +1,56 @@
+"""Figure 12: number of edges in Go and Gk (EFF), k = 2..6.
+
+Paper shape: |E(Go)| is much smaller than |E(Gk)|, approaching
+|E(Gk)|/k plus the block-boundary edges; at small k, |E(Go)| is close
+to |E(G)|.
+"""
+
+from _publish_cache import dataset_for, published
+from conftest import bench_datasets, bench_ks
+
+from repro.bench import format_table, print_report
+
+
+def test_go_extraction_k3(benchmark):
+    """Timed cell: extracting Go from a published Gk."""
+    from repro.outsource import build_outsourced_graph
+
+    data = published("Web-NotreDame", "EFF", 3)
+    outsourced = benchmark(
+        lambda: build_outsourced_graph(data.transform.gk, data.transform.avt)
+    )
+    assert outsourced.edge_count < data.transform.gk.edge_count
+
+
+def test_report_fig12_edge_counts(benchmark):
+    def run() -> str:
+        rows = []
+        for dataset_name in bench_datasets():
+            go_row = [dataset_name, "|E(Go)|"]
+            gk_row = [dataset_name, "|E(Gk)|"]
+            for k in bench_ks():
+                metrics = published(dataset_name, "EFF", k).metrics
+                go_row.append(metrics.uploaded_edges)
+                gk_row.append(metrics.gk_edges)
+            rows.append(go_row)
+            rows.append(gk_row)
+        headers = ["dataset", "quantity", *[f"k={k}" for k in bench_ks()]]
+        return format_table(
+            headers, rows, title="[Figure 12] edges in Go vs Gk (EFF)"
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+
+    # shape assertions
+    for dataset_name in bench_datasets():
+        graph = dataset_for(dataset_name).graph
+        for k in bench_ks():
+            metrics = published(dataset_name, "EFF", k).metrics
+            assert metrics.uploaded_edges < metrics.gk_edges
+            # Go keeps every original edge incident to B1 and at most
+            # all of E(Gk); it can never be smaller than |E(Gk)|/k
+            assert metrics.uploaded_edges >= metrics.gk_edges / k
+        smallest_k = bench_ks()[0]
+        close = published(dataset_name, "EFF", smallest_k).metrics.uploaded_edges
+        assert close < 2.5 * graph.edge_count

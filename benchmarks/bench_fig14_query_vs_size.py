@@ -1,0 +1,72 @@
+"""Figures 14/15/25 (+ 28/29/30): cloud query time vs query size.
+
+Paper shape: EFF is the fastest method at every |E(Q)|; BAS is the
+slowest (its search space is all of Gk rather than Go); the EFF-vs-rest
+gap widens as |E(Q)| grows, reaching an order of magnitude at
+|E(Q)|=12.
+"""
+
+from conftest import METHODS, bench_datasets, bench_sizes, completing_query
+
+from repro.bench import format_series, ms, print_report
+
+KS_SHOWN = (3, 5)  # the main-body figures use k=3 and k=5
+
+
+def test_query_eff_k3_e6(benchmark, sweep):
+    """Timed cell: one 6-edge query on the web analogue (EFF, k=3)."""
+    system, query = completing_query(sweep, "Web-NotreDame", "EFF", 3, 6)
+    outcome = benchmark(lambda: system.query(query))
+    assert outcome.metrics.result_count >= 1
+
+
+def test_report_fig14_query_time_vs_size(benchmark, sweep):
+    def run() -> str:
+        blocks = []
+        for dataset_name in bench_datasets():
+            for k in KS_SHOWN:
+                series = {
+                    method: [
+                        ms(sweep.cell(dataset_name, method, k, size).cloud_seconds)
+                        for size in bench_sizes()
+                    ]
+                    for method in METHODS
+                }
+                blocks.append(
+                    format_series(
+                        f"[Figure 14] cloud query time (ms) — {dataset_name}, k={k}",
+                        "|E(Q)|",
+                        bench_sizes(),
+                        series,
+                    )
+                )
+        return "\n\n".join(blocks)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+
+    # shape assertions on the aggregate over all datasets, sizes and
+    # both k values: EFF never materially slower than any alternative
+    # (per-cell noise is tolerated; censored grids are not compared)
+    from conftest import cells_clean
+
+    keys = [
+        (d, m, k, s)
+        for d in bench_datasets()
+        for m in METHODS
+        for k in KS_SHOWN
+        for s in bench_sizes()
+    ]
+    if cells_clean(sweep, keys):
+        totals = {
+            method: sum(
+                sweep.cell(d, method, k, s).cloud_seconds
+                for d in bench_datasets()
+                for k in KS_SHOWN
+                for s in bench_sizes()
+            )
+            for method in METHODS
+        }
+        assert totals["EFF"] <= totals["RAN"] * 1.2
+        assert totals["EFF"] <= totals["FSIM"] * 1.1
+        assert totals["EFF"] <= totals["BAS"] * 1.1

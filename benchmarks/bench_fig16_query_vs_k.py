@@ -1,0 +1,75 @@
+"""Figures 16/17/26: cloud query time vs k at |E(Q)| = 6 and 12.
+
+Paper shape: query time rises with k for every method (more noise edges
+in Go / Gk); EFF stays the best throughout, and its advantage grows
+with k.
+"""
+
+from conftest import METHODS, bench_datasets, bench_ks, cells_clean, completing_query
+
+from repro.bench import format_series, ms, print_report
+
+SIZES_SHOWN = (6, 12)
+
+
+def test_query_eff_k5_e12(benchmark, sweep):
+    """Timed cell: a 12-edge query at k=5 (the expensive corner)."""
+    system, query = completing_query(sweep, "Web-NotreDame", "EFF", 5, 12)
+    outcome = benchmark(lambda: system.query(query))
+    assert outcome.metrics.result_count >= 1
+
+
+def test_report_fig16_query_time_vs_k(benchmark, sweep):
+    def run() -> str:
+        blocks = []
+        for dataset_name in bench_datasets():
+            for size in SIZES_SHOWN:
+                series = {
+                    method: [
+                        ms(sweep.cell(dataset_name, method, k, size).cloud_seconds)
+                        for k in bench_ks()
+                    ]
+                    for method in METHODS
+                }
+                blocks.append(
+                    format_series(
+                        f"[Figure 16] cloud query time (ms) — "
+                        f"{dataset_name}, |E(Q)|={size}",
+                        "k",
+                        bench_ks(),
+                        series,
+                    )
+                )
+        return "\n\n".join(blocks)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+
+    # shape: EFF no slower than BAS on aggregate, and the cost at the
+    # largest k exceeds the cost at the smallest (censored grids skip)
+    keys = [
+        (d, m, k, s)
+        for d in bench_datasets()
+        for m in METHODS
+        for k in bench_ks()
+        for s in SIZES_SHOWN
+    ]
+    if cells_clean(sweep, keys):
+        totals = {
+            method: sum(
+                sweep.cell(d, method, k, s).cloud_seconds
+                for d in bench_datasets()
+                for k in bench_ks()
+                for s in SIZES_SHOWN
+            )
+            for method in METHODS
+        }
+        assert totals["EFF"] <= totals["BAS"] * 1.1
+        ks = bench_ks()
+        eff_small = sum(
+            sweep.cell(d, "EFF", ks[0], 12).cloud_seconds for d in bench_datasets()
+        )
+        eff_large = sum(
+            sweep.cell(d, "EFF", ks[-1], 12).cloud_seconds for d in bench_datasets()
+        )
+        assert eff_large >= eff_small * 0.8  # rises (noise-tolerant)

@@ -1,0 +1,61 @@
+"""Figure 19 (+ Figure 32): result-set size of star matching (|RS|).
+
+Paper shape: |RS| grows with k and with |E(Q)|; EFF produces the
+smallest star-result sets of the three Go-based strategies — the direct
+effect of its cost-model label grouping, and the input size of the
+join, which dominates cloud query time.
+"""
+
+from conftest import GO_METHODS, bench_datasets
+
+from repro.bench import format_table, print_report
+
+CELLS = [(3, 6), (3, 12), (5, 6), (5, 12)]
+
+
+def test_rs_size_available(benchmark, sweep):
+    cell = sweep.cell("Web-NotreDame", "EFF", 3, 6)
+    value = benchmark(lambda: cell.rs_size)
+    assert value >= 0
+
+
+def test_report_fig19_rs_size(benchmark, sweep):
+    def run() -> str:
+        headers = ["dataset", "method"] + [f"k={k},|E(Q)|={s}" for k, s in CELLS]
+        rows = []
+        for dataset_name in bench_datasets():
+            for method in GO_METHODS:
+                row = [dataset_name, method]
+                for k, size in CELLS:
+                    row.append(round(sweep.cell(dataset_name, method, k, size).rs_size, 1))
+                rows.append(row)
+        return format_table(headers, rows, title="[Figure 19] |RS| (star matches)")
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+
+    from conftest import cells_clean
+
+    keys = [
+        (d, m, k, s) for d in bench_datasets() for m in GO_METHODS for k, s in CELLS
+    ]
+    if cells_clean(sweep, keys):
+        # |RS| grows with k at fixed size (summed over datasets)
+        eff_small = sum(
+            sweep.cell(d, "EFF", 3, 6).rs_size for d in bench_datasets()
+        )
+        eff_large = sum(
+            sweep.cell(d, "EFF", 5, 6).rs_size for d in bench_datasets()
+        )
+        assert eff_large >= eff_small * 0.9
+        # EFF produces the smallest |RS| on aggregate
+        totals = {
+            method: sum(
+                sweep.cell(d, method, k, s).rs_size
+                for d in bench_datasets()
+                for k, s in CELLS
+            )
+            for method in GO_METHODS
+        }
+        assert totals["EFF"] <= totals["RAN"] * 1.1
+        assert totals["EFF"] <= totals["FSIM"] * 1.1

@@ -1,0 +1,65 @@
+"""Figure 22 (+ Figure 34): overall end-to-end running time.
+
+cloud + network + client.  Paper shape: EFF has the best end-to-end
+time everywhere; BAS is the worst and degrades fastest with k and
+|E(Q)| — the headline result of the paper.
+"""
+
+from conftest import METHODS, bench_datasets, bench_ks
+
+from repro.bench import format_table, ms, print_report
+
+SIZES_SHOWN = (6, 12)
+
+
+def test_end_to_end_eff_k3_e6(benchmark, sweep):
+    """Timed cell: one full end-to-end query."""
+    system = sweep.system("Web-NotreDame", "EFF", 3)
+    query = sweep.context("Web-NotreDame").workload(6, 1)[0]
+    outcome = benchmark(lambda: system.query(query))
+    assert outcome.metrics.total_seconds > 0
+
+
+def test_report_fig22_overall_time(benchmark, sweep):
+    def run() -> str:
+        headers = ["dataset", "method"] + [
+            f"k={k},|E(Q)|={s}" for k in bench_ks() for s in SIZES_SHOWN
+        ]
+        rows = []
+        for dataset_name in bench_datasets():
+            for method in METHODS:
+                row = [dataset_name, method]
+                for k in bench_ks():
+                    for size in SIZES_SHOWN:
+                        cell = sweep.cell(dataset_name, method, k, size)
+                        row.append(ms(cell.total_seconds))
+                rows.append(row)
+        return format_table(
+            headers, rows, title="[Figure 22] overall running time (ms)"
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+
+    # headline shape: EFF best end-to-end on the full-grid aggregate
+    from conftest import cells_clean
+
+    keys = [
+        (d, m, k, s)
+        for d in bench_datasets()
+        for m in METHODS
+        for k in bench_ks()
+        for s in SIZES_SHOWN
+    ]
+    if cells_clean(sweep, keys):
+        totals = {
+            method: sum(
+                sweep.cell(d, method, k, size).total_seconds
+                for d in bench_datasets()
+                for k in bench_ks()
+                for size in SIZES_SHOWN
+            )
+            for method in METHODS
+        }
+        assert totals["EFF"] <= min(totals["RAN"], totals["FSIM"]) * 1.2
+        assert totals["EFF"] <= totals["BAS"] * 1.1

@@ -1,0 +1,73 @@
+"""Privacy evaluation: structural attacks against the published graph.
+
+Not a numbered figure in the paper, but its central guarantee
+(Section 2.2 / Theorem 4.4 of [26]): no structural attack identifies a
+vertex in Gk with probability above 1/k.  This bench mounts the degree
+and 1-neighborhood attacks against every published vertex and the
+subgraph attack against a sample, and reports the worst observed
+success probability per k.
+"""
+
+from _publish_cache import published
+from conftest import bench_ks
+
+from repro.attacks import (
+    degree_attack,
+    neighborhood_attack,
+    verify_attack_resistance,
+)
+from repro.bench import format_series, print_report
+
+DATASET = "DBpedia"  # typed graphs are the interesting attack surface
+
+
+def test_neighborhood_attack_speed(benchmark):
+    data = published(DATASET, "EFF", 3)
+    target = data.transform.avt.first_block()[0]
+    result = benchmark(lambda: neighborhood_attack(data.transform.gk, target))
+    assert result.success_probability <= 1 / 3 + 1e-9
+
+
+def test_report_attack_resistance(benchmark):
+    def run():
+        worst_degree, worst_neighborhood, worst_subgraph = [], [], []
+        for k in bench_ks():
+            data = published(DATASET, "EFF", k)
+            gk, avt = data.transform.gk, data.transform.avt
+            targets = sorted(gk.vertex_ids())
+            worst_degree.append(
+                max(degree_attack(gk, t).success_probability for t in targets[:150])
+            )
+            worst_neighborhood.append(
+                max(
+                    neighborhood_attack(gk, t).success_probability
+                    for t in targets[:150]
+                )
+            )
+            sample = targets[:: max(1, len(targets) // 20)][:20]
+            worst_subgraph.append(
+                max(verify_attack_resistance(gk, avt, targets=sample).values())
+            )
+        table = format_series(
+            f"[Privacy] worst attack success probability on Gk — {DATASET}",
+            "k",
+            bench_ks(),
+            {
+                "degree": worst_degree,
+                "1-neighborhood": worst_neighborhood,
+                "subgraph": worst_subgraph,
+                "bound 1/k": [1.0 / k for k in bench_ks()],
+            },
+        )
+        return table, (worst_degree, worst_neighborhood, worst_subgraph)
+
+    table, (worst_degree, worst_neighborhood, worst_subgraph) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_report(table)
+
+    for i, k in enumerate(bench_ks()):
+        bound = 1.0 / k + 1e-9
+        assert worst_degree[i] <= bound
+        assert worst_neighborhood[i] <= bound
+        assert worst_subgraph[i] <= bound

@@ -1,0 +1,87 @@
+"""Extension: query-shape sensitivity of the cloud engine.
+
+The paper's workload is random-walk subgraphs; real pattern workloads
+skew toward specific topologies.  This bench runs path / star / cycle
+queries of equal edge count through the EFF pipeline and reports where
+the engine's time goes for each.
+
+Expected shape: star queries decompose into a single star (join-free,
+cheapest); paths need the most stars for their size; cycles add a
+join-selective closing edge.
+"""
+
+from conftest import bench_datasets, bench_queries, bench_scale
+
+from repro.bench import format_table, ms, print_report
+from repro.core import PrivacyPreservingSystem, SystemConfig
+from repro.exceptions import QueryError, ResultBudgetExceeded
+from repro.workloads import extract_shape_query, generate_workload, load_dataset
+
+K = 3
+SIZE = 4  # edges per query, all shapes
+SHAPES = ("path", "star", "cycle")
+
+
+def _run(dataset_name: str):
+    dataset = load_dataset(dataset_name, scale=bench_scale())
+    sample = generate_workload(dataset.graph, SIZE, 6, seed=37)
+    system = PrivacyPreservingSystem.setup(
+        dataset.graph,
+        dataset.schema,
+        SystemConfig(k=K, max_intermediate_results=500_000),
+        sample_workload=sample,
+    )
+    per_shape = {}
+    for shape in SHAPES:
+        cloud = stars = 0.0
+        star_count = completed = 0
+        for seed in range(bench_queries()):
+            try:
+                query = extract_shape_query(
+                    dataset.graph, shape, SIZE, seed=seed
+                )
+                metrics = system.query(query).metrics
+            except (QueryError, ResultBudgetExceeded):
+                continue
+            cloud += metrics.cloud_seconds
+            stars += metrics.star_matching_seconds
+            star_count += metrics.rs_size
+            completed += 1
+        if completed:
+            per_shape[shape] = (
+                cloud / completed,
+                stars / completed,
+                star_count / completed,
+                completed,
+            )
+    return per_shape
+
+
+def test_star_shape_query(benchmark):
+    dataset = load_dataset("DBpedia", scale=bench_scale())
+    system = PrivacyPreservingSystem.setup(
+        dataset.graph, dataset.schema, SystemConfig(k=K)
+    )
+    query = extract_shape_query(dataset.graph, "star", SIZE, seed=3)
+    outcome = benchmark(lambda: system.query(query))
+    assert outcome.metrics.result_count >= 1
+
+
+def test_report_query_shapes(benchmark):
+    def run():
+        rows = []
+        for dataset_name in bench_datasets():
+            per_shape = _run(dataset_name)
+            for shape, (cloud, stars, rs, completed) in per_shape.items():
+                rows.append(
+                    [dataset_name, shape, completed, ms(cloud), ms(stars), round(rs, 1)]
+                )
+        return format_table(
+            ["dataset", "shape", "queries", "cloud ms", "star ms", "|RS|"],
+            rows,
+            title=f"[Extension] query-shape sensitivity (EFF, k={K}, {SIZE} edges)",
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(report)
+    assert "star" in report

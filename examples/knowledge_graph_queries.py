@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Knowledge-graph pattern queries: a look inside the cloud engine.
+
+Uses the DBpedia-like analogue (many vertex types, Zipf labels) and
+walks through what happens to one query inside the cloud:
+
+* how the query is anonymized through the LCT,
+* how the cost model estimates per-star cardinalities,
+* which stars the exact weighted-vertex-cover decomposition picks,
+* how big the star match sets and Rin are, and
+* why EFF's label grouping beats RAN/FSIM on the same query.
+
+Run:  python examples/knowledge_graph_queries.py
+"""
+
+from repro import MethodConfig, PrivacyPreservingSystem, SystemConfig
+from repro.anonymize import estimator_from_outsourced
+from repro.cloud import decompose_query
+from repro.matching import find_subgraph_matches, star_as_graph
+from repro.workloads import generate_workload, load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("DBpedia", scale=0.4)
+    graph, schema = dataset.graph, dataset.schema
+    print(
+        f"knowledge graph: |V|={graph.vertex_count}, |E|={graph.edge_count}, "
+        f"{len(schema)} entity types, {schema.label_count()} labels"
+    )
+
+    workload = generate_workload(graph, 6, 10, seed=3)
+    query = workload[0]
+    print(f"\npattern query: |V|={query.vertex_count}, |E|={query.edge_count}")
+
+    system = PrivacyPreservingSystem.setup(
+        graph, schema, SystemConfig(k=3), sample_workload=workload
+    )
+
+    # --- inside the client: anonymization -----------------------------
+    anonymized = system.client.prepare_query(query)
+    raw_labels = sorted(
+        label for d in query.vertices() for _, label in d.label_items()
+    )
+    group_labels = sorted(
+        label for d in anonymized.vertices() for _, label in d.label_items()
+    )
+    print(f"raw query labels     : {raw_labels[:4]} ...")
+    print(f"anonymized to groups : {group_labels[:4]} ...")
+
+    # --- inside the cloud: cost model + decomposition ------------------
+    published = system.published
+    estimator = estimator_from_outsourced(
+        published.center_vertices, published.upload_graph, 3
+    )
+    decomposition = decompose_query(anonymized, estimator)
+    print(f"\nquery decomposition picks {len(decomposition.stars)} stars:")
+    for star in decomposition.stars:
+        estimate = decomposition.estimated_sizes[star.center]
+        star_graph = star_as_graph(anonymized, star)
+        print(
+            f"  star @ q{star.center}: {len(star.leaves)} leaves, "
+            f"estimated |R(S)| = {estimate:.1f}"
+        )
+        del star_graph
+
+    # --- run it ---------------------------------------------------------
+    outcome = system.query(query)
+    qm = outcome.metrics
+    print(
+        f"\nexecution: |RS|={qm.rs_size} star matches -> |Rin|={qm.rin_size} "
+        f"-> {qm.candidate_count} candidates -> {qm.result_count} exact results"
+    )
+    oracle = len(find_subgraph_matches(query, graph))
+    assert qm.result_count == oracle
+    print(f"verified against direct matching: {oracle} matches")
+
+    # --- strategy comparison on the same workload ----------------------
+    print("\nlabel-grouping strategy comparison (mean over the workload):")
+    print(f"{'method':>7}  {'cloud ms':>9}  {'|RS|':>7}  {'|Rin|':>7}")
+    for method in ("EFF", "RAN", "FSIM"):
+        comparison = PrivacyPreservingSystem.setup(
+            graph,
+            schema,
+            SystemConfig(k=3, method=MethodConfig.from_name(method)),
+            sample_workload=workload,
+        )
+        totals = {"cloud": 0.0, "rs": 0, "rin": 0}
+        for q in workload:
+            m = comparison.query(q).metrics
+            totals["cloud"] += m.cloud_seconds * 1000
+            totals["rs"] += m.rs_size
+            totals["rin"] += m.rin_size
+        n = len(workload)
+        print(
+            f"{method:>7}  {totals['cloud'] / n:>9.2f}  "
+            f"{totals['rs'] / n:>7.1f}  {totals['rin'] / n:>7.1f}"
+        )
+    print(
+        "\nEFF groups labels so that frequent-in-data labels share groups"
+        "\nwith rare-in-queries labels, shrinking the star search space"
+        "\n(Section 5 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Real-data workflow: from a SNAP edge list to private cloud queries.
+
+Demonstrates the ingestion path a user with the actual Web-NotreDame /
+UK-2002 crawls would take:
+
+1. parse a SNAP-format edge list (a bundled miniature stands in here);
+2. synthesize Zipf-distributed labels (the crawls carry none);
+3. publish with k-automorphism and query through the cloud;
+4. audit the release with the attack library.
+
+Run:  python examples/real_data_workflow.py [path/to/edgelist.txt]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import PrivacyPreservingSystem, SystemConfig
+from repro.attacks import label_disclosure_risk, neighborhood_attack
+from repro.graph import compute_statistics, estimate_zipf_skew, label_frequency_spectrum
+from repro.matching import find_subgraph_matches
+from repro.workloads import (
+    assign_synthetic_labels,
+    generate_workload,
+    load_snap_edgelist,
+)
+
+# a miniature stand-in for web-NotreDame.txt (same file format)
+SAMPLE_EDGELIST = """\
+# Directed graph: sample web crawl
+# FromNodeId  ToNodeId
+0 1\n0 2\n0 3\n1 2\n1 4\n2 5\n3 6\n4 5\n4 7\n5 8\n6 7\n6 9\n7 8\n8 9\n9 10
+10 11\n10 12\n11 12\n11 13\n12 14\n13 14\n13 15\n14 16\n15 16\n15 17\n16 18
+17 18\n17 19\n18 19\n19 0\n2 10\n5 13\n8 17\n3 12\n6 15
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+    else:
+        handle = tempfile.NamedTemporaryFile(
+            "w", suffix=".txt", delete=False, prefix="snap-sample-"
+        )
+        handle.write(SAMPLE_EDGELIST)
+        handle.close()
+        path = Path(handle.name)
+        print(f"(no edge list given; using a bundled 20-vertex sample: {path})")
+
+    # 1. ingest
+    structure = load_snap_edgelist(path, max_vertices=5000)
+    print(f"loaded: |V|={structure.vertex_count}, |E|={structure.edge_count}")
+
+    # 2. labels (the paper's label experiments synthesize attributes too)
+    graph, schema = assign_synthetic_labels(
+        structure, label_count=12, labels_per_vertex=2, skew=0.8, seed=1
+    )
+    stats = compute_statistics(graph)
+    vertex_type = next(iter(schema.type_names))
+    attribute = schema.attributes_of(vertex_type)[0]
+    skew = estimate_zipf_skew(label_frequency_spectrum(stats, vertex_type, attribute))
+    print(f"labels assigned: {schema.label_count()} labels, fitted Zipf skew {skew:.2f}")
+
+    # 3. publish and query
+    workload = generate_workload(graph, 3, 5, seed=2)
+    system = PrivacyPreservingSystem.setup(
+        graph, schema, SystemConfig(k=2), sample_workload=workload
+    )
+    pm = system.publish_metrics
+    print(
+        f"published Go: |E|={pm.uploaded_edges} "
+        f"(Gk: {pm.gk_edges}; noise: {pm.noise_edges})"
+    )
+    for i, query in enumerate(workload[:3]):
+        outcome = system.query(query)
+        oracle = len(find_subgraph_matches(query, graph))
+        status = "OK" if len(outcome.matches) == oracle else "MISMATCH"
+        print(
+            f"  query {i}: {len(outcome.matches)} matches "
+            f"[{status}] ({outcome.metrics.total_seconds * 1000:.1f} ms end-to-end)"
+        )
+
+    # 4. audit
+    transform = system.published.transform
+    worst = max(
+        neighborhood_attack(transform.gk, v).success_probability
+        for v in list(transform.gk.vertex_ids())[:100]
+    )
+    risk = label_disclosure_risk(system.published.lct, stats)
+    print(
+        f"audit: worst 1-hop attack {worst:.3f} (bound 1/k = {1 / 2:.3f}); "
+        f"mean label-disclosure risk {risk.mean:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Protecting a social network: privacy levels, costs, and attacks.
+
+Scenario: a company outsources its member graph to a public cloud and
+wants to know what privacy level k costs.  This example
+
+* publishes a synthetic social network at k = 2..5,
+* verifies the structural guarantee (every member has k-1 perfect
+  twins) and demonstrates that a 1-neighborhood structural attack
+  cannot narrow a target below k candidates,
+* reports the space/communication overhead each k costs, and
+* answers a "find colleagues-of-couples" style query at each level.
+
+Run:  python examples/social_network_privacy.py
+"""
+
+import json
+
+from repro import PrivacyPreservingSystem, SystemConfig
+from repro.graph import make_schema, random_attributed_graph
+from repro.kauto import verify_k_automorphism
+from repro.matching import find_subgraph_matches
+from repro.workloads import random_walk_query
+
+
+def build_network():
+    """A 400-member network: people with role/location attributes.
+
+    Each member carries two labels per attribute from a 60-label
+    universe — enough selectivity that queries stay cheap even after
+    the k-automorphic row-union widens every vertex's label groups.
+    """
+    schema = make_schema(
+        type_count=1, attributes_per_type=2, labels_per_attribute=60, prefix="member"
+    )
+    graph = random_attributed_graph(
+        schema,
+        400,
+        edges_per_vertex=3,
+        label_skew=0.8,
+        labels_per_vertex=2,
+        seed=42,
+        name="members",
+    )
+    return graph, schema
+
+
+def neighborhood_attack(gk, avt, target):
+    """How many Gk vertices share the target's 1-hop structural view?
+
+    An adversary knowing the target's degree and the degree multiset of
+    its neighbours (the attack sketched in the paper's introduction)
+    can at best narrow the target to this candidate set.
+    """
+    def signature(v):
+        return (
+            gk.degree(v),
+            tuple(sorted(gk.degree(n) for n in gk.neighbors(v))),
+        )
+
+    wanted = signature(target)
+    return sum(1 for v in gk.vertex_ids() if signature(v) == wanted)
+
+
+def main() -> None:
+    graph, schema = build_network()
+    query = random_walk_query(graph, 5, seed=7)
+    oracle = len(find_subgraph_matches(query, graph))
+    print(f"network: |V|={graph.vertex_count}, |E|={graph.edge_count}")
+    print(f"query: {query.edge_count} edges, true matches: {oracle}\n")
+
+    header = (
+        f"{'k':>2}  {'noiseE':>7}  {'|E(Go)|':>8}  {'upload KB':>9}  "
+        f"{'attack cands':>12}  {'query ms':>9}  {'exact?':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for k in (2, 3, 4, 5):
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=k), sample_workload=[query]
+        )
+        transform = system.published.transform
+        verify_k_automorphism(transform.gk, transform.avt)  # raises if broken
+
+        # structural attack on an arbitrary real member
+        target = 17
+        candidates = neighborhood_attack(transform.gk, transform.avt, target)
+        assert candidates >= k, "k-automorphism must defeat the 1-hop attack"
+
+        outcome = system.query(query)
+        exact = len(outcome.matches) == oracle
+        pm = system.publish_metrics
+        print(
+            f"{k:>2}  {pm.noise_edges:>7}  {pm.uploaded_edges:>8}  "
+            f"{pm.upload_bytes / 1024:>9.1f}  {candidates:>12}  "
+            f"{outcome.metrics.total_seconds * 1000:>9.2f}  {str(exact):>6}"
+        )
+
+    print(
+        "\nTakeaway: larger k widens the anonymity set (attack candidates)"
+        "\nbut costs more noise edges, upload bytes and query time —"
+        "\nexactly the trade-off Figure 11/12/16 of the paper quantifies."
+    )
+
+    # show what the cloud actually sees for one member (no raw labels)
+    system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+    published_vertex = system.published.upload_graph.vertex(0)
+    print("\ncloud's view of member 0:")
+    print(json.dumps({a: sorted(v) for a, v in published_vertex.labels.items()}, indent=2))
+
+
+if __name__ == "__main__":
+    main()

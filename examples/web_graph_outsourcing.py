@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Outsourcing a web graph: space savings of Go and the k trade-off.
+
+Uses the Web-NotreDame analogue (one vertex type, 200 Zipf-distributed
+page labels) and reproduces the headline systems argument of Section 4:
+uploading the outsourced graph ``Go`` instead of the full k-automorphic
+graph ``Gk`` saves close to a factor of k in cloud storage, upload
+bytes and index size — while still answering queries exactly.
+
+Run:  python examples/web_graph_outsourcing.py
+"""
+
+from repro import MethodConfig, PrivacyPreservingSystem, SystemConfig
+from repro.matching import find_subgraph_matches, match_key
+from repro.workloads import generate_workload, load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("Web-NotreDame", scale=0.4)
+    graph, schema = dataset.graph, dataset.schema
+    print(
+        f"web graph: |V|={graph.vertex_count}, |E|={graph.edge_count}, "
+        f"{schema.label_count()} page labels\n"
+    )
+    workload = generate_workload(graph, 6, 8, seed=11)
+
+    print(
+        f"{'k':>2}  {'|E(Gk)|':>8}  {'|E(Go)|':>8}  {'ratio':>6}  "
+        f"{'Gk up KB':>8}  {'Go up KB':>8}  {'idx KB (BAS)':>12}  {'idx KB (Go)':>11}"
+    )
+    for k in (2, 3, 4, 5, 6):
+        go_system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=k), sample_workload=workload
+        )
+        gk_system = PrivacyPreservingSystem.setup(
+            graph,
+            schema,
+            SystemConfig(k=k, method=MethodConfig.from_name("BAS")),
+            sample_workload=workload,
+        )
+        go_pm, gk_pm = go_system.publish_metrics, gk_system.publish_metrics
+        ratio = go_pm.uploaded_edges / gk_pm.uploaded_edges
+        print(
+            f"{k:>2}  {gk_pm.uploaded_edges:>8}  {go_pm.uploaded_edges:>8}  "
+            f"{ratio:>6.2f}  {gk_pm.upload_bytes / 1024:>8.1f}  "
+            f"{go_pm.upload_bytes / 1024:>8.1f}  {gk_pm.index_bytes / 1024:>12.1f}  "
+            f"{go_pm.index_bytes / 1024:>11.1f}"
+        )
+
+    # exactness spot-check at the largest k
+    print("\nexactness check at k=6 over the workload:")
+    system = PrivacyPreservingSystem.setup(
+        graph, schema, SystemConfig(k=6), sample_workload=workload
+    )
+    for i, query in enumerate(workload[:4]):
+        outcome = system.query(query)
+        oracle = {match_key(m) for m in find_subgraph_matches(query, graph)}
+        got = {match_key(m) for m in outcome.matches}
+        status = "OK" if got == oracle else "MISMATCH"
+        print(f"  query {i}: {len(got)} matches [{status}]")
+
+    print(
+        "\n|E(Go)|/|E(Gk)| approaches 1/k + boundary overhead — the space"
+        "\nsaving that makes the optimized method (EFF) practical (Figure 12)."
+    )
+
+
+if __name__ == "__main__":
+    main()

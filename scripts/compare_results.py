@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Compare two evaluation dumps for regressions.
+
+Usage:
+    python scripts/compare_results.py baseline/results.json new/results.json
+
+Exit status 0 when no regressions or determinism breaks were found.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.history import compare_results, format_comparison, load_results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="results.json of the baseline run")
+    parser.add_argument("current", help="results.json of the run under test")
+    args = parser.parse_args()
+
+    comparison = compare_results(
+        load_results(args.baseline), load_results(args.current)
+    )
+    print(format_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

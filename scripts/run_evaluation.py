@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""One-command reproduction: run the full evaluation, write a report.
+
+Runs the same sweep the `benchmarks/` harness uses (publish-time
+metrics, query sweeps over methods × k × |E(Q)|, attack resistance)
+and writes a self-contained Markdown report plus a machine-readable
+JSON dump.
+
+Usage:
+    python scripts/run_evaluation.py [--out results/] [--scale 0.25]
+                                     [--queries 10] [--ks 2,3,5]
+                                     [--sizes 4,6,12]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.attacks import neighborhood_attack
+from repro.bench import ExperimentContext, format_series, format_table, ms
+from repro.workloads import DATASETS
+
+METHODS = ("EFF", "RAN", "FSIM", "BAS")
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--queries", type=int, default=10)
+    parser.add_argument("--ks", default="2,3,5")
+    parser.add_argument("--sizes", default="4,6,12")
+    parser.add_argument(
+        "--datasets", default=",".join(sorted(DATASETS)), help="comma separated"
+    )
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    ks = [int(x) for x in args.ks.split(",")]
+    sizes = [int(x) for x in args.sizes.split(",")]
+    dataset_names = [d.strip() for d in args.datasets.split(",") if d.strip()]
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    sections: list[str] = [
+        "# Evaluation report",
+        f"scale={args.scale}, queries/cell={args.queries}, ks={ks}, sizes={sizes}",
+    ]
+    dump: dict = {"config": vars(args), "datasets": {}}
+    started = time.time()
+
+    for dataset_name in dataset_names:
+        print(f"== {dataset_name} ==", flush=True)
+        context = ExperimentContext.for_dataset(dataset_name, scale=args.scale)
+        entry: dict = {"publish": {}, "cells": {}, "attacks": {}}
+
+        # publish-time metrics (figures 10-12 equivalents)
+        publish_rows = []
+        for k in ks:
+            system = context.system("EFF", k)
+            metrics = system.publish_metrics
+            publish_rows.append(
+                [
+                    k,
+                    metrics.noise_edges,
+                    metrics.uploaded_edges,
+                    metrics.gk_edges,
+                    round(metrics.upload_bytes / 1024, 1),
+                    round(metrics.index_bytes / 1024, 2),
+                ]
+            )
+            entry["publish"][k] = {
+                "noise_edges": metrics.noise_edges,
+                "go_edges": metrics.uploaded_edges,
+                "gk_edges": metrics.gk_edges,
+                "upload_bytes": metrics.upload_bytes,
+                "index_bytes": metrics.index_bytes,
+            }
+        sections.append(
+            format_table(
+                ["k", "noise E", "|E(Go)|", "|E(Gk)|", "upload KiB", "index KiB"],
+                publish_rows,
+                title=f"## publish-time (EFF) — {dataset_name}",
+            )
+        )
+
+        # query sweep (figures 14-22 equivalents)
+        for k in ks:
+            series = {}
+            for method in METHODS:
+                cells = []
+                for size in sizes:
+                    aggregate = context.run(method, k, size, args.queries)
+                    cells.append(ms(aggregate.total_seconds))
+                    entry["cells"][f"{method}/k{k}/e{size}"] = {
+                        "total_ms": ms(aggregate.total_seconds),
+                        "cloud_ms": ms(aggregate.cloud_seconds),
+                        "client_ms": ms(aggregate.client_seconds),
+                        "rs": aggregate.rs_size,
+                        "rin": aggregate.rin_size,
+                        "answer_bytes": aggregate.answer_bytes,
+                        "skipped": aggregate.skipped,
+                    }
+                series[method] = cells
+            sections.append(
+                format_series(
+                    f"## end-to-end time (ms) — {dataset_name}, k={k}",
+                    "|E(Q)|",
+                    sizes,
+                    series,
+                )
+            )
+
+        # attack resistance (1/k bound)
+        attack_rows = []
+        for k in ks:
+            gk = context.system("EFF", k).published.transform.gk
+            worst = max(
+                neighborhood_attack(gk, target).success_probability
+                for target in sorted(gk.vertex_ids())[:100]
+            )
+            attack_rows.append([k, round(worst, 4), round(1.0 / k, 4)])
+            entry["attacks"][k] = worst
+        sections.append(
+            format_table(
+                ["k", "worst 1-hop attack", "bound 1/k"],
+                attack_rows,
+                title=f"## attack resistance — {dataset_name}",
+            )
+        )
+        dump["datasets"][dataset_name] = entry
+
+    dump["elapsed_seconds"] = time.time() - started
+    report = "\n\n".join(sections) + "\n"
+    (out_dir / "report.md").write_text(report)
+    (out_dir / "results.json").write_text(json.dumps(dump, indent=2))
+    print(report)
+    print(f"wrote {out_dir}/report.md and {out_dir}/results.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

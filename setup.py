@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, which
+breaks PEP 517 editable installs; keeping a setup.py (and omitting the
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .``
+fall back to ``setup.py develop``.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — Privacy Preserving Subgraph Matching on Large Graphs in Cloud.
+
+A full reproduction of Chang, Zou and Li (SIGMOD 2016).  The library
+answers exact subgraph-matching queries over a sensitive attributed
+graph through an honest-but-curious cloud, without revealing structure
+(k-automorphism) or labels (label generalization) to the cloud.
+
+Quickstart::
+
+    from repro import PrivacyPreservingSystem, SystemConfig
+    from repro.graph import example_social_network, example_query
+
+    graph, schema = example_social_network()
+    system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+    outcome = system.query(example_query())
+    print(outcome.matches)          # exact R(Q, G)
+    print(outcome.metrics.total_seconds)
+
+Subpackages
+-----------
+``repro.graph``      attributed graph model, generators, statistics
+``repro.matching``   VF2-style matcher (oracle/BAS), stars, match records
+``repro.kauto``      k-automorphism: partitioner, AVT, alignment, edge copy
+``repro.anonymize``  LCT, grouping strategies (EFF/RAN/FSIM), cost model
+``repro.outsource``  the outsourced graph ``Go``
+``repro.cloud``      cloud engine: bit index, decomposition, star join
+``repro.client``     client post-processing (expand + filter)
+``repro.core``       owner/cloud/client orchestration + protocol
+``repro.workloads``  dataset analogues and query generators
+``repro.bench``      experiment harness used by ``benchmarks/``
+"""
+
+from repro.core import (
+    MethodConfig,
+    NetworkChannel,
+    PrivacyPreservingSystem,
+    QueryOutcome,
+    SystemConfig,
+)
+from repro.exceptions import (
+    AnonymizationError,
+    GraphError,
+    PartitionError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    VerificationError,
+)
+from repro.graph import AttributedGraph, GraphSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrivacyPreservingSystem",
+    "SystemConfig",
+    "MethodConfig",
+    "QueryOutcome",
+    "NetworkChannel",
+    "AttributedGraph",
+    "GraphSchema",
+    "ReproError",
+    "GraphError",
+    "SchemaError",
+    "PartitionError",
+    "AnonymizationError",
+    "QueryError",
+    "ProtocolError",
+    "VerificationError",
+    "__version__",
+]

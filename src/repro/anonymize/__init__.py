@@ -1,0 +1,60 @@
+"""Label anonymization: LCT, grouping strategies, cost model (Section 5)."""
+
+from repro.anonymize.cost_model import (
+    StarCardinalityEstimator,
+    average_star_search_space,
+    estimator_from_outsourced,
+    label_combination_cost,
+    measure_delta_k,
+)
+from repro.anonymize.eff import cost_based_grouping
+from repro.anonymize.lct import LabelCorrespondenceTable, group_id
+from repro.anonymize.query_anonymizer import (
+    anonymize_query,
+    average_center_degree,
+    star_workload_statistics,
+    workload_statistics,
+)
+from repro.anonymize.strategies import (
+    GroupingStrategy,
+    StrategyContext,
+    build_lct,
+    chunk_permutation,
+    frequency_similar_grouping,
+    group_sizes,
+    random_grouping,
+)
+
+STRATEGIES: dict[str, GroupingStrategy] = {
+    "EFF": cost_based_grouping,
+    "RAN": random_grouping,
+    "FSIM": frequency_similar_grouping,
+}
+"""Named grouping strategies as compared in the paper's evaluation.
+
+``BAS`` is not a grouping strategy: it shares EFF's grouping but
+uploads the whole ``Gk`` (see :mod:`repro.core.config`).
+"""
+
+__all__ = [
+    "LabelCorrespondenceTable",
+    "group_id",
+    "GroupingStrategy",
+    "StrategyContext",
+    "build_lct",
+    "group_sizes",
+    "chunk_permutation",
+    "random_grouping",
+    "frequency_similar_grouping",
+    "cost_based_grouping",
+    "label_combination_cost",
+    "measure_delta_k",
+    "average_star_search_space",
+    "StarCardinalityEstimator",
+    "estimator_from_outsourced",
+    "anonymize_query",
+    "workload_statistics",
+    "star_workload_statistics",
+    "average_center_degree",
+    "STRATEGIES",
+]

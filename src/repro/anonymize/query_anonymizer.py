@@ -1,0 +1,75 @@
+"""Query anonymization and workload statistics.
+
+At query time the client replaces every raw label of a query graph
+``Q`` by its label group from the (private) LCT, producing the
+outsourced query ``Qo`` that is safe to send to the cloud
+(Section 4.2).  ``Qo`` has exactly the same vertices and edges as
+``Q`` — only labels are generalized.
+
+This module also derives the workload-average frequencies
+``F^l_Savg`` (Section 5.2) from a sample of query graphs; the EFF
+strategy consumes them through :class:`StrategyContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.anonymize.lct import LabelCorrespondenceTable
+from repro.graph.attributed import AttributedGraph
+from repro.graph.stats import GraphStatistics, compute_statistics, merge_statistics
+from repro.graph.validation import validate_query
+
+
+def anonymize_query(
+    query: AttributedGraph,
+    lct: LabelCorrespondenceTable,
+) -> AttributedGraph:
+    """Build the outsourced query ``Qo`` (labels -> label groups)."""
+    validate_query(query)
+    return lct.apply_to_graph(query, name=f"{query.name}-anonymized")
+
+
+def workload_statistics(queries: Iterable[AttributedGraph]) -> GraphStatistics:
+    """``F_Savg``-style frequency profile of a sample query workload.
+
+    Each query contributes its own conditional frequency profile with
+    equal weight, following the averaged definitions of Section 5.2
+    (frequencies are averaged per query, not pooled by raw counts, so
+    one big query cannot dominate the estimate).
+    """
+    return merge_statistics(compute_statistics(q) for q in queries)
+
+
+def star_workload_statistics(
+    queries: Iterable[AttributedGraph],
+) -> GraphStatistics:
+    """Workload statistics over the *stars* of the sample queries.
+
+    Section 5.2 defines ``F_Savg`` over the set of possible star
+    queries; decomposing each sample query into its per-vertex stars
+    and averaging over those is the finite-sample version.
+    """
+    from repro.matching.star import star_as_graph, star_of
+
+    parts: list[GraphStatistics] = []
+    for query in queries:
+        for center in query.vertex_ids():
+            if query.degree(center) == 0:
+                continue
+            star_graph = star_as_graph(query, star_of(query, center))
+            parts.append(compute_statistics(star_graph))
+    return merge_statistics(parts)
+
+
+def average_center_degree(queries: Sequence[AttributedGraph]) -> float:
+    """``Dc(S_avg)``: mean star-center degree across the workload."""
+    degrees = [
+        query.degree(center)
+        for query in queries
+        for center in query.vertex_ids()
+        if query.degree(center) > 0
+    ]
+    if not degrees:
+        return 0.0
+    return sum(degrees) / len(degrees)

@@ -1,0 +1,165 @@
+"""Label grouping strategies: RAN and FSIM, plus shared helpers.
+
+A grouping strategy partitions the label universe of one
+``(vertex type, attribute)`` pair into groups of at least ``theta``
+labels.  The paper compares three strategies:
+
+* **RAN** — random grouping (this module);
+* **FSIM** — labels with *similar graph frequencies* grouped together
+  (this module);
+* **EFF** — cost-model-driven grouping (:mod:`repro.anonymize.eff`).
+
+:func:`build_lct` assembles a full Label Correspondence Table by
+running a strategy over every (type, attribute) universe of a schema.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.anonymize.lct import LabelCorrespondenceTable
+from repro.exceptions import AnonymizationError
+from repro.graph.schema import GraphSchema
+from repro.graph.stats import GraphStatistics
+
+
+@dataclass
+class StrategyContext:
+    """Everything a grouping strategy may consult."""
+
+    vertex_type: str
+    attribute: str
+    graph_frequency: dict[str, float] = field(default_factory=dict)
+    workload_frequency: dict[str, float] = field(default_factory=dict)
+    rng: random.Random = field(default_factory=random.Random)
+
+
+GroupingStrategy = Callable[[Sequence[str], int, StrategyContext], list[list[str]]]
+
+
+def group_sizes(label_count: int, theta: int) -> list[int]:
+    """Sizes of the groups a universe of ``label_count`` labels forms.
+
+    ``h = floor(n / theta)`` groups; the remainder is spread one label
+    at a time over the first groups, so every group has ``theta`` or
+    ``theta + 1`` labels (all >= theta).  A universe smaller than
+    ``theta`` forms a single undersized group (callers decide whether
+    that is acceptable via :meth:`LabelCorrespondenceTable.verify`).
+    """
+    if label_count <= 0:
+        raise AnonymizationError("cannot group an empty label universe")
+    h = label_count // theta
+    if h == 0:
+        return [label_count]
+    sizes = [theta] * h
+    for i in range(label_count - h * theta):
+        sizes[i % h] += 1
+    return sizes
+
+
+def chunk_permutation(permutation: Sequence[str], theta: int) -> list[list[str]]:
+    """Cut a label permutation into consecutive groups of valid sizes."""
+    sizes = group_sizes(len(permutation), theta)
+    groups: list[list[str]] = []
+    start = 0
+    for size in sizes:
+        groups.append(list(permutation[start : start + size]))
+        start += size
+    return groups
+
+
+def random_grouping(
+    labels: Sequence[str],
+    theta: int,
+    context: StrategyContext,
+) -> list[list[str]]:
+    """**RAN**: shuffle the universe, cut into consecutive groups."""
+    permutation = list(labels)
+    context.rng.shuffle(permutation)
+    return chunk_permutation(permutation, theta)
+
+
+def frequency_similar_grouping(
+    labels: Sequence[str],
+    theta: int,
+    context: StrategyContext,
+) -> list[list[str]]:
+    """**FSIM**: group labels whose *data-graph* frequencies are close.
+
+    Sort by frequency (descending, label as tiebreak) and cut into
+    consecutive groups — adjacent labels have the most similar
+    frequencies.
+    """
+    permutation = sorted(
+        labels,
+        key=lambda label: (-context.graph_frequency.get(label, 0.0), label),
+    )
+    return chunk_permutation(permutation, theta)
+
+
+def build_lct(
+    schema: GraphSchema,
+    theta: int,
+    strategy: GroupingStrategy,
+    graph_stats: GraphStatistics | None = None,
+    workload_stats: GraphStatistics | None = None,
+    seed: int = 0,
+) -> LabelCorrespondenceTable:
+    """Run ``strategy`` over every (type, attribute) universe of ``schema``.
+
+    The label universes come from the *schema* (not just observed
+    labels) so every possible query label has a group.  Frequencies of
+    unobserved labels default to zero.
+    """
+    lct = LabelCorrespondenceTable(theta)
+    rng = random.Random(seed)
+    for vertex_type in schema.type_names:
+        for attribute in schema.attributes_of(vertex_type):
+            universe = sorted(schema.labels_of(vertex_type, attribute))
+            context = StrategyContext(
+                vertex_type=vertex_type,
+                attribute=attribute,
+                graph_frequency=_frequency_map(
+                    graph_stats, vertex_type, attribute, universe
+                ),
+                workload_frequency=_frequency_map(
+                    workload_stats, vertex_type, attribute, universe
+                ),
+                rng=rng,
+            )
+            groups = strategy(universe, theta, context)
+            _check_partition(universe, groups, vertex_type, attribute)
+            for group in groups:
+                lct.add_group(vertex_type, attribute, group)
+    return lct
+
+
+def _frequency_map(
+    stats: GraphStatistics | None,
+    vertex_type: str,
+    attribute: str,
+    universe: Sequence[str],
+) -> dict[str, float]:
+    if stats is None:
+        # no statistics: pretend uniform so strategies stay well defined
+        uniform = 1.0 / len(universe) if universe else 0.0
+        return {label: uniform for label in universe}
+    return {
+        label: stats.frequency_of_label(vertex_type, attribute, label)
+        for label in universe
+    }
+
+
+def _check_partition(
+    universe: Sequence[str],
+    groups: list[list[str]],
+    vertex_type: str,
+    attribute: str,
+) -> None:
+    flattened = [label for group in groups for label in group]
+    if sorted(flattened) != sorted(universe):
+        raise AnonymizationError(
+            f"strategy did not partition the universe of {vertex_type}.{attribute}"
+        )

@@ -1,0 +1,35 @@
+"""Re-identification and inference attacks (evaluation tooling)."""
+
+from repro.attacks.label_inference import (
+    LabelDisclosure,
+    group_posterior,
+    ideal_risk,
+    label_disclosure_risk,
+)
+from repro.attacks.structural import (
+    AttackResult,
+    degree_attack,
+    extract_knowledge,
+    friendship_attack,
+    hub_fingerprint_attack,
+    multi_release_intersection,
+    neighborhood_attack,
+    subgraph_attack,
+    verify_attack_resistance,
+)
+
+__all__ = [
+    "AttackResult",
+    "degree_attack",
+    "neighborhood_attack",
+    "subgraph_attack",
+    "hub_fingerprint_attack",
+    "friendship_attack",
+    "multi_release_intersection",
+    "extract_knowledge",
+    "verify_attack_resistance",
+    "LabelDisclosure",
+    "group_posterior",
+    "label_disclosure_risk",
+    "ideal_risk",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness utilities (used by the ``benchmarks/`` suite)."""
+
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    ms,
+    print_report,
+)
+from repro.bench.runner import (
+    ExperimentContext,
+    bench_query_count,
+    bench_scale,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "bench_scale",
+    "bench_query_count",
+    "format_table",
+    "format_series",
+    "ms",
+    "print_report",
+]

@@ -1,0 +1,121 @@
+"""Benchmark result persistence and regression comparison.
+
+`scripts/run_evaluation.py` dumps a ``results.json`` per run; this
+module loads two such dumps and reports cell-by-cell deltas, so a
+change to the engine can be vetted against a baseline run:
+
+    python scripts/compare_results.py baseline/results.json new/results.json
+
+A *regression* is a tracked metric worsening beyond a tolerance;
+time-like metrics are compared relatively, count-like metrics must not
+change at all for the same seed (determinism guard).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+# metric -> (kind, tolerance); kinds: "time" (relative), "exact" (equal)
+TRACKED_METRICS: dict[str, tuple[str, float]] = {
+    "total_ms": ("time", 0.5),   # 50% relative slack: wall times are noisy
+    "cloud_ms": ("time", 0.5),
+    "client_ms": ("time", 0.8),
+    "rs": ("exact", 0.0),
+    "rin": ("exact", 0.0),
+    "answer_bytes": ("exact", 0.0),
+    "skipped": ("exact", 0.0),
+}
+
+
+@dataclass
+class CellDelta:
+    dataset: str
+    cell: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        return (
+            f"{self.dataset} {self.cell} {self.metric}: "
+            f"{self.baseline:g} -> {self.current:g} "
+            f"({self.relative_change:+.0%})"
+        )
+
+
+@dataclass
+class Comparison:
+    regressions: list[CellDelta] = field(default_factory=list)
+    improvements: list[CellDelta] = field(default_factory=list)
+    determinism_breaks: list[CellDelta] = field(default_factory=list)
+    cells_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.determinism_breaks
+
+
+def load_results(path: str | Path) -> dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def compare_results(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+) -> Comparison:
+    """Cell-by-cell comparison of two evaluation dumps.
+
+    Only cells present in both runs are compared (grids may differ).
+    """
+    comparison = Comparison()
+    base_datasets = baseline.get("datasets", {})
+    for dataset, entry in current.get("datasets", {}).items():
+        base_entry = base_datasets.get(dataset)
+        if base_entry is None:
+            continue
+        base_cells = base_entry.get("cells", {})
+        for cell, metrics in entry.get("cells", {}).items():
+            base_metrics = base_cells.get(cell)
+            if base_metrics is None:
+                continue
+            comparison.cells_compared += 1
+            for metric, (kind, tolerance) in TRACKED_METRICS.items():
+                if metric not in metrics or metric not in base_metrics:
+                    continue
+                delta = CellDelta(
+                    dataset, cell, metric, base_metrics[metric], metrics[metric]
+                )
+                if kind == "exact":
+                    if metrics[metric] != base_metrics[metric]:
+                        comparison.determinism_breaks.append(delta)
+                else:
+                    change = delta.relative_change
+                    if change > tolerance:
+                        comparison.regressions.append(delta)
+                    elif change < -tolerance:
+                        comparison.improvements.append(delta)
+    return comparison
+
+
+def format_comparison(comparison: Comparison) -> str:
+    lines = [f"cells compared: {comparison.cells_compared}"]
+    if comparison.determinism_breaks:
+        lines.append("\nDETERMINISM BREAKS (count metrics changed):")
+        lines.extend("  " + d.describe() for d in comparison.determinism_breaks)
+    if comparison.regressions:
+        lines.append("\nREGRESSIONS:")
+        lines.extend("  " + d.describe() for d in comparison.regressions)
+    if comparison.improvements:
+        lines.append("\nimprovements:")
+        lines.extend("  " + d.describe() for d in comparison.improvements)
+    lines.append("\nstatus: " + ("OK" if comparison.ok else "FAILED"))
+    return "\n".join(lines)

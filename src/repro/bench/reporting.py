@@ -1,0 +1,72 @@
+"""Plain-text tables in the shape of the paper's figures.
+
+The benchmark harness prints one table/series per paper figure so the
+reproduction can be compared against the original by eye.  Output is
+deliberately monospace-plain (no external dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render rows into an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+) -> str:
+    """Render one figure-style table: x on rows, one column per series."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def ms(seconds: float) -> float:
+    """Seconds -> milliseconds (the paper's unit for query costs)."""
+    return seconds * 1000.0
+
+
+def print_report(text: str) -> None:
+    """Emit a report block, visually separated in pytest -s output."""
+    print("\n" + text + "\n")

@@ -1,0 +1,12 @@
+"""Client-side result processing (Algorithm 3)."""
+
+from repro.client.expansion import ExpansionResult, expand_rin
+from repro.client.filtering import ClientFilter, FilterResult, filter_candidates
+
+__all__ = [
+    "expand_rin",
+    "ExpansionResult",
+    "ClientFilter",
+    "filter_candidates",
+    "FilterResult",
+]

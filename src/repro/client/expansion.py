@@ -1,0 +1,49 @@
+"""Client-side match expansion (Lines 1-5 of Algorithm 3).
+
+The cloud ships ``Rin`` — the matches of ``R(Qo, Gk)`` anchored in
+block ``B1``.  The client recovers the rest, ``Rout``, by mapping every
+``Rin`` match through the automorphic functions ``F_1 .. F_{k-1}``
+(Theorem 3 guarantees this yields exactly ``R(Qo, Gk)``).  The paper
+notes this step can equally run in the cloud, trading client CPU for
+communication volume — :class:`repro.core.system.PrivacyPreservingSystem`
+exposes that choice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.kauto.avt import AlignmentVertexTable
+from repro.matching.match import Match, dedupe_matches
+
+
+@dataclass
+class ExpansionResult:
+    matches: list[Match]
+    seconds: float
+    rin_size: int
+    rout_size: int
+
+
+def expand_rin(rin: list[Match], avt: AlignmentVertexTable) -> ExpansionResult:
+    """``R(Qo, Gk) = Rin ∪ F_1(Rin) ∪ ... ∪ F_{k-1}(Rin)``.
+
+    Matches referencing vertices unknown to the AVT are dropped up
+    front: an honest cloud never produces them (every ``Go`` vertex is
+    in the AVT), so they can only come from corruption or tampering and
+    could never survive the client filter anyway.
+    """
+    started = time.perf_counter()
+    usable = [match for match in rin if all(v in avt for v in match.values())]
+    expanded: list[Match] = list(usable)
+    for m in range(1, avt.k):
+        for match in usable:
+            expanded.append(avt.apply_to_match(match, m))
+    full = dedupe_matches(expanded)
+    return ExpansionResult(
+        matches=full,
+        seconds=time.perf_counter() - started,
+        rin_size=len(rin),
+        rout_size=len(full) - len(rin),
+    )

@@ -1,0 +1,101 @@
+"""Client-side false-positive filtering (Lines 6-23 of Algorithm 3).
+
+The candidate set ``R(Qo, Gk)`` over-approximates ``R(Q, G)`` in three
+ways, each removed by one hash-backed check:
+
+1. a match may use a noise vertex absent from ``G``;
+2. a match may use a noise edge absent from ``G``;
+3. a match may rely on generalized labels — the data vertex carries the
+   right label *group* but not the exact label the original query ``Q``
+   asked for.
+
+All checks are O(1) per vertex/edge, so the client's work is linear in
+the number of candidate matches — the property that makes outsourcing
+worthwhile (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.graph.attributed import AttributedGraph
+from repro.matching.match import Match
+
+
+@dataclass
+class FilterResult:
+    matches: list[Match]
+    seconds: float
+    candidates: int
+    dropped_vertex: int = 0
+    dropped_edge: int = 0
+    dropped_label: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_vertex + self.dropped_edge + self.dropped_label
+
+
+class ClientFilter:
+    """Precomputed hash structures over the original ``G`` and ``Q``."""
+
+    def __init__(self, original_graph: AttributedGraph, original_query: AttributedGraph):
+        self.graph = original_graph
+        self.query = original_query
+        self._vertex_set = original_graph.vertex_id_set()
+        self._query_edges = list(original_query.edges())
+
+    def filter(self, candidates: list[Match], limit: int | None = None) -> FilterResult:
+        """Keep exactly the candidates that are matches of Q over G.
+
+        ``limit`` stops the scan once that many true matches are found
+        (top-``limit`` queries pay for only part of the candidate set).
+        """
+        started = time.perf_counter()
+        graph = self.graph
+        query = self.query
+        vertex_set = self._vertex_set
+        kept: list[Match] = []
+        dropped_vertex = dropped_edge = dropped_label = 0
+
+        for match in candidates:
+            if limit is not None and len(kept) >= limit:
+                break
+            # Lines 9-12: every matched vertex must exist in G.
+            if any(v not in vertex_set for v in match.values()):
+                dropped_vertex += 1
+                continue
+            # Lines 15-18: every query edge must exist in G.
+            if any(
+                not graph.has_edge(match[q1], match[q2])
+                for q1, q2 in self._query_edges
+            ):
+                dropped_edge += 1
+                continue
+            # Lines 21-22: exact (raw) label containment against Q.
+            if any(
+                not query.vertex(q).matches(graph.vertex(v))
+                for q, v in match.items()
+            ):
+                dropped_label += 1
+                continue
+            kept.append(match)
+
+        return FilterResult(
+            matches=kept,
+            seconds=time.perf_counter() - started,
+            candidates=len(candidates),
+            dropped_vertex=dropped_vertex,
+            dropped_edge=dropped_edge,
+            dropped_label=dropped_label,
+        )
+
+
+def filter_candidates(
+    candidates: list[Match],
+    original_graph: AttributedGraph,
+    original_query: AttributedGraph,
+) -> FilterResult:
+    """One-shot convenience wrapper around :class:`ClientFilter`."""
+    return ClientFilter(original_graph, original_query).filter(candidates)

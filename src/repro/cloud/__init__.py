@@ -1,0 +1,38 @@
+"""Cloud-side query engine (Section 4.2.1)."""
+
+from repro.cloud.cache import StarMatchCache, star_signature
+from repro.cloud.decomposition import decompose_query, estimate_all_stars
+from repro.cloud.index import CloudIndex
+from repro.cloud.result_join import (
+    JoinStats,
+    expand_star_matches,
+    join_star_matches,
+)
+from repro.cloud.server import CloudAnswer, CloudServer
+from repro.cloud.star_matching import StarMatchStats, match_all_stars, match_star
+from repro.cloud.vertex_cover import (
+    cover_cost,
+    greedy_weighted_vertex_cover,
+    is_vertex_cover,
+    minimum_weighted_vertex_cover,
+)
+
+__all__ = [
+    "StarMatchCache",
+    "star_signature",
+    "CloudIndex",
+    "CloudServer",
+    "CloudAnswer",
+    "decompose_query",
+    "estimate_all_stars",
+    "match_star",
+    "match_all_stars",
+    "StarMatchStats",
+    "join_star_matches",
+    "expand_star_matches",
+    "JoinStats",
+    "minimum_weighted_vertex_cover",
+    "greedy_weighted_vertex_cover",
+    "is_vertex_cover",
+    "cover_cost",
+]

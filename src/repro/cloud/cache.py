@@ -1,0 +1,117 @@
+"""Star-match result caching for the cloud server.
+
+Different queries frequently share stars: the star of a query vertex is
+determined (up to renaming) by its type, its label groups, and the
+multiset of its leaves' (type, label groups) constraints.  A cloud
+server answering a workload can therefore reuse ``R(S, Go)`` across
+queries.  This module provides the canonical star signature and a
+small LRU cache keyed by it; :class:`repro.cloud.server.CloudServer`
+uses it when constructed with ``star_cache_size > 0``.
+
+Cached entries store matches in *role form* (center, then leaves in
+signature order) so they can be re-labeled to any query's vertex ids on
+a hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.graph.attributed import AttributedGraph, VertexData
+from repro.matching.match import Match
+from repro.matching.star import Star
+
+# a vertex constraint: (type, ((attr, (group, ...)), ...))
+Constraint = tuple
+
+
+def vertex_constraint(vertex: VertexData) -> Constraint:
+    """Canonical form of one query vertex's matching constraint."""
+    labels = tuple(
+        (attr, tuple(sorted(values))) for attr, values in sorted(vertex.labels.items())
+    )
+    return (vertex.vertex_type, labels)
+
+
+def star_signature(query: AttributedGraph, star: Star) -> tuple:
+    """Canonical signature of a star: center + sorted leaf constraints.
+
+    Two stars with equal signatures have identical match sets up to the
+    renaming of their query vertices; leaves with identical constraints
+    are interchangeable (the match set is closed under permuting them).
+    """
+    center = vertex_constraint(query.vertex(star.center))
+    leaves = tuple(
+        sorted(vertex_constraint(query.vertex(leaf)) for leaf in star.leaves)
+    )
+    return (center, leaves)
+
+
+def leaf_role_order(query: AttributedGraph, star: Star) -> list[int]:
+    """Leaves ordered consistently with the signature's sorted leaves."""
+    return sorted(
+        star.leaves, key=lambda leaf: (vertex_constraint(query.vertex(leaf)), leaf)
+    )
+
+
+def matches_to_roles(
+    matches: list[Match], star: Star, role_order: list[int]
+) -> list[tuple[int, ...]]:
+    """Store matches positionally: (center image, leaf images...)."""
+    return [
+        (match[star.center], *(match[leaf] for leaf in role_order))
+        for match in matches
+    ]
+
+
+def roles_to_matches(
+    roles: list[tuple[int, ...]], star: Star, role_order: list[int]
+) -> list[Match]:
+    """Re-label positional matches onto this query's vertex ids."""
+    out: list[Match] = []
+    for row in roles:
+        match: Match = {star.center: row[0]}
+        for leaf, value in zip(role_order, row[1:]):
+            match[leaf] = value
+        out.append(match)
+    return out
+
+
+@dataclass
+class StarMatchCache:
+    """A bounded LRU cache of role-form star match sets."""
+
+    capacity: int
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, signature: tuple) -> list[tuple[int, ...]] | None:
+        if signature in self._entries:
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            return self._entries[signature]
+        self.misses += 1
+        return None
+
+    def put(self, signature: tuple, roles: list[tuple[int, ...]]) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[signature] = roles
+        self._entries.move_to_end(signature)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)

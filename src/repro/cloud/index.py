@@ -1,0 +1,168 @@
+"""The cloud's bit-vector index (Figure 7): VBV and LBV tables.
+
+Built offline over the published graph:
+
+* **VBV** (Vertex Bit Vector) — one bit vector per *label group*; bit
+  ``p`` is set iff the ``p``-th indexed vertex carries that group.
+  A companion per-*vertex-type* bit vector plays the same role for
+  types (the paper checks types alongside label groups).
+* **LBV** (Neighbor Label Bit Vector) — one bit vector per indexed
+  vertex, over label groups; bit ``g`` is set iff at least one
+  neighbour of the vertex carries group ``g``.
+
+Bit vectors are Python integers (arbitrary-precision bitsets), so the
+bitwise AND of Algorithm 1 is a single machine-assisted operation.
+
+The *indexed vertices* are the candidate star centers: block ``B1``
+for the optimized method (centers of ``Rin`` matches live in ``B1``),
+or all of ``Gk`` for the BAS baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.graph.attributed import AttributedGraph, VertexData
+
+# a label-group coordinate as it appears on vertices: (attribute, group id)
+GroupBitKey = tuple[str, str]
+
+
+@dataclass
+class CloudIndex:
+    """VBV/LBV tables over the indexed (candidate-center) vertices."""
+
+    indexed_vertices: list[int]
+    position: dict[int, int]
+    type_bits: dict[str, int]
+    vbv: dict[GroupBitKey, int]
+    group_bit: dict[GroupBitKey, int]
+    lbv: dict[int, int]
+    build_seconds: float = 0.0
+    _full_mask: int = field(default=0)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: AttributedGraph,
+        indexed_vertices: Sequence[int],
+    ) -> "CloudIndex":
+        """Build the index over ``indexed_vertices`` of ``graph``.
+
+        Neighbour information (LBV) is drawn from ``graph`` — for the
+        optimized method that is ``Go``, which contains every ``Gk``
+        edge incident to ``B1``, so LBVs are complete.
+        """
+        started = time.perf_counter()
+        vertices = list(indexed_vertices)
+        position = {vid: p for p, vid in enumerate(vertices)}
+
+        type_bits: dict[str, int] = {}
+        vbv: dict[GroupBitKey, int] = {}
+        group_bit: dict[GroupBitKey, int] = {}
+
+        def bit_of(key: GroupBitKey) -> int:
+            if key not in group_bit:
+                group_bit[key] = len(group_bit)
+            return group_bit[key]
+
+        for vid in vertices:
+            data = graph.vertex(vid)
+            mask = 1 << position[vid]
+            type_bits[data.vertex_type] = type_bits.get(data.vertex_type, 0) | mask
+            for attr, groups in data.labels.items():
+                for group in groups:
+                    key = (attr, group)
+                    bit_of(key)
+                    vbv[key] = vbv.get(key, 0) | mask
+
+        # group bits must also exist for groups only seen on neighbours
+        lbv: dict[int, int] = {}
+        for vid in vertices:
+            neighbor_mask = 0
+            for nbr in graph.neighbors(vid):
+                nbr_data = graph.vertex(nbr)
+                for attr, groups in nbr_data.labels.items():
+                    for group in groups:
+                        neighbor_mask |= 1 << bit_of((attr, group))
+            lbv[vid] = neighbor_mask
+
+        index = cls(
+            indexed_vertices=vertices,
+            position=position,
+            type_bits=type_bits,
+            vbv=vbv,
+            group_bit=group_bit,
+            lbv=lbv,
+        )
+        index._full_mask = (1 << len(vertices)) - 1
+        index.build_seconds = time.perf_counter() - started
+        return index
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 primitives
+    # ------------------------------------------------------------------
+    def candidate_center_mask(self, query_vertex: VertexData) -> int:
+        """Line 4 of Algorithm 1: AND of the VBVs of the center's groups.
+
+        Returns 0 as soon as any constraint has no support (unknown
+        type or group), which simply means "no candidates".
+        """
+        mask = self.type_bits.get(query_vertex.vertex_type, 0)
+        for attr, groups in query_vertex.labels.items():
+            for group in groups:
+                mask &= self.vbv.get((attr, group), 0)
+                if not mask:
+                    return 0
+        return mask
+
+    def candidates_from_mask(self, mask: int) -> Iterable[int]:
+        """Vertex ids of the set bits of ``mask``."""
+        vertices = self.indexed_vertices
+        while mask:
+            low = mask & -mask
+            yield vertices[low.bit_length() - 1]
+            mask ^= low
+
+    def query_neighbor_mask(self, leaf_vertices: Iterable[VertexData]) -> int:
+        """``LBV(v_i)`` of Algorithm 1: bits of all groups on the leaves.
+
+        Returns -1 (sentinel) if a leaf carries a group that no indexed
+        vertex's neighbourhood contains — the star is unmatchable.
+        """
+        mask = 0
+        for leaf in leaf_vertices:
+            for attr, groups in leaf.labels.items():
+                for group in groups:
+                    bit = self.group_bit.get((attr, group))
+                    if bit is None:
+                        return -1
+                    mask |= 1 << bit
+        return mask
+
+    def neighborhood_supports(self, vid: int, query_mask: int) -> bool:
+        """Line 6 of Algorithm 1: ``LBV(va) ∧ LBV(vi) == LBV(vi)``."""
+        if query_mask < 0:
+            return False
+        have = self.lbv.get(vid, 0)
+        return (have & query_mask) == query_mask
+
+    # ------------------------------------------------------------------
+    # accounting (Figure 13)
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Approximate in-memory size: both bit tables, in bytes.
+
+        VBV: one |indexed|-bit vector per label group (+ per type);
+        LBV: one |groups|-bit vector per indexed vertex.  This mirrors
+        the paper's index-size accounting, which scales with |V(Go)|.
+        """
+        rows = len(self.vbv) + len(self.type_bits)
+        vbv_bits = rows * max(len(self.indexed_vertices), 1)
+        lbv_bits = len(self.indexed_vertices) * max(len(self.group_bit), 1)
+        return (vbv_bits + lbv_bits + 7) // 8

@@ -1,0 +1,144 @@
+"""Result join (Algorithm 2): assembling ``Rin`` from star matches.
+
+The cloud joins the per-star match sets into matches of the whole
+outsourced query.  The key optimization of Section 4.2.1: the anchor
+star's matches are *not* expanded through the automorphic functions —
+they stay anchored in block ``B1`` — while every other star's matches
+are expanded to the full ``R(S_i, Gk)`` before joining.  The join
+output ``Rin`` therefore contains exactly the matches of
+``R(Qo, Gk)`` whose anchor-center vertex lies in ``B1``; the remaining
+matches (``Rout``) are recovered later by applying ``F_1..F_{k-1}``
+(Theorem 3), avoiding ``k-1`` redundant join passes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError, ResultBudgetExceeded
+from repro.kauto.avt import AlignmentVertexTable
+from repro.matching.match import Match, dedupe_matches, is_injective
+from repro.matching.star import Star
+
+
+@dataclass
+class JoinStats:
+    """Telemetry of one Algorithm-2 run."""
+
+    seconds: float = 0.0
+    anchor_center: int | None = None
+    intermediate_sizes: list[int] = field(default_factory=list)
+    rin_size: int = 0
+
+
+def expand_star_matches(
+    matches: list[Match],
+    avt: AlignmentVertexTable,
+) -> list[Match]:
+    """``R(S, Gk) = ∪_m F_m(R(S, Go))`` (Lines 5-8 of Algorithm 2)."""
+    return dedupe_matches(avt.expand_matches(matches))
+
+
+def _hash_join(
+    left: list[Match],
+    right: list[Match],
+    shared: tuple[int, ...],
+    budget: int | None = None,
+) -> list[Match]:
+    """Natural join on the ``shared`` query vertices, injective only.
+
+    With no shared vertices this degenerates to a cross product (still
+    injectivity-filtered); connected queries never hit that path.
+    ``budget`` caps the output size (quota enforcement).
+    """
+    out: list[Match] = []
+
+    def emit(merged: Match) -> None:
+        out.append(merged)
+        if budget is not None and len(out) > budget:
+            raise ResultBudgetExceeded("result join", len(out), budget)
+
+    if not shared:
+        for lm in left:
+            for rm in right:
+                merged = {**lm, **rm}
+                if is_injective(merged):
+                    emit(merged)
+        return out
+
+    buckets: dict[tuple[int, ...], list[Match]] = {}
+    for rm in right:
+        key = tuple(rm[q] for q in shared)
+        buckets.setdefault(key, []).append(rm)
+
+    for lm in left:
+        key = tuple(lm[q] for q in shared)
+        for rm in buckets.get(key, ()):
+            merged = {**lm, **rm}
+            # Lines 10-12: drop matches where two query vertices share a
+            # data vertex (subgraph isomorphism is injective).
+            if is_injective(merged):
+                emit(merged)
+    return out
+
+
+def join_star_matches(
+    stars: list[Star],
+    star_matches: dict[int, list[Match]],
+    avt: AlignmentVertexTable,
+    expand: bool = True,
+    max_intermediate: int | None = None,
+    expand_anchor: bool = False,
+) -> tuple[list[Match], JoinStats]:
+    """Algorithm 2: join star matches into ``Rin``.
+
+    ``expand=False`` joins the star results as-is — used by the BAS
+    baseline whose star matches already range over the full ``Gk``
+    (its index covers every ``Gk`` vertex), so the output is the whole
+    ``R(Qo, Gk)`` rather than ``Rin``.
+
+    ``max_intermediate`` is the cloud's per-query result quota: a join
+    step growing past it raises :class:`ResultBudgetExceeded`.
+
+    ``expand_anchor=True`` selects the *straightforward* strategy the
+    paper describes before introducing ``Rin``: every star (anchor
+    included) is expanded to ``R(S_i, Gk)`` and the join computes the
+    whole ``R(Qo, Gk)`` directly — k times more anchor tuples enter the
+    join.  Kept as an ablation baseline (see
+    ``benchmarks/bench_ablation_rin.py``).
+    """
+    if not stars:
+        raise QueryError("cannot join an empty decomposition")
+    stats = JoinStats()
+    started = time.perf_counter()
+
+    remaining = sorted(stars, key=lambda s: (len(star_matches[s.center]), s.center))
+    anchor = remaining.pop(0)
+    stats.anchor_center = anchor.center
+    current: list[Match] = [dict(m) for m in star_matches[anchor.center]]
+    if expand and expand_anchor:
+        current = expand_star_matches(current, avt)
+    covered: set[int] = set(anchor.vertex_order)
+    stats.intermediate_sizes.append(len(current))
+
+    while remaining:
+        overlapping = [s for s in remaining if s.overlaps(covered)]
+        pool = overlapping or remaining  # disconnected fallback: cross join
+        nxt = min(pool, key=lambda s: (len(star_matches[s.center]), s.center))
+        remaining.remove(nxt)
+
+        right = star_matches[nxt.center]
+        if expand:
+            right = expand_star_matches(right, avt)
+        shared = tuple(sorted(covered & set(nxt.vertex_order)))
+        current = _hash_join(current, right, shared, budget=max_intermediate)
+        covered |= set(nxt.vertex_order)
+        stats.intermediate_sizes.append(len(current))
+        if not current:
+            break
+
+    rin = dedupe_matches(current)
+    stats.rin_size = len(rin)
+    stats.seconds = time.perf_counter() - started
+    return rin, stats

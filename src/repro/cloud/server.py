@@ -1,0 +1,266 @@
+"""The cloud server: index construction and query answering.
+
+One :class:`CloudServer` instance plays the role of the paper's cloud
+machine.  It receives a published graph (``Go`` + AVT for the optimized
+methods, or the full ``Gk`` for the BAS baseline), builds the VBV/LBV
+index offline, and answers anonymized subgraph queries ``Qo`` with the
+decompose → star-match → join pipeline of Section 4.2.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.anonymize.cost_model import (
+    StarCardinalityEstimator,
+    estimator_from_outsourced,
+)
+from repro.cloud.cache import (
+    StarMatchCache,
+    leaf_role_order,
+    matches_to_roles,
+    roles_to_matches,
+    star_signature,
+)
+from repro.cloud.decomposition import decompose_query
+from repro.cloud.index import CloudIndex
+from repro.cloud.result_join import JoinStats, join_star_matches
+from repro.cloud.star_matching import StarMatchStats, match_star
+from repro.graph.attributed import AttributedGraph
+from repro.graph.stats import compute_statistics
+from repro.kauto.avt import AlignmentVertexTable
+from repro.matching.match import Match
+from repro.matching.star import Decomposition
+
+
+@dataclass
+class CloudAnswer:
+    """Everything the cloud returns for one query, with telemetry."""
+
+    matches: list[Match]
+    expanded: bool
+    decomposition: Decomposition
+    decomposition_seconds: float
+    star_stats: StarMatchStats
+    join_stats: JoinStats
+    total_seconds: float
+
+    @property
+    def rs_size(self) -> int:
+        """``|RS|`` of Figure 19: total star matches before the join."""
+        return self.star_stats.total_results
+
+
+class CloudServer:
+    """Honest-but-curious cloud: stores published data, answers queries.
+
+    Parameters
+    ----------
+    graph:
+        The published graph — ``Go`` (optimized) or ``Gk`` (BAS).
+    avt:
+        The Alignment Vertex Table (published alongside the graph).
+    center_vertices:
+        The candidate star centers: block ``B1`` for the optimized
+        methods, every vertex for BAS.
+    expand_in_cloud:
+        ``True`` -> star matches are expanded through the automorphic
+        functions before the join (the ``Rin`` pipeline).  ``False``
+        (BAS) -> the star matches already range over the published
+        graph in full and are joined directly.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        avt: AlignmentVertexTable,
+        center_vertices: list[int],
+        expand_in_cloud: bool = True,
+        max_intermediate_results: int | None = None,
+        join_strategy: str = "rin",
+        star_cache_size: int = 0,
+        decomposition_strategy: str = "optimal",
+        engine: str = "stars",
+    ):
+        if join_strategy not in ("rin", "full"):
+            raise ValueError("join_strategy must be 'rin' or 'full'")
+        if decomposition_strategy not in ("optimal", "greedy"):
+            raise ValueError("decomposition_strategy must be 'optimal' or 'greedy'")
+        if engine not in ("stars", "direct"):
+            raise ValueError("engine must be 'stars' or 'direct'")
+        if engine == "direct" and expand_in_cloud:
+            raise ValueError(
+                "the direct engine matches over the stored graph verbatim; "
+                "it applies to full-Gk (BAS) deployments only"
+            )
+        self.graph = graph
+        self.avt = avt
+        self.center_vertices = list(center_vertices)
+        self.expand_in_cloud = expand_in_cloud
+        self.max_intermediate_results = max_intermediate_results
+        # "rin": Algorithm 2's optimization — the anchor star stays in
+        # B1 and Rin is returned.  "full": the straightforward strategy
+        # (every star expanded, R(Qo, Gk) computed outright); kept for
+        # the ablation study.
+        self.join_strategy = join_strategy
+        self.decomposition_strategy = decomposition_strategy
+        # "stars": the paper's decompose → match → join pipeline.
+        # "direct": plain subgraph matching over the stored graph with
+        # the bitset engine — an ablation baseline for BAS that
+        # quantifies what the star framework buys.
+        self.engine = engine
+        self._direct_matcher = None
+        # optional LRU over star match sets, keyed by the star's
+        # canonical constraint signature — different queries sharing a
+        # star shape reuse its R(S, Go).  0 disables caching.
+        self.star_cache = StarMatchCache(star_cache_size)
+        self.index = CloudIndex.build(graph, self.center_vertices)
+        self.estimator = self._build_estimator()
+
+    def _build_estimator(self) -> StarCardinalityEstimator:
+        if self.expand_in_cloud:
+            return estimator_from_outsourced(
+                self.center_vertices, self.graph, self.avt.k
+            )
+        stats = compute_statistics(self.graph)
+        return StarCardinalityEstimator(
+            block_stats=stats,
+            gk_vertex_count=self.graph.vertex_count,
+            average_degree=self.graph.average_degree(),
+            k=1,
+        )
+
+    # ------------------------------------------------------------------
+    # query answering
+    # ------------------------------------------------------------------
+    def answer(self, query: AttributedGraph) -> CloudAnswer:
+        """Run the full cloud pipeline on an anonymized query ``Qo``."""
+        if self.engine == "direct":
+            return self._answer_direct(query)
+        started = time.perf_counter()
+
+        decomposition_start = time.perf_counter()
+        decomposition = decompose_query(
+            query, self.estimator, strategy=self.decomposition_strategy
+        )
+        decomposition_seconds = time.perf_counter() - decomposition_start
+
+        star_matches, star_stats = self._match_stars(query, decomposition.stars)
+        full_join = self.join_strategy == "full"
+        matches, join_stats = join_star_matches(
+            decomposition.stars,
+            star_matches,
+            self.avt,
+            expand=self.expand_in_cloud,
+            max_intermediate=self.max_intermediate_results,
+            expand_anchor=full_join,
+        )
+        return CloudAnswer(
+            matches=matches,
+            expanded=not self.expand_in_cloud or full_join,
+            decomposition=decomposition,
+            decomposition_seconds=decomposition_seconds,
+            star_stats=star_stats,
+            join_stats=join_stats,
+            total_seconds=time.perf_counter() - started,
+        )
+
+    def _answer_direct(self, query: AttributedGraph) -> CloudAnswer:
+        """Plain bitset subgraph matching over the stored graph."""
+        from repro.matching.bitset import BitsetMatcher
+        from repro.matching.star import Decomposition
+
+        started = time.perf_counter()
+        if self._direct_matcher is None:
+            self._direct_matcher = BitsetMatcher(self.graph)
+        matches = self._direct_matcher.find_matches(query)
+        elapsed = time.perf_counter() - started
+        stats = StarMatchStats(seconds=elapsed)
+        join_stats = JoinStats(seconds=0.0, rin_size=len(matches))
+        return CloudAnswer(
+            matches=matches,
+            expanded=True,
+            decomposition=Decomposition(stars=[]),
+            decomposition_seconds=0.0,
+            star_stats=stats,
+            join_stats=join_stats,
+            total_seconds=elapsed,
+        )
+
+    def _match_stars(self, query, stars) -> tuple[dict, StarMatchStats]:
+        """Algorithm 1 for every star, through the optional LRU cache."""
+        stats = StarMatchStats()
+        started = time.perf_counter()
+        results: dict[int, list] = {}
+        for star in stars:
+            if self.star_cache.capacity > 0:
+                signature = star_signature(query, star)
+                role_order = leaf_role_order(query, star)
+                roles = self.star_cache.get(signature)
+                if roles is None:
+                    matches = match_star(
+                        query,
+                        star,
+                        self.index,
+                        self.graph,
+                        max_results=self.max_intermediate_results,
+                    )
+                    self.star_cache.put(
+                        signature, matches_to_roles(matches, star, role_order)
+                    )
+                else:
+                    matches = roles_to_matches(roles, star, role_order)
+            else:
+                matches = match_star(
+                    query,
+                    star,
+                    self.index,
+                    self.graph,
+                    max_results=self.max_intermediate_results,
+                )
+            results[star.center] = matches
+            stats.result_sizes[star.center] = len(matches)
+        stats.seconds = time.perf_counter() - started
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta) -> None:
+        """Apply a :class:`repro.outsource.GoDelta` from the data owner.
+
+        Updates the stored graph, extends the AVT with any shipped
+        rows, rebuilds the index and invalidates caches — everything a
+        real cloud would do on an incremental update.  Only meaningful
+        for ``Go`` deployments (``expand_in_cloud=True``); a BAS cloud
+        stores ``Gk`` verbatim and is re-uploaded instead.
+        """
+        from repro.kauto.avt import AlignmentVertexTable
+        from repro.outsource.delta import apply_go_delta
+        from repro.outsource.outsourced_graph import OutsourcedGraph
+
+        if not self.expand_in_cloud:
+            raise ValueError("deltas apply to Go deployments only")
+        outsourced = OutsourcedGraph(
+            graph=self.graph, block_vertices=self.center_vertices
+        )
+        apply_go_delta(outsourced, delta)
+        self.center_vertices = outsourced.block_vertices
+        if delta.added_avt_rows:
+            rows = [list(row) for row in self.avt.rows()]
+            rows.extend(delta.added_avt_rows)
+            self.avt = AlignmentVertexTable(rows)
+        self.index = CloudIndex.build(self.graph, self.center_vertices)
+        self.estimator = self._build_estimator()
+        self.star_cache.clear()
+        self._direct_matcher = None
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def index_size_bytes(self) -> int:
+        return self.index.size_bytes()
+
+    def index_build_seconds(self) -> float:
+        return self.index.build_seconds

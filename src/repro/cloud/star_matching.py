@@ -1,0 +1,152 @@
+"""Star matching over the outsourced graph (Algorithm 1).
+
+For each star ``S_i`` of the decomposition the cloud finds
+``R(S_i, Go)``: candidate centers are located with the VBV bit
+vectors, pruned with the LBV neighbourhood test, and the leaves are
+then assigned by backtracking over the candidate center's neighbours
+(injectively, per Definition 2).
+
+Centers are restricted to the indexed vertex set (block ``B1`` for the
+optimized method) while leaves may land anywhere in ``Go`` — exactly
+the shape of ``Rin``'s anchored matches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cloud.index import CloudIndex
+from repro.exceptions import ResultBudgetExceeded
+from repro.graph.attributed import AttributedGraph
+from repro.matching.match import Match
+from repro.matching.star import Star
+
+
+@dataclass
+class StarMatchStats:
+    """Per-query star-matching telemetry (Figures 18 and 19)."""
+
+    seconds: float = 0.0
+    result_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_results(self) -> int:
+        """``|RS|`` — total star matches produced for the query."""
+        return sum(self.result_sizes.values())
+
+
+def match_star(
+    query: AttributedGraph,
+    star: Star,
+    index: CloudIndex,
+    data: AttributedGraph,
+    max_results: int | None = None,
+    use_vbv: bool = True,
+    use_lbv: bool = True,
+) -> list[Match]:
+    """``R(S, data)`` with centers drawn from the index (Algorithm 1).
+
+    ``max_results`` is an optional resource quota: exceeding it raises
+    :class:`ResultBudgetExceeded` rather than exhausting cloud memory.
+
+    ``use_vbv`` / ``use_lbv`` disable the corresponding half of the
+    Figure 7 index (candidates then come from a linear scan / no
+    neighbourhood pruning).  Results are identical either way; the
+    flags exist for the index ablation benchmark.
+    """
+    center_vertex = query.vertex(star.center)
+    leaf_vertices = [query.vertex(leaf) for leaf in star.leaves]
+
+    if use_vbv:
+        center_mask = index.candidate_center_mask(center_vertex)
+        if not center_mask:
+            return []
+        center_candidates = index.candidates_from_mask(center_mask)
+    else:
+        center_candidates = (
+            vid
+            for vid in index.indexed_vertices
+            if center_vertex.matches(data.vertex(vid))
+        )
+
+    if use_lbv:
+        query_mask = index.query_neighbor_mask(leaf_vertices)
+        if query_mask < 0 and star.leaves:
+            return []
+    else:
+        query_mask = 0  # every vertex trivially supports the empty mask
+
+    # most-constrained leaves first: more labels, then higher query id
+    # for determinism
+    leaf_order = sorted(
+        star.leaves,
+        key=lambda leaf: (
+            -sum(len(v) for v in query.vertex(leaf).labels.values()),
+            leaf,
+        ),
+    )
+    results: list[Match] = []
+    for center_candidate in center_candidates:
+        if star.leaves and not index.neighborhood_supports(center_candidate, query_mask):
+            continue
+        if data.degree(center_candidate) < len(star.leaves):
+            continue
+        _assign_leaves(
+            query,
+            leaf_order,
+            0,
+            center_candidate,
+            {star.center: center_candidate},
+            data,
+            results,
+        )
+        if max_results is not None and len(results) > max_results:
+            raise ResultBudgetExceeded("star matching", len(results), max_results)
+    return results
+
+
+def _assign_leaves(
+    query: AttributedGraph,
+    leaf_order: list[int],
+    depth: int,
+    center_candidate: int,
+    partial: Match,
+    data: AttributedGraph,
+    results: list[Match],
+) -> None:
+    if depth == len(leaf_order):
+        results.append(dict(partial))
+        return
+    leaf = leaf_order[depth]
+    leaf_vertex = query.vertex(leaf)
+    used = set(partial.values())
+    for candidate in sorted(data.neighbors(center_candidate)):
+        if candidate in used:
+            continue
+        if not leaf_vertex.matches(data.vertex(candidate)):
+            continue
+        partial[leaf] = candidate
+        _assign_leaves(
+            query, leaf_order, depth + 1, center_candidate, partial, data, results
+        )
+        del partial[leaf]
+
+
+def match_all_stars(
+    query: AttributedGraph,
+    stars: list[Star],
+    index: CloudIndex,
+    data: AttributedGraph,
+    max_results: int | None = None,
+) -> tuple[dict[int, list[Match]], StarMatchStats]:
+    """Run Algorithm 1 for every star; returns results keyed by center."""
+    stats = StarMatchStats()
+    started = time.perf_counter()
+    results: dict[int, list[Match]] = {}
+    for star in stars:
+        matches = match_star(query, star, index, data, max_results=max_results)
+        results[star.center] = matches
+        stats.result_sizes[star.center] = len(matches)
+    stats.seconds = time.perf_counter() - started
+    return results, stats

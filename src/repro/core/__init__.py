@@ -1,0 +1,46 @@
+"""End-to-end orchestration: owner, cloud, client, protocol, metrics."""
+
+from repro.core.config import (
+    DEFAULT_THETA,
+    METHOD_NAMES,
+    MethodConfig,
+    SystemConfig,
+)
+from repro.core.data_owner import DataOwner, PublishedData
+from repro.core.metrics import AggregatedMetrics, PublishMetrics, QueryMetrics
+from repro.core.protocol import (
+    NetworkChannel,
+    TransferRecord,
+    decode_answer,
+    decode_query,
+    decode_upload,
+    encode_answer,
+    encode_query,
+    encode_upload,
+)
+from repro.core.query_client import ClientOutcome, QueryClient
+from repro.core.system import PrivacyPreservingSystem, QueryOutcome
+
+__all__ = [
+    "SystemConfig",
+    "MethodConfig",
+    "METHOD_NAMES",
+    "DEFAULT_THETA",
+    "DataOwner",
+    "PublishedData",
+    "QueryClient",
+    "ClientOutcome",
+    "PrivacyPreservingSystem",
+    "QueryOutcome",
+    "PublishMetrics",
+    "QueryMetrics",
+    "AggregatedMetrics",
+    "NetworkChannel",
+    "TransferRecord",
+    "encode_upload",
+    "decode_upload",
+    "encode_query",
+    "decode_query",
+    "encode_answer",
+    "decode_answer",
+]

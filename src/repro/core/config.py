@@ -1,0 +1,82 @@
+"""Configuration of the end-to-end system.
+
+The paper's evaluation compares four method configurations:
+
+========  =======================  ==================
+name      label grouping           uploaded graph
+========  =======================  ==================
+``EFF``   cost-model (Section 5)   ``Go``
+``RAN``   random                   ``Go``
+``FSIM``  frequency-similar        ``Go``
+``BAS``   cost-model (same as EFF) full ``Gk``
+========  =======================  ==================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.anonymize import STRATEGIES, GroupingStrategy
+from repro.exceptions import ReproError
+
+DEFAULT_THETA = 2  # the paper's default: two labels per label group
+
+
+@dataclass(frozen=True)
+class MethodConfig:
+    """One of the paper's compared methods."""
+
+    name: str
+    strategy: GroupingStrategy
+    upload_full_gk: bool
+
+    @classmethod
+    def from_name(cls, name: str) -> "MethodConfig":
+        key = name.upper()
+        if key == "BAS":
+            return cls(name="BAS", strategy=STRATEGIES["EFF"], upload_full_gk=True)
+        if key in STRATEGIES:
+            return cls(name=key, strategy=STRATEGIES[key], upload_full_gk=False)
+        raise ReproError(
+            f"unknown method {name!r}; expected one of EFF, RAN, FSIM, BAS"
+        )
+
+
+METHOD_NAMES = ("EFF", "RAN", "FSIM", "BAS")
+
+
+@dataclass
+class SystemConfig:
+    """Full configuration of one publish-and-query experiment."""
+
+    k: int = 2
+    theta: int = DEFAULT_THETA
+    method: MethodConfig = field(
+        default_factory=lambda: MethodConfig.from_name("EFF")
+    )
+    seed: int = 0
+    # where Rin is expanded to R(Qo, Gk): "client" (default, minimizes
+    # communication) or "cloud" (minimizes client CPU) — Section 4.2.2
+    # discusses both placements.  Ignored by BAS (already expanded).
+    expansion_site: str = "client"
+    allow_small_label_groups: bool = True
+    # per-query cloud resource quota: a star-match or join intermediate
+    # exceeding it raises ResultBudgetExceeded instead of exhausting
+    # memory.  None = unlimited (the paper's setting).
+    max_intermediate_results: int | None = None
+    # pair similarly-labeled vertices into AVT rows so the symmetric
+    # row-union widens label groups less (lower delta(k), smaller
+    # search space).  Off by default = the paper's pure-BFS alignment.
+    label_aware_alignment: bool = False
+    # LRU cache of star match sets in the cloud, keyed by the star's
+    # constraint signature; entries are reused across queries sharing
+    # star shapes.  0 (default) disables caching.
+    star_cache_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ReproError("k must be >= 2 for any privacy")
+        if self.theta < 1:
+            raise ReproError("theta must be >= 1")
+        if self.expansion_site not in ("client", "cloud"):
+            raise ReproError("expansion_site must be 'client' or 'cloud'")

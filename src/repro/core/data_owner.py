@@ -1,0 +1,135 @@
+"""The data owner: anonymize, transform, and publish the data graph.
+
+The owner holds the original graph ``G`` (and optionally a sample query
+workload used to estimate ``F_Savg`` for the EFF cost model).  The
+publish pipeline (Sections 3-4):
+
+1. build the LCT with the configured grouping strategy (EFF/RAN/FSIM);
+2. generalize ``G``'s labels through the LCT;
+3. run the k-automorphism transform -> ``Gk`` + AVT;
+4. extract the outsourced graph ``Go`` (or keep ``Gk`` for BAS);
+5. hand the published graph + AVT to the cloud; keep ``G`` and the LCT
+   private.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.anonymize import build_lct
+from repro.anonymize.lct import LabelCorrespondenceTable
+from repro.anonymize.query_anonymizer import star_workload_statistics
+from repro.core.config import SystemConfig
+from repro.core.metrics import PublishMetrics
+from repro.graph.attributed import AttributedGraph
+from repro.graph.schema import GraphSchema
+from repro.graph.stats import GraphStatistics, compute_statistics
+from repro.kauto.builder import KAutomorphismResult, build_k_automorphic_graph
+from repro.outsource import build_outsourced_graph
+
+
+@dataclass
+class PublishedData:
+    """Everything produced by one publish run.
+
+    ``lct`` is PRIVATE to the owner/clients; the cloud only receives
+    ``upload_graph``, ``center_vertices`` and the AVT inside
+    ``transform``.
+    """
+
+    lct: LabelCorrespondenceTable
+    transform: KAutomorphismResult
+    upload_graph: AttributedGraph
+    center_vertices: list[int]
+    expand_in_cloud: bool
+    metrics: PublishMetrics
+
+
+class DataOwner:
+    """Holds ``G`` and orchestrates anonymized publication."""
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        schema: GraphSchema,
+        sample_workload: list[AttributedGraph] | None = None,
+    ):
+        self.graph = graph
+        self.schema = schema
+        self.sample_workload = list(sample_workload or [])
+        self._graph_stats: GraphStatistics | None = None
+
+    @property
+    def graph_stats(self) -> GraphStatistics:
+        if self._graph_stats is None:
+            self._graph_stats = compute_statistics(self.graph)
+        return self._graph_stats
+
+    def build_lct(self, config: SystemConfig) -> tuple[LabelCorrespondenceTable, float]:
+        """Construct (and verify) the LCT for ``config``; returns (lct, seconds)."""
+        started = time.perf_counter()
+        workload_stats = (
+            star_workload_statistics(self.sample_workload)
+            if self.sample_workload
+            else None
+        )
+        lct = build_lct(
+            self.schema,
+            config.theta,
+            config.method.strategy,
+            graph_stats=self.graph_stats,
+            workload_stats=workload_stats,
+            seed=config.seed,
+        )
+        lct.verify(allow_small_groups=config.allow_small_label_groups)
+        return lct, time.perf_counter() - started
+
+    def publish(self, config: SystemConfig) -> PublishedData:
+        """Run the full publish pipeline for ``config``."""
+        metrics = PublishMetrics(
+            method=config.method.name,
+            k=config.k,
+            theta=config.theta,
+            original_vertices=self.graph.vertex_count,
+            original_edges=self.graph.edge_count,
+        )
+
+        lct, metrics.lct_seconds = self.build_lct(config)
+
+        gk_start = time.perf_counter()
+        generalized = lct.apply_to_graph(self.graph)
+        transform = build_k_automorphic_graph(
+            generalized,
+            config.k,
+            seed=config.seed,
+            label_aware_alignment=config.label_aware_alignment,
+        )
+        metrics.gk_seconds = time.perf_counter() - gk_start
+        metrics.gk_vertices = transform.gk.vertex_count
+        metrics.gk_edges = transform.gk.edge_count
+        metrics.noise_vertices = transform.noise_vertex_count
+        metrics.noise_edges = transform.noise_edge_count
+
+        go_start = time.perf_counter()
+        if config.method.upload_full_gk:
+            upload_graph = transform.gk
+            center_vertices = sorted(transform.gk.vertex_ids())
+            expand_in_cloud = False
+        else:
+            outsourced = build_outsourced_graph(transform.gk, transform.avt)
+            upload_graph = outsourced.graph
+            center_vertices = outsourced.block_vertices
+            expand_in_cloud = True
+        metrics.go_seconds = time.perf_counter() - go_start
+        metrics.uploaded_vertices = upload_graph.vertex_count
+        metrics.uploaded_edges = upload_graph.edge_count
+
+        return PublishedData(
+            lct=lct,
+            transform=transform,
+            upload_graph=upload_graph,
+            center_vertices=center_vertices,
+            expand_in_cloud=expand_in_cloud,
+            metrics=metrics,
+        )

@@ -1,0 +1,79 @@
+"""The query client: anonymize queries, post-process cloud answers.
+
+The client is trusted by the data owner: it holds the original graph
+``G``, the private LCT and the AVT.  Its per-query work (Section 4.2.2)
+is linear in the number of candidate matches: expand ``Rin`` through
+the automorphic functions (unless the cloud already did) and filter
+false positives against ``G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.anonymize.lct import LabelCorrespondenceTable
+from repro.anonymize.query_anonymizer import anonymize_query
+from repro.client.expansion import expand_rin
+from repro.client.filtering import ClientFilter
+from repro.graph.attributed import AttributedGraph
+from repro.kauto.avt import AlignmentVertexTable
+from repro.matching.match import Match
+
+
+@dataclass
+class ClientOutcome:
+    """Final results of one query plus the client-side timings."""
+
+    matches: list[Match]
+    expansion_seconds: float
+    filter_seconds: float
+    candidate_count: int
+
+    @property
+    def seconds(self) -> float:
+        return self.expansion_seconds + self.filter_seconds
+
+
+class QueryClient:
+    """A client authorized to query ``G`` through the cloud."""
+
+    def __init__(
+        self,
+        original_graph: AttributedGraph,
+        lct: LabelCorrespondenceTable,
+        avt: AlignmentVertexTable,
+    ):
+        self.graph = original_graph
+        self.lct = lct
+        self.avt = avt
+
+    def prepare_query(self, query: AttributedGraph) -> AttributedGraph:
+        """``Q -> Qo``: generalize the query's labels through the LCT."""
+        return anonymize_query(query, self.lct)
+
+    def process_answer(
+        self,
+        query: AttributedGraph,
+        matches: list[Match],
+        already_expanded: bool,
+        limit: int | None = None,
+    ) -> ClientOutcome:
+        """Algorithm 3: expand ``Rin`` (if needed) and filter against G.
+
+        ``limit`` returns at most that many exact matches (any subset
+        of R(Q, G); useful for "find me a few examples" queries).
+        """
+        if already_expanded:
+            candidates = matches
+            expansion_seconds = 0.0
+        else:
+            expansion = expand_rin(matches, self.avt)
+            candidates = expansion.matches
+            expansion_seconds = expansion.seconds
+        filter_result = ClientFilter(self.graph, query).filter(candidates, limit=limit)
+        return ClientOutcome(
+            matches=filter_result.matches,
+            expansion_seconds=expansion_seconds,
+            filter_seconds=filter_result.seconds,
+            candidate_count=len(candidates),
+        )

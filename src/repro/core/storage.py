@@ -1,0 +1,90 @@
+"""Persistence of publish-time artifacts.
+
+A data owner publishes once and queries many times, possibly across
+processes.  This module saves and reloads the split deployment:
+
+* ``cloud/``  — what the cloud stores: the published graph, the AVT
+  and the candidate-center list (never the LCT or the original graph);
+* ``client/`` — what the trusted client keeps: the LCT and the AVT
+  (the original graph travels separately, it belongs to the owner).
+
+Both halves are plain JSON files, so the directory doubles as an audit
+artifact: everything under ``cloud/`` is exactly what an adversary at
+the cloud provider could see.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.anonymize.lct import LabelCorrespondenceTable
+from repro.core.data_owner import PublishedData
+from repro.exceptions import ProtocolError
+from repro.graph.attributed import AttributedGraph
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.kauto.avt import AlignmentVertexTable
+
+CLOUD_DIR = "cloud"
+CLIENT_DIR = "client"
+
+
+def save_published(published: PublishedData, directory: str | Path) -> Path:
+    """Write the deployment to ``directory`` (created if missing)."""
+    root = Path(directory)
+    cloud = root / CLOUD_DIR
+    client = root / CLIENT_DIR
+    cloud.mkdir(parents=True, exist_ok=True)
+    client.mkdir(parents=True, exist_ok=True)
+
+    (cloud / "graph.json").write_text(
+        json.dumps(graph_to_dict(published.upload_graph), sort_keys=True)
+    )
+    (cloud / "avt.json").write_text(json.dumps(published.transform.avt.to_dict()))
+    (cloud / "meta.json").write_text(
+        json.dumps(
+            {
+                "center_vertices": published.center_vertices,
+                "expand_in_cloud": published.expand_in_cloud,
+                "k": published.transform.k,
+            }
+        )
+    )
+    (client / "lct.json").write_text(json.dumps(published.lct.to_dict()))
+    (client / "avt.json").write_text(json.dumps(published.transform.avt.to_dict()))
+    return root
+
+
+def load_cloud_side(
+    directory: str | Path,
+) -> tuple[AttributedGraph, AlignmentVertexTable, list[int], bool]:
+    """Load what a cloud server needs: (graph, avt, centers, expand)."""
+    cloud = Path(directory) / CLOUD_DIR
+    try:
+        graph = graph_from_dict(json.loads((cloud / "graph.json").read_text()))
+        avt = AlignmentVertexTable.from_dict(
+            json.loads((cloud / "avt.json").read_text())
+        )
+        meta = json.loads((cloud / "meta.json").read_text())
+        return graph, avt, list(meta["center_vertices"]), bool(meta["expand_in_cloud"])
+    except (OSError, KeyError, ValueError) as exc:
+        raise ProtocolError(f"cannot load cloud artifacts from {cloud}: {exc}") from exc
+
+
+def load_client_side(
+    directory: str | Path,
+) -> tuple[LabelCorrespondenceTable, AlignmentVertexTable]:
+    """Load what the trusted client needs: (lct, avt)."""
+    client = Path(directory) / CLIENT_DIR
+    try:
+        lct = LabelCorrespondenceTable.from_dict(
+            json.loads((client / "lct.json").read_text())
+        )
+        avt = AlignmentVertexTable.from_dict(
+            json.loads((client / "avt.json").read_text())
+        )
+        return lct, avt
+    except (OSError, KeyError, ValueError) as exc:
+        raise ProtocolError(
+            f"cannot load client artifacts from {client}: {exc}"
+        ) from exc

@@ -1,0 +1,175 @@
+"""End-to-end facade: data owner + simulated wire + cloud + client.
+
+:class:`PrivacyPreservingSystem` wires the whole paper pipeline
+together and measures every phase the evaluation reports: cloud query
+time, star matching time, |RS|, |Rin|, network bytes/time, client
+expansion/filter time, and the end-to-end total.
+
+Usage::
+
+    system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=3))
+    outcome = system.query(query_graph)
+    outcome.matches        # exactly R(Q, G)
+    outcome.metrics        # per-phase timings and sizes
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.client.expansion import expand_rin
+from repro.cloud.server import CloudServer
+from repro.core.config import SystemConfig
+from repro.core.data_owner import DataOwner, PublishedData
+from repro.core.metrics import PublishMetrics, QueryMetrics
+from repro.core.protocol import (
+    NetworkChannel,
+    decode_answer,
+    decode_query,
+    decode_upload,
+    encode_answer,
+    encode_query,
+    encode_upload,
+)
+from repro.core.query_client import QueryClient
+from repro.graph.attributed import AttributedGraph
+from repro.graph.schema import GraphSchema
+from repro.graph.validation import validate_query
+from repro.matching.match import Match
+
+
+@dataclass
+class QueryOutcome:
+    """Final exact results plus the full per-phase cost breakdown."""
+
+    matches: list[Match]
+    metrics: QueryMetrics
+
+
+class PrivacyPreservingSystem:
+    """A fully wired owner/cloud/client deployment."""
+
+    def __init__(
+        self,
+        owner: DataOwner,
+        published: PublishedData,
+        cloud: CloudServer,
+        client: QueryClient,
+        config: SystemConfig,
+        channel: NetworkChannel,
+        publish_metrics: PublishMetrics,
+    ):
+        self.owner = owner
+        self.published = published
+        self.cloud = cloud
+        self.client = client
+        self.config = config
+        self.channel = channel
+        self.publish_metrics = publish_metrics
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    @classmethod
+    def setup(
+        cls,
+        graph: AttributedGraph,
+        schema: GraphSchema,
+        config: SystemConfig,
+        sample_workload: list[AttributedGraph] | None = None,
+        channel: NetworkChannel | None = None,
+    ) -> "PrivacyPreservingSystem":
+        """Publish ``graph`` under ``config`` and stand up cloud+client.
+
+        The upload really travels through the protocol encoder/decoder
+        so its byte size is measured and the cloud works from exactly
+        what the wire carried.
+        """
+        channel = channel or NetworkChannel()
+        owner = DataOwner(graph, schema, sample_workload)
+        published = owner.publish(config)
+
+        payload = encode_upload(published.upload_graph, published.transform.avt)
+        upload_seconds = channel.transmit("upload", payload)
+        cloud_graph, cloud_avt = decode_upload(payload)
+
+        cloud = CloudServer(
+            cloud_graph,
+            cloud_avt,
+            published.center_vertices,
+            expand_in_cloud=published.expand_in_cloud,
+            max_intermediate_results=config.max_intermediate_results,
+            star_cache_size=config.star_cache_size,
+        )
+        client = QueryClient(graph, published.lct, published.transform.avt)
+
+        metrics = published.metrics
+        metrics.upload_bytes = len(payload)
+        metrics.upload_network_seconds = upload_seconds
+        metrics.index_bytes = cloud.index_size_bytes()
+        metrics.index_seconds = cloud.index_build_seconds()
+
+        return cls(owner, published, cloud, client, config, channel, metrics)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, query: AttributedGraph, limit: int | None = None) -> QueryOutcome:
+        """Answer ``query`` exactly, through the privacy pipeline.
+
+        ``limit`` caps the number of returned matches (the client stops
+        filtering early); the cloud-side work is unchanged.
+        """
+        validate_query(query)
+        metrics = QueryMetrics(
+            method=self.config.method.name,
+            k=self.config.k,
+            query_edges=query.edge_count,
+        )
+
+        # client: anonymize and send
+        anonymized = self.client.prepare_query(query)
+        query_payload = encode_query(anonymized)
+        metrics.query_bytes = len(query_payload)
+        query_network = self.channel.transmit("query", query_payload)
+
+        # cloud: decompose, star-match, join
+        cloud_query = decode_query(query_payload)
+        answer = self.cloud.answer(cloud_query)
+        metrics.decomposition_seconds = answer.decomposition_seconds
+        metrics.star_matching_seconds = answer.star_stats.seconds
+        metrics.join_seconds = answer.join_stats.seconds
+        metrics.rs_size = answer.rs_size
+        metrics.rin_size = len(answer.matches)
+        cloud_seconds = answer.total_seconds
+
+        matches, expanded = answer.matches, answer.expanded
+        if self.config.expansion_site == "cloud" and not expanded:
+            # Section 4.2.2: the expansion step may run in the cloud to
+            # spare the client, at higher communication cost.
+            cloud_expand_start = time.perf_counter()
+            expansion = expand_rin(matches, self.cloud.avt)
+            matches, expanded = expansion.matches, True
+            cloud_seconds += time.perf_counter() - cloud_expand_start
+        metrics.cloud_seconds = cloud_seconds
+
+        # wire: ship the answer
+        order = sorted(query.vertex_ids())
+        answer_payload = encode_answer(matches, order, expanded)
+        metrics.answer_bytes = len(answer_payload)
+        answer_network = self.channel.transmit("answer", answer_payload)
+        metrics.network_seconds = query_network + answer_network
+
+        # client: expand (if needed) + filter
+        received, already_expanded = decode_answer(answer_payload)
+        outcome = self.client.process_answer(
+            query, received, already_expanded, limit=limit
+        )
+        metrics.expansion_seconds = outcome.expansion_seconds
+        metrics.filter_seconds = outcome.filter_seconds
+        metrics.client_seconds = outcome.seconds
+        metrics.candidate_count = outcome.candidate_count
+        metrics.result_count = len(outcome.matches)
+
+        return QueryOutcome(matches=outcome.matches, metrics=metrics)

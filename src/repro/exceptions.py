@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with an attributed graph (bad vertex, edge...)."""
+
+
+class SchemaError(ReproError):
+    """A vertex or label violates the graph schema (Definition 1)."""
+
+
+class PartitionError(ReproError):
+    """The partitioner could not produce a valid k-way partition."""
+
+
+class AnonymizationError(ReproError):
+    """Label generalization failed (e.g. fewer than theta labels)."""
+
+
+class QueryError(ReproError):
+    """The query graph is malformed (disconnected, empty, unknown labels)."""
+
+
+class ProtocolError(ReproError):
+    """A message exchanged between client and cloud failed to validate."""
+
+
+class VerificationError(ReproError):
+    """A published artifact failed its privacy/structure verification."""
+
+
+class ResultBudgetExceeded(ReproError):
+    """A query's intermediate results exceeded the configured budget.
+
+    Raised by the cloud engine when ``max_intermediate_results`` is set
+    (a resource quota a real cloud provider would enforce) and a star
+    match set or join intermediate grows past it.  The query is not
+    answered; the client may retry with a more selective query or a
+    higher budget.
+    """
+
+    def __init__(self, stage: str, size: int, budget: int):
+        super().__init__(
+            f"{stage} produced {size} intermediate results, over budget {budget}"
+        )
+        self.stage = stage
+        self.size = size
+        self.budget = budget

@@ -1,0 +1,82 @@
+"""Attributed graph substrate (Definition 1 of the paper)."""
+
+from repro.graph.attributed import AttributedGraph, VertexData
+from repro.graph.schema import AttributeSpec, GraphSchema, TypeSpec
+from repro.graph.stats import (
+    GraphStatistics,
+    compute_statistics,
+    degree_histogram,
+    estimate_zipf_skew,
+    label_frequency_spectrum,
+    merge_statistics,
+)
+from repro.graph.io import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_graph,
+    load_schema,
+    save_graph,
+    save_schema,
+    serialized_size,
+)
+from repro.graph.generators import (
+    cycle_graph,
+    example_query,
+    example_social_network,
+    grid_graph,
+    make_schema,
+    planted_partition_graph,
+    random_attributed_graph,
+    schema_from_graph,
+    star_graph,
+    zipf_weights,
+)
+from repro.graph.edge_attributes import (
+    EdgePayload,
+    ReifiedGraph,
+    reify_edge_attributes,
+    reify_query_edge,
+)
+from repro.graph.validation import assert_supergraph, validate_graph, validate_query
+
+__all__ = [
+    "AttributedGraph",
+    "VertexData",
+    "GraphSchema",
+    "TypeSpec",
+    "AttributeSpec",
+    "GraphStatistics",
+    "compute_statistics",
+    "merge_statistics",
+    "degree_histogram",
+    "estimate_zipf_skew",
+    "label_frequency_spectrum",
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_to_json",
+    "graph_from_json",
+    "save_graph",
+    "load_graph",
+    "save_schema",
+    "load_schema",
+    "serialized_size",
+    "make_schema",
+    "random_attributed_graph",
+    "planted_partition_graph",
+    "example_social_network",
+    "example_query",
+    "grid_graph",
+    "cycle_graph",
+    "star_graph",
+    "schema_from_graph",
+    "zipf_weights",
+    "validate_graph",
+    "validate_query",
+    "assert_supergraph",
+    "EdgePayload",
+    "ReifiedGraph",
+    "reify_edge_attributes",
+    "reify_query_edge",
+]

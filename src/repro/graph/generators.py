@@ -1,0 +1,326 @@
+"""Synthetic attributed-graph generators.
+
+The paper evaluates on Web-NotreDame, DBpedia and UK-2002, and notes
+that "the frequencies of different vertex labels on these graphs all
+(roughly) obey Zipf's law of different skewness".  The generators here
+produce graphs with the same controllable properties:
+
+* a power-law-ish degree distribution (preferential attachment with a
+  uniform-attachment mixture, like real web graphs),
+* a configurable schema (number of types / attributes / labels),
+* Zipf-distributed label frequencies with configurable skew.
+
+:func:`example_social_network` reproduces the running example of
+Figure 1 exactly, which many unit tests lean on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.attributed import AttributedGraph
+from repro.graph.schema import GraphSchema
+
+
+def zipf_weights(n: int, skew: float) -> list[float]:
+    """Normalized Zipf weights ``w_i ∝ 1 / (i+1)^skew`` for i in [0, n)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    raw = [1.0 / (i + 1) ** skew for i in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def make_schema(
+    type_count: int,
+    attributes_per_type: int,
+    labels_per_attribute: int,
+    prefix: str = "t",
+) -> GraphSchema:
+    """A regular synthetic schema: every type has the same shape.
+
+    Attribute names are unique per type (Definition 1 requires distinct
+    types to have distinct attribute sets).
+    """
+    schema = GraphSchema()
+    for t in range(type_count):
+        type_name = f"{prefix}{t}"
+        attributes = {
+            f"{type_name}_a{a}": [
+                f"{type_name}_a{a}_l{i}" for i in range(labels_per_attribute)
+            ]
+            for a in range(attributes_per_type)
+        }
+        schema.add_type(type_name, attributes)
+    return schema
+
+
+def preferential_attachment_edges(
+    n: int,
+    edges_per_vertex: int,
+    rng: random.Random,
+    uniform_mix: float = 0.15,
+) -> list[tuple[int, int]]:
+    """Undirected scale-free-ish edge list on vertices 0..n-1.
+
+    Standard Barabási–Albert growth with a ``uniform_mix`` probability
+    of attaching uniformly at random instead of preferentially — real
+    web graphs are not pure BA and the mixture keeps minimum degrees
+    from being uniform.
+    """
+    if n < 2:
+        return []
+    m = max(1, min(edges_per_vertex, n - 1))
+    edges: set[tuple[int, int]] = set()
+    # endpoint pool repeats a vertex once per incident edge -> sampling
+    # from it is degree-proportional.
+    pool: list[int] = [0, 1]
+    edges.add((0, 1))
+    for v in range(2, n):
+        targets: set[int] = set()
+        attempts = 0
+        want = min(m, v)
+        while len(targets) < want and attempts < 50 * want:
+            attempts += 1
+            if rng.random() < uniform_mix:
+                u = rng.randrange(v)
+            else:
+                u = pool[rng.randrange(len(pool))]
+            if u != v:
+                targets.add(u)
+        for u in targets:
+            edge = (min(u, v), max(u, v))
+            if edge not in edges:
+                edges.add(edge)
+                pool.append(u)
+                pool.append(v)
+    return sorted(edges)
+
+
+def random_attributed_graph(
+    schema: GraphSchema,
+    vertex_count: int,
+    edges_per_vertex: int = 3,
+    label_skew: float = 1.0,
+    labels_per_vertex: int = 1,
+    type_skew: float = 0.8,
+    seed: int = 0,
+    name: str = "synthetic",
+    connected: bool = True,
+) -> AttributedGraph:
+    """Generate an attributed graph over ``schema``.
+
+    Types are assigned with Zipf(``type_skew``) frequencies, labels per
+    attribute with Zipf(``label_skew``) frequencies.  Each vertex gets
+    ``labels_per_vertex`` labels per attribute (without replacement).
+    Structure comes from :func:`preferential_attachment_edges`; if
+    ``connected`` the generator afterwards links stray components to
+    the giant one (real evaluation graphs are connected crawls).
+    """
+    if vertex_count < 1:
+        raise GraphError("vertex_count must be >= 1")
+    rng = random.Random(seed)
+    graph = AttributedGraph(name)
+
+    type_names = schema.type_names
+    type_w = zipf_weights(len(type_names), type_skew)
+    for vid in range(vertex_count):
+        vertex_type = rng.choices(type_names, weights=type_w)[0]
+        labels: dict[str, list[str]] = {}
+        for attr in schema.attributes_of(vertex_type):
+            universe = sorted(schema.labels_of(vertex_type, attr))
+            w = zipf_weights(len(universe), label_skew)
+            count = min(labels_per_vertex, len(universe))
+            chosen: set[str] = set()
+            while len(chosen) < count:
+                chosen.add(rng.choices(universe, weights=w)[0])
+            labels[attr] = sorted(chosen)
+        graph.add_vertex(vid, vertex_type, labels)
+
+    for u, v in preferential_attachment_edges(vertex_count, edges_per_vertex, rng):
+        graph.add_edge(u, v)
+
+    if connected and vertex_count > 1:
+        components = graph.connected_components()
+        if len(components) > 1:
+            components.sort(key=len, reverse=True)
+            giant = components[0]
+            anchor_pool = sorted(giant)
+            for comp in components[1:]:
+                u = rng.choice(sorted(comp))
+                v = rng.choice(anchor_pool)
+                graph.add_edge(u, v)
+    return graph
+
+
+def example_social_network() -> tuple[AttributedGraph, GraphSchema]:
+    """The professional social network of Figure 1 (running example).
+
+    Vertices: individuals p1..p4 (ids 0-3), companies c1, c2 (ids 4-5),
+    schools s1, s2 (ids 6-7).
+    """
+    schema = GraphSchema.from_dict(
+        {
+            "person": {
+                "gender": ["male", "female"],
+                "occupation": ["engineer", "manager", "hr", "accountant"],
+            },
+            "company": {
+                "company_type": ["internet", "software"],
+                "state": ["california", "washington"],
+            },
+            "school": {
+                "located_in": ["illinois", "massachusetts"],
+            },
+        }
+    )
+    graph = AttributedGraph("figure1")
+    graph.add_vertex(0, "person", {"gender": ["male"], "occupation": ["engineer"]})
+    graph.add_vertex(1, "person", {"gender": ["female"], "occupation": ["hr"]})
+    graph.add_vertex(2, "person", {"gender": ["male"], "occupation": ["manager"]})
+    graph.add_vertex(3, "person", {"gender": ["female"], "occupation": ["accountant"]})
+    graph.add_vertex(4, "company", {"company_type": ["internet"], "state": ["california"]})
+    graph.add_vertex(5, "company", {"company_type": ["software"], "state": ["washington"]})
+    graph.add_vertex(6, "school", {"located_in": ["illinois"]})
+    graph.add_vertex(7, "school", {"located_in": ["massachusetts"]})
+    # p1 (Tom) works at c1 (Google), graduated from s1 (UIUC), spouse p2 (Lucy).
+    graph.add_edge(0, 4)
+    graph.add_edge(0, 6)
+    graph.add_edge(0, 1)
+    # p2 (Lucy) works at c1, graduated from s1.
+    graph.add_edge(1, 4)
+    graph.add_edge(1, 6)
+    # p3 (David) works at c2 (Microsoft), graduated from s1, spouse p4 (Alice).
+    graph.add_edge(2, 5)
+    graph.add_edge(2, 6)
+    graph.add_edge(2, 3)
+    # p4 (Alice) works at c2, graduated from s2 (MIT).
+    graph.add_edge(3, 5)
+    graph.add_edge(3, 7)
+    return graph, schema
+
+
+def example_query() -> AttributedGraph:
+    """The query graph Q of Figure 1.
+
+    Two individuals who graduated from the same Illinois school, one
+    working at a software company and the other at an internet company.
+    Query vertex ids: q1=company(internet), q2=person, q3=school(IL),
+    q4=company(software), q5=person — ids 0..4.
+    """
+    query = AttributedGraph("figure1-query")
+    query.add_vertex(0, "company", {"company_type": ["internet"]})
+    query.add_vertex(1, "person", {})
+    query.add_vertex(2, "school", {"located_in": ["illinois"]})
+    query.add_vertex(3, "company", {"company_type": ["software"]})
+    query.add_vertex(4, "person", {})
+    query.add_edge(0, 1)
+    query.add_edge(1, 2)
+    query.add_edge(2, 4)
+    query.add_edge(4, 3)
+    return query
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    vertex_type: str = "t0",
+    schema: GraphSchema | None = None,
+    name: str = "grid",
+) -> AttributedGraph:
+    """A rows×cols grid with a single type; handy for structure tests."""
+    graph = AttributedGraph(name)
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex(r * cols + c, vertex_type)
+    for r in range(rows):
+        for c in range(cols):
+            vid = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(vid, vid + 1)
+            if r + 1 < rows:
+                graph.add_edge(vid, vid + cols)
+    return graph
+
+
+def cycle_graph(n: int, vertex_type: str = "t0", name: str = "cycle") -> AttributedGraph:
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 vertices")
+    graph = AttributedGraph(name)
+    for vid in range(n):
+        graph.add_vertex(vid, vertex_type)
+    for vid in range(n):
+        graph.add_edge(vid, (vid + 1) % n)
+    return graph
+
+
+def star_graph(
+    leaf_count: int,
+    vertex_type: str = "t0",
+    name: str = "star",
+) -> AttributedGraph:
+    """Center vertex 0 with ``leaf_count`` leaves 1..leaf_count."""
+    graph = AttributedGraph(name)
+    graph.add_vertex(0, vertex_type)
+    for leaf in range(1, leaf_count + 1):
+        graph.add_vertex(leaf, vertex_type)
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def planted_partition_graph(
+    communities: int,
+    community_size: int,
+    p_within: float,
+    p_between: float,
+    vertex_type: str = "t0",
+    seed: int = 0,
+    name: str = "planted",
+) -> tuple[AttributedGraph, list[list[int]]]:
+    """A stochastic block model with planted communities.
+
+    Returns the graph and the planted community lists — ground truth
+    for evaluating the multilevel partitioner (a good k-way partition
+    of this graph is the planted one, up to relabeling).
+    """
+    rng = random.Random(seed)
+    graph = AttributedGraph(name)
+    planted: list[list[int]] = []
+    vid = 0
+    for _ in range(communities):
+        block = []
+        for _ in range(community_size):
+            graph.add_vertex(vid, vertex_type)
+            block.append(vid)
+            vid += 1
+        planted.append(block)
+    n = vid
+    community_of = {
+        v: index for index, block in enumerate(planted) for v in block
+    }
+    for u in range(n):
+        for v in range(u + 1, n):
+            p = p_within if community_of[u] == community_of[v] else p_between
+            if rng.random() < p:
+                graph.add_edge(u, v)
+    return graph, planted
+
+
+def schema_from_graph(graph: AttributedGraph) -> GraphSchema:
+    """Infer the minimal schema that covers every label in ``graph``."""
+    spec: dict[str, dict[str, set[str]]] = {}
+    for data in graph.vertices():
+        attrs = spec.setdefault(data.vertex_type, {})
+        for attr, label in data.label_items():
+            attrs.setdefault(attr, set()).add(label)
+    # Types observed without any labels still need at least one
+    # attribute to satisfy Definition 1; give them a placeholder.
+    result: dict[str, dict[str, Sequence[str]]] = {}
+    for type_name, attrs in spec.items():
+        if attrs:
+            result[type_name] = {a: sorted(v) for a, v in attrs.items()}
+        else:
+            result[type_name] = {f"{type_name}_attr": [f"{type_name}_none"]}
+    return GraphSchema.from_dict(result)

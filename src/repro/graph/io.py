@@ -1,0 +1,93 @@
+"""Serialization of attributed graphs and schemas.
+
+Two formats are provided:
+
+* a JSON document (human readable, used for persistence and examples);
+* a compact dict form used by :mod:`repro.core.protocol` to measure the
+  bytes actually shipped between the data owner, the cloud and the
+  client — the paper's communication-cost experiments (Figure 33) rely
+  on these sizes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import GraphError
+from repro.graph.attributed import AttributedGraph
+from repro.graph.schema import GraphSchema
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: AttributedGraph) -> dict[str, Any]:
+    """Compact JSON-serializable representation of ``graph``."""
+    vertices = []
+    for data in graph.vertices():
+        entry: dict[str, Any] = {"id": data.vertex_id, "type": data.vertex_type}
+        if data.labels:
+            entry["labels"] = {a: sorted(v) for a, v in sorted(data.labels.items())}
+        vertices.append(entry)
+    vertices.sort(key=lambda e: e["id"])
+    return {
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "vertices": vertices,
+        "edges": sorted(graph.edges()),
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> AttributedGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format version {version}")
+    graph = AttributedGraph(data.get("name", ""))
+    for entry in data["vertices"]:
+        graph.add_vertex(entry["id"], entry["type"], entry.get("labels"))
+    for u, v in data["edges"]:
+        graph.add_edge(u, v)
+    return graph
+
+
+def graph_to_json(graph: AttributedGraph, indent: int | None = None) -> str:
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def graph_from_json(text: str) -> AttributedGraph:
+    return graph_from_dict(json.loads(text))
+
+
+def save_graph(graph: AttributedGraph, path: str | Path) -> None:
+    Path(path).write_text(graph_to_json(graph, indent=2))
+
+
+def load_graph(path: str | Path) -> AttributedGraph:
+    return graph_from_json(Path(path).read_text())
+
+
+def schema_to_json(schema: GraphSchema, indent: int | None = None) -> str:
+    return json.dumps(schema.to_dict(), indent=indent, sort_keys=True)
+
+
+def schema_from_json(text: str) -> GraphSchema:
+    return GraphSchema.from_dict(json.loads(text))
+
+
+def save_schema(schema: GraphSchema, path: str | Path) -> None:
+    Path(path).write_text(schema_to_json(schema, indent=2))
+
+
+def load_schema(path: str | Path) -> GraphSchema:
+    return schema_from_json(Path(path).read_text())
+
+
+def serialized_size(graph: AttributedGraph) -> int:
+    """Number of bytes of the compact JSON encoding of ``graph``.
+
+    This is the size used when accounting for upload cost of ``Go``
+    versus ``Gk`` in the space/communication experiments.
+    """
+    return len(graph_to_json(graph).encode("utf-8"))

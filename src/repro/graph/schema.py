@@ -1,0 +1,173 @@
+"""Graph schema: vertex types, attributes and label universes.
+
+The attributed graph model (Definition 1 of the paper) requires that
+
+* every vertex has exactly one *vertex type*;
+* every vertex type has a fixed set of *vertex attributes*, and two
+  distinct types never share an attribute set;
+* every attribute has a universe of *vertex labels* (attribute values),
+  and a vertex may carry one or more labels per attribute.
+
+:class:`GraphSchema` captures the (type, attribute, label-universe)
+structure and validates vertices against it.  The schema is also the
+unit the anonymizer operates on: label groups are formed *within* a
+single ``(vertex type, attribute)`` label universe, mirroring the
+paper's Label Correspondence Table where e.g. group ``A`` only contains
+``COMPANY TYPE`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of a vertex type and its label universe."""
+
+    name: str
+    labels: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if not self.labels:
+            raise SchemaError(f"attribute {self.name!r} has an empty label universe")
+
+
+@dataclass
+class TypeSpec:
+    """One vertex type with its attributes."""
+
+    name: str
+    attributes: dict[str, AttributeSpec] = field(default_factory=dict)
+
+    def attribute(self, name: str) -> AttributeSpec:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise SchemaError(
+                f"type {self.name!r} has no attribute {name!r}"
+            ) from None
+
+
+class GraphSchema:
+    """The set of vertex types with their attributes and label universes.
+
+    Build a schema either incrementally with :meth:`add_type` or in one
+    shot from a nested mapping with :meth:`from_dict`::
+
+        schema = GraphSchema.from_dict({
+            "person": {"gender": ["male", "female"],
+                       "occupation": ["engineer", "manager", "hr"]},
+            "company": {"company_type": ["internet", "software"]},
+        })
+    """
+
+    def __init__(self) -> None:
+        self._types: dict[str, TypeSpec] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_type(self, type_name: str, attributes: Mapping[str, Iterable[str]]) -> None:
+        """Register ``type_name`` with ``attributes`` (name -> labels)."""
+        if type_name in self._types:
+            raise SchemaError(f"duplicate vertex type {type_name!r}")
+        if not attributes:
+            raise SchemaError(f"type {type_name!r} must declare at least one attribute")
+        spec = TypeSpec(type_name)
+        for attr_name, labels in attributes.items():
+            label_set = frozenset(labels)
+            spec.attributes[attr_name] = AttributeSpec(attr_name, label_set)
+        self._types[type_name] = spec
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, Iterable[str]]]) -> "GraphSchema":
+        schema = cls()
+        for type_name, attributes in data.items():
+            schema.add_type(type_name, attributes)
+        return schema
+
+    def to_dict(self) -> dict[str, dict[str, list[str]]]:
+        """Inverse of :meth:`from_dict` (labels sorted for determinism)."""
+        return {
+            t.name: {a.name: sorted(a.labels) for a in t.attributes.values()}
+            for t in self._types.values()
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def type_names(self) -> list[str]:
+        return sorted(self._types)
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def type_spec(self, type_name: str) -> TypeSpec:
+        try:
+            return self._types[type_name]
+        except KeyError:
+            raise SchemaError(f"unknown vertex type {type_name!r}") from None
+
+    def attributes_of(self, type_name: str) -> list[str]:
+        return sorted(self.type_spec(type_name).attributes)
+
+    def labels_of(self, type_name: str, attribute: str) -> frozenset[str]:
+        return self.type_spec(type_name).attribute(attribute).labels
+
+    def label_count(self) -> int:
+        """Total number of distinct labels across the whole schema."""
+        return sum(
+            len(attr.labels)
+            for t in self._types.values()
+            for attr in t.attributes.values()
+        )
+
+    def attribute_count(self) -> int:
+        return sum(len(t.attributes) for t in self._types.values())
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate_vertex(
+        self,
+        vertex_type: str,
+        labels: Mapping[str, frozenset[str]],
+    ) -> None:
+        """Raise :class:`SchemaError` if a vertex payload is ill-formed.
+
+        A vertex must use a known type, may only carry attributes of
+        that type, and every label must belong to the attribute's
+        universe.  Vertices are allowed to omit attributes (a missing
+        attribute simply means "no label published"), matching the
+        noise vertices the k-automorphism transform introduces.
+        """
+        spec = self.type_spec(vertex_type)
+        for attr_name, attr_labels in labels.items():
+            attr_spec = spec.attribute(attr_name)
+            unknown = attr_labels - attr_spec.labels
+            if unknown:
+                raise SchemaError(
+                    f"labels {sorted(unknown)} not in universe of "
+                    f"{vertex_type}.{attr_name}"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSchema):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphSchema(types={len(self._types)}, "
+            f"attributes={self.attribute_count()}, labels={self.label_count()})"
+        )

@@ -1,0 +1,55 @@
+"""Validation of graphs and queries against the attributed model."""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError, SchemaError
+from repro.graph.attributed import AttributedGraph
+from repro.graph.schema import GraphSchema
+
+
+def validate_graph(graph: AttributedGraph, schema: GraphSchema) -> None:
+    """Check every vertex of ``graph`` against ``schema``.
+
+    Raises :class:`SchemaError` on the first violation.  Edge sanity
+    (no self loops, endpoints exist) is enforced by
+    :class:`AttributedGraph` itself at mutation time.
+    """
+    for data in graph.vertices():
+        if data.vertex_type not in schema:
+            raise SchemaError(
+                f"vertex {data.vertex_id} has unknown type {data.vertex_type!r}"
+            )
+        schema.validate_vertex(data.vertex_type, data.labels)
+
+
+def validate_query(query: AttributedGraph, schema: GraphSchema | None = None) -> None:
+    """Check that ``query`` is a usable subgraph-matching query.
+
+    A query must be non-empty and connected (the paper's workload
+    generator produces connected query graphs; a disconnected query is
+    a cartesian product of independent queries and is rejected).
+    If ``schema`` is given, labels are validated against it too.
+    """
+    if query.vertex_count == 0:
+        raise QueryError("query graph is empty")
+    if not query.is_connected():
+        raise QueryError("query graph must be connected")
+    if schema is not None:
+        try:
+            validate_graph(query, schema)
+        except SchemaError as exc:
+            raise QueryError(str(exc)) from exc
+
+
+def assert_supergraph(small: AttributedGraph, big: AttributedGraph) -> None:
+    """Raise if ``small`` is not an id-preserving subgraph of ``big``.
+
+    Used to verify the paper's guarantee that ``G ⊆ Gk`` (the transform
+    never deletes vertices or edges, unlike edge-deletion anonymizers).
+    """
+    missing_vertices = small.vertex_id_set() - big.vertex_id_set()
+    if missing_vertices:
+        raise SchemaError(f"vertices missing from supergraph: {sorted(missing_vertices)[:5]}")
+    for u, v in small.edges():
+        if not big.has_edge(u, v):
+            raise SchemaError(f"edge ({u}, {v}) missing from supergraph")

@@ -1,0 +1,37 @@
+"""k-automorphism substrate (Zou et al., VLDB'09, as used by the paper)."""
+
+from repro.kauto.avt import AlignmentVertexTable
+from repro.kauto.alignment import align_blocks, bfs_order, build_avt
+from repro.kauto.builder import KAutomorphismResult, build_k_automorphic_graph
+from repro.kauto.edge_copy import copy_crossing_edges
+from repro.kauto.dynamic import DynamicRelease, UpdateLog
+from repro.kauto.partition import (
+    cut_size,
+    partition_graph,
+    validate_partition,
+)
+from repro.kauto.spectral import spectral_partition
+from repro.kauto.verify import (
+    identification_probability,
+    verify_blocks_isomorphic,
+    verify_k_automorphism,
+)
+
+__all__ = [
+    "AlignmentVertexTable",
+    "build_avt",
+    "bfs_order",
+    "align_blocks",
+    "copy_crossing_edges",
+    "build_k_automorphic_graph",
+    "KAutomorphismResult",
+    "partition_graph",
+    "spectral_partition",
+    "cut_size",
+    "validate_partition",
+    "DynamicRelease",
+    "UpdateLog",
+    "verify_k_automorphism",
+    "verify_blocks_isomorphic",
+    "identification_probability",
+]

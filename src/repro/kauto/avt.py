@@ -1,0 +1,146 @@
+"""Alignment Vertex Table (AVT) and the automorphic functions ``F_m``.
+
+Definition 4 of the paper: each row of the AVT is an *alignment vertex
+instance* (AVI) — ``k`` mutually symmetric vertices, one per block.
+The automorphic function ``F_m`` maps each vertex ``m`` steps along its
+row's circular list, i.e. from block ``b`` to block ``(b + m) mod k``.
+
+The AVT is published to the cloud together with ``Go`` — it contains
+only vertex-id pairings, which by construction are symmetric in ``Gk``
+and therefore reveal nothing beyond what ``Gk`` itself would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.exceptions import VerificationError
+from repro.matching.match import Match
+
+
+class AlignmentVertexTable:
+    """The AVT: ``rows[i][b]`` is the vertex of row ``i`` in block ``b``."""
+
+    def __init__(self, rows: Iterable[Iterable[int]]):
+        self._rows: list[tuple[int, ...]] = [tuple(row) for row in rows]
+        if not self._rows:
+            raise VerificationError("AVT must have at least one row")
+        k = len(self._rows[0])
+        if k < 1:
+            raise VerificationError("AVT rows must be non-empty")
+        self._k = k
+        self._position: dict[int, tuple[int, int]] = {}
+        for i, row in enumerate(self._rows):
+            if len(row) != k:
+                raise VerificationError(
+                    f"AVT row {i} has {len(row)} entries, expected {k}"
+                )
+            for b, vid in enumerate(row):
+                if vid in self._position:
+                    raise VerificationError(f"vertex {vid} appears twice in AVT")
+                self._position[vid] = (i, b)
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._rows)
+
+    def row(self, index: int) -> tuple[int, ...]:
+        return self._rows[index]
+
+    def block(self, b: int) -> list[int]:
+        """All vertices of block ``b`` (column ``b`` of the table)."""
+        if not 0 <= b < self._k:
+            raise VerificationError(f"block index {b} out of range for k={self._k}")
+        return [row[b] for row in self._rows]
+
+    def first_block(self) -> list[int]:
+        """Block ``B1`` — the block shipped to the cloud inside ``Go``."""
+        return self.block(0)
+
+    def vertex_ids(self) -> Iterator[int]:
+        return iter(self._position)
+
+    def __contains__(self, vid: int) -> bool:
+        return vid in self._position
+
+    def position(self, vid: int) -> tuple[int, int]:
+        """(row, block) of ``vid``."""
+        try:
+            return self._position[vid]
+        except KeyError:
+            raise VerificationError(f"vertex {vid} not in AVT") from None
+
+    def block_of(self, vid: int) -> int:
+        return self.position(vid)[1]
+
+    def symmetric_group(self, vid: int) -> tuple[int, ...]:
+        """The AVI (row) containing ``vid``: all its symmetric vertices."""
+        return self._rows[self.position(vid)[0]]
+
+    # ------------------------------------------------------------------
+    # automorphic functions
+    # ------------------------------------------------------------------
+    def apply(self, vid: int, m: int) -> int:
+        """``F_m(vid)``: shift ``m`` blocks along the row, circularly."""
+        row, block = self.position(vid)
+        return self._rows[row][(block + m) % self._k]
+
+    def function(self, m: int) -> Callable[[int], int]:
+        """``F_m`` as a callable; ``function(0)`` is the identity."""
+        shift = m % self._k
+
+        def f_m(vid: int) -> int:
+            row, block = self.position(vid)
+            return self._rows[row][(block + shift) % self._k]
+
+        return f_m
+
+    def apply_to_match(self, match: Match, m: int) -> Match:
+        """Map a match through ``F_m`` (Definition 4's mapping graph)."""
+        shift = m % self._k
+        rows = self._rows
+        position = self._position
+        out: Match = {}
+        for q, vid in match.items():
+            row, block = position[vid]
+            out[q] = rows[row][(block + shift) % self._k]
+        return out
+
+    def expand_matches(self, matches: Iterable[Match]) -> list[Match]:
+        """Union of ``F_m(matches)`` for all m in 0..k-1."""
+        expanded: list[Match] = []
+        for m in range(self._k):
+            for match in matches:
+                expanded.append(self.apply_to_match(match, m))
+        return expanded
+
+    def to_block_anchor(self, vid: int) -> tuple[int, int]:
+        """Return ``(m, v)`` with ``v in B1`` and ``F_m(v) == vid``."""
+        row, block = self.position(vid)
+        return block, self._rows[row][0]
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"k": self._k, "rows": [list(row) for row in self._rows]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AlignmentVertexTable":
+        avt = cls(data["rows"])
+        if avt.k != data.get("k", avt.k):
+            raise VerificationError("AVT dict k does not match row width")
+        return avt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AlignmentVertexTable(k={self._k}, rows={self.row_count})"

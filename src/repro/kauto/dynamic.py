@@ -1,0 +1,236 @@
+"""Incremental maintenance of a k-automorphic release.
+
+The paper treats publication as one-shot; real deployments insert and
+delete edges continuously, and re-running the full transform per update
+would be prohibitive.  This module maintains the published ``Gk`` (and
+its AVT) under updates to the original graph ``G`` while preserving the
+k-automorphism invariant, using one observation:
+
+    ``F_1`` stays an automorphism iff the edge set of ``Gk`` remains a
+    union of orbits under the cyclic group {F_0..F_{k-1}}.
+
+so every structural update is applied *orbit-wise*:
+
+* **edge insertion** — add the whole orbit
+  ``{(F_m(u), F_m(v)) : m}`` (the image edges become noise edges);
+* **edge deletion** — deleting an original edge only removes its orbit
+  if no *other* original edge lives in the same orbit; otherwise the
+  deleted edge silently degrades into a noise edge (privacy must not
+  shrink the published edge set below what symmetry requires);
+* **vertex insertion** — a new vertex needs ``k-1`` symmetric twins:
+  a fresh AVT row is appended with one noise vertex per other block,
+  all sharing the new vertex's (generalized) label set.
+
+After any sequence of updates, ``verify_k_automorphism`` still passes
+and the standard pipeline (``Go`` extraction, cloud query, client
+filter) remains exact — see ``tests/test_kauto_dynamic.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.anonymize.lct import LabelCorrespondenceTable
+from repro.exceptions import GraphError
+from repro.graph.attributed import AttributedGraph, LabelMap
+from repro.kauto.avt import AlignmentVertexTable
+from repro.kauto.builder import KAutomorphismResult
+
+
+@dataclass
+class UpdateLog:
+    """What one update did to the published graph."""
+
+    added_edges: list[tuple[int, int]] = field(default_factory=list)
+    removed_edges: list[tuple[int, int]] = field(default_factory=list)
+    added_vertices: list[int] = field(default_factory=list)
+
+
+class DynamicRelease:
+    """A live release: the original ``G`` plus its maintained ``Gk``.
+
+    Wraps a :class:`KAutomorphismResult` (and the LCT used to
+    generalize labels) and keeps ``original``, ``gk`` and the AVT
+    mutually consistent under updates.  Extract a fresh ``Go`` with
+    :meth:`refresh_outsourced` after a batch of updates.
+    """
+
+    def __init__(
+        self,
+        original: AttributedGraph,
+        transform: KAutomorphismResult,
+        lct: LabelCorrespondenceTable,
+    ):
+        self.original = original
+        self.transform = transform
+        self.lct = lct
+
+    @property
+    def gk(self) -> AttributedGraph:
+        return self.transform.gk
+
+    @property
+    def avt(self) -> AlignmentVertexTable:
+        return self.transform.avt
+
+    @property
+    def k(self) -> int:
+        return self.transform.k
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def _edge_orbit(self, u: int, v: int) -> list[tuple[int, int]]:
+        avt = self.avt
+        orbit = {
+            tuple(sorted((avt.apply(u, m), avt.apply(v, m)))) for m in range(self.k)
+        }
+        return sorted(orbit)  # type: ignore[arg-type]
+
+    def insert_edge(self, u: int, v: int) -> UpdateLog:
+        """Add edge (u, v) to ``G`` and its orbit to ``Gk``."""
+        if u not in self.original or v not in self.original:
+            raise GraphError(f"edge ({u}, {v}) references a vertex not in G")
+        log = UpdateLog()
+        if not self.original.has_edge(u, v):
+            self.original.add_edge(u, v)
+        for a, b in self._edge_orbit(u, v):
+            if self.gk.add_edge(a, b):
+                log.added_edges.append((a, b))
+        return log
+
+    def delete_edge(self, u: int, v: int) -> UpdateLog:
+        """Remove edge (u, v) from ``G``; shrink ``Gk`` when symmetry allows.
+
+        The orbit is removed from ``Gk`` only if none of its members is
+        still an edge of the updated ``G`` — otherwise the deleted edge
+        remains in ``Gk`` as a noise edge (published data never exposes
+        the deletion, which also avoids leaking update patterns).
+        """
+        if not self.original.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) is not in G")
+        self.original.remove_edge(u, v)
+        log = UpdateLog()
+        orbit = self._edge_orbit(u, v)
+        if any(self.original.has_edge(a, b) for a, b in orbit):
+            return log  # another original edge pins the orbit
+        for a, b in orbit:
+            if self.gk.has_edge(a, b):
+                self.gk.remove_edge(a, b)
+                log.removed_edges.append((a, b))
+        return log
+
+    def allocate_vertex_id(self) -> int:
+        """A fresh vertex id, guaranteed unused by both ``G`` and ``Gk``.
+
+        ``Gk`` holds noise twins with ids the caller never chose, so
+        picking "my max id + 1" on the original graph can collide; use
+        this allocator when inserting vertices.
+        """
+        return max(self.gk.vertex_ids(), default=-1) + 1
+
+    def insert_vertex(
+        self,
+        vertex_id: int,
+        vertex_type: str,
+        labels: LabelMap | None = None,
+    ) -> UpdateLog:
+        """Add a vertex to ``G`` plus a fresh symmetric row to ``Gk``.
+
+        The new row holds the real vertex in block ``B1`` and ``k-1``
+        noise twins in the other blocks, all carrying the generalized
+        label groups of the new vertex.  ``vertex_id`` must be unused
+        by the *published* graph too (noise twins occupy ids beyond
+        ``G``'s) — :meth:`allocate_vertex_id` provides a safe one.
+        """
+        if vertex_id in self.original:
+            raise GraphError(f"vertex {vertex_id} already exists in G")
+        if vertex_id in self.gk:
+            raise GraphError(
+                f"vertex id {vertex_id} is taken by a published noise twin; "
+                "use allocate_vertex_id()"
+            )
+        log = UpdateLog()
+        self.original.add_vertex(vertex_id, vertex_type, labels)
+
+        generalized = self.lct.generalize_label_map(
+            vertex_type, self.original.vertex(vertex_id).labels
+        )
+        next_id = max(
+            max(self.gk.vertex_ids(), default=-1),
+            vertex_id,
+        ) + 1
+        row = [vertex_id]
+        self.gk.add_vertex(vertex_id, vertex_type, generalized)
+        log.added_vertices.append(vertex_id)
+        for _ in range(self.k - 1):
+            self.gk.add_vertex(next_id, vertex_type, generalized)
+            row.append(next_id)
+            log.added_vertices.append(next_id)
+            self.transform.noise_vertex_ids.append(next_id)
+            next_id += 1
+
+        rows = [list(existing) for existing in self.avt.rows()]
+        rows.append(row)
+        self.transform.avt = AlignmentVertexTable(rows)
+        return log
+
+    # ------------------------------------------------------------------
+    # derived artifacts
+    # ------------------------------------------------------------------
+    def refresh_outsourced(self):
+        """Extract a fresh ``Go`` reflecting all updates so far."""
+        from repro.outsource import build_outsourced_graph
+
+        return build_outsourced_graph(self.gk, self.avt)
+
+    def go_delta(self, log: UpdateLog):
+        """The cloud-side delta one :class:`UpdateLog` induces on ``Go``.
+
+        ``Go`` holds block ``B1`` + its 1-hop neighbours + edges
+        incident to ``B1``; the delta carries exactly the log's edge
+        changes incident to ``B1`` (with payloads for vertices newly
+        entering ``Go``) and any appended AVT rows.  Ship it with
+        :func:`repro.outsource.delta.apply_go_delta` instead of
+        re-uploading the whole graph.
+        """
+        from repro.outsource.delta import GoDelta
+
+        block = set(self.avt.first_block())
+        delta = GoDelta()
+        known_new: set[int] = set()
+
+        def ensure_vertex(vid: int) -> None:
+            if vid in known_new:
+                return
+            data = self.gk.vertex(vid)
+            delta.added_vertices.append(
+                (vid, data.vertex_type, {a: sorted(v) for a, v in data.labels.items()})
+            )
+            known_new.add(vid)
+
+        # fresh symmetric rows: the B1 member (and only it) enters Go
+        for vid in log.added_vertices:
+            row, block_index = self.avt.position(vid)
+            if block_index == 0:
+                ensure_vertex(vid)
+                delta.added_block_vertices.append(vid)
+                delta.added_avt_rows.append(list(self.avt.row(row)))
+                block.add(vid)
+
+        for u, v in log.added_edges:
+            if u in block or v in block:
+                # B1 vertices are already stored cloud-side; only an
+                # endpoint outside B1 may be entering N1 right now
+                for endpoint in (u, v):
+                    if endpoint not in block:
+                        ensure_vertex(endpoint)
+                delta.added_edges.append((u, v))
+        for u, v in log.removed_edges:
+            if u in block or v in block:
+                delta.removed_edges.append((u, v))
+        return delta
+
+    def noise_edge_count(self) -> int:
+        """Current |E(Gk)| - |E(G)| (deletions can raise this)."""
+        return self.gk.edge_count - self.original.edge_count

@@ -1,0 +1,40 @@
+"""Edge copy: closing crossing edges under the automorphic functions.
+
+The second half of the k-automorphism construction (Figure 3(c) of the
+paper): every edge crossing between two different blocks is copied
+through every automorphic function ``F_m`` so the crossing-edge set
+becomes invariant under the cyclic symmetry.
+"""
+
+from __future__ import annotations
+
+from repro.graph.attributed import AttributedGraph
+from repro.kauto.avt import AlignmentVertexTable
+
+
+def copy_crossing_edges(
+    graph: AttributedGraph,
+    avt: AlignmentVertexTable,
+) -> list[tuple[int, int]]:
+    """Add ``F_m(u)F_m(v)`` for every crossing edge ``(u, v)`` and m.
+
+    Mutates ``graph`` in place; returns the list of added (noise)
+    edges.  Iterates to a fixed point in one pass: the image of a
+    crossing edge under ``F_m`` is itself crossing, and applying all
+    ``m`` in 0..k-1 to every original crossing edge already closes the
+    orbit (``F`` is cyclic of order k).
+    """
+    k = avt.k
+    crossing = [
+        (u, v)
+        for u, v in graph.edges()
+        if u in avt and v in avt and avt.block_of(u) != avt.block_of(v)
+    ]
+    added: list[tuple[int, int]] = []
+    for u, v in crossing:
+        for m in range(1, k):
+            fu = avt.apply(u, m)
+            fv = avt.apply(v, m)
+            if graph.add_edge(fu, fv):
+                added.append((min(fu, fv), max(fu, fv)))
+    return added

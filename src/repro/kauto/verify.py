@@ -1,0 +1,89 @@
+"""Verification of the k-automorphism property of a published graph.
+
+These checks back the privacy claim (any structural attack identifies a
+vertex with probability at most 1/k) and the correctness machinery
+(Theorem 3 requires the automorphic functions to preserve vertex types
+and label groups).  They are used by tests and can be run by a cautious
+data owner before publishing.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import VerificationError
+from repro.graph.attributed import AttributedGraph
+from repro.kauto.avt import AlignmentVertexTable
+
+
+def verify_k_automorphism(gk: AttributedGraph, avt: AlignmentVertexTable) -> None:
+    """Raise :class:`VerificationError` unless ``gk`` is k-automorphic.
+
+    Checks, for the cyclic symmetry encoded by ``avt``:
+
+    * the AVT covers exactly the vertices of ``gk`` and every block has
+      the same size (Definition 3);
+    * ``F_1`` is fixed-point free, hence so is every ``F_m`` (m != 0);
+    * ``F_1`` is a graph automorphism (edge preserving bijection);
+    * ``F_1`` preserves vertex types and label sets, so symmetric
+      vertices are indistinguishable to the adversary.
+
+    ``F_m = F_1^m`` holds structurally (rows are circular lists), so
+    verifying the generator ``F_1`` verifies the whole group.
+    """
+    avt_vertices = set(avt.vertex_ids())
+    graph_vertices = gk.vertex_id_set()
+    if avt_vertices != graph_vertices:
+        missing = graph_vertices - avt_vertices
+        extra = avt_vertices - graph_vertices
+        raise VerificationError(
+            f"AVT does not cover Gk exactly (missing={sorted(missing)[:5]}, "
+            f"extra={sorted(extra)[:5]})"
+        )
+    if gk.vertex_count != avt.k * avt.row_count:
+        raise VerificationError("blocks do not evenly partition V(Gk)")
+
+    for row in avt.rows():
+        if len(set(row)) != avt.k:
+            raise VerificationError(f"AVT row {row} repeats a vertex (fixed point)")
+        types = {gk.vertex(v).vertex_type for v in row}
+        if len(types) != 1:
+            raise VerificationError(
+                f"AVT row {row} mixes vertex types {sorted(types)}"
+            )
+        labels = {tuple(sorted((a, tuple(sorted(vs))) for a, vs in gk.vertex(v).labels.items())) for v in row}
+        if len(labels) != 1:
+            raise VerificationError(f"AVT row {row} has diverging label sets")
+
+    f1 = avt.function(1)
+    for u, v in gk.edges():
+        if not gk.has_edge(f1(u), f1(v)):
+            raise VerificationError(
+                f"F1 is not an automorphism: edge ({u}, {v}) maps to a non-edge"
+            )
+
+
+def verify_blocks_isomorphic(gk: AttributedGraph, avt: AlignmentVertexTable) -> None:
+    """Check every block's induced subgraph matches block B1 under F_m.
+
+    Stronger but cheaper than a generic isomorphism search: the AVT
+    prescribes the isomorphism, so it only needs to be checked.
+    """
+    b1 = avt.first_block()
+    b1_graph = gk.induced_subgraph(b1)
+    for m in range(1, avt.k):
+        f_m = avt.function(m)
+        for u, v in b1_graph.edges():
+            if not gk.has_edge(f_m(u), f_m(v)):
+                raise VerificationError(
+                    f"block 0 edge ({u}, {v}) missing its image in block {m}"
+                )
+        block_m = gk.induced_subgraph(avt.block(m))
+        if block_m.edge_count != b1_graph.edge_count:
+            raise VerificationError(
+                f"block {m} has {block_m.edge_count} intra edges, "
+                f"block 0 has {b1_graph.edge_count}"
+            )
+
+
+def identification_probability(avt: AlignmentVertexTable) -> float:
+    """Upper bound on re-identification probability: 1/k."""
+    return 1.0 / avt.k

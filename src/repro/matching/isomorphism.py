@@ -1,0 +1,208 @@
+"""VF2-style subgraph isomorphism for attributed graphs.
+
+This is the library's reference matcher.  It serves three roles:
+
+* the *correctness oracle*: ``R(Q, G)`` computed directly on the
+  original graph, against which the whole privacy-preserving pipeline
+  is validated;
+* the engine behind the **BAS** baseline, which matches the anonymized
+  query ``Qo`` over the full ``Gk`` in the cloud;
+* a building block for tests (block isomorphism checks, etc.).
+
+The algorithm is a standard backtracking search in VF2 style:
+
+1. order query vertices so each one (after the first) is adjacent to an
+   already-placed vertex, starting from the most selective vertex;
+2. candidates for the next query vertex are the data neighbours of an
+   already-matched neighbour, filtered by type/label containment,
+   degree, and injectivity;
+3. adjacency between the new pair and all previously placed pairs is
+   verified before descending.
+
+Label semantics follow Definition 2: a query vertex matches a data
+vertex when types are equal and every query label set is contained in
+the data vertex's label set for the same attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.exceptions import QueryError
+from repro.graph.attributed import AttributedGraph, VertexData
+from repro.matching.match import Match
+
+CandidateFilter = Callable[[int, int], bool]
+
+
+def _selectivity_order(query: AttributedGraph, data: AttributedGraph) -> list[int]:
+    """Order query vertices: most-constrained first, then by adjacency.
+
+    The first vertex is the one with the most labels and the highest
+    degree (cheap proxy for selectivity).  Every subsequent vertex is
+    chosen among those adjacent to the already-ordered prefix, again
+    preferring constrained vertices, so the search can always extend
+    along an edge.
+    """
+    remaining = set(query.vertex_ids())
+    if not remaining:
+        return []
+
+    def weight(q: int) -> tuple[int, int]:
+        data_q = query.vertex(q)
+        label_count = sum(len(v) for v in data_q.labels.values())
+        return (label_count, query.degree(q))
+
+    order = [max(remaining, key=weight)]
+    remaining.discard(order[0])
+    while remaining:
+        frontier = {v for u in order for v in query.neighbors(u)} & remaining
+        if not frontier:
+            # Disconnected query: start a fresh component.  The matcher
+            # handles this correctly (the new vertex simply has no
+            # placed anchors); API-level query validation separately
+            # rejects disconnected *user* queries.
+            frontier = remaining
+        nxt = max(frontier, key=weight)
+        order.append(nxt)
+        remaining.discard(nxt)
+    return order
+
+
+def _initial_candidates(
+    query_vertex: VertexData,
+    query_degree: int,
+    data: AttributedGraph,
+) -> Iterator[int]:
+    for candidate in data.vertices():
+        if candidate.vertex_type != query_vertex.vertex_type:
+            continue
+        if data.degree(candidate.vertex_id) < query_degree:
+            continue
+        if query_vertex.matches(candidate):
+            yield candidate.vertex_id
+
+
+def iter_subgraph_matches(
+    query: AttributedGraph,
+    data: AttributedGraph,
+    candidate_filter: CandidateFilter | None = None,
+) -> Iterator[Match]:
+    """Yield every subgraph match of ``query`` in ``data``.
+
+    ``candidate_filter(query_vertex, data_vertex)`` can veto pairs
+    (used e.g. to anchor a query vertex inside block ``B1``).
+    """
+    if query.vertex_count == 0:
+        raise QueryError("query graph is empty")
+    order = _selectivity_order(query, data)
+    # For each query vertex after the first, remember the already-placed
+    # neighbours so candidates can be drawn from data adjacency.
+    placed_neighbors: list[list[int]] = []
+    position = {q: i for i, q in enumerate(order)}
+    for i, q in enumerate(order):
+        placed = [n for n in query.neighbors(q) if position[n] < i]
+        placed_neighbors.append(placed)
+
+    assignment: Match = {}
+    used: set[int] = set()
+
+    def candidates_for(i: int) -> Iterator[int]:
+        q = order[i]
+        query_vertex = query.vertex(q)
+        q_degree = query.degree(q)
+        anchors = placed_neighbors[i]
+        if not anchors:
+            pool: Iterator[int] = _initial_candidates(query_vertex, q_degree, data)
+        else:
+            # Intersect data neighbourhoods of all placed query neighbours,
+            # starting from the smallest one.
+            neighbor_sets = sorted(
+                (data.neighbors(assignment[a]) for a in anchors), key=len
+            )
+            common = set(neighbor_sets[0])
+            for other in neighbor_sets[1:]:
+                common &= other
+                if not common:
+                    break
+            pool = iter(sorted(common))
+        for v in pool:
+            if v in used:
+                continue
+            if data.degree(v) < q_degree:
+                continue
+            if not query_vertex.matches(data.vertex(v)):
+                continue
+            yield v
+
+    def backtrack(i: int) -> Iterator[Match]:
+        if i == len(order):
+            yield dict(assignment)
+            return
+        q = order[i]
+        for v in candidates_for(i):
+            if candidate_filter is not None and not candidate_filter(q, v):
+                continue
+            assignment[q] = v
+            used.add(v)
+            yield from backtrack(i + 1)
+            used.discard(v)
+            del assignment[q]
+
+    yield from backtrack(0)
+
+
+def find_subgraph_matches(
+    query: AttributedGraph,
+    data: AttributedGraph,
+    limit: int | None = None,
+    candidate_filter: CandidateFilter | None = None,
+) -> list[Match]:
+    """All subgraph matches ``R(query, data)`` (optionally capped)."""
+    result: list[Match] = []
+    for match in iter_subgraph_matches(query, data, candidate_filter):
+        result.append(match)
+        if limit is not None and len(result) >= limit:
+            break
+    return result
+
+
+def has_subgraph_match(query: AttributedGraph, data: AttributedGraph) -> bool:
+    """True if at least one match exists (early exit)."""
+    for _ in iter_subgraph_matches(query, data):
+        return True
+    return False
+
+
+def are_isomorphic(a: AttributedGraph, b: AttributedGraph) -> bool:
+    """Exact (not sub-) isomorphism test between two attributed graphs.
+
+    Used by the k-automorphism verifier to check that blocks of ``Gk``
+    are pairwise isomorphic.  Cheap invariants are compared first.
+    """
+    if a.vertex_count != b.vertex_count or a.edge_count != b.edge_count:
+        return False
+    if a.vertex_count == 0:
+        return True
+    degrees_a = sorted(a.degree(v) for v in a.vertex_ids())
+    degrees_b = sorted(b.degree(v) for v in b.vertex_ids())
+    if degrees_a != degrees_b:
+        return False
+    # Fast component-signature filter before the exponential search.
+    comps_a = sorted(
+        (len(c), a.induced_subgraph(c).edge_count) for c in a.connected_components()
+    )
+    comps_b = sorted(
+        (len(c), b.induced_subgraph(c).edge_count) for c in b.connected_components()
+    )
+    if comps_a != comps_b:
+        return False
+    # A subgraph embedding of a into b with |V(a)| = |V(b)| and
+    # |E(a)| = |E(b)| is surjective on vertices and cannot leave any
+    # b-edge uncovered, hence it is a full isomorphism.
+    return has_subgraph_match(a, b)
+
+
+def count_matches(query: AttributedGraph, data: AttributedGraph) -> int:
+    """Number of matches without materializing the list."""
+    return sum(1 for _ in iter_subgraph_matches(query, data))

@@ -1,0 +1,56 @@
+"""Match records for subgraph matching.
+
+A *match* maps every query vertex id to a distinct data vertex id
+(Definition 2's injective function ``g``).  Matches are passed around
+as plain ``dict[int, int]`` for speed; this module provides the small
+amount of shared logic: canonical keys for deduplication, application
+of vertex-id mappings (the automorphic functions ``F_m``), and
+serialization for the client/cloud protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+Match = dict[int, int]
+
+
+def match_key(match: Mapping[int, int]) -> tuple[tuple[int, int], ...]:
+    """Canonical hashable key of a match (sorted by query vertex)."""
+    return tuple(sorted(match.items()))
+
+
+def dedupe_matches(matches: Iterable[Match]) -> list[Match]:
+    """Drop duplicate matches, preserving first-seen order."""
+    seen: set[tuple[tuple[int, int], ...]] = set()
+    result: list[Match] = []
+    for match in matches:
+        key = match_key(match)
+        if key not in seen:
+            seen.add(key)
+            result.append(match)
+    return result
+
+
+def is_injective(match: Mapping[int, int]) -> bool:
+    """True if no two query vertices map to the same data vertex."""
+    return len(set(match.values())) == len(match)
+
+
+def apply_mapping(match: Mapping[int, int], mapping: Callable[[int], int]) -> Match:
+    """Apply a vertex-id mapping (e.g. an automorphic function) to a match."""
+    return {q: mapping(v) for q, v in match.items()}
+
+
+def matches_to_rows(matches: Iterable[Match], query_order: list[int]) -> list[list[int]]:
+    """Tabular form: one row per match, columns in ``query_order``.
+
+    This is the wire format for result sets (compact and measurable in
+    bytes for the communication experiments).
+    """
+    return [[match[q] for q in query_order] for match in matches]
+
+
+def rows_to_matches(rows: Iterable[Iterable[int]], query_order: list[int]) -> list[Match]:
+    """Inverse of :func:`matches_to_rows`."""
+    return [dict(zip(query_order, row)) for row in rows]

@@ -1,0 +1,91 @@
+"""Star graphs — the decomposition unit of the cloud query engine.
+
+A *star* of a query graph ``Qo`` is a root (center) vertex together
+with all of its adjacent edges and neighbour vertices in ``Qo``
+(Section 4.2.1).  A query decomposition is a set of stars whose roots
+form a vertex cover of ``Qo``, so every query edge lies in at least one
+star.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.graph.attributed import AttributedGraph
+
+
+@dataclass(frozen=True)
+class Star:
+    """One star of a query decomposition.
+
+    ``center`` and ``leaves`` are query-graph vertex ids; ``leaves`` is
+    sorted for determinism.  ``vertex_order`` (center first) defines
+    the column layout of tabular match results for this star.
+    """
+
+    center: int
+    leaves: tuple[int, ...]
+
+    @property
+    def vertex_order(self) -> list[int]:
+        return [self.center, *self.leaves]
+
+    @property
+    def vertex_set(self) -> frozenset[int]:
+        return frozenset(self.vertex_order)
+
+    @property
+    def edge_set(self) -> frozenset[tuple[int, int]]:
+        return frozenset(
+            (min(self.center, leaf), max(self.center, leaf)) for leaf in self.leaves
+        )
+
+    def overlaps(self, covered: set[int] | frozenset[int]) -> bool:
+        """True if this star shares at least one vertex with ``covered``."""
+        return bool(self.vertex_set & covered)
+
+
+def star_of(query: AttributedGraph, center: int) -> Star:
+    """The star of ``query`` rooted at ``center`` (all adjacent edges)."""
+    if center not in query:
+        raise QueryError(f"query has no vertex {center}")
+    return Star(center=center, leaves=tuple(sorted(query.neighbors(center))))
+
+
+def star_as_graph(query: AttributedGraph, star: Star) -> AttributedGraph:
+    """Materialize a star as an attributed (query) graph.
+
+    Only edges incident to the center are included — leaf-to-leaf edges
+    of ``query`` belong to other stars of the decomposition.
+    """
+    graph = AttributedGraph(f"star@{star.center}")
+    center_data = query.vertex(star.center)
+    graph.add_vertex(star.center, center_data.vertex_type, center_data.labels)
+    for leaf in star.leaves:
+        leaf_data = query.vertex(leaf)
+        graph.add_vertex(leaf, leaf_data.vertex_type, leaf_data.labels)
+        graph.add_edge(star.center, leaf)
+    return graph
+
+
+@dataclass
+class Decomposition:
+    """A query decomposition: stars plus their estimated result sizes."""
+
+    stars: list[Star]
+    estimated_sizes: dict[int, float] = field(default_factory=dict)
+
+    def covered_edges(self) -> set[tuple[int, int]]:
+        covered: set[tuple[int, int]] = set()
+        for star in self.stars:
+            covered |= star.edge_set
+        return covered
+
+    def covers(self, query: AttributedGraph) -> bool:
+        """True if every edge of ``query`` lies in at least one star."""
+        return query.edge_set() <= self.covered_edges()
+
+    def total_estimated_cost(self) -> float:
+        """Definition 6: sum of estimated |R(S_i)| over selected stars."""
+        return sum(self.estimated_sizes.get(s.center, 0.0) for s in self.stars)

@@ -1,0 +1,18 @@
+"""Outsourced graph construction (Definition 5) and maintenance."""
+
+from repro.outsource.delta import GoDelta, apply_go_delta
+from repro.outsource.outsourced_graph import (
+    OutsourcedGraph,
+    build_outsourced_graph,
+    compression_ratio,
+    recover_gk,
+)
+
+__all__ = [
+    "OutsourcedGraph",
+    "build_outsourced_graph",
+    "recover_gk",
+    "compression_ratio",
+    "GoDelta",
+    "apply_go_delta",
+]

@@ -1,0 +1,105 @@
+"""Incremental maintenance of the outsourced graph ``Go``.
+
+Re-uploading ``Go`` after every update wastes bandwidth proportional to
+the whole graph; a :class:`GoDelta` carries only what changed in the
+cloud's view — the ``Gk`` edge changes incident to block ``B1``, plus
+any vertices those changes introduce (new symmetric rows, or existing
+vertices entering ``N1`` for the first time).
+
+Produced by :meth:`repro.kauto.dynamic.DynamicRelease.go_delta` from an
+:class:`UpdateLog`; consumed by :func:`apply_go_delta` (which a cloud
+server would run on its stored copy before re-indexing).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProtocolError
+from repro.outsource.outsourced_graph import OutsourcedGraph
+
+
+@dataclass
+class GoDelta:
+    """A minimal cloud-side update: vertex payloads + edge changes."""
+
+    # (vertex id, type, {attr: [group ids]}); includes both new block
+    # rows and vertices entering N1
+    added_vertices: list[tuple[int, str, dict]] = field(default_factory=list)
+    # new B1 members among added_vertices (fresh symmetric rows)
+    added_block_vertices: list[int] = field(default_factory=list)
+    added_edges: list[tuple[int, int]] = field(default_factory=list)
+    removed_edges: list[tuple[int, int]] = field(default_factory=list)
+    # AVT rows appended by vertex insertions (the cloud must extend its
+    # copy of the automorphic functions)
+    added_avt_rows: list[list[int]] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.added_vertices
+            or self.added_edges
+            or self.removed_edges
+            or self.added_avt_rows
+        )
+
+    def to_payload(self) -> bytes:
+        return json.dumps(
+            {
+                "vertices": [
+                    [vid, vertex_type, labels]
+                    for vid, vertex_type, labels in self.added_vertices
+                ],
+                "block": list(self.added_block_vertices),
+                "add": [list(edge) for edge in self.added_edges],
+                "remove": [list(edge) for edge in self.removed_edges],
+                "rows": [list(row) for row in self.added_avt_rows],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "GoDelta":
+        try:
+            data = json.loads(payload.decode("utf-8"))
+            return cls(
+                added_vertices=[
+                    (int(v[0]), v[1], v[2]) for v in data["vertices"]
+                ],
+                added_block_vertices=[int(v) for v in data["block"]],
+                added_edges=[tuple(e) for e in data["add"]],
+                removed_edges=[tuple(e) for e in data["remove"]],
+                added_avt_rows=[list(row) for row in data["rows"]],
+            )
+        except (KeyError, ValueError, IndexError) as exc:
+            raise ProtocolError(f"malformed Go delta: {exc}") from exc
+
+    def payload_bytes(self) -> int:
+        return len(self.to_payload())
+
+
+def apply_go_delta(outsourced: OutsourcedGraph, delta: GoDelta) -> None:
+    """Apply a delta to the cloud's stored ``Go`` in place.
+
+    The caller (the cloud server) should rebuild its VBV/LBV index
+    afterwards.  Edge additions referencing vertices absent from the
+    delta and from the stored graph are protocol errors.
+    """
+    graph = outsourced.graph
+    for vid, vertex_type, labels in delta.added_vertices:
+        if vid not in graph:
+            graph.add_vertex(vid, vertex_type, labels)
+    for vid in delta.added_block_vertices:
+        if vid not in graph:
+            raise ProtocolError(f"new block vertex {vid} missing from delta")
+        if vid not in outsourced.block_set:
+            outsourced.block_vertices.append(vid)
+    for u, v in delta.added_edges:
+        if u not in graph or v not in graph:
+            raise ProtocolError(f"delta edge ({u}, {v}) references unknown vertex")
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    for u, v in delta.removed_edges:
+        if graph.has_edge(u, v):
+            graph.remove_edge(u, v)

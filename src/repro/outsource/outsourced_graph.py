@@ -1,0 +1,103 @@
+"""The outsourced graph ``Go`` (Definition 5) and its inverse.
+
+``Go`` is the subgraph of ``Gk`` the cloud actually receives:
+
+* vertices — block ``B1`` of ``Gk`` plus the one-hop neighbours of
+  ``B1`` (the set ``N1``);
+* edges — every ``Gk`` edge with at least one endpoint in ``B1``
+  (edges inside ``B1`` and edges between ``B1`` and ``N1``; edges
+  between two ``N1`` vertices are *not* shipped).
+
+Because the automorphic functions act transitively on blocks, every
+``Gk`` edge has a counterpart incident to ``B1``, so ``Gk`` is exactly
+recoverable from ``Go`` + AVT (:func:`recover_gk`) — the property that
+lets the cloud answer queries over ``Gk`` while storing roughly a
+``1/k`` fraction of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.attributed import AttributedGraph
+from repro.kauto.avt import AlignmentVertexTable
+
+
+@dataclass
+class OutsourcedGraph:
+    """``Go`` plus the block bookkeeping the cloud engine needs."""
+
+    graph: AttributedGraph
+    block_vertices: list[int]
+    neighbor_vertices: list[int] = field(default_factory=list)
+
+    @property
+    def block_set(self) -> set[int]:
+        return set(self.block_vertices)
+
+    @property
+    def vertex_count(self) -> int:
+        return self.graph.vertex_count
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.edge_count
+
+
+def build_outsourced_graph(
+    gk: AttributedGraph,
+    avt: AlignmentVertexTable,
+) -> OutsourcedGraph:
+    """Extract ``Go`` from ``Gk`` per Definition 5."""
+    block = avt.first_block()
+    block_set = set(block)
+    neighbor_set: set[int] = set()
+    for vid in block:
+        neighbor_set |= gk.neighbors(vid)
+    neighbor_set -= block_set
+
+    go = AttributedGraph(f"{gk.name}-outsourced")
+    for vid in block:
+        data = gk.vertex(vid)
+        go.add_vertex(vid, data.vertex_type, data.labels)
+    for vid in sorted(neighbor_set):
+        data = gk.vertex(vid)
+        go.add_vertex(vid, data.vertex_type, data.labels)
+    for vid in block:
+        for nbr in gk.neighbors(vid):
+            if not go.has_edge(vid, nbr):
+                go.add_edge(vid, nbr)
+    return OutsourcedGraph(
+        graph=go,
+        block_vertices=list(block),
+        neighbor_vertices=sorted(neighbor_set),
+    )
+
+
+def recover_gk(outsourced: OutsourcedGraph, avt: AlignmentVertexTable) -> AttributedGraph:
+    """Rebuild the full ``Gk`` from ``Go`` and the automorphic functions.
+
+    Every vertex of ``Gk`` is ``F_m`` of some ``B1`` vertex; every edge
+    of ``Gk`` is ``F_m`` of some ``Go`` edge.  Labels and types follow
+    the row (symmetric vertices share them).
+    """
+    go = outsourced.graph
+    gk = AttributedGraph(go.name.replace("-outsourced", "") or "recovered")
+    for row in avt.rows():
+        anchor = go.vertex(row[0])
+        for vid in row:
+            gk.add_vertex(vid, anchor.vertex_type, anchor.labels)
+    for m in range(avt.k):
+        f_m = avt.function(m)
+        for u, v in go.edges():
+            fu, fv = f_m(u), f_m(v)
+            if not gk.has_edge(fu, fv):
+                gk.add_edge(fu, fv)
+    return gk
+
+
+def compression_ratio(outsourced: OutsourcedGraph, gk: AttributedGraph) -> float:
+    """``|E(Go)| / |E(Gk)|`` — the space saving headline (Figure 12)."""
+    if gk.edge_count == 0:
+        return 1.0
+    return outsourced.edge_count / gk.edge_count

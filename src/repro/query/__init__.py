@@ -1,0 +1,5 @@
+"""Declarative query front-end (pattern DSL)."""
+
+from repro.query.dsl import ParsedPattern, parse_pattern
+
+__all__ = ["parse_pattern", "ParsedPattern"]

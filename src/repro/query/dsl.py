@@ -1,0 +1,168 @@
+"""A small Cypher-flavoured pattern language for query graphs.
+
+The paper motivates subgraph matching with SPARQL and Neo4j's Cypher;
+this module gives the library a comparable textual front-end so
+examples and applications can state queries declaratively::
+
+    (p1:person {occupation=engineer})-(c1:company {company_type=internet})
+    (p1)-(s:school {located_in=illinois})
+    (p2:person)-(s)
+    (p2)-(c2:company {company_type=software})
+
+Grammar (informal):
+
+* a *pattern* is one or more lines (``\\n`` or ``;`` separated);
+* each line is a chain ``(node)-(node)-...-(node)``; consecutive nodes
+  are connected by an undirected query edge;
+* a *node* is ``(name)``, ``(name:type)`` or
+  ``(name:type {attr=value, attr=v1|v2})``;
+* the first mention of a name must carry its type; later mentions may
+  repeat or omit type/labels (repeated labels merge);
+* ``|`` separates alternative... no — multiple *required* labels of the
+  same attribute (Definition 2 requires all query labels present).
+
+:func:`parse_pattern` returns an :class:`AttributedGraph` whose vertex
+ids follow first-appearance order, plus a name -> id map.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.graph.attributed import AttributedGraph
+
+_NODE_RE = re.compile(
+    r"""
+    \(\s*
+    (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    (?:\s*:\s*(?P<type>[A-Za-z_][A-Za-z0-9_.-]*))?
+    (?:\s*\{(?P<labels>[^}]*)\})?
+    \s*\)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class ParsedPattern:
+    """A parsed pattern: the query graph plus the name bindings."""
+
+    graph: AttributedGraph
+    bindings: dict[str, int] = field(default_factory=dict)
+
+    def vertex_of(self, name: str) -> int:
+        try:
+            return self.bindings[name]
+        except KeyError:
+            raise QueryError(f"pattern has no node named {name!r}") from None
+
+
+def _parse_labels(text: str, node_name: str) -> dict[str, set[str]]:
+    labels: dict[str, set[str]] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise QueryError(
+                f"node {node_name!r}: expected attr=value, got {part!r}"
+            )
+        attr, _, value = part.partition("=")
+        attr = attr.strip()
+        if not attr:
+            raise QueryError(f"node {node_name!r}: empty attribute name")
+        values = {v.strip() for v in value.split("|") if v.strip()}
+        if not values:
+            raise QueryError(f"node {node_name!r}: attribute {attr!r} has no value")
+        labels.setdefault(attr, set()).update(values)
+    return labels
+
+
+def _parse_chain(line: str, line_number: int) -> list[tuple[str, str | None, dict]]:
+    """Split one line into node specs, validating the chain structure."""
+    nodes: list[tuple[str, str | None, dict]] = []
+    position = 0
+    first = True
+    while position < len(line):
+        if not first:
+            dash = re.match(r"\s*-\s*", line[position:])
+            if dash is None:
+                raise QueryError(
+                    f"line {line_number}: expected '-' between nodes near "
+                    f"{line[position:position + 12]!r}"
+                )
+            position += dash.end()
+        node_match = _NODE_RE.match(line, position)
+        if node_match is None:
+            raise QueryError(
+                f"line {line_number}: expected a (node) near "
+                f"{line[position:position + 12]!r}"
+            )
+        name = node_match.group("name")
+        node_type = node_match.group("type")
+        labels_text = node_match.group("labels") or ""
+        nodes.append((name, node_type, _parse_labels(labels_text, name)))
+        position = node_match.end()
+        first = False
+        if not line[position:].strip():
+            break
+    if not nodes:
+        raise QueryError(f"line {line_number}: no nodes found")
+    return nodes
+
+
+def parse_pattern(text: str) -> ParsedPattern:
+    """Parse ``text`` into a query graph (see module docstring)."""
+    lines = [
+        segment.strip()
+        for raw_line in text.splitlines()
+        for segment in raw_line.split(";")
+        if segment.strip() and not segment.strip().startswith("#")
+    ]
+    if not lines:
+        raise QueryError("empty pattern")
+
+    graph = AttributedGraph("pattern")
+    bindings: dict[str, int] = {}
+    types: dict[str, str] = {}
+    labels: dict[str, dict[str, set[str]]] = {}
+    edges: set[tuple[int, int]] = set()
+
+    def ensure_node(name: str, node_type: str | None, node_labels: dict) -> int:
+        if name not in bindings:
+            if node_type is None:
+                raise QueryError(
+                    f"node {name!r} is used before its type is declared"
+                )
+            bindings[name] = len(bindings)
+            types[name] = node_type
+            labels[name] = {a: set(v) for a, v in node_labels.items()}
+        else:
+            if node_type is not None and node_type != types[name]:
+                raise QueryError(
+                    f"node {name!r} declared with conflicting types "
+                    f"{types[name]!r} and {node_type!r}"
+                )
+            for attr, values in node_labels.items():
+                labels[name].setdefault(attr, set()).update(values)
+        return bindings[name]
+
+    for line_number, line in enumerate(lines, start=1):
+        chain = _parse_chain(line, line_number)
+        ids = [ensure_node(*node) for node in chain]
+        for u, v in zip(ids, ids[1:]):
+            if u == v:
+                raise QueryError(
+                    f"line {line_number}: a node cannot link to itself"
+                )
+            edges.add((min(u, v), max(u, v)))
+
+    for name, vid in bindings.items():
+        graph.add_vertex(vid, types[name], labels[name])
+    for u, v in sorted(edges):
+        graph.add_edge(u, v)
+    if graph.vertex_count > 1 and not graph.is_connected():
+        raise QueryError("pattern is disconnected; queries must be connected")
+    return ParsedPattern(graph=graph, bindings=bindings)

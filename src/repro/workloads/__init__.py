@@ -1,0 +1,32 @@
+"""Evaluation workloads: dataset analogues and query generation."""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    Dataset,
+    dbpedia_like,
+    load_dataset,
+    uk2002_like,
+    web_notredame_like,
+)
+from repro.workloads.loaders import assign_synthetic_labels, load_snap_edgelist
+from repro.workloads.queries import (
+    extract_shape_query,
+    generate_workload,
+    planted_match,
+    random_walk_query,
+)
+
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "load_dataset",
+    "web_notredame_like",
+    "dbpedia_like",
+    "uk2002_like",
+    "random_walk_query",
+    "extract_shape_query",
+    "generate_workload",
+    "planted_match",
+    "load_snap_edgelist",
+    "assign_synthetic_labels",
+]

@@ -1,0 +1,249 @@
+"""Query workload generation (Section 6.3 of the paper).
+
+"We generate query graphs by randomly extracting connected subgraphs
+from the data graph G, ensuring that |E(Q)| meets a user-specified
+parameter value N.  Specifically, we randomly locate the first edge e
+from the data graph G and set E(Q) = {e}.  We then expand the current
+query graph Q through a random walk over G iteratively until it
+reaches N edges."
+
+Query vertices inherit the data vertex's type and labels (optionally a
+random subset, to also exercise the subset-containment matching
+semantics), and are re-numbered 0..n-1.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import QueryError
+from repro.graph.attributed import AttributedGraph
+from repro.matching.match import Match
+
+
+def random_walk_query(
+    graph: AttributedGraph,
+    edge_count: int,
+    seed: int = 0,
+    keep_label_probability: float = 1.0,
+    max_attempts: int = 200,
+) -> AttributedGraph:
+    """Extract one connected ``edge_count``-edge query from ``graph``.
+
+    ``keep_label_probability`` < 1 drops each query label independently
+    with the complementary probability (a vertex always keeps its
+    type), producing less selective queries.  Raises
+    :class:`QueryError` if the graph cannot host such a query.
+    """
+    if edge_count < 1:
+        raise QueryError("queries need at least one edge")
+    if graph.edge_count == 0:
+        raise QueryError("data graph has no edges to sample from")
+    rng = random.Random(seed)
+    edges = sorted(graph.edges())
+
+    for _ in range(max_attempts):
+        first = edges[rng.randrange(len(edges))]
+        query_vertices: set[int] = {first[0], first[1]}
+        query_edges: set[tuple[int, int]] = {first}
+        stuck = 0
+        while len(query_edges) < edge_count and stuck < 50 * edge_count:
+            u = rng.choice(sorted(query_vertices))
+            neighbors = sorted(graph.neighbors(u))
+            if not neighbors:
+                stuck += 1
+                continue
+            v = neighbors[rng.randrange(len(neighbors))]
+            edge = (min(u, v), max(u, v))
+            if edge in query_edges:
+                stuck += 1
+                continue
+            query_edges.add(edge)
+            query_vertices.add(v)
+            stuck = 0
+        if len(query_edges) == edge_count:
+            return _materialize_query(
+                graph, query_vertices, query_edges, rng, keep_label_probability
+            )
+    raise QueryError(
+        f"could not extract a connected query with {edge_count} edges"
+    )
+
+
+def _materialize_query(
+    graph: AttributedGraph,
+    vertices: set[int],
+    edges: set[tuple[int, int]],
+    rng: random.Random,
+    keep_label_probability: float,
+) -> AttributedGraph:
+    renumber = {vid: i for i, vid in enumerate(sorted(vertices))}
+    query = AttributedGraph(f"query-{len(edges)}e")
+    for vid in sorted(vertices):
+        data = graph.vertex(vid)
+        labels: dict[str, list[str]] = {}
+        for attr, values in data.labels.items():
+            kept = [
+                label
+                for label in sorted(values)
+                if rng.random() < keep_label_probability
+            ]
+            if kept:
+                labels[attr] = kept
+        query.add_vertex(renumber[vid], data.vertex_type, labels)
+    for u, v in sorted(edges):
+        query.add_edge(renumber[u], renumber[v])
+    return query
+
+
+def planted_match(
+    graph: AttributedGraph,
+    query: AttributedGraph,
+    source_vertices: set[int],
+) -> Match:
+    """The embedding a random-walk query was extracted from.
+
+    Provided for tests: queries built by :func:`random_walk_query`
+    always have at least this one match in the data graph.
+    """
+    ordered = sorted(source_vertices)
+    return {i: vid for i, vid in enumerate(ordered)}
+
+
+def extract_shape_query(
+    graph: AttributedGraph,
+    shape: str,
+    size: int,
+    seed: int = 0,
+    keep_label_probability: float = 1.0,
+    max_attempts: int = 400,
+) -> AttributedGraph:
+    """Extract a query of a specific topology from ``graph``.
+
+    Shapes (``size`` = number of edges):
+
+    * ``"path"``  — a simple path of ``size`` edges;
+    * ``"star"``  — a center with ``size`` leaves;
+    * ``"cycle"`` — a simple cycle of ``size`` edges (size >= 3);
+    * ``"clique"`` — a complete subgraph with ``size`` edges
+      (so size must be triangular: 3, 6, 10, ...).
+
+    Like :func:`random_walk_query`, the query is a real subgraph of
+    ``graph`` (it always has at least one match).  Raises
+    :class:`QueryError` when the graph does not contain the shape.
+    """
+    rng = random.Random(seed)
+    if shape == "path":
+        finder = _find_path
+        args = (size,)
+    elif shape == "star":
+        finder = _find_star
+        args = (size,)
+    elif shape == "cycle":
+        if size < 3:
+            raise QueryError("cycles need at least 3 edges")
+        finder = _find_cycle
+        args = (size,)
+    elif shape == "clique":
+        n = int((1 + (1 + 8 * size) ** 0.5) / 2)
+        if n * (n - 1) // 2 != size:
+            raise QueryError(f"{size} is not a triangular number of edges")
+        finder = _find_clique
+        args = (n,)
+    else:
+        raise QueryError(f"unknown query shape {shape!r}")
+
+    for _ in range(max_attempts):
+        found = finder(graph, rng, *args)
+        if found is not None:
+            vertices, edges = found
+            return _materialize_query(
+                graph, vertices, edges, rng, keep_label_probability
+            )
+    raise QueryError(f"graph contains no {shape} with {size} edges")
+
+
+def _find_path(graph, rng, length):
+    start = rng.choice(sorted(graph.vertex_ids()))
+    path = [start]
+    seen = {start}
+    while len(path) <= length:
+        options = [n for n in sorted(graph.neighbors(path[-1])) if n not in seen]
+        if not options:
+            return None
+        nxt = rng.choice(options)
+        path.append(nxt)
+        seen.add(nxt)
+        if len(path) == length + 1:
+            edges = {
+                (min(a, b), max(a, b)) for a, b in zip(path, path[1:])
+            }
+            return seen, edges
+    return None
+
+
+def _find_star(graph, rng, leaves):
+    candidates = [v for v in sorted(graph.vertex_ids()) if graph.degree(v) >= leaves]
+    if not candidates:
+        return None
+    center = rng.choice(candidates)
+    chosen = rng.sample(sorted(graph.neighbors(center)), leaves)
+    vertices = {center, *chosen}
+    edges = {(min(center, leaf), max(center, leaf)) for leaf in chosen}
+    return vertices, edges
+
+
+def _find_cycle(graph, rng, length):
+    found = _find_path(graph, rng, length - 1)
+    if found is None:
+        return None
+    vertices, edges = found
+    # the path's endpoints must be adjacent to close the cycle
+    degree_one = [
+        v
+        for v in vertices
+        if sum(1 for e in edges if v in e) == 1
+    ]
+    if len(degree_one) != 2 or not graph.has_edge(*degree_one):
+        return None
+    u, v = degree_one
+    edges = set(edges) | {(min(u, v), max(u, v))}
+    return vertices, edges
+
+
+def _find_clique(graph, rng, n):
+    seed_vertex = rng.choice(sorted(graph.vertex_ids()))
+    clique = [seed_vertex]
+    candidates = set(graph.neighbors(seed_vertex))
+    while len(clique) < n and candidates:
+        nxt = rng.choice(sorted(candidates))
+        clique.append(nxt)
+        candidates &= graph.neighbors(nxt)
+    if len(clique) < n:
+        return None
+    vertices = set(clique)
+    edges = {
+        (min(a, b), max(a, b))
+        for i, a in enumerate(clique)
+        for b in clique[i + 1 :]
+    }
+    return vertices, edges
+
+
+def generate_workload(
+    graph: AttributedGraph,
+    edge_count: int,
+    query_count: int,
+    seed: int = 0,
+    keep_label_probability: float = 1.0,
+) -> list[AttributedGraph]:
+    """A batch of random-walk queries (the paper averages over 100)."""
+    return [
+        random_walk_query(
+            graph,
+            edge_count,
+            seed=seed * 10_000 + i,
+            keep_label_probability=keep_label_probability,
+        )
+        for i in range(query_count)
+    ]

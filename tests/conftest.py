@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    AttributedGraph,
+    GraphSchema,
+    example_query,
+    example_social_network,
+    make_schema,
+    random_attributed_graph,
+)
+
+
+@pytest.fixture
+def figure1() -> tuple[AttributedGraph, GraphSchema]:
+    """The paper's running example: graph + schema of Figure 1."""
+    return example_social_network()
+
+
+@pytest.fixture
+def figure1_graph(figure1) -> AttributedGraph:
+    return figure1[0]
+
+
+@pytest.fixture
+def figure1_schema(figure1) -> GraphSchema:
+    return figure1[1]
+
+
+@pytest.fixture
+def figure1_query() -> AttributedGraph:
+    return example_query()
+
+
+@pytest.fixture
+def small_schema() -> GraphSchema:
+    """3 types x 2 attributes x 6 labels."""
+    return make_schema(3, 2, 6)
+
+
+@pytest.fixture
+def small_graph(small_schema) -> AttributedGraph:
+    """A ~120-vertex connected random attributed graph."""
+    return random_attributed_graph(small_schema, 120, edges_per_vertex=2, seed=11)
+
+
+@pytest.fixture
+def medium_graph(small_schema) -> AttributedGraph:
+    """A ~400-vertex graph for heavier integration tests."""
+    return random_attributed_graph(small_schema, 400, edges_per_vertex=3, seed=23)
+
+
+@pytest.fixture
+def figure1_pipeline(figure1):
+    """Published artifacts of the running example (EFF-style, k=2).
+
+    Returns a namespace with: graph, schema, query, lct, qo, transform
+    (Gk + AVT), outsourced (Go), and the oracle result set.
+    """
+    from types import SimpleNamespace
+
+    from repro.anonymize import (
+        anonymize_query,
+        build_lct,
+        cost_based_grouping,
+        star_workload_statistics,
+    )
+    from repro.graph import compute_statistics, example_query
+    from repro.kauto import build_k_automorphic_graph
+    from repro.matching import find_subgraph_matches, match_key
+    from repro.outsource import build_outsourced_graph
+
+    graph, schema = figure1
+    query = example_query()
+    lct = build_lct(
+        schema,
+        2,
+        cost_based_grouping,
+        graph_stats=compute_statistics(graph),
+        workload_stats=star_workload_statistics([query]),
+        seed=5,
+    )
+    generalized = lct.apply_to_graph(graph)
+    transform = build_k_automorphic_graph(generalized, 2, seed=1)
+    outsourced = build_outsourced_graph(transform.gk, transform.avt)
+    return SimpleNamespace(
+        graph=graph,
+        schema=schema,
+        query=query,
+        lct=lct,
+        qo=anonymize_query(query, lct),
+        transform=transform,
+        outsourced=outsourced,
+        oracle={match_key(m) for m in find_subgraph_matches(query, graph)},
+    )
+
+
+def triangle_graph() -> AttributedGraph:
+    graph = AttributedGraph("triangle")
+    for vid in range(3):
+        graph.add_vertex(vid, "t0")
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+@pytest.fixture
+def triangle() -> AttributedGraph:
+    return triangle_graph()

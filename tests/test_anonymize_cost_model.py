@@ -1,0 +1,184 @@
+"""Unit tests for the star-cardinality estimator (Expression 4)."""
+
+import pytest
+
+from repro.anonymize import estimator_from_outsourced
+from repro.anonymize.cost_model import StarCardinalityEstimator
+from repro.graph import AttributedGraph, compute_statistics
+from repro.matching import star_as_graph, star_of
+
+
+def make_block_graph() -> AttributedGraph:
+    """10 vertices: 5 of group gA, 5 of gB, all type t, ring topology."""
+    graph = AttributedGraph()
+    for vid in range(10):
+        group = "gA" if vid < 5 else "gB"
+        graph.add_vertex(vid, "t", {"a": [group]})
+    for vid in range(10):
+        graph.add_edge(vid, (vid + 1) % 10)
+    return graph
+
+
+def make_estimator(k: int = 2) -> StarCardinalityEstimator:
+    graph = make_block_graph()
+    return StarCardinalityEstimator(
+        block_stats=compute_statistics(graph),
+        gk_vertex_count=k * graph.vertex_count,
+        average_degree=graph.average_degree(),
+        k=k,
+    )
+
+
+def star_query(center_group: str, leaf_groups: list[str]) -> tuple[AttributedGraph, int]:
+    query = AttributedGraph()
+    query.add_vertex(0, "t", {"a": [center_group]})
+    for i, group in enumerate(leaf_groups, start=1):
+        query.add_vertex(i, "t", {"a": [group]})
+        query.add_edge(0, i)
+    return query, 0
+
+
+class TestEstimator:
+    def test_center_only_estimate(self):
+        estimator = make_estimator()
+        query, center = star_query("gA", [])
+        # |V(Gk)|/k * P(type) * P(gA) = 10 * 1.0 * 0.5 = 5 candidates
+        assert estimator.estimate(query, center) == pytest.approx(5.0)
+
+    def test_leaves_multiply_search_space(self):
+        estimator = make_estimator()
+        one, center = star_query("gA", ["gA"])
+        two, _ = star_query("gA", ["gA", "gA"])
+        est_one = estimator.estimate(one, center)
+        est_two = estimator.estimate(two, center)
+        # each leaf contributes a factor D * P = 2 * 0.5 = 1.0 here
+        assert est_two == pytest.approx(est_one * 1.0)
+
+    def test_more_selective_center_lowers_estimate(self):
+        graph = make_block_graph()
+        # make gA rarer: only vertex 0 has it
+        for vid in range(1, 5):
+            graph.set_vertex_labels(vid, {"a": ["gB"]})
+        estimator = StarCardinalityEstimator(
+            block_stats=compute_statistics(graph),
+            gk_vertex_count=20,
+            average_degree=graph.average_degree(),
+            k=2,
+        )
+        rare, center = star_query("gA", [])
+        common, _ = star_query("gB", [])
+        assert estimator.estimate(rare, center) < estimator.estimate(common, center)
+
+    def test_unknown_group_estimates_zero(self):
+        estimator = make_estimator()
+        query, center = star_query("does-not-exist", [])
+        assert estimator.estimate(query, center) == 0.0
+
+
+class TestEstimatorFromOutsourced:
+    def test_uses_block_statistics_and_go_degrees(self):
+        graph = make_block_graph()
+        block = [0, 1, 2, 3, 4]
+        estimator = estimator_from_outsourced(block, graph, k=2)
+        assert estimator.k == 2
+        assert estimator.gk_vertex_count == 10
+        # ring: every vertex has degree 2 in the full graph
+        assert estimator.average_degree == pytest.approx(2.0)
+        # block 0..4: 4 gA labels + vertex 4 is gA -> all 5 gA
+        assert estimator.block_stats.frequency_of_label("t", "a", "gA") == 1.0
+
+    def test_empty_block(self):
+        graph = make_block_graph()
+        estimator = estimator_from_outsourced([], graph, k=2)
+        query, center = star_query("gA", [])
+        assert estimator.estimate(query, center) == 0.0
+
+
+class TestAverageSearchSpace:
+    def test_expression5_arithmetic(self):
+        from repro.anonymize import average_star_search_space
+
+        value = average_star_search_space(
+            per_attribute_costs={("t", "a"): 0.5},
+            type_frequency_product=1.0,
+            vertex_count=100,
+            average_degree=2.0,
+            average_center_degree=2.0,
+            k=2,
+        )
+        # (0.5)^(2+1) * 100 * 2^2 / 2 = 0.125 * 200 = 25
+        assert value == pytest.approx(25.0)
+
+    def test_lower_label_cost_shrinks_space(self):
+        from repro.anonymize import average_star_search_space
+
+        def space(cost):
+            return average_star_search_space(
+                {("t", "a"): cost}, 1.0, 100, 2.0, 2.0, 2
+            )
+
+        assert space(0.2) < space(0.5)
+
+
+class TestDeltaK:
+    def test_zero_when_group_mass_not_inflated(self):
+        from repro.anonymize import LabelCorrespondenceTable, measure_delta_k
+
+        graph = make_block_graph()
+        stats = compute_statistics(graph)
+        lct = LabelCorrespondenceTable(theta=1)
+        lct.add_group("t", "a", ["gA"])
+        lct.add_group("t", "a", ["gB"])
+        # "published" stats identical to original: no inflation
+        assert measure_delta_k(stats, stats, lct) == 0.0
+
+    def test_detects_inflation(self):
+        from repro.anonymize import LabelCorrespondenceTable, measure_delta_k
+
+        original = make_block_graph()
+        lct = LabelCorrespondenceTable(theta=1)
+        gid_a = lct.add_group("t", "a", ["gA"])
+        gid_b = lct.add_group("t", "a", ["gB"])
+        # the published graph carries *group ids*; inflate gA's group
+        # by two extra carriers (the row-union effect)
+        published = lct.apply_to_graph(original)
+        published.set_vertex_labels(5, {"a": [gid_a, gid_b]})
+        published.set_vertex_labels(6, {"a": [gid_a, gid_b]})
+        delta_max = measure_delta_k(
+            compute_statistics(original), compute_statistics(published), lct, "max"
+        )
+        delta_mean = measure_delta_k(
+            compute_statistics(original), compute_statistics(published), lct, "mean"
+        )
+        # gA went from 5 to 7 carriers: inflation 0.4; gB unchanged
+        assert delta_max == pytest.approx(0.4)
+        assert delta_mean == pytest.approx(0.2)
+
+    def test_invalid_aggregate(self):
+        from repro.anonymize import LabelCorrespondenceTable, measure_delta_k
+
+        stats = compute_statistics(make_block_graph())
+        lct = LabelCorrespondenceTable(theta=1)
+        lct.add_group("t", "a", ["gA"])
+        with pytest.raises(ValueError):
+            measure_delta_k(stats, stats, lct, aggregate="median")
+
+
+class TestEstimatorRanksStarsUsefully:
+    def test_label_constraint_lowers_estimate(self, figure1_graph):
+        """Adding a label to a star's center must shrink its estimate."""
+        from repro.graph import example_query
+
+        query = example_query()
+        estimator = StarCardinalityEstimator(
+            block_stats=compute_statistics(figure1_graph),
+            gk_vertex_count=figure1_graph.vertex_count,
+            average_degree=figure1_graph.average_degree(),
+            k=1,
+        )
+        star_q1 = star_as_graph(query, star_of(query, 0))
+        labeled = estimator.estimate(star_q1, 0)
+        unlabeled_star = star_q1.copy()
+        unlabeled_star.set_vertex_labels(0, {})
+        unlabeled = estimator.estimate(unlabeled_star, 0)
+        assert labeled < unlabeled

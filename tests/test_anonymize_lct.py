@@ -1,0 +1,126 @@
+"""Unit tests for the Label Correspondence Table."""
+
+import pytest
+
+from repro.exceptions import AnonymizationError
+from repro.anonymize import LabelCorrespondenceTable
+from repro.graph import AttributedGraph
+
+
+@pytest.fixture
+def lct() -> LabelCorrespondenceTable:
+    table = LabelCorrespondenceTable(theta=2)
+    table.add_group("company", "company_type", ["internet", "software"])
+    table.add_group("person", "gender", ["male", "female"])
+    table.add_group("person", "occupation", ["hr", "accountant"])
+    table.add_group("person", "occupation", ["engineer", "manager"])
+    return table
+
+
+class TestConstruction:
+    def test_invalid_theta(self):
+        with pytest.raises(AnonymizationError):
+            LabelCorrespondenceTable(0)
+
+    def test_group_ids_unique_per_attribute(self, lct):
+        groups = lct.groups_for("person", "occupation")
+        assert len(groups) == 2
+        assert len(set(groups)) == 2
+
+    def test_empty_group_rejected(self, lct):
+        with pytest.raises(AnonymizationError):
+            lct.add_group("person", "gender", [])
+
+    def test_regrouping_same_label_rejected(self, lct):
+        with pytest.raises(AnonymizationError):
+            lct.add_group("person", "gender", ["male"])
+
+    def test_duplicate_group_id_rejected(self, lct):
+        with pytest.raises(AnonymizationError):
+            lct.add_group("person", "x", ["a", "b"], gid=lct.group_ids()[0])
+
+
+class TestLookups:
+    def test_group_of(self, lct):
+        gid = lct.group_of("person", "gender", "male")
+        assert gid == lct.group_of("person", "gender", "female")
+        assert sorted(lct.members(gid)) == ["female", "male"]
+
+    def test_same_label_in_different_attributes_is_distinct(self, lct):
+        lct.add_group("school", "located_in", ["male", "other"])  # odd but legal
+        assert lct.group_of("school", "located_in", "male") != lct.group_of(
+            "person", "gender", "male"
+        )
+
+    def test_unknown_label_raises(self, lct):
+        with pytest.raises(AnonymizationError):
+            lct.group_of("person", "gender", "robot")
+
+    def test_unknown_group_raises(self, lct):
+        with pytest.raises(AnonymizationError):
+            lct.members("nope#0")
+
+
+class TestApplication:
+    def test_generalize_label_map(self, lct):
+        generalized = lct.generalize_label_map(
+            "person", {"gender": frozenset({"male"}), "occupation": frozenset({"hr"})}
+        )
+        assert generalized["gender"] == {lct.group_of("person", "gender", "male")}
+        assert generalized["occupation"] == {
+            lct.group_of("person", "occupation", "hr")
+        }
+
+    def test_apply_to_graph_preserves_structure(self, lct):
+        graph = AttributedGraph("g")
+        graph.add_vertex(0, "person", {"gender": ["male"]})
+        graph.add_vertex(1, "person", {"gender": ["female"]})
+        graph.add_edge(0, 1)
+        anonymized = lct.apply_to_graph(graph)
+        assert anonymized.edge_count == 1
+        assert anonymized.vertex_count == 2
+        # male and female share a group -> identical anonymized labels
+        assert anonymized.vertex(0).labels == anonymized.vertex(1).labels
+
+    def test_apply_to_graph_hides_raw_labels(self, lct, figure1_graph):
+        anonymized = lct_for_figure1().apply_to_graph(figure1_graph)
+        raw_labels = {
+            label for data in figure1_graph.vertices() for _, label in data.label_items()
+        }
+        published = {
+            label for data in anonymized.vertices() for _, label in data.label_items()
+        }
+        assert not raw_labels & published
+
+
+def lct_for_figure1() -> LabelCorrespondenceTable:
+    """The LCT of Figure 2 (groups A-F of the running example)."""
+    table = LabelCorrespondenceTable(theta=2)
+    table.add_group("company", "company_type", ["internet", "software"])
+    table.add_group("company", "state", ["california", "washington"])
+    table.add_group("person", "gender", ["female", "male"])
+    table.add_group("person", "occupation", ["hr", "accountant"])
+    table.add_group("person", "occupation", ["engineer", "manager"])
+    table.add_group("school", "located_in", ["illinois", "massachusetts"])
+    return table
+
+
+class TestVerify:
+    def test_valid_lct_passes(self, lct):
+        lct.verify()
+
+    def test_small_group_detected(self):
+        table = LabelCorrespondenceTable(theta=3)
+        table.add_group("t", "a", ["x", "y"])
+        with pytest.raises(AnonymizationError):
+            table.verify()
+        table.verify(allow_small_groups=True)  # explicit opt-in
+
+
+class TestSerialization:
+    def test_round_trip(self, lct):
+        restored = LabelCorrespondenceTable.from_dict(lct.to_dict())
+        assert restored.theta == lct.theta
+        assert restored.group_ids() == lct.group_ids()
+        for gid in lct.group_ids():
+            assert restored.members(gid) == lct.members(gid)

@@ -1,0 +1,104 @@
+"""Unit tests for grouping strategies (RAN, FSIM) and LCT assembly."""
+
+import random
+
+import pytest
+
+from repro.anonymize import (
+    STRATEGIES,
+    StrategyContext,
+    build_lct,
+    chunk_permutation,
+    frequency_similar_grouping,
+    group_sizes,
+    random_grouping,
+)
+from repro.exceptions import AnonymizationError
+from repro.graph import compute_statistics, make_schema, random_attributed_graph
+
+
+class TestGroupSizes:
+    def test_exact_division(self):
+        assert group_sizes(6, 2) == [2, 2, 2]
+
+    def test_remainder_spread(self):
+        assert group_sizes(7, 2) == [3, 2, 2]
+        assert group_sizes(8, 3) == [4, 4]  # 8//3=2 groups, remainder 2
+
+    def test_under_theta_single_group(self):
+        assert group_sizes(2, 3) == [2]
+
+    def test_every_size_at_least_theta_when_possible(self):
+        for n in range(4, 40):
+            for theta in (2, 3, 5):
+                sizes = group_sizes(n, theta)
+                assert sum(sizes) == n
+                if n >= theta:
+                    assert all(size >= theta for size in sizes)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(AnonymizationError):
+            group_sizes(0, 2)
+
+
+class TestChunkPermutation:
+    def test_chunks_follow_sizes(self):
+        groups = chunk_permutation(list("abcdefg"), 2)
+        assert [len(g) for g in groups] == [3, 2, 2]
+        assert [label for g in groups for label in g] == list("abcdefg")
+
+
+class TestRandomGrouping:
+    def test_partitions_universe(self):
+        context = StrategyContext("t", "a", rng=random.Random(1))
+        groups = random_grouping(list("abcdef"), 2, context)
+        assert sorted(label for g in groups for label in g) == list("abcdef")
+        assert all(len(g) >= 2 for g in groups)
+
+    def test_seed_controls_layout(self):
+        a = random_grouping(list("abcdef"), 2, StrategyContext("t", "a", rng=random.Random(1)))
+        b = random_grouping(list("abcdef"), 2, StrategyContext("t", "a", rng=random.Random(1)))
+        assert a == b
+
+
+class TestFrequencySimilarGrouping:
+    def test_groups_adjacent_frequencies(self):
+        freq = {"a": 0.4, "b": 0.35, "c": 0.1, "d": 0.08, "e": 0.05, "f": 0.02}
+        context = StrategyContext("t", "x", graph_frequency=freq)
+        groups = frequency_similar_grouping(sorted(freq), 2, context)
+        assert groups[0] == ["a", "b"]  # the two most frequent together
+        assert groups[-1] == ["e", "f"]
+
+
+class TestBuildLct:
+    def test_covers_whole_schema(self, small_schema):
+        lct = build_lct(small_schema, 2, STRATEGIES["RAN"], seed=3)
+        lct.verify(allow_small_groups=True)
+        for vertex_type in small_schema.type_names:
+            for attr in small_schema.attributes_of(vertex_type):
+                for label in small_schema.labels_of(vertex_type, attr):
+                    assert lct.group_of(vertex_type, attr, label)
+
+    def test_theta_respected(self, small_schema):
+        lct = build_lct(small_schema, 3, STRATEGIES["FSIM"], seed=3)
+        lct.verify()  # 6 labels per attribute -> groups of exactly 3
+
+    @pytest.mark.parametrize("name", sorted(STRATEGIES))
+    def test_all_strategies_produce_valid_lct(self, small_schema, name):
+        graph = random_attributed_graph(small_schema, 100, seed=5)
+        stats = compute_statistics(graph)
+        lct = build_lct(small_schema, 2, STRATEGIES[name], graph_stats=stats, seed=1)
+        lct.verify(allow_small_groups=True)
+
+    def test_unobserved_labels_still_grouped(self):
+        # schema mentions labels the (empty) graph never uses
+        schema = make_schema(1, 1, 6)
+        lct = build_lct(schema, 2, STRATEGIES["EFF"], seed=0)
+        assert lct.group_count() == 3
+
+    def test_broken_strategy_detected(self, small_schema):
+        def drops_labels(labels, theta, context):
+            return [list(labels)[:-1]]
+
+        with pytest.raises(AnonymizationError):
+            build_lct(small_schema, 2, drops_labels)

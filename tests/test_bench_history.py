@@ -1,0 +1,119 @@
+"""Tests for benchmark result comparison."""
+
+import pytest
+
+from repro.bench.history import (
+    CellDelta,
+    compare_results,
+    format_comparison,
+    load_results,
+)
+
+
+def make_dump(total_ms=10.0, rs=5, skipped=0):
+    return {
+        "datasets": {
+            "DBpedia": {
+                "cells": {
+                    "EFF/k2/e4": {
+                        "total_ms": total_ms,
+                        "cloud_ms": total_ms * 0.5,
+                        "client_ms": 0.1,
+                        "rs": rs,
+                        "rin": rs,
+                        "answer_bytes": 100,
+                        "skipped": skipped,
+                    }
+                }
+            }
+        }
+    }
+
+
+class TestCompare:
+    def test_identical_runs_are_ok(self):
+        comparison = compare_results(make_dump(), make_dump())
+        assert comparison.ok
+        assert comparison.cells_compared == 1
+        assert comparison.regressions == []
+
+    def test_time_regression_detected(self):
+        comparison = compare_results(make_dump(total_ms=10.0), make_dump(total_ms=20.0))
+        assert not comparison.ok
+        assert any(d.metric == "total_ms" for d in comparison.regressions)
+
+    def test_time_improvement_recorded(self):
+        comparison = compare_results(make_dump(total_ms=20.0), make_dump(total_ms=5.0))
+        assert comparison.ok
+        assert any(d.metric == "total_ms" for d in comparison.improvements)
+
+    def test_small_time_noise_tolerated(self):
+        comparison = compare_results(make_dump(total_ms=10.0), make_dump(total_ms=12.0))
+        assert comparison.ok
+
+    def test_count_change_breaks_determinism(self):
+        comparison = compare_results(make_dump(rs=5), make_dump(rs=6))
+        assert not comparison.ok
+        assert any(d.metric == "rs" for d in comparison.determinism_breaks)
+
+    def test_missing_cells_are_skipped(self):
+        baseline = make_dump()
+        current = make_dump()
+        current["datasets"]["DBpedia"]["cells"]["EFF/k9/e4"] = {"total_ms": 1.0}
+        comparison = compare_results(baseline, current)
+        assert comparison.cells_compared == 1
+
+    def test_missing_dataset_skipped(self):
+        baseline = {"datasets": {}}
+        comparison = compare_results(baseline, make_dump())
+        assert comparison.cells_compared == 0
+
+
+class TestFormatting:
+    def test_format_mentions_status(self):
+        text = format_comparison(compare_results(make_dump(), make_dump()))
+        assert "status: OK" in text
+
+    def test_format_lists_regressions(self):
+        text = format_comparison(
+            compare_results(make_dump(total_ms=10.0), make_dump(total_ms=30.0))
+        )
+        assert "REGRESSIONS" in text
+        assert "total_ms" in text
+        assert "status: FAILED" in text
+
+    def test_relative_change_zero_baseline(self):
+        delta = CellDelta("d", "c", "m", baseline=0.0, current=0.0)
+        assert delta.relative_change == 0.0
+        delta = CellDelta("d", "c", "m", baseline=0.0, current=1.0)
+        assert delta.relative_change == float("inf")
+
+
+class TestRoundTrip:
+    def test_load_results(self, tmp_path):
+        import json
+
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(make_dump()))
+        assert load_results(path) == make_dump()
+
+    def test_script_end_to_end(self, tmp_path, capsys, monkeypatch):
+        import json
+        import sys
+        from pathlib import Path
+
+        scripts_dir = Path(__file__).resolve().parent.parent / "scripts"
+        (tmp_path / "a.json").write_text(json.dumps(make_dump()))
+        (tmp_path / "b.json").write_text(json.dumps(make_dump(total_ms=50.0)))
+        sys.path.insert(0, str(scripts_dir))
+        try:
+            import compare_results as script
+        finally:
+            sys.path.pop(0)
+        monkeypatch.setattr(
+            sys,
+            "argv",
+            ["compare_results.py", str(tmp_path / "a.json"), str(tmp_path / "b.json")],
+        )
+        assert script.main() == 1
+        assert "REGRESSIONS" in capsys.readouterr().out

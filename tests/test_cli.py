@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import example_query, example_social_network, save_graph
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "matches (2)" in out
+
+    def test_demo_with_bas(self, capsys):
+        assert main(["demo", "--method", "BAS", "--k", "3"]) == 0
+        assert "matches (2)" in capsys.readouterr().out
+
+
+class TestPublishAndQuery:
+    def test_publish_then_query(self, tmp_path, capsys):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        query_path = tmp_path / "q.json"
+        save_graph(graph, graph_path)
+        save_graph(example_query(), query_path)
+        deployment = tmp_path / "dep"
+
+        assert main(["publish", str(graph_path), str(deployment), "--k", "2"]) == 0
+        publish_out = json.loads(capsys.readouterr().out)
+        assert publish_out["uploaded_edges"] > 0
+        assert (deployment / "cloud" / "graph.json").exists()
+
+        assert (
+            main(["query", str(deployment), str(graph_path), str(query_path)]) == 0
+        )
+        query_out = json.loads(capsys.readouterr().out)
+        assert len(query_out["matches"]) == 2
+        assert query_out["candidates"] >= 2
+
+    def test_publish_with_method(self, tmp_path, capsys):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        save_graph(graph, graph_path)
+        assert (
+            main(
+                [
+                    "publish",
+                    str(graph_path),
+                    str(tmp_path / "dep"),
+                    "--method",
+                    "RAN",
+                    "--k",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["method"] == "RAN"
+        assert out["k"] == 3
+
+
+class TestVerify:
+    def test_verify_healthy_deployment(self, tmp_path, capsys):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        save_graph(graph, graph_path)
+        deployment = tmp_path / "dep"
+        assert main(["publish", str(graph_path), str(deployment), "--k", "3"]) == 0
+        capsys.readouterr()
+
+        assert main(["verify", str(deployment)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["k"] == 3
+        assert report["worst_attack_probability"] <= report["bound"] + 1e-9
+
+    def test_verify_detects_broken_symmetry(self, tmp_path, capsys):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        save_graph(graph, graph_path)
+        deployment = tmp_path / "dep"
+        assert (
+            main(
+                [
+                    "publish",
+                    str(graph_path),
+                    str(deployment),
+                    "--k",
+                    "2",
+                    "--method",
+                    "BAS",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        # tamper: drop one edge from the published Gk
+        from repro.graph import load_graph as _load, save_graph as _save
+
+        published_path = deployment / "cloud" / "graph.json"
+        published = _load(published_path)
+        edge = next(iter(published.edges()))
+        published.remove_edge(*edge)
+        _save(published, published_path)
+
+        from repro.exceptions import VerificationError
+
+        with pytest.raises(VerificationError):
+            main(["verify", str(deployment)])
+
+
+class TestDatasets:
+    def test_generate_dataset(self, tmp_path, capsys):
+        out_path = tmp_path / "web.json"
+        assert main(["datasets", "Web-NotreDame", str(out_path), "--scale", "0.05"]) == 0
+        assert out_path.exists()
+        from repro.graph import load_graph
+
+        graph = load_graph(out_path)
+        assert graph.vertex_count > 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["datasets", "nope", "out.json"])
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,116 @@
+"""Unit tests for client-side processing (Algorithm 3)."""
+
+import pytest
+
+from repro.client import ClientFilter, expand_rin, filter_candidates
+from repro.kauto import AlignmentVertexTable
+
+
+class TestExpandRin:
+    def test_expansion_size(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        avt = pipe.transform.avt
+        anchor = avt.first_block()[0]
+        result = expand_rin([{0: anchor}], avt)
+        assert len(result.matches) == avt.k
+        assert result.rin_size == 1
+        assert result.rout_size == avt.k - 1
+
+    def test_deduplicates(self):
+        avt = AlignmentVertexTable([[0, 1]])
+        # both matches map to each other under F1 -> expansion collapses
+        result = expand_rin([{5: 0}, {5: 1}], avt)
+        assert len(result.matches) == 2
+
+    def test_empty_rin(self, figure1_pipeline):
+        result = expand_rin([], figure1_pipeline.transform.avt)
+        assert result.matches == []
+        assert result.rout_size == 0
+
+
+class TestFiltering:
+    def test_noise_vertex_dropped(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        # any id outside V(G) behaves like a noise vertex to the filter
+        noise_id = max(pipe.graph.vertex_ids()) + 1
+        fake = {q: noise_id + i for i, q in enumerate(pipe.query.vertex_ids())}
+        result = filter_candidates([fake], pipe.graph, pipe.query)
+        assert result.matches == []
+        assert result.dropped_vertex == 1
+
+    def test_real_noise_vertices_dropped(self, figure1_graph):
+        """With k=3 the 8-vertex example needs padding; padded matches
+        must be filtered out."""
+        from repro.kauto import build_k_automorphic_graph
+
+        transform = build_k_automorphic_graph(figure1_graph, 3, seed=1)
+        assert transform.noise_vertex_ids, "k=3 on 8 vertices must pad"
+        noise_id = transform.noise_vertex_ids[0]
+        from repro.graph import AttributedGraph
+
+        query = AttributedGraph()
+        query.add_vertex(0, transform.gk.vertex(noise_id).vertex_type)
+        result = filter_candidates([{0: noise_id}], figure1_graph, query)
+        assert result.matches == []
+        assert result.dropped_vertex == 1
+
+    def test_noise_edge_dropped(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        # build a candidate that uses only real vertices but a noise edge:
+        # map query edge (0,1) onto a Gk edge absent from G
+        noise_edges = [
+            (u, v)
+            for u, v in pipe.transform.gk.edges()
+            if u in pipe.graph and v in pipe.graph and not pipe.graph.has_edge(u, v)
+        ]
+        if not noise_edges:
+            pytest.skip("transform added no intra-original noise edges")
+        u, v = noise_edges[0]
+        from repro.graph import AttributedGraph
+
+        query = AttributedGraph()
+        query.add_vertex(0, pipe.graph.vertex(u).vertex_type)
+        query.add_vertex(1, pipe.graph.vertex(v).vertex_type)
+        query.add_edge(0, 1)
+        result = filter_candidates([{0: u, 1: v}], pipe.graph, query)
+        assert result.matches == []
+        assert result.dropped_edge == 1
+
+    def test_generalized_label_false_positive_dropped(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        # q0 wants an internet company; c2 (vertex 5) is software — the
+        # label groups agree but the raw labels do not.
+        candidate = {0: 5, 1: 2, 2: 6, 3: 4, 4: 0}
+        result = filter_candidates([candidate], pipe.graph, pipe.query)
+        assert result.matches == []
+        assert result.dropped_label == 1
+
+    def test_true_match_kept(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        true_match = {0: 4, 1: 0, 2: 6, 3: 5, 4: 2}
+        result = filter_candidates([true_match], pipe.graph, pipe.query)
+        assert result.matches == [true_match]
+        assert result.dropped == 0
+
+    def test_counters_add_up(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        noise_id = max(pipe.graph.vertex_ids()) + 1
+        candidates = [
+            {0: 4, 1: 0, 2: 6, 3: 5, 4: 2},  # true
+            {0: 5, 1: 2, 2: 6, 3: 4, 4: 0},  # label false positive
+            {q: noise_id + i for i, q in enumerate(pipe.query.vertex_ids())},
+        ]
+        result = ClientFilter(pipe.graph, pipe.query).filter(candidates)
+        assert result.candidates == 3
+        assert len(result.matches) + result.dropped == 3
+
+
+class TestEndToEndClientStage:
+    def test_filter_after_expansion_recovers_oracle(self, figure1_pipeline):
+        """Full candidate set filtered against G gives exactly R(Q, G)."""
+        from repro.matching import find_subgraph_matches, match_key
+
+        pipe = figure1_pipeline
+        candidates = find_subgraph_matches(pipe.qo, pipe.transform.gk)
+        result = filter_candidates(candidates, pipe.graph, pipe.query)
+        assert {match_key(m) for m in result.matches} == pipe.oracle

@@ -1,0 +1,59 @@
+"""Unit tests for the cloud's per-query result budget (resource quota)."""
+
+import pytest
+
+from repro import MethodConfig, PrivacyPreservingSystem, SystemConfig
+from repro.exceptions import ResultBudgetExceeded
+from repro.graph import example_query, example_social_network, make_schema, random_attributed_graph
+from repro.workloads import random_walk_query
+
+
+class TestBudgetEnforcement:
+    def test_tiny_budget_trips(self):
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, max_intermediate_results=1)
+        )
+        with pytest.raises(ResultBudgetExceeded) as exc_info:
+            system.query(example_query())
+        assert exc_info.value.budget == 1
+        assert exc_info.value.size > 1
+        assert exc_info.value.stage in ("star matching", "result join")
+
+    def test_generous_budget_does_not_trip(self):
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, max_intermediate_results=10_000)
+        )
+        outcome = system.query(example_query())
+        assert len(outcome.matches) == 2
+
+    def test_default_is_unlimited(self):
+        config = SystemConfig()
+        assert config.max_intermediate_results is None
+
+    def test_budget_applies_to_bas_too(self):
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(
+            graph,
+            schema,
+            SystemConfig(
+                k=2,
+                method=MethodConfig.from_name("BAS"),
+                max_intermediate_results=1,
+            ),
+        )
+        with pytest.raises(ResultBudgetExceeded):
+            system.query(example_query())
+
+    def test_unselective_query_on_dense_graph_is_contained(self):
+        """The motivating scenario: a label-free query on a dense Gk
+        must fail fast with a quota error, not exhaust memory."""
+        schema = make_schema(1, 1, 4)
+        graph = random_attributed_graph(graph_schema := schema, 60, edges_per_vertex=4, seed=1)
+        query = random_walk_query(graph, 6, seed=2, keep_label_probability=0.0)
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=4, max_intermediate_results=2_000)
+        )
+        with pytest.raises(ResultBudgetExceeded):
+            system.query(query)

@@ -1,0 +1,124 @@
+"""Tests for star-match caching in the cloud server."""
+
+import pytest
+
+from repro import MethodConfig, PrivacyPreservingSystem, SystemConfig
+from repro.cloud.cache import (
+    StarMatchCache,
+    leaf_role_order,
+    matches_to_roles,
+    roles_to_matches,
+    star_signature,
+)
+from repro.graph import AttributedGraph, example_social_network
+from repro.matching import Star, find_subgraph_matches, match_key
+from repro.workloads import generate_workload, load_dataset
+
+
+class TestSignature:
+    def query_with_two_equivalent_stars(self):
+        query = AttributedGraph()
+        # star at 0 and star at 3 have identical shapes
+        for vid, vertex_type in ((0, "a"), (1, "b"), (2, "b"), (3, "a"), (4, "b"), (5, "b")):
+            query.add_vertex(vid, vertex_type)
+        query.add_edge(0, 1)
+        query.add_edge(0, 2)
+        query.add_edge(3, 4)
+        query.add_edge(3, 5)
+        return query
+
+    def test_equivalent_stars_share_signature(self):
+        query = self.query_with_two_equivalent_stars()
+        sig_a = star_signature(query, Star(center=0, leaves=(1, 2)))
+        sig_b = star_signature(query, Star(center=3, leaves=(4, 5)))
+        assert sig_a == sig_b
+
+    def test_different_constraints_differ(self):
+        query = self.query_with_two_equivalent_stars()
+        query.set_vertex_labels(4, {"x": ["v"]})
+        sig_a = star_signature(query, Star(center=0, leaves=(1, 2)))
+        sig_b = star_signature(query, Star(center=3, leaves=(4, 5)))
+        assert sig_a != sig_b
+
+    def test_role_round_trip(self):
+        query = self.query_with_two_equivalent_stars()
+        star = Star(center=0, leaves=(1, 2))
+        order = leaf_role_order(query, star)
+        matches = [{0: 10, 1: 11, 2: 12}, {0: 20, 1: 21, 2: 22}]
+        roles = matches_to_roles(matches, star, order)
+        assert roles_to_matches(roles, star, order) == matches
+
+
+class TestLru:
+    def test_hit_and_miss_counting(self):
+        cache = StarMatchCache(capacity=2)
+        assert cache.get(("a",)) is None
+        cache.put(("a",), [(1,)])
+        assert cache.get(("a",)) == [(1,)]
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_order(self):
+        cache = StarMatchCache(capacity=2)
+        cache.put(("a",), [])
+        cache.put(("b",), [])
+        cache.get(("a",))  # a is now most recent
+        cache.put(("c",), [])  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert len(cache) == 2
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = StarMatchCache(capacity=0)
+        cache.put(("a",), [(1,)])
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = StarMatchCache(capacity=2)
+        cache.put(("a",), [])
+        cache.get(("a",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hit_rate == 0.0
+
+
+class TestCachedServerCorrectness:
+    @pytest.mark.parametrize("method", ["EFF", "BAS"])
+    def test_results_identical_with_and_without_cache(self, method):
+        dataset = load_dataset("DBpedia", scale=0.1)
+        workload = generate_workload(dataset.graph, 4, 6, seed=3)
+        plain = PrivacyPreservingSystem.setup(
+            dataset.graph,
+            dataset.schema,
+            SystemConfig(k=2, method=MethodConfig.from_name(method)),
+            sample_workload=workload,
+        )
+        cached = PrivacyPreservingSystem.setup(
+            dataset.graph,
+            dataset.schema,
+            SystemConfig(
+                k=2, method=MethodConfig.from_name(method), star_cache_size=64
+            ),
+            sample_workload=workload,
+        )
+        for query in workload + workload:  # repeat to force hits
+            a = {match_key(m) for m in plain.query(query).matches}
+            b = {match_key(m) for m in cached.query(query).matches}
+            assert a == b
+
+    def test_cache_gets_hits_on_repeated_workload(self):
+        graph, schema = example_social_network()
+        from repro.graph import example_query
+
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, star_cache_size=32)
+        )
+        query = example_query()
+        system.query(query)
+        # equivalent stars inside one query may already hit
+        hits_after_first = system.cloud.star_cache.hits
+        system.query(query)
+        assert system.cloud.star_cache.hits > hits_after_first
+        oracle = find_subgraph_matches(query, graph)
+        assert len(system.query(query).matches) == len(oracle)

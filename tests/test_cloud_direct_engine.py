@@ -1,0 +1,80 @@
+"""Tests for the direct (non-star) cloud engine on BAS deployments."""
+
+import pytest
+
+from repro.cloud import CloudServer
+from repro.matching import find_subgraph_matches, match_key
+
+
+@pytest.fixture
+def bas_servers(figure1_pipeline):
+    pipe = figure1_pipeline
+    centers = sorted(pipe.transform.gk.vertex_ids())
+    stars = CloudServer(
+        pipe.transform.gk, pipe.transform.avt, centers, expand_in_cloud=False
+    )
+    direct = CloudServer(
+        pipe.transform.gk,
+        pipe.transform.avt,
+        centers,
+        expand_in_cloud=False,
+        engine="direct",
+    )
+    return pipe, stars, direct
+
+
+class TestDirectEngine:
+    def test_identical_answers(self, bas_servers):
+        pipe, stars, direct = bas_servers
+        a = {match_key(m) for m in stars.answer(pipe.qo).matches}
+        b = {match_key(m) for m in direct.answer(pipe.qo).matches}
+        oracle = {
+            match_key(m) for m in find_subgraph_matches(pipe.qo, pipe.transform.gk)
+        }
+        assert a == b == oracle
+
+    def test_answer_marked_expanded(self, bas_servers):
+        pipe, _, direct = bas_servers
+        answer = direct.answer(pipe.qo)
+        assert answer.expanded
+        assert answer.decomposition.stars == []
+
+    def test_matcher_reused_between_queries(self, bas_servers):
+        pipe, _, direct = bas_servers
+        direct.answer(pipe.qo)
+        first = direct._direct_matcher
+        direct.answer(pipe.qo)
+        assert direct._direct_matcher is first
+
+    def test_direct_engine_rejected_for_go_deployments(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        with pytest.raises(ValueError):
+            CloudServer(
+                pipe.outsourced.graph,
+                pipe.transform.avt,
+                pipe.outsourced.block_vertices,
+                expand_in_cloud=True,
+                engine="direct",
+            )
+
+    def test_unknown_engine_rejected(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        with pytest.raises(ValueError):
+            CloudServer(
+                pipe.transform.gk,
+                pipe.transform.avt,
+                sorted(pipe.transform.gk.vertex_ids()),
+                expand_in_cloud=False,
+                engine="quantum",
+            )
+
+    def test_client_filter_recovers_exact_results(self, bas_servers):
+        from repro.client import filter_candidates
+
+        pipe, _, direct = bas_servers
+        answer = direct.answer(pipe.qo)
+        got = {
+            match_key(m)
+            for m in filter_candidates(answer.matches, pipe.graph, pipe.query).matches
+        }
+        assert got == pipe.oracle

@@ -1,0 +1,100 @@
+"""Unit tests for the VBV/LBV bit-vector index (Figure 7)."""
+
+from repro.cloud import CloudIndex
+from repro.graph import AttributedGraph
+
+
+def indexed_graph() -> tuple[AttributedGraph, list[int]]:
+    """A tiny Go-like graph: block = {0, 1}, neighbour 2 outside."""
+    graph = AttributedGraph()
+    graph.add_vertex(0, "person", {"occupation": ["gD"], "gender": ["gC"]})
+    graph.add_vertex(1, "person", {"occupation": ["gE"], "gender": ["gC"]})
+    graph.add_vertex(2, "company", {"company_type": ["gA"]})
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    return graph, [0, 1]
+
+
+class TestVbv:
+    def test_vbv_bits_reflect_label_groups(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        assert index.vbv[("gender", "gC")] == 0b11  # both block vertices
+        assert index.vbv[("occupation", "gD")] == 0b01  # only vertex 0
+        assert index.vbv[("occupation", "gE")] == 0b10
+
+    def test_type_bits(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        assert index.type_bits["person"] == 0b11
+        assert "company" not in index.type_bits  # vertex 2 is not indexed
+
+    def test_candidate_center_mask_intersects_constraints(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        query_vertex = graph.vertex(0)  # person with gC and gD
+        mask = index.candidate_center_mask(query_vertex)
+        assert mask == 0b01
+
+    def test_unknown_group_yields_empty_mask(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        from repro.graph import VertexData
+
+        impossible = VertexData(9, "person", {"gender": frozenset({"nope"})})
+        assert index.candidate_center_mask(impossible) == 0
+
+    def test_candidates_from_mask(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        assert sorted(index.candidates_from_mask(0b11)) == [0, 1]
+        assert list(index.candidates_from_mask(0)) == []
+
+
+class TestLbv:
+    def test_lbv_includes_out_of_block_neighbors(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        # vertex 1's neighbours: 0 (gC,gD) and 2 (gA) -> all three groups set
+        bits = index.lbv[1]
+        for key in (("gender", "gC"), ("occupation", "gD"), ("company_type", "gA")):
+            assert bits & (1 << index.group_bit[key])
+
+    def test_neighborhood_supports(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        need_ga = index.query_neighbor_mask([graph.vertex(2)])
+        assert index.neighborhood_supports(1, need_ga)
+        assert not index.neighborhood_supports(0, need_ga)
+
+    def test_unknown_leaf_group_is_unmatchable(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        from repro.graph import VertexData
+
+        alien = VertexData(9, "x", {"a": frozenset({"unknown"})})
+        assert index.query_neighbor_mask([alien]) == -1
+        assert not index.neighborhood_supports(0, -1)
+
+    def test_empty_leaf_list_mask(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        assert index.query_neighbor_mask([]) == 0
+        assert index.neighborhood_supports(0, 0)
+
+
+class TestAccounting:
+    def test_size_scales_with_block(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        full = CloudIndex.build(
+            pipe.transform.gk, sorted(pipe.transform.gk.vertex_ids())
+        )
+        block_only = CloudIndex.build(
+            pipe.outsourced.graph, pipe.outsourced.block_vertices
+        )
+        assert block_only.size_bytes() < full.size_bytes()
+
+    def test_build_time_recorded(self):
+        graph, block = indexed_graph()
+        index = CloudIndex.build(graph, block)
+        assert index.build_seconds >= 0.0

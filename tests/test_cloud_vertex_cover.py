@@ -1,0 +1,78 @@
+"""Unit tests for the exact weighted vertex cover solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.cloud import cover_cost, is_vertex_cover, minimum_weighted_vertex_cover
+
+
+def brute_force_cover(edges, weights):
+    vertices = sorted({v for e in edges for v in e})
+    best, best_cost = set(vertices), cover_cost(set(vertices), weights)
+    for r in range(len(vertices) + 1):
+        for combo in itertools.combinations(vertices, r):
+            cover = set(combo)
+            if is_vertex_cover(edges, cover):
+                cost = cover_cost(cover, weights)
+                if cost < best_cost:
+                    best, best_cost = cover, cost
+    return best, best_cost
+
+
+class TestSmallInstances:
+    def test_single_edge_picks_cheaper_endpoint(self):
+        cover = minimum_weighted_vertex_cover([(0, 1)], {0: 5.0, 1: 1.0})
+        assert cover == {1}
+
+    def test_star_picks_center(self):
+        edges = [(0, i) for i in range(1, 6)]
+        weights = {v: 1.0 for v in range(6)}
+        assert minimum_weighted_vertex_cover(edges, weights) == {0}
+
+    def test_star_avoids_expensive_center(self):
+        edges = [(0, 1), (0, 2)]
+        weights = {0: 100.0, 1: 1.0, 2: 1.0}
+        assert minimum_weighted_vertex_cover(edges, weights) == {1, 2}
+
+    def test_triangle(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        weights = {0: 1.0, 1: 2.0, 2: 3.0}
+        cover = minimum_weighted_vertex_cover(edges, weights)
+        assert is_vertex_cover(edges, cover)
+        assert cover_cost(cover, weights) == 3.0  # {0, 1}
+
+    def test_no_edges(self):
+        assert minimum_weighted_vertex_cover([], {}) == set()
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        cover = minimum_weighted_vertex_cover(
+            [(0, 1), (1, 0), (0, 1)], {0: 2.0, 1: 1.0}
+        )
+        assert cover == {1}
+
+    def test_zero_weight_vertices_are_free(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        weights = {0: 1.0, 1: 0.0, 2: 0.0, 3: 1.0}
+        cover = minimum_weighted_vertex_cover(edges, weights)
+        assert cover_cost(cover, weights) == 0.0
+
+
+class TestOptimalityAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(10))
+    def test_random_graphs(self, trial):
+        rng = random.Random(trial)
+        n = rng.randint(4, 9)
+        edges = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.4:
+                    edges.append((u, v))
+        if not edges:
+            edges = [(0, 1)]
+        weights = {v: rng.uniform(0.5, 10.0) for v in range(n)}
+        cover = minimum_weighted_vertex_cover(edges, weights)
+        _, best_cost = brute_force_cover(edges, weights)
+        assert is_vertex_cover(edges, cover)
+        assert cover_cost(cover, weights) == pytest.approx(best_cost)

@@ -1,0 +1,51 @@
+"""Unit tests for system/method configuration."""
+
+import pytest
+
+from repro.anonymize import STRATEGIES
+from repro.core import METHOD_NAMES, MethodConfig, SystemConfig
+from repro.exceptions import ReproError
+
+
+class TestMethodConfig:
+    @pytest.mark.parametrize("name", METHOD_NAMES)
+    def test_all_paper_methods_resolve(self, name):
+        method = MethodConfig.from_name(name)
+        assert method.name == name
+
+    def test_bas_shares_eff_grouping_but_uploads_gk(self):
+        bas = MethodConfig.from_name("BAS")
+        assert bas.upload_full_gk is True
+        assert bas.strategy is STRATEGIES["EFF"]
+
+    def test_optimized_methods_upload_go(self):
+        for name in ("EFF", "RAN", "FSIM"):
+            assert MethodConfig.from_name(name).upload_full_gk is False
+
+    def test_case_insensitive(self):
+        assert MethodConfig.from_name("eff").name == "EFF"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ReproError):
+            MethodConfig.from_name("MAGIC")
+
+
+class TestSystemConfig:
+    def test_defaults(self):
+        config = SystemConfig()
+        assert config.k == 2
+        assert config.theta == 2
+        assert config.method.name == "EFF"
+        assert config.expansion_site == "client"
+
+    def test_invalid_k(self):
+        with pytest.raises(ReproError):
+            SystemConfig(k=1)
+
+    def test_invalid_theta(self):
+        with pytest.raises(ReproError):
+            SystemConfig(theta=0)
+
+    def test_invalid_expansion_site(self):
+        with pytest.raises(ReproError):
+            SystemConfig(expansion_site="moon")

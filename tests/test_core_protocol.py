@@ -1,0 +1,82 @@
+"""Unit tests for the wire protocol and network accounting."""
+
+import pytest
+
+from repro.core import (
+    NetworkChannel,
+    decode_answer,
+    decode_query,
+    decode_upload,
+    encode_answer,
+    encode_query,
+    encode_upload,
+)
+from repro.exceptions import ProtocolError
+
+
+class TestChannel:
+    def test_transmission_time_model(self):
+        channel = NetworkChannel(bandwidth_bytes_per_sec=1000, latency_seconds=0.5)
+        seconds = channel.transmit("query", b"x" * 500)
+        assert seconds == pytest.approx(0.5 + 0.5)
+
+    def test_totals_by_direction(self):
+        channel = NetworkChannel()
+        channel.transmit("query", b"abc")
+        channel.transmit("answer", b"defgh")
+        assert channel.total_bytes("query") == 3
+        assert channel.total_bytes("answer") == 5
+        assert channel.total_bytes() == 8
+        assert channel.total_seconds() > 0
+
+    def test_reset(self):
+        channel = NetworkChannel()
+        channel.transmit("query", b"abc")
+        channel.reset()
+        assert channel.total_bytes() == 0
+
+
+class TestUploadMessage:
+    def test_round_trip(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        payload = encode_upload(pipe.outsourced.graph, pipe.transform.avt)
+        graph, avt = decode_upload(payload)
+        assert graph.structure_equal(pipe.outsourced.graph)
+        assert list(avt.rows()) == list(pipe.transform.avt.rows())
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_upload(b'{"nope": 1}')
+
+
+class TestQueryMessage:
+    def test_round_trip(self, figure1_pipeline):
+        payload = encode_query(figure1_pipeline.qo)
+        assert decode_query(payload).structure_equal(figure1_pipeline.qo)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_query(b"not json")
+
+
+class TestAnswerMessage:
+    def test_round_trip(self):
+        matches = [{0: 5, 1: 7}, {0: 6, 1: 8}]
+        payload = encode_answer(matches, [0, 1], expanded=False)
+        decoded, expanded = decode_answer(payload)
+        assert decoded == matches
+        assert expanded is False
+
+    def test_expanded_flag_survives(self):
+        payload = encode_answer([], [0], expanded=True)
+        _, expanded = decode_answer(payload)
+        assert expanded is True
+
+    def test_answer_size_grows_with_matches(self):
+        small = encode_answer([{0: 1}], [0], expanded=False)
+        big = encode_answer([{0: i} for i in range(100)], [0], expanded=False)
+        assert len(big) > len(small)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_answer(b'{"rows": "oops"}')

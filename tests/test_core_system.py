@@ -1,0 +1,148 @@
+"""Integration tests for the end-to-end system facade."""
+
+import pytest
+
+from repro import MethodConfig, PrivacyPreservingSystem, SystemConfig
+from repro.core import METHOD_NAMES
+from repro.exceptions import QueryError
+from repro.graph import example_query, example_social_network
+from repro.matching import find_subgraph_matches, match_key
+from repro.workloads import generate_workload, load_dataset
+
+
+def oracle_keys(query, graph):
+    return {match_key(m) for m in find_subgraph_matches(query, graph)}
+
+
+class TestExactnessOnRunningExample:
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_all_methods_exact(self, method, k):
+        graph, schema = example_social_network()
+        query = example_query()
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=k, method=MethodConfig.from_name(method))
+        )
+        outcome = system.query(query)
+        assert {match_key(m) for m in outcome.matches} == oracle_keys(query, graph)
+
+    def test_cloud_side_expansion_is_equivalent(self):
+        graph, schema = example_social_network()
+        query = example_query()
+        base = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+        cloudside = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, expansion_site="cloud")
+        )
+        a = base.query(query)
+        b = cloudside.query(query)
+        assert {match_key(m) for m in a.matches} == {
+            match_key(m) for m in b.matches
+        }
+        # cloud-side expansion ships more data but needs no client expansion
+        assert b.metrics.answer_bytes >= a.metrics.answer_bytes
+        assert b.metrics.expansion_seconds == 0.0
+
+
+class TestExactnessOnDatasets:
+    @pytest.mark.parametrize("method", METHOD_NAMES)
+    def test_dataset_workload(self, method):
+        dataset = load_dataset("DBpedia", scale=0.12)
+        workload = generate_workload(dataset.graph, 4, 4, seed=2)
+        system = PrivacyPreservingSystem.setup(
+            dataset.graph,
+            dataset.schema,
+            SystemConfig(k=2, method=MethodConfig.from_name(method)),
+            sample_workload=workload,
+        )
+        for query in workload:
+            outcome = system.query(query)
+            assert {match_key(m) for m in outcome.matches} == oracle_keys(
+                query, dataset.graph
+            )
+            assert outcome.matches, "random-walk query must match its own source"
+
+
+class TestMetrics:
+    @pytest.fixture(scope="class")
+    def system_and_outcome(self):
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+        return system, system.query(example_query())
+
+    def test_publish_metrics_populated(self, system_and_outcome):
+        system, _ = system_and_outcome
+        pm = system.publish_metrics
+        assert pm.method == "EFF"
+        assert pm.k == 2
+        assert pm.gk_edges >= pm.original_edges
+        assert pm.uploaded_edges <= pm.gk_edges
+        assert pm.upload_bytes > 0
+        assert pm.index_bytes > 0
+        assert pm.noise_edges == pm.gk_edges - pm.original_edges
+
+    def test_query_metrics_populated(self, system_and_outcome):
+        _, outcome = system_and_outcome
+        qm = outcome.metrics
+        assert qm.query_edges == 4
+        assert qm.rin_size >= qm.result_count
+        assert qm.candidate_count >= qm.rin_size
+        assert qm.answer_bytes > 0
+        assert qm.total_seconds == pytest.approx(
+            qm.cloud_seconds + qm.network_seconds + qm.client_seconds
+        )
+
+    def test_channel_accumulates(self, system_and_outcome):
+        system, _ = system_and_outcome
+        assert system.channel.total_bytes("upload") > 0
+        assert system.channel.total_bytes("query") > 0
+        assert system.channel.total_bytes("answer") > 0
+
+
+class TestQueryValidation:
+    def test_disconnected_query_rejected(self):
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+        from repro.graph import AttributedGraph
+
+        bad = AttributedGraph()
+        bad.add_vertex(0, "person")
+        bad.add_vertex(1, "person")
+        with pytest.raises(QueryError):
+            system.query(bad)
+
+    def test_unknown_query_label_rejected(self):
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+        from repro.graph import AttributedGraph
+
+        bad = AttributedGraph()
+        bad.add_vertex(0, "person", {"gender": ["alien"]})
+        with pytest.raises(Exception):
+            system.query(bad)
+
+
+class TestBehavioralShapes:
+    def test_bas_uploads_more_than_eff(self):
+        """|E(Gk)| > |E(Go)| and the upload bytes reflect it (Figure 12)."""
+        dataset = load_dataset("Web-NotreDame", scale=0.1)
+        eff = PrivacyPreservingSystem.setup(
+            dataset.graph, dataset.schema, SystemConfig(k=3)
+        )
+        bas = PrivacyPreservingSystem.setup(
+            dataset.graph,
+            dataset.schema,
+            SystemConfig(k=3, method=MethodConfig.from_name("BAS")),
+        )
+        assert bas.publish_metrics.uploaded_edges > eff.publish_metrics.uploaded_edges
+        assert bas.publish_metrics.upload_bytes > eff.publish_metrics.upload_bytes
+
+    def test_index_shrinks_as_k_grows(self):
+        """Figure 13: larger k -> smaller B1 -> smaller index."""
+        dataset = load_dataset("Web-NotreDame", scale=0.1)
+        sizes = []
+        for k in (2, 4):
+            system = PrivacyPreservingSystem.setup(
+                dataset.graph, dataset.schema, SystemConfig(k=k)
+            )
+            sizes.append(system.publish_metrics.index_bytes)
+        assert sizes[1] < sizes[0]

@@ -1,0 +1,34 @@
+"""Smoke tests: the lightweight examples run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "exact matches R(Q, G): 2" in out
+        assert "verified" in out
+
+    def test_dynamic_social_graph(self, capsys):
+        out = run_example("dynamic_social_graph.py", capsys)
+        assert "day 0" in out and "day 2" in out
+        assert "verified exact" in out
+
+    def test_all_examples_compile(self):
+        import py_compile
+
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,145 @@
+"""Unit tests for edge-attribute reification (Section 2.1's remark)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    AttributedGraph,
+    EdgePayload,
+    reify_edge_attributes,
+    reify_query_edge,
+)
+from repro.matching import count_matches, find_subgraph_matches
+
+
+def employment_graph() -> AttributedGraph:
+    graph = AttributedGraph("employment")
+    graph.add_vertex(0, "person", {"gender": ["male"]})
+    graph.add_vertex(1, "person", {"gender": ["female"]})
+    graph.add_vertex(2, "company", {"kind": ["internet"]})
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 1)
+    return graph
+
+
+class TestReify:
+    def test_edge_becomes_imaginary_vertex(self):
+        graph = employment_graph()
+        reified = reify_edge_attributes(
+            graph,
+            [EdgePayload(0, 2, "employment", {"since": ["2010"]})],
+        )
+        out = reified.graph
+        assert not out.has_edge(0, 2)
+        imaginary = next(iter(reified.edge_of_vertex))
+        assert out.has_edge(0, imaginary)
+        assert out.has_edge(imaginary, 2)
+        assert out.vertex(imaginary).vertex_type == "employment"
+        assert out.vertex(imaginary).labels == {"since": frozenset({"2010"})}
+        assert reified.original_edge(imaginary) == (0, 2)
+
+    def test_vertex_and_edge_counts(self):
+        graph = employment_graph()
+        reified = reify_edge_attributes(
+            graph, [EdgePayload(0, 2, "rel"), EdgePayload(1, 2, "rel")]
+        )
+        # each reified edge: -1 edge, +1 vertex, +2 edges
+        assert reified.graph.vertex_count == graph.vertex_count + 2
+        assert reified.graph.edge_count == graph.edge_count + 2
+
+    def test_missing_edge_rejected(self):
+        with pytest.raises(GraphError):
+            reify_edge_attributes(employment_graph(), [EdgePayload(0, 99, "rel")])
+
+    def test_duplicate_payload_rejected(self):
+        with pytest.raises(GraphError):
+            reify_edge_attributes(
+                employment_graph(),
+                [EdgePayload(0, 2, "rel"), EdgePayload(2, 0, "rel")],
+            )
+
+    def test_original_graph_untouched(self):
+        graph = employment_graph()
+        reify_edge_attributes(graph, [EdgePayload(0, 2, "rel")])
+        assert graph.has_edge(0, 2)
+
+    def test_unknown_imaginary_vertex(self):
+        reified = reify_edge_attributes(employment_graph(), [])
+        with pytest.raises(GraphError):
+            reified.original_edge(12345)
+
+
+class TestMatchingSemantics:
+    def test_reified_query_matches_reified_graph(self):
+        """Reifying data + query consistently preserves match counts."""
+        graph = employment_graph()
+        data_reified = reify_edge_attributes(
+            graph,
+            [
+                EdgePayload(0, 2, "employment", {"since": ["2010"]}),
+                EdgePayload(1, 2, "employment", {"since": ["2015"]}),
+            ],
+        ).graph
+
+        # who has worked at a company since 2010?
+        query = AttributedGraph()
+        query.add_vertex(0, "person")
+        query.add_vertex(1, "company")
+        query.add_edge(0, 1)
+        reified_query = reify_query_edge(
+            query, 0, 1, "employment", {"since": ["2010"]}
+        )
+        matches = find_subgraph_matches(reified_query, data_reified)
+        assert len(matches) == 1
+        assert matches[0][0] == 0  # the 2010 hire
+
+    def test_unconstrained_relationship_matches_all(self):
+        graph = employment_graph()
+        data_reified = reify_edge_attributes(
+            graph,
+            [
+                EdgePayload(0, 2, "employment", {"since": ["2010"]}),
+                EdgePayload(1, 2, "employment", {"since": ["2015"]}),
+            ],
+        ).graph
+        query = AttributedGraph()
+        query.add_vertex(0, "person")
+        query.add_vertex(1, "company")
+        query.add_edge(0, 1)
+        reified_query = reify_query_edge(query, 0, 1, "employment")
+        assert count_matches(reified_query, data_reified) == 2
+
+
+class TestThroughPrivacyPipeline:
+    def test_reified_graph_survives_the_full_pipeline(self):
+        """Edge labels protected end to end via the imaginary vertices."""
+        from repro import PrivacyPreservingSystem, SystemConfig
+        from repro.graph import schema_from_graph
+        from repro.matching import match_key
+
+        graph = employment_graph()
+        reified = reify_edge_attributes(
+            graph,
+            [
+                EdgePayload(0, 2, "employment", {"since": ["2010", "2015"]}),
+                EdgePayload(1, 2, "employment", {"since": ["2015", "2020"]}),
+            ],
+        ).graph
+        schema = schema_from_graph(reified)
+
+        query = AttributedGraph()
+        query.add_vertex(0, "person")
+        query.add_vertex(1, "company")
+        query.add_edge(0, 1)
+        reified_query = reify_query_edge(
+            query, 0, 1, "employment", {"since": ["2015"]}
+        )
+
+        system = PrivacyPreservingSystem.setup(reified, schema, SystemConfig(k=2))
+        outcome = system.query(reified_query)
+        oracle = {
+            match_key(m) for m in find_subgraph_matches(reified_query, reified)
+        }
+        assert {match_key(m) for m in outcome.matches} == oracle
+        assert len(outcome.matches) == 2

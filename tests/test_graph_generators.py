@@ -1,0 +1,137 @@
+"""Unit tests for synthetic graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    cycle_graph,
+    example_query,
+    example_social_network,
+    grid_graph,
+    make_schema,
+    random_attributed_graph,
+    schema_from_graph,
+    star_graph,
+    validate_graph,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_weights_normalized(self):
+        weights = zipf_weights(10, 1.0)
+        assert sum(weights) == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        weights = zipf_weights(5, 1.2)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(w == pytest.approx(0.25) for w in weights)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestRandomAttributedGraph:
+    def test_respects_schema(self):
+        schema = make_schema(3, 2, 5)
+        graph = random_attributed_graph(schema, 80, seed=1)
+        validate_graph(graph, schema)  # raises on violation
+
+    def test_deterministic_for_seed(self):
+        schema = make_schema(2, 1, 4)
+        a = random_attributed_graph(schema, 50, seed=9)
+        b = random_attributed_graph(schema, 50, seed=9)
+        assert a.structure_equal(b)
+
+    def test_different_seeds_differ(self):
+        schema = make_schema(2, 1, 4)
+        a = random_attributed_graph(schema, 50, seed=1)
+        b = random_attributed_graph(schema, 50, seed=2)
+        assert not a.structure_equal(b)
+
+    def test_connected_by_default(self):
+        schema = make_schema(1, 1, 3)
+        graph = random_attributed_graph(schema, 200, edges_per_vertex=1, seed=3)
+        assert graph.is_connected()
+
+    def test_skewed_labels_are_skewed(self):
+        from repro.graph import compute_statistics
+
+        schema = make_schema(1, 1, 10)
+        graph = random_attributed_graph(schema, 500, label_skew=1.5, seed=4)
+        stats = compute_statistics(graph)
+        labels = sorted(schema.labels_of("t0", "t0_a0"))
+        f_first = stats.frequency_of_label("t0", "t0_a0", labels[0])
+        f_last = stats.frequency_of_label("t0", "t0_a0", labels[-1])
+        assert f_first > 3 * f_last
+
+    def test_single_vertex(self):
+        schema = make_schema(1, 1, 2)
+        graph = random_attributed_graph(schema, 1, seed=0)
+        assert graph.vertex_count == 1
+        assert graph.edge_count == 0
+
+    def test_invalid_vertex_count(self):
+        schema = make_schema(1, 1, 2)
+        with pytest.raises(GraphError):
+            random_attributed_graph(schema, 0)
+
+
+class TestRunningExample:
+    def test_figure1_shape(self):
+        graph, schema = example_social_network()
+        assert graph.vertex_count == 8
+        assert graph.edge_count == 10
+        validate_graph(graph, schema)
+
+    def test_figure1_query_shape(self):
+        query = example_query()
+        assert query.vertex_count == 5
+        assert query.edge_count == 4
+        assert query.is_connected()
+
+    def test_query_has_exactly_two_matches(self):
+        """The paper states Q has two matches over G (Example 1)."""
+        from repro.matching import find_subgraph_matches
+
+        graph, _ = example_social_network()
+        matches = find_subgraph_matches(example_query(), graph)
+        assert len(matches) == 2
+
+
+class TestStructuredGenerators:
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.vertex_count == 12
+        assert graph.edge_count == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_cycle(self):
+        graph = cycle_graph(5)
+        assert graph.edge_count == 5
+        assert all(graph.degree(v) == 2 for v in graph.vertex_ids())
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        graph = star_graph(4)
+        assert graph.degree(0) == 4
+        assert graph.edge_count == 4
+
+
+class TestSchemaFromGraph:
+    def test_covers_observed_labels(self, figure1_graph):
+        schema = schema_from_graph(figure1_graph)
+        validate_graph(figure1_graph, schema)
+
+    def test_label_free_type_gets_placeholder(self):
+        from repro.graph import AttributedGraph
+
+        graph = AttributedGraph()
+        graph.add_vertex(0, "bare")
+        schema = schema_from_graph(graph)
+        assert "bare" in schema
+        assert schema.attributes_of("bare")

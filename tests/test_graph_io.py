@@ -1,0 +1,69 @@
+"""Unit tests for graph/schema serialization."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    example_social_network,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_graph,
+    load_schema,
+    make_schema,
+    save_graph,
+    save_schema,
+    serialized_size,
+)
+
+
+class TestGraphRoundTrip:
+    def test_json_round_trip_preserves_everything(self, figure1_graph):
+        restored = graph_from_json(graph_to_json(figure1_graph))
+        assert restored.structure_equal(figure1_graph)
+        assert restored.name == figure1_graph.name
+
+    def test_dict_round_trip_empty_graph(self):
+        from repro.graph import AttributedGraph
+
+        empty = AttributedGraph("empty")
+        restored = graph_from_dict(graph_to_dict(empty))
+        assert restored.vertex_count == 0
+        assert restored.edge_count == 0
+
+    def test_unsupported_version_rejected(self, figure1_graph):
+        data = graph_to_dict(figure1_graph)
+        data["version"] = 999
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
+
+    def test_serialization_is_deterministic(self, figure1_graph):
+        assert graph_to_json(figure1_graph) == graph_to_json(figure1_graph)
+
+    def test_file_round_trip(self, tmp_path, figure1_graph):
+        path = tmp_path / "graph.json"
+        save_graph(figure1_graph, path)
+        assert load_graph(path).structure_equal(figure1_graph)
+
+
+class TestSchemaRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        schema = make_schema(3, 2, 4)
+        path = tmp_path / "schema.json"
+        save_schema(schema, path)
+        assert load_schema(path) == schema
+
+
+class TestSerializedSize:
+    def test_size_grows_with_graph(self):
+        graph, _ = example_social_network()
+        bigger = graph.copy()
+        bigger.add_vertex(100, "person", {"gender": ["male"]})
+        bigger.add_edge(100, 0)
+        assert serialized_size(bigger) > serialized_size(graph)
+
+    def test_size_matches_encoding(self, figure1_graph):
+        assert serialized_size(figure1_graph) == len(
+            graph_to_json(figure1_graph).encode("utf-8")
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for graph schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.graph import GraphSchema, make_schema
+
+
+class TestSchemaConstruction:
+    def test_from_dict_round_trip(self):
+        data = {
+            "person": {"gender": ["male", "female"]},
+            "company": {"company_type": ["internet", "software"]},
+        }
+        schema = GraphSchema.from_dict(data)
+        assert schema.to_dict() == {
+            "person": {"gender": ["female", "male"]},
+            "company": {"company_type": ["internet", "software"]},
+        }
+
+    def test_duplicate_type_rejected(self):
+        schema = GraphSchema()
+        schema.add_type("t", {"a": ["x"]})
+        with pytest.raises(SchemaError):
+            schema.add_type("t", {"a": ["x"]})
+
+    def test_type_without_attributes_rejected(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.add_type("t", {})
+
+    def test_empty_label_universe_rejected(self):
+        schema = GraphSchema()
+        with pytest.raises(SchemaError):
+            schema.add_type("t", {"a": []})
+
+    def test_make_schema_shape(self):
+        schema = make_schema(3, 2, 5)
+        assert len(schema) == 3
+        assert schema.attribute_count() == 6
+        assert schema.label_count() == 30
+        # attribute names are unique across types (Definition 1)
+        all_attrs = [
+            attr for t in schema.type_names for attr in schema.attributes_of(t)
+        ]
+        assert len(all_attrs) == len(set(all_attrs))
+
+
+class TestSchemaQueries:
+    def test_contains_and_type_names(self):
+        schema = make_schema(2, 1, 3)
+        assert "t0" in schema
+        assert "nope" not in schema
+        assert schema.type_names == ["t0", "t1"]
+
+    def test_unknown_type_raises(self):
+        schema = make_schema(1, 1, 3)
+        with pytest.raises(SchemaError):
+            schema.type_spec("missing")
+
+    def test_labels_of(self):
+        schema = GraphSchema.from_dict({"t": {"a": ["x", "y"]}})
+        assert schema.labels_of("t", "a") == frozenset({"x", "y"})
+        with pytest.raises(SchemaError):
+            schema.labels_of("t", "b")
+
+
+class TestVertexValidation:
+    def test_valid_vertex_passes(self):
+        schema = GraphSchema.from_dict({"t": {"a": ["x", "y"]}})
+        schema.validate_vertex("t", {"a": frozenset({"x"})})
+
+    def test_vertex_may_omit_attributes(self):
+        schema = GraphSchema.from_dict({"t": {"a": ["x"], "b": ["z"]}})
+        schema.validate_vertex("t", {})
+
+    def test_unknown_label_rejected(self):
+        schema = GraphSchema.from_dict({"t": {"a": ["x"]}})
+        with pytest.raises(SchemaError):
+            schema.validate_vertex("t", {"a": frozenset({"bogus"})})
+
+    def test_unknown_attribute_rejected(self):
+        schema = GraphSchema.from_dict({"t": {"a": ["x"]}})
+        with pytest.raises(SchemaError):
+            schema.validate_vertex("t", {"other": frozenset({"x"})})
+
+    def test_unknown_type_rejected(self):
+        schema = GraphSchema.from_dict({"t": {"a": ["x"]}})
+        with pytest.raises(SchemaError):
+            schema.validate_vertex("zzz", {})
+
+
+class TestSchemaEquality:
+    def test_equal_schemas(self):
+        a = make_schema(2, 1, 3)
+        b = make_schema(2, 1, 3)
+        assert a == b
+
+    def test_different_schemas(self):
+        assert make_schema(2, 1, 3) != make_schema(2, 1, 4)

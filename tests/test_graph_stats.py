@@ -1,0 +1,140 @@
+"""Unit tests for frequency statistics (Equation 1 of the paper)."""
+
+import pytest
+
+from repro.graph import (
+    AttributedGraph,
+    compute_statistics,
+    degree_histogram,
+    merge_statistics,
+)
+
+
+def labeled_graph() -> AttributedGraph:
+    graph = AttributedGraph()
+    graph.add_vertex(0, "person", {"gender": ["male"]})
+    graph.add_vertex(1, "person", {"gender": ["female"]})
+    graph.add_vertex(2, "person", {"gender": ["male"]})
+    graph.add_vertex(3, "company", {"kind": ["internet"]})
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 3)
+    return graph
+
+
+class TestComputeStatistics:
+    def test_type_frequency(self):
+        stats = compute_statistics(labeled_graph())
+        assert stats.frequency_of_type("person") == pytest.approx(0.75)
+        assert stats.frequency_of_type("company") == pytest.approx(0.25)
+        assert stats.frequency_of_type("missing") == 0.0
+
+    def test_label_frequency_is_conditional_on_type(self):
+        stats = compute_statistics(labeled_graph())
+        # 2 of 3 persons are male
+        assert stats.frequency_of_label("person", "gender", "male") == pytest.approx(
+            2 / 3
+        )
+        assert stats.frequency_of_label("company", "kind", "internet") == 1.0
+        assert stats.frequency_of_label("person", "gender", "zzz") == 0.0
+
+    def test_average_degree(self):
+        stats = compute_statistics(labeled_graph())
+        assert stats.average_degree == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        stats = compute_statistics(AttributedGraph())
+        assert stats.vertex_count == 0
+        assert stats.type_frequency == {}
+        assert stats.frequency_of_type("t") == 0.0
+
+    def test_labels_of_and_attribute_pairs(self):
+        stats = compute_statistics(labeled_graph())
+        assert stats.labels_of("person", "gender") == ["female", "male"]
+        assert stats.attribute_pairs() == [
+            ("company", "kind"),
+            ("person", "gender"),
+        ]
+
+    def test_multi_label_vertices_count_per_label(self):
+        graph = AttributedGraph()
+        graph.add_vertex(0, "t", {"a": ["x", "y"]})
+        stats = compute_statistics(graph)
+        assert stats.frequency_of_label("t", "a", "x") == 1.0
+        assert stats.frequency_of_label("t", "a", "y") == 1.0
+
+
+class TestMergeStatistics:
+    def test_merge_averages_frequencies(self):
+        a = AttributedGraph()
+        a.add_vertex(0, "t", {"a": ["x"]})
+        b = AttributedGraph()
+        b.add_vertex(0, "t", {"a": ["y"]})
+        b.add_vertex(1, "t", {"a": ["y"]})
+        merged = merge_statistics([compute_statistics(a), compute_statistics(b)])
+        # graph a: P(x|t)=1; graph b: P(x|t)=0 -> average 0.5
+        assert merged.frequency_of_label("t", "a", "x") == pytest.approx(0.5, rel=1e-6)
+        assert merged.frequency_of_label("t", "a", "y") == pytest.approx(0.5, rel=1e-6)
+        assert merged.frequency_of_type("t") == pytest.approx(1.0, rel=1e-6)
+
+    def test_merge_empty_list(self):
+        merged = merge_statistics([])
+        assert merged.vertex_count == 0
+
+    def test_merge_weighs_queries_equally(self):
+        small = AttributedGraph()
+        small.add_vertex(0, "t", {"a": ["x"]})
+        big = AttributedGraph()
+        for i in range(10):
+            big.add_vertex(i, "t", {"a": ["y"]})
+        merged = merge_statistics([compute_statistics(small), compute_statistics(big)])
+        # per-query averaging: x gets 0.5 despite the size imbalance
+        assert merged.frequency_of_label("t", "a", "x") == pytest.approx(0.5, rel=1e-6)
+
+
+class TestDegreeHistogram:
+    def test_histogram(self):
+        hist = degree_histogram(labeled_graph())
+        assert hist == {2: 1, 1: 2, 0: 1}
+
+
+class TestZipfEstimation:
+    def test_recovers_known_skew(self):
+        from repro.graph import estimate_zipf_skew, zipf_weights
+
+        for skew in (0.5, 1.0, 1.5):
+            estimated = estimate_zipf_skew(zipf_weights(100, skew))
+            assert estimated == pytest.approx(skew, abs=0.05)
+
+    def test_uniform_distribution_has_zero_skew(self):
+        from repro.graph import estimate_zipf_skew
+
+        assert estimate_zipf_skew([0.25] * 4) == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_inputs(self):
+        from repro.graph import estimate_zipf_skew
+
+        assert estimate_zipf_skew([]) == 0.0
+        assert estimate_zipf_skew([1.0]) == 0.0
+        assert estimate_zipf_skew([0.0, 0.0]) == 0.0
+
+    def test_dataset_analogues_are_zipfian(self):
+        """The paper's observation holds on the generated analogues."""
+        from repro.graph import (
+            compute_statistics,
+            estimate_zipf_skew,
+            label_frequency_spectrum,
+        )
+        from repro.workloads import load_dataset
+
+        dataset = load_dataset("Web-NotreDame", scale=0.3)
+        stats = compute_statistics(dataset.graph)
+        spectrum = label_frequency_spectrum(stats, "page0", "page0_a0")
+        skew = estimate_zipf_skew(spectrum)
+        assert 0.3 < skew < 1.5  # clearly skewed, roughly the configured 0.8
+
+    def test_spectrum_sorted_descending(self):
+        from repro.graph import compute_statistics, label_frequency_spectrum
+
+        stats = compute_statistics(labeled_graph())
+        spectrum = label_frequency_spectrum(stats, "person", "gender")
+        assert spectrum == sorted(spectrum, reverse=True)

@@ -1,0 +1,80 @@
+"""Unit tests for graph/query validation helpers."""
+
+import pytest
+
+from repro.exceptions import QueryError, SchemaError
+from repro.graph import (
+    AttributedGraph,
+    GraphSchema,
+    assert_supergraph,
+    validate_graph,
+    validate_query,
+)
+
+
+def schema() -> GraphSchema:
+    return GraphSchema.from_dict({"t": {"a": ["x", "y"]}})
+
+
+class TestValidateGraph:
+    def test_valid(self):
+        graph = AttributedGraph()
+        graph.add_vertex(0, "t", {"a": ["x"]})
+        validate_graph(graph, schema())
+
+    def test_unknown_type(self):
+        graph = AttributedGraph()
+        graph.add_vertex(0, "other")
+        with pytest.raises(SchemaError):
+            validate_graph(graph, schema())
+
+    def test_unknown_label(self):
+        graph = AttributedGraph()
+        graph.add_vertex(0, "t", {"a": ["zzz"]})
+        with pytest.raises(SchemaError):
+            validate_graph(graph, schema())
+
+
+class TestValidateQuery:
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            validate_query(AttributedGraph())
+
+    def test_disconnected_query_rejected(self):
+        query = AttributedGraph()
+        query.add_vertex(0, "t")
+        query.add_vertex(1, "t")
+        with pytest.raises(QueryError):
+            validate_query(query)
+
+    def test_single_vertex_query_allowed(self):
+        query = AttributedGraph()
+        query.add_vertex(0, "t")
+        validate_query(query)
+
+    def test_schema_violation_becomes_query_error(self):
+        query = AttributedGraph()
+        query.add_vertex(0, "t", {"a": ["bogus"]})
+        with pytest.raises(QueryError):
+            validate_query(query, schema())
+
+
+class TestAssertSupergraph:
+    def test_subgraph_passes(self, figure1_graph):
+        bigger = figure1_graph.copy()
+        bigger.add_vertex(100, "person")
+        bigger.add_edge(100, 0)
+        assert_supergraph(figure1_graph, bigger)
+
+    def test_missing_vertex_fails(self, figure1_graph):
+        small = figure1_graph.copy()
+        small.add_vertex(100, "person")
+        with pytest.raises(SchemaError):
+            assert_supergraph(small, figure1_graph)
+
+    def test_missing_edge_fails(self, figure1_graph):
+        bigger = figure1_graph.copy()
+        small = figure1_graph.copy()
+        small.add_edge(4, 5)  # edge not in bigger
+        with pytest.raises(SchemaError):
+            assert_supergraph(small, bigger)

@@ -1,0 +1,159 @@
+"""Unit tests for BFS ordering, AVT assembly and block alignment."""
+
+from repro.graph import AttributedGraph
+from repro.kauto import align_blocks, bfs_order, build_avt
+from repro.kauto.alignment import label_signature
+from repro.kauto.edge_copy import copy_crossing_edges
+
+
+def two_type_graph() -> AttributedGraph:
+    graph = AttributedGraph()
+    # persons 0-3, companies 4-5
+    for vid in range(4):
+        graph.add_vertex(vid, "person")
+    for vid in (4, 5):
+        graph.add_vertex(vid, "company")
+    graph.add_edge(0, 4)
+    graph.add_edge(1, 4)
+    graph.add_edge(2, 5)
+    graph.add_edge(3, 5)
+    graph.add_edge(0, 1)
+    return graph
+
+
+class TestBfsOrder:
+    def test_covers_all_vertices_once(self):
+        graph = two_type_graph()
+        order = bfs_order(graph, sorted(graph.vertex_ids()))
+        assert sorted(order) == sorted(graph.vertex_ids())
+
+    def test_starts_from_highest_degree(self):
+        graph = two_type_graph()
+        order = bfs_order(graph, sorted(graph.vertex_ids()))
+        assert order[0] in (0, 4)  # degree-3 vertices
+
+    def test_restricted_vertex_set(self):
+        graph = two_type_graph()
+        order = bfs_order(graph, [2, 3, 5])
+        assert sorted(order) == [2, 3, 5]
+
+    def test_deterministic(self):
+        graph = two_type_graph()
+        vertices = sorted(graph.vertex_ids())
+        assert bfs_order(graph, vertices) == bfs_order(graph, vertices)
+
+
+class TestBuildAvt:
+    def test_type_aware_rows(self):
+        graph = two_type_graph()
+        blocks = [[0, 1, 4], [2, 3, 5]]
+        avt, noise_ids, padded = build_avt(graph, blocks)
+        assert avt.k == 2
+        assert not noise_ids  # types perfectly balanced across blocks
+        for row in avt.rows():
+            types = {padded.vertex(v).vertex_type for v in row}
+            assert len(types) == 1
+
+    def test_padding_with_noise_vertices(self):
+        graph = two_type_graph()
+        blocks = [[0, 1, 2, 4], [3, 5]]  # person imbalance 3 vs 1
+        avt, noise_ids, padded = build_avt(graph, blocks)
+        assert len(noise_ids) == 2  # two noise persons in block 1
+        assert padded.vertex_count == graph.vertex_count + 2
+        for noise_id in noise_ids:
+            assert padded.vertex(noise_id).vertex_type == "person"
+            assert padded.vertex(noise_id).labels == {}
+
+    def test_noise_ids_do_not_collide(self):
+        graph = two_type_graph()
+        blocks = [[0, 1, 2, 4], [3, 5]]
+        _, noise_ids, _ = build_avt(graph, blocks)
+        assert min(noise_ids) > max(graph.vertex_ids())
+
+
+class TestLabelAwareAlignment:
+    def labeled_graph(self):
+        graph = AttributedGraph()
+        # two blocks of persons; one "rare" label per block
+        for vid, label in ((0, "x"), (1, "y"), (2, "y"), (3, "x")):
+            graph.add_vertex(vid, "person", {"a": [label]})
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        return graph
+
+    def test_identical_signatures_paired(self):
+        graph = self.labeled_graph()
+        blocks = [[0, 1], [2, 3]]
+        avt, _, _ = build_avt(graph, blocks, label_aware=True)
+        for row in avt.rows():
+            signatures = {label_signature(graph, v) for v in row}
+            assert len(signatures) == 1  # x pairs with x, y with y
+
+    def test_bfs_alignment_may_mix_signatures(self):
+        graph = self.labeled_graph()
+        blocks = [[0, 1], [2, 3]]
+        avt, _, _ = build_avt(graph, blocks, label_aware=False)
+        mixed = any(
+            len({label_signature(graph, v) for v in row}) > 1
+            for row in avt.rows()
+        )
+        # BFS order starts from degree, not labels: 0 pairs with 2 here
+        assert mixed
+
+    def test_label_aware_reduces_group_widening(self, small_graph):
+        """Row-unions produce no wider label sets than BFS alignment."""
+        from repro.kauto import build_k_automorphic_graph
+
+        def total_labels(result):
+            return sum(
+                len(values)
+                for data in result.gk.vertices()
+                for values in data.labels.values()
+            )
+
+        bfs = build_k_automorphic_graph(small_graph, 3, seed=5)
+        aware = build_k_automorphic_graph(
+            small_graph, 3, seed=5, label_aware_alignment=True
+        )
+        assert total_labels(aware) <= total_labels(bfs)
+
+    def test_label_aware_release_is_still_k_automorphic(self, small_graph):
+        from repro.kauto import build_k_automorphic_graph, verify_k_automorphism
+
+        result = build_k_automorphic_graph(
+            small_graph, 3, seed=5, label_aware_alignment=True
+        )
+        verify_k_automorphism(result.gk, result.avt)
+
+
+class TestAlignBlocks:
+    def test_replicates_intra_block_patterns(self):
+        graph = two_type_graph()
+        blocks = [[0, 1, 4], [2, 3, 5]]
+        avt, _, padded = build_avt(graph, blocks)
+        added = align_blocks(padded, avt)
+        # edge (0,1) is intra-block in block 0; its pattern must now
+        # exist in block 1 too
+        f1 = avt.function(1)
+        assert padded.has_edge(f1(0), f1(1))
+        for u, v in added:
+            assert padded.has_edge(u, v)
+
+    def test_alignment_then_copy_yields_automorphism(self):
+        graph = two_type_graph()
+        blocks = [[0, 1, 4], [2, 3, 5]]
+        avt, _, padded = build_avt(graph, blocks)
+        align_blocks(padded, avt)
+        copy_crossing_edges(padded, avt)
+        f1 = avt.function(1)
+        for u, v in padded.edges():
+            assert padded.has_edge(f1(u), f1(v))
+
+    def test_idempotent_on_already_aligned_graph(self):
+        graph = two_type_graph()
+        blocks = [[0, 1, 4], [2, 3, 5]]
+        avt, _, padded = build_avt(graph, blocks)
+        align_blocks(padded, avt)
+        copy_crossing_edges(padded, avt)
+        assert align_blocks(padded, avt) == []
+        assert copy_crossing_edges(padded, avt) == []

@@ -1,0 +1,131 @@
+"""Integration tests: k-automorphism construction and verification."""
+
+import pytest
+
+from repro.exceptions import PartitionError, VerificationError
+from repro.graph import assert_supergraph, example_social_network
+from repro.kauto import (
+    build_k_automorphic_graph,
+    identification_probability,
+    verify_blocks_isomorphic,
+    verify_k_automorphism,
+)
+
+
+class TestBuilderOnRunningExample:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_gk_is_k_automorphic(self, figure1_graph, k):
+        result = build_k_automorphic_graph(figure1_graph, k, seed=1)
+        verify_k_automorphism(result.gk, result.avt)
+        verify_blocks_isomorphic(result.gk, result.avt)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_g_is_subgraph_of_gk(self, figure1_graph, k):
+        result = build_k_automorphic_graph(figure1_graph, k, seed=1)
+        assert_supergraph(figure1_graph, result.gk)
+
+    def test_block_sizes_equal(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 3, seed=1)
+        sizes = {len(result.avt.block(b)) for b in range(3)}
+        assert len(sizes) == 1
+        assert result.gk.vertex_count == 3 * result.avt.row_count
+
+    def test_noise_accounting(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 2, seed=1)
+        assert result.noise_edge_count == (
+            result.gk.edge_count - figure1_graph.edge_count
+        )
+        assert result.noise_vertex_count == (
+            result.gk.vertex_count - figure1_graph.vertex_count
+        )
+        # all noise edge lists refer to real Gk edges
+        for u, v in result.alignment_noise_edges + result.crossing_noise_edges:
+            assert result.gk.has_edge(u, v)
+
+    def test_k_below_two_rejected(self, figure1_graph):
+        with pytest.raises(PartitionError):
+            build_k_automorphic_graph(figure1_graph, 1)
+
+    def test_rows_are_type_homogeneous(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 2, seed=1)
+        for row in result.avt.rows():
+            types = {result.gk.vertex(v).vertex_type for v in row}
+            assert len(types) == 1
+
+    def test_rows_share_label_sets(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 2, seed=1)
+        for row in result.avt.rows():
+            label_sets = {
+                tuple(sorted(result.gk.vertex(v).labels.items()))
+                for v in row
+            }
+            assert len(label_sets) == 1
+
+
+class TestBuilderOnRandomGraphs:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_random_graph_transform(self, small_graph, k):
+        result = build_k_automorphic_graph(small_graph, k, seed=3)
+        verify_k_automorphism(result.gk, result.avt)
+        assert_supergraph(small_graph, result.gk)
+
+    def test_noise_edges_grow_with_k(self, small_graph):
+        """Figure 11's shape: noise edges increase roughly linearly in k."""
+        noise = [
+            build_k_automorphic_graph(small_graph, k, seed=3).noise_edge_count
+            for k in (2, 3, 4, 5)
+        ]
+        assert noise == sorted(noise)
+        assert noise[-1] > noise[0]
+
+    def test_custom_partitioner_is_used(self, small_graph):
+        calls = []
+
+        def stub_partitioner(graph, k):
+            calls.append(k)
+            vertices = sorted(graph.vertex_ids())
+            chunk = (len(vertices) + k - 1) // k
+            return [vertices[i * chunk : (i + 1) * chunk] for i in range(k)]
+
+        result = build_k_automorphic_graph(
+            small_graph, 2, partitioner=stub_partitioner
+        )
+        assert calls == [2]
+        verify_k_automorphism(result.gk, result.avt)
+
+    def test_bad_partitioner_rejected(self, small_graph):
+        def broken(graph, k):
+            return [[], sorted(graph.vertex_ids())[1:]]  # drops a vertex
+
+        with pytest.raises(PartitionError):
+            build_k_automorphic_graph(small_graph, 2, partitioner=broken)
+
+
+class TestVerifierCatchesViolations:
+    def test_missing_edge_image_detected(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 2, seed=1)
+        gk = result.gk
+        # remove one noise edge's image to break the symmetry
+        u, v = result.alignment_noise_edges[0]
+        gk.remove_edge(u, v)
+        with pytest.raises(VerificationError):
+            verify_k_automorphism(gk, result.avt)
+
+    def test_label_divergence_detected(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 2, seed=1)
+        row = next(iter(result.avt.rows()))
+        result.gk.set_vertex_labels(row[0], {"rogue": ["label"]})
+        with pytest.raises(VerificationError):
+            verify_k_automorphism(result.gk, result.avt)
+
+    def test_avt_coverage_mismatch_detected(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 2, seed=1)
+        result.gk.add_vertex(99_999, "person")
+        with pytest.raises(VerificationError):
+            verify_k_automorphism(result.gk, result.avt)
+
+
+class TestPrivacyBound:
+    def test_identification_probability(self, figure1_graph):
+        result = build_k_automorphic_graph(figure1_graph, 4, seed=1)
+        assert identification_probability(result.avt) == 0.25

@@ -1,0 +1,131 @@
+"""Unit tests for the multilevel partitioner (METIS substitute)."""
+
+import pytest
+
+from repro.exceptions import PartitionError
+from repro.graph import grid_graph, make_schema, random_attributed_graph
+from repro.kauto import cut_size, partition_graph, validate_partition
+
+
+class TestPartitionBasics:
+    def test_blocks_partition_the_graph(self, small_graph):
+        for k in (2, 3, 5):
+            blocks = partition_graph(small_graph, k, seed=1)
+            validate_partition(small_graph, blocks, k)
+
+    def test_k1_returns_everything(self, small_graph):
+        blocks = partition_graph(small_graph, 1)
+        assert blocks == [sorted(small_graph.vertex_ids())]
+
+    def test_invalid_k(self, small_graph):
+        with pytest.raises(PartitionError):
+            partition_graph(small_graph, 0)
+
+    def test_empty_graph(self):
+        from repro.graph import AttributedGraph
+
+        blocks = partition_graph(AttributedGraph(), 3)
+        assert blocks == [[], [], []]
+
+    def test_deterministic_for_seed(self, small_graph):
+        a = partition_graph(small_graph, 3, seed=7)
+        b = partition_graph(small_graph, 3, seed=7)
+        assert a == b
+
+    def test_tiny_graph_fewer_vertices_than_k(self):
+        from repro.graph import AttributedGraph
+
+        graph = AttributedGraph()
+        graph.add_vertex(0, "t")
+        graph.add_vertex(1, "t")
+        graph.add_edge(0, 1)
+        blocks = partition_graph(graph, 4, seed=0)
+        validate_partition(graph, blocks, 4)
+
+
+class TestPartitionQuality:
+    def test_roughly_balanced(self, medium_graph):
+        k = 4
+        blocks = partition_graph(medium_graph, k, seed=2)
+        sizes = [len(b) for b in blocks]
+        target = medium_graph.vertex_count / k
+        assert max(sizes) <= 1.5 * target
+        assert min(sizes) >= 0.4 * target
+
+    def test_beats_random_partition_on_cut(self, medium_graph):
+        import random
+
+        k = 3
+        blocks = partition_graph(medium_graph, k, seed=4)
+        smart_cut = cut_size(medium_graph, blocks)
+
+        rng = random.Random(4)
+        vertices = sorted(medium_graph.vertex_ids())
+        rng.shuffle(vertices)
+        chunk = (len(vertices) + k - 1) // k
+        random_blocks = [vertices[i * chunk : (i + 1) * chunk] for i in range(k)]
+        random_cut = cut_size(medium_graph, random_blocks)
+        assert smart_cut < random_cut
+
+    def test_grid_bisection_is_clean(self):
+        # a 4x16 grid has a 4-edge optimal bisection; the multilevel
+        # partitioner should get within a small factor of it
+        graph = grid_graph(4, 16)
+        blocks = partition_graph(graph, 2, seed=0)
+        assert cut_size(graph, blocks) <= 16
+
+    def test_recovers_planted_communities(self):
+        """On an SBM with strong communities the partitioner should cut
+        close to the planted partition's cut."""
+        from repro.graph import planted_partition_graph
+
+        graph, planted = planted_partition_graph(
+            communities=3,
+            community_size=30,
+            p_within=0.3,
+            p_between=0.01,
+            seed=5,
+        )
+        planted_cut = cut_size(graph, planted)
+        blocks = partition_graph(graph, 3, seed=5)
+        found_cut = cut_size(graph, blocks)
+        assert found_cut <= 1.6 * max(planted_cut, 1)
+
+    def test_planted_generator_shape(self):
+        from repro.graph import planted_partition_graph
+
+        graph, planted = planted_partition_graph(2, 10, 0.5, 0.05, seed=1)
+        assert graph.vertex_count == 20
+        assert [len(b) for b in planted] == [10, 10]
+        within = sum(
+            1
+            for u, v in graph.edges()
+            if (u < 10) == (v < 10)
+        )
+        between = graph.edge_count - within
+        assert within > between
+
+
+class TestValidatePartition:
+    def test_wrong_block_count(self, small_graph):
+        blocks = partition_graph(small_graph, 2, seed=0)
+        with pytest.raises(PartitionError):
+            validate_partition(small_graph, blocks, 3)
+
+    def test_duplicate_vertex(self, small_graph):
+        blocks = partition_graph(small_graph, 2, seed=0)
+        blocks[0].append(blocks[1][0])
+        with pytest.raises(PartitionError):
+            validate_partition(small_graph, blocks, 2)
+
+    def test_missing_vertex(self, small_graph):
+        blocks = partition_graph(small_graph, 2, seed=0)
+        blocks[0] = blocks[0][:-1]
+        with pytest.raises(PartitionError):
+            validate_partition(small_graph, blocks, 2)
+
+    def test_unknown_vertex(self, small_graph):
+        blocks = partition_graph(small_graph, 2, seed=0)
+        blocks[0].append(10_000)
+        with pytest.raises(PartitionError):
+            validate_partition(small_graph, blocks, 2)

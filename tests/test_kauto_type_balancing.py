@@ -1,0 +1,80 @@
+"""Tests for the type-balancing partition post-pass."""
+
+import pytest
+
+from repro.graph import make_schema, random_attributed_graph
+from repro.kauto import (
+    build_k_automorphic_graph,
+    partition_graph,
+    validate_partition,
+    verify_k_automorphism,
+)
+from repro.kauto.partition import balance_types
+
+
+def type_counts(graph, blocks):
+    counts = []
+    for block in blocks:
+        per_type = {}
+        for vid in block:
+            t = graph.vertex(vid).vertex_type
+            per_type[t] = per_type.get(t, 0) + 1
+        counts.append(per_type)
+    return counts
+
+
+class TestBalanceTypes:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_per_type_counts_within_one(self, small_graph, k):
+        blocks = partition_graph(small_graph, k, seed=2)
+        balanced = balance_types(small_graph, blocks)
+        validate_partition(small_graph, balanced, k)
+        counts = type_counts(small_graph, balanced)
+        types = {t for c in counts for t in c}
+        for t in types:
+            values = [c.get(t, 0) for c in counts]
+            assert max(values) - min(values) <= 1
+
+    def test_k1_passthrough(self, small_graph):
+        blocks = [sorted(small_graph.vertex_ids())]
+        assert balance_types(small_graph, blocks) == blocks
+
+    def test_cut_stays_reasonable(self, medium_graph):
+        from repro.kauto import cut_size
+
+        blocks = partition_graph(medium_graph, 3, seed=2)
+        before = cut_size(medium_graph, blocks)
+        balanced = balance_types(medium_graph, blocks)
+        after = cut_size(medium_graph, balanced)
+        # moving a few low-connectivity vertices must not explode the cut
+        assert after <= before + 2 * medium_graph.average_degree() * 30
+
+    def test_divisible_types_need_zero_padding(self):
+        schema = make_schema(3, 2, 6)
+        graph = random_attributed_graph(schema, 300, 3, seed=7)
+        result = build_k_automorphic_graph(graph, 2, seed=3)
+        # 300 vertices, 3 types: counts may not divide evenly by 2, but
+        # padding is at most (k-1) per type
+        assert result.noise_vertex_count <= (2 - 1) * 3
+
+    def test_disabled_balancing_matches_legacy(self):
+        schema = make_schema(3, 2, 6)
+        graph = random_attributed_graph(schema, 120, 2, seed=9)
+        legacy = build_k_automorphic_graph(graph, 3, seed=1, type_balancing=False)
+        balanced = build_k_automorphic_graph(graph, 3, seed=1, type_balancing=True)
+        verify_k_automorphism(legacy.gk, legacy.avt)
+        verify_k_automorphism(balanced.gk, balanced.avt)
+        assert balanced.noise_vertex_count <= legacy.noise_vertex_count
+
+    def test_pipeline_exact_with_balancing(self, small_graph, small_schema):
+        from repro import PrivacyPreservingSystem, SystemConfig
+        from repro.matching import find_subgraph_matches, match_key
+        from repro.workloads import random_walk_query
+
+        query = random_walk_query(small_graph, 3, seed=4)
+        system = PrivacyPreservingSystem.setup(
+            small_graph, small_schema, SystemConfig(k=3)
+        )
+        outcome = system.query(query)
+        oracle = {match_key(m) for m in find_subgraph_matches(query, small_graph)}
+        assert {match_key(m) for m in outcome.matches} == oracle

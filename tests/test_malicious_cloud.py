@@ -1,0 +1,93 @@
+"""Robustness of the client against a misbehaving cloud.
+
+The paper assumes an honest-but-curious cloud.  These tests check the
+precise integrity property that assumption buys and what survives
+without it:
+
+* **soundness without trust** — whatever the cloud returns (bogus
+  matches, tampered ids, duplicated rows), the client's filter never
+  emits anything outside the true ``R(Q, G)``;
+* **completeness needs honesty** — a cloud that *omits* results causes
+  silent under-reporting; the client cannot detect omission (this is
+  the documented limit of the threat model).
+"""
+
+import random
+
+import pytest
+
+from repro import PrivacyPreservingSystem, SystemConfig
+from repro.graph import example_query, example_social_network
+from repro.matching import find_subgraph_matches, match_key
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    graph, schema = example_social_network()
+    system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+    query = example_query()
+    oracle = {match_key(m) for m in find_subgraph_matches(query, graph)}
+    answer = system.cloud.answer(system.client.prepare_query(query))
+    return graph, system, query, oracle, answer
+
+
+def client_output(system, query, matches, expanded=False):
+    outcome = system.client.process_answer(query, matches, expanded)
+    return {match_key(m) for m in outcome.matches}
+
+
+class TestSoundnessAgainstTampering:
+    def test_injected_garbage_matches_filtered(self, deployment):
+        graph, system, query, oracle, answer = deployment
+        rng = random.Random(0)
+        bogus = []
+        ids = sorted(system.cloud.graph.vertex_ids())
+        for _ in range(50):
+            bogus.append({q: rng.choice(ids) for q in query.vertex_ids()})
+        tampered = answer.matches + bogus
+        assert client_output(system, query, tampered) == oracle
+
+    def test_swapped_assignments_filtered(self, deployment):
+        graph, system, query, oracle, answer = deployment
+        tampered = []
+        for match in answer.matches:
+            twisted = dict(match)
+            keys = sorted(twisted)
+            twisted[keys[0]], twisted[keys[1]] = twisted[keys[1]], twisted[keys[0]]
+            tampered.append(twisted)
+        # swapping roles breaks type/edge constraints -> nothing extra
+        assert client_output(system, query, answer.matches + tampered) == oracle
+
+    def test_duplicated_rows_do_not_duplicate_results(self, deployment):
+        graph, system, query, oracle, answer = deployment
+        outcome = system.client.process_answer(
+            query, answer.matches * 3, already_expanded=False
+        )
+        assert {match_key(m) for m in outcome.matches} == oracle
+        assert len(outcome.matches) == len(oracle)
+
+    def test_out_of_range_ids_filtered(self, deployment):
+        graph, system, query, oracle, answer = deployment
+        bogus = [{q: 10_000 + q for q in query.vertex_ids()}]
+        assert client_output(system, query, answer.matches + bogus) == oracle
+
+    def test_fully_adversarial_answer_yields_subset(self, deployment):
+        """Even a completely fabricated answer can only shrink results."""
+        graph, system, query, oracle, _ = deployment
+        rng = random.Random(7)
+        fabricated = [
+            {q: rng.randrange(0, 20) for q in query.vertex_ids()} for _ in range(200)
+        ]
+        assert client_output(system, query, fabricated) <= oracle
+
+
+class TestCompletenessNeedsHonesty:
+    def test_omission_is_undetectable(self, deployment):
+        graph, system, query, oracle, answer = deployment
+        partial = answer.matches[:-1] if answer.matches else []
+        result = client_output(system, query, partial)
+        # the client returns a subset without error — the documented
+        # limit of honest-but-curious
+        assert result <= oracle
+        if answer.matches:
+            assert len(result) <= len(oracle)

@@ -1,0 +1,136 @@
+"""Tests for the bitset-accelerated matcher (equivalence + speed sanity)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    AttributedGraph,
+    cycle_graph,
+    grid_graph,
+    make_schema,
+    random_attributed_graph,
+)
+from repro.matching import find_subgraph_matches, match_key
+from repro.matching.bitset import BitsetMatcher, find_subgraph_matches_bitset
+from repro.workloads import random_walk_query
+
+
+def keys(matches):
+    return {match_key(m) for m in matches}
+
+
+class TestBasicEquivalence:
+    def test_triangle(self, triangle):
+        assert len(find_subgraph_matches_bitset(triangle, triangle)) == 6
+
+    def test_path_in_grid(self):
+        query = AttributedGraph()
+        for vid in range(3):
+            query.add_vertex(vid, "t0")
+        query.add_edge(0, 1)
+        query.add_edge(1, 2)
+        data = grid_graph(3, 3)
+        assert keys(find_subgraph_matches_bitset(query, data)) == keys(
+            find_subgraph_matches(query, data)
+        )
+
+    def test_labels_respected(self):
+        data = AttributedGraph()
+        data.add_vertex(0, "t", {"a": ["x", "y"]})
+        data.add_vertex(1, "t", {"a": ["x"]})
+        data.add_edge(0, 1)
+        query = AttributedGraph()
+        query.add_vertex(0, "t", {"a": ["y"]})
+        query.add_vertex(1, "t")
+        query.add_edge(0, 1)
+        matches = find_subgraph_matches_bitset(query, data)
+        assert len(matches) == 1 and matches[0][0] == 0
+
+    def test_limit(self, triangle):
+        assert len(find_subgraph_matches_bitset(triangle, triangle, limit=2)) == 2
+
+    def test_empty_query_rejected(self, triangle):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            find_subgraph_matches_bitset(AttributedGraph(), triangle)
+
+    def test_no_candidates_short_circuits(self, triangle):
+        query = AttributedGraph()
+        query.add_vertex(0, "other-type")
+        assert find_subgraph_matches_bitset(query, triangle) == []
+
+    def test_matcher_reuse_across_queries(self):
+        data = cycle_graph(8)
+        matcher = BitsetMatcher(data)
+        q2 = AttributedGraph()
+        q2.add_vertex(0, "t0")
+        q2.add_vertex(1, "t0")
+        q2.add_edge(0, 1)
+        assert matcher.count_matches(q2) == 16
+        q3 = AttributedGraph()
+        for vid in range(3):
+            q3.add_vertex(vid, "t0")
+        q3.add_edge(0, 1)
+        q3.add_edge(1, 2)
+        assert matcher.count_matches(q3) == 16
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(10, 45),
+        edges=st.integers(1, 5),
+    )
+    def test_equals_reference_matcher(self, seed, n, edges):
+        schema = make_schema(2, 1, 4)
+        data = random_attributed_graph(schema, n, edges_per_vertex=2, seed=seed)
+        query = random_walk_query(data, edges, seed=seed + 1)
+        assert keys(find_subgraph_matches_bitset(query, data)) == keys(
+            find_subgraph_matches(query, data)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_unlabeled_random_graphs(self, seed):
+        rng = random.Random(seed)
+        data = AttributedGraph()
+        n = rng.randint(6, 12)
+        for vid in range(n):
+            data.add_vertex(vid, "t")
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.35:
+                    data.add_edge(u, v)
+        query = cycle_graph(rng.choice([3, 4]), vertex_type="t")
+        assert keys(find_subgraph_matches_bitset(query, data)) == keys(
+            find_subgraph_matches(query, data)
+        )
+
+
+class TestSpeedSanity:
+    def test_not_dramatically_slower_than_reference(self):
+        """Rough guard: the bitset engine should not regress badly."""
+        import time
+
+        schema = make_schema(1, 1, 30)
+        data = random_attributed_graph(
+            schema, 400, edges_per_vertex=3, labels_per_vertex=2, seed=2
+        )
+        queries = [random_walk_query(data, 6, seed=s) for s in range(6)]
+
+        started = time.perf_counter()
+        reference = [keys(find_subgraph_matches(q, data)) for q in queries]
+        reference_seconds = time.perf_counter() - started
+
+        matcher = BitsetMatcher(data)
+        started = time.perf_counter()
+        fast = [keys(matcher.find_matches(q)) for q in queries]
+        bitset_seconds = time.perf_counter() - started
+
+        assert fast == reference
+        assert bitset_seconds < 3 * reference_seconds + 0.05

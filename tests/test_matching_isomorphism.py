@@ -1,0 +1,172 @@
+"""Unit tests for the VF2-style subgraph matcher.
+
+Includes a cross-check against networkx's GraphMatcher
+(subgraph *monomorphisms* — the same non-induced semantics as
+Definition 2) on random unlabeled graphs.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph import AttributedGraph, cycle_graph, grid_graph, star_graph
+from repro.matching import (
+    are_isomorphic,
+    count_matches,
+    find_subgraph_matches,
+    has_subgraph_match,
+    iter_subgraph_matches,
+)
+
+
+def path_graph(n: int, vertex_type: str = "t0") -> AttributedGraph:
+    graph = AttributedGraph()
+    for vid in range(n):
+        graph.add_vertex(vid, vertex_type)
+    for vid in range(n - 1):
+        graph.add_edge(vid, vid + 1)
+    return graph
+
+
+class TestBasicMatching:
+    def test_triangle_in_triangle_has_six_matches(self, triangle):
+        # 3! automorphisms of a labeled-by-id triangle
+        assert count_matches(triangle, triangle) == 6
+
+    def test_edge_in_triangle(self, triangle):
+        edge = path_graph(2)
+        assert count_matches(edge, triangle) == 6  # 3 edges x 2 directions
+
+    def test_path_in_cycle(self):
+        assert count_matches(path_graph(3), cycle_graph(5)) == 10
+
+    def test_no_match_when_query_larger(self, triangle):
+        assert not has_subgraph_match(cycle_graph(4), triangle)
+
+    def test_square_not_in_triangle_but_in_grid(self, triangle):
+        square = cycle_graph(4)
+        assert not has_subgraph_match(square, triangle)
+        assert has_subgraph_match(square, grid_graph(2, 2))
+
+    def test_non_induced_semantics(self):
+        """A path of 3 must match inside a triangle (extra edge allowed)."""
+        assert has_subgraph_match(path_graph(3), cycle_graph(3))
+
+    def test_empty_query_rejected(self, triangle):
+        with pytest.raises(QueryError):
+            list(iter_subgraph_matches(AttributedGraph(), triangle))
+
+    def test_limit(self, triangle):
+        assert len(find_subgraph_matches(triangle, triangle, limit=2)) == 2
+
+    def test_matches_are_injective(self, triangle):
+        for match in find_subgraph_matches(path_graph(3), cycle_graph(4)):
+            assert len(set(match.values())) == len(match)
+
+    def test_candidate_filter(self, triangle):
+        # anchor query vertex 0 onto data vertex 0 only
+        matches = find_subgraph_matches(
+            triangle, triangle, candidate_filter=lambda q, v: q != 0 or v == 0
+        )
+        assert len(matches) == 2
+        assert all(m[0] == 0 for m in matches)
+
+
+class TestTypedAndLabeledMatching:
+    def test_type_mismatch_blocks(self):
+        query = path_graph(2, vertex_type="a")
+        data = path_graph(2, vertex_type="b")
+        assert not has_subgraph_match(query, data)
+
+    def test_label_containment(self):
+        data = AttributedGraph()
+        data.add_vertex(0, "t", {"a": ["x", "y"]})
+        data.add_vertex(1, "t", {"a": ["x"]})
+        data.add_edge(0, 1)
+
+        query = AttributedGraph()
+        query.add_vertex(0, "t", {"a": ["y"]})
+        query.add_vertex(1, "t")
+        query.add_edge(0, 1)
+
+        matches = find_subgraph_matches(query, data)
+        assert len(matches) == 1
+        assert matches[0][0] == 0
+
+    def test_figure1_matches(self, figure1_graph, figure1_query):
+        matches = find_subgraph_matches(figure1_query, figure1_graph)
+        assert len(matches) == 2
+        # the two matches map q3 (school, Illinois) to s1 (vertex 6)
+        assert all(m[2] == 6 for m in matches)
+        # persons: (p1, p3) in both orders consistent with company types
+        mapped_pairs = {(m[1], m[4]) for m in matches}
+        assert mapped_pairs == {(0, 2), (1, 2)} or len(mapped_pairs) == 2
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_match_counts_equal_networkx_monomorphisms(self, trial):
+        rng = random.Random(trial)
+        n_data = rng.randint(6, 9)
+        data_nx = nx.gnp_random_graph(n_data, 0.4, seed=trial)
+        # random connected query: take a BFS tree edge sample
+        query_n = rng.randint(2, 4)
+        query_nx = nx.path_graph(query_n)
+        if rng.random() < 0.5 and query_n >= 3:
+            query_nx.add_edge(0, query_n - 1)  # close a cycle sometimes
+
+        data = AttributedGraph()
+        for v in data_nx.nodes:
+            data.add_vertex(v, "t")
+        for u, v in data_nx.edges:
+            data.add_edge(u, v)
+        query = AttributedGraph()
+        for v in query_nx.nodes:
+            query.add_vertex(v, "t")
+        for u, v in query_nx.edges:
+            query.add_edge(u, v)
+
+        ours = count_matches(query, data)
+        matcher = nx.algorithms.isomorphism.GraphMatcher(data_nx, query_nx)
+        theirs = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+        assert ours == theirs
+
+
+class TestAreIsomorphic:
+    def test_identical_graphs(self, triangle):
+        assert are_isomorphic(triangle, triangle.copy())
+
+    def test_relabeled_graphs(self):
+        graph = grid_graph(2, 3)
+        mapping = {v: v + 100 for v in graph.vertex_ids()}
+        assert are_isomorphic(graph, graph.relabeled(mapping))
+
+    def test_different_edge_counts(self):
+        assert not are_isomorphic(path_graph(3), cycle_graph(3))
+
+    def test_same_counts_different_structure(self):
+        # star with 3 leaves vs path of 4: same |V|, |E|, different degrees
+        assert not are_isomorphic(star_graph(3), path_graph(4))
+
+    def test_disconnected_graphs(self):
+        a = path_graph(2)
+        a.add_vertex(10, "t0")
+        a.add_vertex(11, "t0")
+        a.add_edge(10, 11)
+        b = path_graph(2)
+        b.add_vertex(20, "t0")
+        b.add_vertex(21, "t0")
+        b.add_edge(20, 21)
+        assert are_isomorphic(a, b)
+
+    def test_empty_graphs(self):
+        assert are_isomorphic(AttributedGraph(), AttributedGraph())
+
+    def test_label_sensitive(self):
+        a = AttributedGraph()
+        a.add_vertex(0, "t", {"a": ["x"]})
+        b = AttributedGraph()
+        b.add_vertex(0, "t", {"a": ["y"]})
+        assert not are_isomorphic(a, b)

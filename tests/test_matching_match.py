@@ -1,0 +1,55 @@
+"""Unit tests for match records and helpers."""
+
+from repro.matching import (
+    apply_mapping,
+    dedupe_matches,
+    is_injective,
+    match_key,
+    matches_to_rows,
+    rows_to_matches,
+)
+
+
+class TestMatchKey:
+    def test_key_is_order_insensitive(self):
+        assert match_key({1: 10, 0: 20}) == match_key({0: 20, 1: 10})
+
+    def test_key_distinguishes_different_matches(self):
+        assert match_key({0: 1}) != match_key({0: 2})
+
+
+class TestDedupe:
+    def test_duplicates_removed_preserving_order(self):
+        matches = [{0: 1}, {0: 2}, {0: 1}]
+        assert dedupe_matches(matches) == [{0: 1}, {0: 2}]
+
+    def test_empty(self):
+        assert dedupe_matches([]) == []
+
+
+class TestInjectivity:
+    def test_injective(self):
+        assert is_injective({0: 1, 1: 2})
+
+    def test_not_injective(self):
+        assert not is_injective({0: 1, 1: 1})
+
+    def test_empty_is_injective(self):
+        assert is_injective({})
+
+
+class TestApplyMapping:
+    def test_applies_to_values_only(self):
+        match = {0: 10, 1: 11}
+        shifted = apply_mapping(match, lambda v: v + 100)
+        assert shifted == {0: 110, 1: 111}
+        assert match == {0: 10, 1: 11}  # original untouched
+
+
+class TestTabularForm:
+    def test_round_trip(self):
+        matches = [{0: 5, 1: 6}, {0: 7, 1: 8}]
+        order = [1, 0]
+        rows = matches_to_rows(matches, order)
+        assert rows == [[6, 5], [8, 7]]
+        assert rows_to_matches(rows, order) == matches

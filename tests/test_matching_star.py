@@ -1,0 +1,74 @@
+"""Unit tests for star graphs and decompositions."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph import example_query
+from repro.matching import Decomposition, Star, star_as_graph, star_of
+
+
+class TestStarOf:
+    def test_star_contains_all_adjacent_edges(self):
+        query = example_query()
+        star = star_of(query, 1)  # person adjacent to company 0 and school 2
+        assert star.center == 1
+        assert star.leaves == (0, 2)
+        assert star.edge_set == {(0, 1), (1, 2)}
+
+    def test_unknown_center_raises(self):
+        with pytest.raises(QueryError):
+            star_of(example_query(), 99)
+
+    def test_vertex_order_center_first(self):
+        star = Star(center=3, leaves=(1, 5))
+        assert star.vertex_order == [3, 1, 5]
+
+    def test_overlaps(self):
+        star = Star(center=3, leaves=(1, 5))
+        assert star.overlaps({1})
+        assert star.overlaps({3})
+        assert not star.overlaps({2, 7})
+
+
+class TestStarAsGraph:
+    def test_materialized_star_shape(self):
+        query = example_query()
+        graph = star_as_graph(query, star_of(query, 1))
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 2
+        assert graph.degree(1) == 2
+
+    def test_leaf_to_leaf_edges_excluded(self):
+        from repro.graph import AttributedGraph
+
+        query = AttributedGraph()
+        for vid in range(3):
+            query.add_vertex(vid, "t")
+        query.add_edge(0, 1)
+        query.add_edge(0, 2)
+        query.add_edge(1, 2)  # leaf-leaf edge for star at 0
+        graph = star_as_graph(query, star_of(query, 0))
+        assert not graph.has_edge(1, 2)
+        assert graph.edge_count == 2
+
+    def test_labels_preserved(self):
+        query = example_query()
+        graph = star_as_graph(query, star_of(query, 1))
+        assert graph.vertex(0).labels == query.vertex(0).labels
+
+
+class TestDecomposition:
+    def test_covers_detects_missing_edge(self):
+        query = example_query()
+        partial = Decomposition(stars=[star_of(query, 1)])
+        assert not partial.covers(query)
+        full = Decomposition(stars=[star_of(query, 1), star_of(query, 4)])
+        assert full.covers(query)
+
+    def test_total_estimated_cost(self):
+        query = example_query()
+        decomposition = Decomposition(
+            stars=[star_of(query, 1), star_of(query, 4)],
+            estimated_sizes={1: 10.0, 4: 5.0, 2: 99.0},
+        )
+        assert decomposition.total_estimated_cost() == 15.0

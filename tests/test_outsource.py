@@ -1,0 +1,73 @@
+"""Unit tests for the outsourced graph Go (Definition 5)."""
+
+import pytest
+
+from repro.kauto import build_k_automorphic_graph
+from repro.outsource import (
+    build_outsourced_graph,
+    compression_ratio,
+    recover_gk,
+)
+
+
+@pytest.fixture(params=[2, 3, 4])
+def transform(figure1_graph, request):
+    return build_k_automorphic_graph(figure1_graph, request.param, seed=1)
+
+
+class TestGoConstruction:
+    def test_go_contains_block_and_neighbors(self, transform):
+        outsourced = build_outsourced_graph(transform.gk, transform.avt)
+        block = set(transform.avt.first_block())
+        assert block <= outsourced.graph.vertex_id_set()
+        for vid in block:
+            assert transform.gk.neighbors(vid) <= outsourced.graph.vertex_id_set()
+
+    def test_go_edges_are_incident_to_block(self, transform):
+        outsourced = build_outsourced_graph(transform.gk, transform.avt)
+        block = outsourced.block_set
+        for u, v in outsourced.graph.edges():
+            assert u in block or v in block
+
+    def test_n1_to_n1_edges_excluded(self, transform):
+        outsourced = build_outsourced_graph(transform.gk, transform.avt)
+        block = outsourced.block_set
+        neighbor_edges_in_gk = [
+            (u, v)
+            for u, v in transform.gk.edges()
+            if u not in block and v not in block
+        ]
+        for u, v in neighbor_edges_in_gk:
+            assert not outsourced.graph.has_edge(u, v)
+
+    def test_go_smaller_than_gk(self, transform):
+        outsourced = build_outsourced_graph(transform.gk, transform.avt)
+        if transform.k >= 2:
+            assert outsourced.edge_count < transform.gk.edge_count
+
+    def test_labels_preserved(self, transform):
+        outsourced = build_outsourced_graph(transform.gk, transform.avt)
+        for data in outsourced.graph.vertices():
+            original = transform.gk.vertex(data.vertex_id)
+            assert data.labels == original.labels
+            assert data.vertex_type == original.vertex_type
+
+
+class TestRecovery:
+    def test_gk_exactly_recoverable(self, transform):
+        """The paper's key claim: Gk = recover(Go, AVT)."""
+        outsourced = build_outsourced_graph(transform.gk, transform.avt)
+        recovered = recover_gk(outsourced, transform.avt)
+        assert recovered.structure_equal(transform.gk)
+
+
+class TestCompression:
+    def test_ratio_shrinks_with_k(self, figure1_graph, small_graph):
+        ratios = []
+        for k in (2, 3, 4, 5):
+            result = build_k_automorphic_graph(small_graph, k, seed=2)
+            outsourced = build_outsourced_graph(result.gk, result.avt)
+            ratios.append(compression_ratio(outsourced, result.gk))
+        # |E(Go)|/|E(Gk)| should fall as k grows (Figure 12's shape)
+        assert ratios[-1] < ratios[0]
+        assert all(0 < r <= 1 for r in ratios)

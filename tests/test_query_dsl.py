@@ -1,0 +1,118 @@
+"""Tests for the query pattern DSL."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.matching import find_subgraph_matches
+from repro.query import parse_pattern
+
+
+class TestParsing:
+    def test_single_edge(self):
+        parsed = parse_pattern("(a:person)-(b:company)")
+        graph = parsed.graph
+        assert graph.vertex_count == 2
+        assert graph.edge_count == 1
+        assert graph.vertex(parsed.vertex_of("a")).vertex_type == "person"
+        assert graph.vertex(parsed.vertex_of("b")).vertex_type == "company"
+
+    def test_chain(self):
+        parsed = parse_pattern("(a:t)-(b:t)-(c:t)")
+        assert parsed.graph.edge_count == 2
+        assert parsed.graph.degree(parsed.vertex_of("b")) == 2
+
+    def test_labels(self):
+        parsed = parse_pattern("(a:person {gender=male, occupation=engineer|manager})")
+        labels = parsed.graph.vertex(parsed.vertex_of("a")).labels
+        assert labels["gender"] == frozenset({"male"})
+        assert labels["occupation"] == frozenset({"engineer", "manager"})
+
+    def test_reuse_by_name(self):
+        parsed = parse_pattern(
+            """
+            (a:person)-(b:company)
+            (a)-(c:school)
+            """
+        )
+        assert parsed.graph.vertex_count == 3
+        assert parsed.graph.degree(parsed.vertex_of("a")) == 2
+
+    def test_semicolon_separator_and_comments(self):
+        parsed = parse_pattern("# people\n(a:t)-(b:t); (b)-(c:t)")
+        assert parsed.graph.vertex_count == 3
+
+    def test_label_merging_across_mentions(self):
+        parsed = parse_pattern("(a:t {x=1})-(b:t)\n(a {x=2})-(c:t)")
+        labels = parsed.graph.vertex(parsed.vertex_of("a")).labels
+        assert labels["x"] == frozenset({"1", "2"})
+
+    def test_whitespace_tolerance(self):
+        parsed = parse_pattern("(  a : t  { x = 1 } ) - ( b : t )")
+        assert parsed.graph.edge_count == 1
+
+
+class TestErrors:
+    def test_empty_pattern(self):
+        with pytest.raises(QueryError):
+            parse_pattern("   \n  ")
+
+    def test_unknown_node_reference(self):
+        parsed = parse_pattern("(a:t)-(b:t)")
+        with pytest.raises(QueryError):
+            parsed.vertex_of("zzz")
+
+    def test_untyped_first_mention(self):
+        with pytest.raises(QueryError):
+            parse_pattern("(a)-(b:t)")
+
+    def test_conflicting_types(self):
+        with pytest.raises(QueryError):
+            parse_pattern("(a:t1)-(b:t)\n(a:t2)-(b)")
+
+    def test_self_loop(self):
+        with pytest.raises(QueryError):
+            parse_pattern("(a:t)-(a)")
+
+    def test_malformed_labels(self):
+        with pytest.raises(QueryError):
+            parse_pattern("(a:t {oops})")
+        with pytest.raises(QueryError):
+            parse_pattern("(a:t {=v})")
+        with pytest.raises(QueryError):
+            parse_pattern("(a:t {x=})")
+
+    def test_garbage_between_nodes(self):
+        with pytest.raises(QueryError):
+            parse_pattern("(a:t) => (b:t)")
+
+    def test_disconnected_pattern(self):
+        with pytest.raises(QueryError):
+            parse_pattern("(a:t)-(b:t)\n(c:t)-(d:t)")
+
+
+class TestSemantics:
+    def test_figure1_query_via_dsl(self, figure1_graph):
+        """The running-example query expressed in the DSL matches G."""
+        parsed = parse_pattern(
+            """
+            (c1:company {company_type=internet})-(p1:person)
+            (p1)-(s:school {located_in=illinois})
+            (p2:person)-(s)
+            (p2)-(c2:company {company_type=software})
+            """
+        )
+        matches = find_subgraph_matches(parsed.graph, figure1_graph)
+        assert len(matches) == 2
+
+    def test_dsl_query_through_pipeline(self, figure1_graph, figure1_schema):
+        from repro import PrivacyPreservingSystem, SystemConfig
+
+        parsed = parse_pattern(
+            "(p:person {gender=male})-(c:company {company_type=internet})"
+        )
+        system = PrivacyPreservingSystem.setup(
+            figure1_graph, figure1_schema, SystemConfig(k=2)
+        )
+        outcome = system.query(parsed.graph)
+        oracle = find_subgraph_matches(parsed.graph, figure1_graph)
+        assert len(outcome.matches) == len(oracle) == 1

@@ -1,0 +1,55 @@
+"""Smoke tests for the top-level evaluation script."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent / "scripts"
+
+
+@pytest.fixture
+def run_evaluation(monkeypatch):
+    sys.path.insert(0, str(SCRIPTS_DIR))
+    try:
+        import run_evaluation as module
+    finally:
+        sys.path.pop(0)
+    return module
+
+
+class TestRunEvaluation:
+    def test_writes_report_and_json(self, run_evaluation, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            sys,
+            "argv",
+            [
+                "run_evaluation.py",
+                "--out",
+                str(tmp_path),
+                "--scale",
+                "0.08",
+                "--queries",
+                "2",
+                "--ks",
+                "2",
+                "--sizes",
+                "4",
+                "--datasets",
+                "DBpedia",
+            ],
+        )
+        assert run_evaluation.main() == 0
+        report = (tmp_path / "report.md").read_text()
+        assert "publish-time (EFF) — DBpedia" in report
+        assert "attack resistance" in report
+
+        dump = json.loads((tmp_path / "results.json").read_text())
+        assert "DBpedia" in dump["datasets"]
+        cells = dump["datasets"]["DBpedia"]["cells"]
+        assert any(key.startswith("EFF/k2") for key in cells)
+        # attack bound respected in the dump too
+        assert dump["datasets"]["DBpedia"]["attacks"]["2"] <= 0.5 + 1e-9 or (
+            dump["datasets"]["DBpedia"]["attacks"][2] <= 0.5 + 1e-9
+        )

@@ -1,0 +1,117 @@
+"""Executable versions of the paper's theorems (Appendix A).
+
+Each test class mirrors one theorem statement; they run over the
+running example and randomized pipelines.
+"""
+
+import pytest
+
+from repro.anonymize import anonymize_query, build_lct, cost_based_grouping
+from repro.graph import compute_statistics, make_schema, random_attributed_graph
+from repro.kauto import build_k_automorphic_graph
+from repro.matching import find_subgraph_matches, match_key
+from repro.workloads import random_walk_query
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def pipeline(request):
+    seed = request.param
+    schema = make_schema(2, 1, 6)
+    graph = random_attributed_graph(schema, 50, edges_per_vertex=2, seed=seed)
+    query = random_walk_query(graph, 3, seed=seed + 10)
+    lct = build_lct(
+        schema, 2, cost_based_grouping, graph_stats=compute_statistics(graph), seed=seed
+    )
+    transform = build_k_automorphic_graph(lct.apply_to_graph(graph), 3, seed=seed)
+    return graph, query, lct, transform
+
+
+class TestTheorem1:
+    """R(Q, G) ⊆ R(Qo, Gk): anonymization never loses a true match."""
+
+    def test_containment(self, pipeline):
+        graph, query, lct, transform = pipeline
+        true_matches = {match_key(m) for m in find_subgraph_matches(query, graph)}
+        anonymized = anonymize_query(query, lct)
+        candidate_matches = {
+            match_key(m) for m in find_subgraph_matches(anonymized, transform.gk)
+        }
+        assert true_matches <= candidate_matches
+
+    def test_containment_is_typically_strict(self, pipeline):
+        """Noise edges/labels usually create false positives — the very
+        reason the client-side filter exists."""
+        graph, query, lct, transform = pipeline
+        true_matches = {match_key(m) for m in find_subgraph_matches(query, graph)}
+        anonymized = anonymize_query(query, lct)
+        candidates = {
+            match_key(m) for m in find_subgraph_matches(anonymized, transform.gk)
+        }
+        # not asserted strict per seed (a very selective query may have
+        # no false positives), but candidates never shrink
+        assert len(candidates) >= len(true_matches)
+
+
+class TestTheorem2:
+    """Optimal decomposition == minimum weighted vertex cover.
+
+    With unit weights the optimal decomposition size equals the
+    unweighted minimum-vertex-cover size (the reduction in the proof).
+    """
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reduction_on_random_queries(self, seed):
+        import itertools
+
+        from repro.cloud import is_vertex_cover, minimum_weighted_vertex_cover
+
+        schema = make_schema(1, 1, 4)
+        graph = random_attributed_graph(schema, 30, edges_per_vertex=2, seed=seed)
+        query = random_walk_query(graph, 5, seed=seed)
+        edges = list(query.edges())
+        weights = {v: 1.0 for v in query.vertex_ids()}
+        cover = minimum_weighted_vertex_cover(edges, weights)
+
+        vertices = sorted(query.vertex_ids())
+        brute = min(
+            len(combo)
+            for r in range(len(vertices) + 1)
+            for combo in itertools.combinations(vertices, r)
+            if is_vertex_cover(edges, set(combo))
+        )
+        assert len(cover) == brute
+
+
+class TestTheorem3:
+    """Every match of Qo over Gk is F_j of a match anchored in B1."""
+
+    def test_anchoring(self, pipeline):
+        graph, query, lct, transform = pipeline
+        anonymized = anonymize_query(query, lct)
+        all_matches = find_subgraph_matches(anonymized, transform.gk)
+        block = set(transform.avt.first_block())
+        anchor = next(iter(anonymized.vertex_ids()))
+        anchored_keys = {
+            match_key(m) for m in all_matches if m[anchor] in block
+        }
+        derived = set()
+        for match in all_matches:
+            if match_key(match) in anchored_keys:
+                for m in range(transform.k):
+                    derived.add(match_key(transform.avt.apply_to_match(match, m)))
+        assert derived == {match_key(m) for m in all_matches}
+
+    def test_every_match_is_an_image(self, pipeline):
+        graph, query, lct, transform = pipeline
+        anonymized = anonymize_query(query, lct)
+        block = set(transform.avt.first_block())
+        anchor = next(iter(anonymized.vertex_ids()))
+        for match in find_subgraph_matches(anonymized, transform.gk):
+            vertex = match[anchor]
+            shift, b1_vertex = transform.avt.to_block_anchor(vertex)
+            pulled_back = transform.avt.apply_to_match(match, transform.k - shift)
+            assert pulled_back[anchor] == b1_vertex
+            assert pulled_back[anchor] in block
+            # the pulled-back assignment is itself a match of Qo
+            for u, v in anonymized.edges():
+                assert transform.gk.has_edge(pulled_back[u], pulled_back[v])

@@ -1,0 +1,95 @@
+"""Tests for the SNAP edge-list loader and synthetic label assignment."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import validate_graph
+from repro.workloads import assign_synthetic_labels, load_snap_edgelist
+
+SNAP_SAMPLE = """\
+# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 6 Edges: 8
+# FromNodeId\tToNodeId
+0\t1
+0\t2
+1\t2
+2\t0
+3\t4
+4\t5
+5\t3
+7\t7
+"""
+
+
+@pytest.fixture
+def snap_file(tmp_path):
+    path = tmp_path / "web-sample.txt"
+    path.write_text(SNAP_SAMPLE)
+    return path
+
+
+class TestLoadSnapEdgelist:
+    def test_parses_and_renumbers(self, snap_file):
+        graph = load_snap_edgelist(snap_file)
+        # ids 0,1,2,3,4,5,7 -> 7 distinct vertices, renumbered 0..6
+        assert graph.vertex_count == 7
+        assert sorted(graph.vertex_ids()) == list(range(7))
+
+    def test_reverse_duplicates_and_self_loops_collapse(self, snap_file):
+        graph = load_snap_edgelist(snap_file)
+        # (0,2) and (2,0) collapse; (7,7) self loop dropped
+        assert graph.edge_count == 6
+
+    def test_comments_skipped(self, snap_file):
+        graph = load_snap_edgelist(snap_file)
+        assert graph.name == "web-sample"
+
+    def test_max_vertices_truncates(self, snap_file):
+        graph = load_snap_edgelist(snap_file, max_vertices=3)
+        assert graph.vertex_count == 3
+        # only edges among the first 3 distinct ids survive
+        assert graph.edge_count == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\njust-one-token\n")
+        with pytest.raises(GraphError):
+            load_snap_edgelist(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphError):
+            load_snap_edgelist(path)
+
+
+class TestAssignSyntheticLabels:
+    def test_labels_and_schema(self, snap_file):
+        graph = load_snap_edgelist(snap_file)
+        labeled, schema = assign_synthetic_labels(
+            graph, label_count=10, labels_per_vertex=2, seed=1
+        )
+        validate_graph(labeled, schema)
+        for data in labeled.vertices():
+            assert sum(len(v) for v in data.labels.values()) == 2
+        # structure untouched
+        assert labeled.edge_count == graph.edge_count
+
+    def test_deterministic(self, snap_file):
+        graph = load_snap_edgelist(snap_file)
+        a, _ = assign_synthetic_labels(graph, label_count=10, seed=3)
+        b, _ = assign_synthetic_labels(graph, label_count=10, seed=3)
+        assert a.structure_equal(b)
+
+    def test_full_pipeline_on_loaded_graph(self, snap_file):
+        from repro import PrivacyPreservingSystem, SystemConfig
+        from repro.matching import find_subgraph_matches, match_key
+        from repro.workloads import random_walk_query
+
+        graph = load_snap_edgelist(snap_file)
+        labeled, schema = assign_synthetic_labels(graph, label_count=6, seed=2)
+        system = PrivacyPreservingSystem.setup(labeled, schema, SystemConfig(k=2))
+        query = random_walk_query(labeled, 2, seed=1)
+        outcome = system.query(query)
+        oracle = {match_key(m) for m in find_subgraph_matches(query, labeled)}
+        assert {match_key(m) for m in outcome.matches} == oracle

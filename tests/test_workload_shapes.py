@@ -1,0 +1,89 @@
+"""Tests for shape-specific query extraction."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph import grid_graph, make_schema, random_attributed_graph
+from repro.matching import has_subgraph_match
+from repro.workloads import extract_shape_query
+
+
+@pytest.fixture(scope="module")
+def host_graph():
+    schema = make_schema(2, 1, 6)
+    return random_attributed_graph(schema, 150, edges_per_vertex=3, seed=13)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("length", [1, 3, 5])
+    def test_path(self, host_graph, length):
+        query = extract_shape_query(host_graph, "path", length, seed=1)
+        assert query.edge_count == length
+        assert query.vertex_count == length + 1
+        degrees = sorted(query.degree(v) for v in query.vertex_ids())
+        assert degrees == [1, 1] + [2] * (length - 1)
+        assert has_subgraph_match(query, host_graph)
+
+    @pytest.mark.parametrize("leaves", [2, 4])
+    def test_star(self, host_graph, leaves):
+        query = extract_shape_query(host_graph, "star", leaves, seed=2)
+        assert query.edge_count == leaves
+        assert max(query.degree(v) for v in query.vertex_ids()) == leaves
+        assert has_subgraph_match(query, host_graph)
+
+    def test_cycle(self, host_graph):
+        query = extract_shape_query(host_graph, "cycle", 3, seed=3)
+        assert query.edge_count == 3
+        assert all(query.degree(v) == 2 for v in query.vertex_ids())
+        assert has_subgraph_match(query, host_graph)
+
+    def test_clique(self, host_graph):
+        query = extract_shape_query(host_graph, "clique", 3, seed=4)  # triangle
+        assert query.edge_count == 3
+        assert query.vertex_count == 3
+        assert has_subgraph_match(query, host_graph)
+
+    def test_cycle_on_grid(self):
+        graph = grid_graph(4, 4)
+        query = extract_shape_query(graph, "cycle", 4, seed=1)
+        assert query.edge_count == 4
+        assert has_subgraph_match(query, graph)
+
+
+class TestShapeErrors:
+    def test_unknown_shape(self, host_graph):
+        with pytest.raises(QueryError):
+            extract_shape_query(host_graph, "butterfly", 3)
+
+    def test_tiny_cycle_rejected(self, host_graph):
+        with pytest.raises(QueryError):
+            extract_shape_query(host_graph, "cycle", 2)
+
+    def test_non_triangular_clique_rejected(self, host_graph):
+        with pytest.raises(QueryError):
+            extract_shape_query(host_graph, "clique", 4)
+
+    def test_absent_shape_raises(self):
+        graph = grid_graph(3, 3)  # bipartite: no triangles
+        with pytest.raises(QueryError):
+            extract_shape_query(graph, "clique", 3, max_attempts=50)
+
+
+class TestShapesThroughPipeline:
+    @pytest.mark.parametrize("shape,size", [("path", 4), ("star", 3), ("cycle", 3)])
+    def test_exactness(self, host_graph, shape, size):
+        from repro import PrivacyPreservingSystem, SystemConfig
+        from repro.graph import schema_from_graph
+        from repro.matching import find_subgraph_matches, match_key
+
+        try:
+            query = extract_shape_query(host_graph, shape, size, seed=6)
+        except QueryError:
+            pytest.skip(f"host graph lacks a {shape}/{size}")
+        schema = schema_from_graph(host_graph)
+        system = PrivacyPreservingSystem.setup(
+            host_graph, schema, SystemConfig(k=2)
+        )
+        outcome = system.query(query)
+        oracle = {match_key(m) for m in find_subgraph_matches(query, host_graph)}
+        assert {match_key(m) for m in outcome.matches} == oracle

@@ -1,0 +1,114 @@
+"""Unit tests for dataset analogues and query generation."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph import compute_statistics, validate_graph
+from repro.matching import has_subgraph_match
+from repro.workloads import (
+    DATASETS,
+    generate_workload,
+    load_dataset,
+    random_walk_query,
+)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_all_datasets_generate(self, name):
+        dataset = load_dataset(name, scale=0.05)
+        assert dataset.graph.vertex_count > 0
+        assert dataset.graph.edge_count > 0
+        validate_graph(dataset.graph, dataset.schema)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_scale_controls_size(self):
+        small = load_dataset("DBpedia", scale=0.05)
+        big = load_dataset("DBpedia", scale=0.2)
+        assert big.graph.vertex_count > small.graph.vertex_count
+
+    def test_schema_shapes_match_paper_proportions(self):
+        web = load_dataset("Web-NotreDame", scale=0.05)
+        dbp = load_dataset("DBpedia", scale=0.05)
+        uk = load_dataset("UK-2002", scale=0.05)
+        # type multiplicity ordering from Table 2: 1 < 86 < 2500
+        assert len(web.schema) < len(dbp.schema) < len(uk.schema)
+        # label multiplicity ordering: 200 < 6300 < 20000 (scaled)
+        assert web.schema.label_count() == 200
+
+    def test_labels_are_zipfian(self):
+        dataset = load_dataset("Web-NotreDame", scale=0.3)
+        stats = compute_statistics(dataset.graph)
+        freqs = sorted(
+            (
+                stats.frequency_of_label("page0", attr, label)
+                for (t, attr, label) in stats.label_counts
+            ),
+            reverse=True,
+        )
+        # head label much more frequent than the tail
+        assert freqs[0] > 5 * freqs[len(freqs) // 2]
+
+
+class TestRandomWalkQueries:
+    def test_query_has_requested_edges_and_is_connected(self, small_graph):
+        for n in (1, 3, 6):
+            query = random_walk_query(small_graph, n, seed=n)
+            assert query.edge_count == n
+            assert query.is_connected()
+
+    def test_query_matches_its_source(self, small_graph):
+        """A query extracted from G always has >= 1 match in G."""
+        for seed in range(5):
+            query = random_walk_query(small_graph, 4, seed=seed)
+            assert has_subgraph_match(query, small_graph)
+
+    def test_vertices_renumbered_from_zero(self, small_graph):
+        query = random_walk_query(small_graph, 5, seed=1)
+        assert sorted(query.vertex_ids()) == list(range(query.vertex_count))
+
+    def test_label_dropping(self, small_graph):
+        full = random_walk_query(small_graph, 4, seed=7, keep_label_probability=1.0)
+        bare = random_walk_query(small_graph, 4, seed=7, keep_label_probability=0.0)
+        full_labels = sum(len(d.labels) for d in full.vertices())
+        bare_labels = sum(len(d.labels) for d in bare.vertices())
+        assert bare_labels == 0
+        assert full_labels > 0
+
+    def test_deterministic_per_seed(self, small_graph):
+        a = random_walk_query(small_graph, 4, seed=3)
+        b = random_walk_query(small_graph, 4, seed=3)
+        assert a.structure_equal(b)
+
+    def test_invalid_edge_count(self, small_graph):
+        with pytest.raises(QueryError):
+            random_walk_query(small_graph, 0)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph import AttributedGraph
+
+        with pytest.raises(QueryError):
+            random_walk_query(AttributedGraph(), 2)
+
+    def test_impossible_size_raises(self):
+        from repro.graph import AttributedGraph
+
+        tiny = AttributedGraph()
+        tiny.add_vertex(0, "t")
+        tiny.add_vertex(1, "t")
+        tiny.add_edge(0, 1)
+        with pytest.raises(QueryError):
+            random_walk_query(tiny, 5)
+
+
+class TestWorkloadBatch:
+    def test_batch_size_and_diversity(self, small_graph):
+        workload = generate_workload(small_graph, 3, 10, seed=1)
+        assert len(workload) == 10
+        assert all(q.edge_count == 3 for q in workload)
+        # not all ten queries should be structurally identical
+        signatures = {tuple(sorted(q.edges())) for q in workload}
+        assert len(signatures) > 1
