@@ -1,0 +1,127 @@
+"""Parallel batched query engine: serial loop vs. `query_batch`.
+
+Not a paper figure — this measures the extension of the cloud engine
+to concurrent query serving (ISSUE 1).  A workload of 8+ anonymized
+queries (k=3) is answered three ways on one published system:
+
+* ``serial``  — the paper's loop, one ``system.query`` after another;
+* ``thread``  — ``query_batch`` on a shared ``ThreadPoolExecutor``
+  (shared index + locked star cache);
+* ``process`` — ``query_batch`` on a fork-based process pool (the
+  CPU-bound scaling path; skipped where fork is unavailable).
+
+Assertions: every backend returns *bit-identical* match sets in
+submission order, and — on hosts with >= 2 usable cores — a >= 1.5x
+throughput gain over the serial wall time with >= 4 workers.  On
+single-core runners the speedup assertion is skipped (there is nothing
+to parallelize onto) but the equality checks still run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from conftest import bench_queries
+
+from repro.bench import format_table, print_report
+from repro.cloud.parallel import fork_available
+from repro.matching import match_key
+
+WORKERS = 4
+BATCH_K = 3
+BATCH_EDGES = 6
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _batch_workload(sweep, dataset: str = "DBpedia"):
+    system = sweep.system(dataset, "EFF", BATCH_K)
+    count = max(8, bench_queries())
+    queries = sweep.context(dataset).workload(BATCH_EDGES, count)
+    return system, queries
+
+
+def _match_sets(outcomes):
+    return [[match_key(m) for m in outcome.matches] for outcome in outcomes]
+
+
+def test_batch_backends_bit_identical(sweep):
+    """Every backend returns exactly the serial loop's match lists."""
+    system, queries = _batch_workload(sweep)
+    serial = system.query_batch(queries, backend="serial")
+    expected = _match_sets(serial.outcomes)
+
+    threaded = system.query_batch(queries, max_workers=WORKERS, backend="thread")
+    assert _match_sets(threaded.outcomes) == expected
+
+    if fork_available():
+        forked = system.query_batch(queries, max_workers=WORKERS, backend="process")
+        assert _match_sets(forked.outcomes) == expected
+
+
+def test_batch_throughput_cell(benchmark, sweep):
+    """Timed cell: the whole batch through the thread pool."""
+    system, queries = _batch_workload(sweep)
+
+    def run():
+        return system.query_batch(queries, max_workers=WORKERS, backend="thread")
+
+    outcome = benchmark(run)
+    assert outcome.metrics.query_count == len(queries)
+
+
+def test_report_parallel_engine(sweep):
+    system, queries = _batch_workload(sweep)
+
+    serial = system.query_batch(queries, backend="serial")
+    serial_wall = serial.metrics.wall_seconds
+    expected = _match_sets(serial.outcomes)
+
+    rows = [
+        [
+            "serial",
+            1,
+            f"{serial_wall * 1000:.1f}",
+            f"{serial.metrics.throughput_qps:.1f}",
+            "1.00x",
+        ]
+    ]
+    measured = {}
+    backends = ["thread"] + (["process"] if fork_available() else [])
+    for backend in backends:
+        batch = system.query_batch(queries, max_workers=WORKERS, backend=backend)
+        assert _match_sets(batch.outcomes) == expected
+        speedup = batch.metrics.speedup_vs(serial_wall)
+        measured[backend] = speedup
+        rows.append(
+            [
+                backend,
+                batch.metrics.worker_count,
+                f"{batch.metrics.wall_seconds * 1000:.1f}",
+                f"{batch.metrics.throughput_qps:.1f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+
+    print_report(
+        format_table(
+            ["backend", "workers", "wall ms", "qps", "speedup"],
+            rows,
+            title=(
+                f"parallel batched engine — {len(queries)} queries, "
+                f"k={BATCH_K}, |E(Q)|={BATCH_EDGES}, {WORKERS} workers"
+            ),
+        )
+    )
+
+    if _usable_cores() < 2:
+        pytest.skip("single-core host: no parallel speedup to assert")
+    assert max(measured.values()) >= 1.5, (
+        f"expected >=1.5x throughput with {WORKERS} workers, got {measured}"
+    )

@@ -31,6 +31,7 @@ Subpackages
 """
 
 from repro.core import (
+    BatchOutcome,
     MethodConfig,
     NetworkChannel,
     PrivacyPreservingSystem,
@@ -56,6 +57,7 @@ __all__ = [
     "SystemConfig",
     "MethodConfig",
     "QueryOutcome",
+    "BatchOutcome",
     "NetworkChannel",
     "AttributedGraph",
     "GraphSchema",

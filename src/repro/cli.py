@@ -10,6 +10,9 @@ Commands
 ``query``
     Answer a query graph (JSON) through a previously published
     deployment, using the original graph for client-side filtering.
+``batch``
+    Answer a whole workload of query graphs concurrently through the
+    parallel batched engine (``--workers``, ``--backend``).
 ``datasets``
     Generate one of the evaluation dataset analogues to a JSON file.
 
@@ -101,6 +104,67 @@ def _cmd_query(args: argparse.Namespace) -> int:
             indent=2,
         )
     )
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Serve a workload of queries through the parallel batched engine."""
+    import time
+
+    from repro.cloud.parallel import effective_workers
+
+    graph = load_graph(args.graph)
+    queries = [load_graph(path) for path in args.queries] * args.repeat
+    cloud_graph, cloud_avt, centers, expand = load_cloud_side(args.deployment)
+    lct, client_avt = load_client_side(args.deployment)
+
+    cloud = CloudServer(
+        cloud_graph,
+        cloud_avt,
+        centers,
+        expand_in_cloud=expand,
+        star_cache_size=args.star_cache,
+        star_workers=args.star_workers,
+    )
+    client = QueryClient(graph, lct, client_avt)
+
+    anonymized = [client.prepare_query(query) for query in queries]
+    started = time.perf_counter()
+    answers = cloud.query_batch(
+        anonymized, max_workers=args.workers, backend=args.backend
+    )
+    wall_seconds = time.perf_counter() - started
+
+    results = []
+    for query, answer in zip(queries, answers):
+        outcome = client.process_answer(query, answer.matches, answer.expanded)
+        results.append(
+            {
+                "matches": len(outcome.matches),
+                "candidates": outcome.candidate_count,
+                "cloud_seconds": answer.total_seconds,
+            }
+        )
+    hits, misses = cloud.star_cache.counters()
+    print(
+        json.dumps(
+            {
+                "queries": len(queries),
+                "backend": args.backend,
+                "workers": effective_workers(args.workers, len(queries)),
+                "wall_seconds": wall_seconds,
+                "throughput_qps": len(queries) / wall_seconds if wall_seconds else 0.0,
+                "cache": {
+                    "hits": hits,
+                    "misses": misses,
+                    "hit_rate": cloud.star_cache.hit_rate,
+                },
+                "per_query": results,
+            },
+            indent=2,
+        )
+    )
+    cloud.close()
     return 0
 
 
@@ -199,6 +263,41 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("graph", help="original graph JSON (client side)")
     query.add_argument("query", help="query graph JSON")
     query.set_defaults(func=_cmd_query)
+
+    batch = sub.add_parser(
+        "batch", help="answer a workload of queries concurrently"
+    )
+    batch.add_argument("deployment", help="deployment directory from 'publish'")
+    batch.add_argument("graph", help="original graph JSON (client side)")
+    batch.add_argument("queries", nargs="+", help="query graph JSON file(s)")
+    batch.add_argument(
+        "--workers", type=int, default=None, help="pool width (default: one per core)"
+    )
+    batch.add_argument(
+        "--backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="worker pool backend (serial = the baseline loop)",
+    )
+    batch.add_argument(
+        "--star-cache",
+        type=int,
+        default=256,
+        help="shared star-match LRU capacity (0 disables)",
+    )
+    batch.add_argument(
+        "--star-workers",
+        type=int,
+        default=0,
+        help="per-query star matching pool width (0/1 = serial)",
+    )
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="repeat the workload N times (warms the shared cache)",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     verify = sub.add_parser(
         "verify", help="audit a deployment's privacy guarantees"

@@ -3,6 +3,7 @@
 from repro.cloud.cache import StarMatchCache, star_signature
 from repro.cloud.decomposition import decompose_query, estimate_all_stars
 from repro.cloud.index import CloudIndex
+from repro.cloud.parallel import BACKENDS, fork_available, map_batch
 from repro.cloud.result_join import (
     JoinStats,
     expand_star_matches,
@@ -21,6 +22,9 @@ __all__ = [
     "StarMatchCache",
     "star_signature",
     "CloudIndex",
+    "BACKENDS",
+    "fork_available",
+    "map_batch",
     "CloudServer",
     "CloudAnswer",
     "decompose_query",

@@ -11,10 +11,19 @@ uses it when constructed with ``star_cache_size > 0``.
 Cached entries store matches in *role form* (center, then leaves in
 signature order) so they can be re-labeled to any query's vertex ids on
 a hit.
+
+The cache is safe to share between the worker threads of the parallel
+batched engine (:meth:`repro.cloud.server.CloudServer.query_batch`):
+every operation holds an internal lock, and entries are defensively
+copied on both :meth:`StarMatchCache.put` and
+:meth:`StarMatchCache.get`, so no caller ever holds a reference to the
+live stored list — mutating a hit (or a list later ``put``) cannot
+corrupt what other queries observe.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -80,38 +89,69 @@ def roles_to_matches(
 
 @dataclass
 class StarMatchCache:
-    """A bounded LRU cache of role-form star match sets."""
+    """A bounded, thread-safe LRU cache of role-form star match sets.
+
+    Correctness notes (regression-tested in ``tests/test_cloud_cache.py``):
+
+    * **No aliasing.**  ``get`` returns a fresh list and ``put`` stores a
+      fresh list of (immutable) tuples.  Historically both handed out the
+      live internal list, so a caller mutating a hit — or two concurrent
+      queries sharing one — silently corrupted every later hit for that
+      signature.
+    * **Locked.**  All bookkeeping (LRU order, eviction, hit/miss
+      counters) happens under one lock so concurrent queries of a batch
+      can share a single cache.
+    """
 
     capacity: int
     _entries: OrderedDict = field(default_factory=OrderedDict)
     hits: int = 0
     misses: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def get(self, signature: tuple) -> list[tuple[int, ...]] | None:
-        if signature in self._entries:
-            self._entries.move_to_end(signature)
-            self.hits += 1
-            return self._entries[signature]
-        self.misses += 1
-        return None
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is not None:
+                self._entries.move_to_end(signature)
+                self.hits += 1
+                # copy-on-read: rows are immutable tuples, so a shallow
+                # list copy fully detaches the caller from the cache
+                return list(entry)
+            self.misses += 1
+            return None
 
     def put(self, signature: tuple, roles: list[tuple[int, ...]]) -> None:
         if self.capacity <= 0:
             return
-        self._entries[signature] = roles
-        self._entries.move_to_end(signature)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        # copy-on-write: normalize rows to tuples so the stored entry
+        # shares no mutable structure with the caller's list
+        stored = [tuple(row) for row in roles]
+        with self._lock:
+            self._entries[signature] = stored
+            self._entries.move_to_end(signature)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def counters(self) -> tuple[int, int]:
+        """A consistent ``(hits, misses)`` snapshot."""
+        with self._lock:
+            return self.hits, self.misses
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits, misses = self.counters()
+        total = hits + misses
+        return hits / total if total else 0.0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -107,9 +107,23 @@ def join_star_matches(
     whole ``R(Qo, Gk)`` directly — k times more anchor tuples enter the
     join.  Kept as an ablation baseline (see
     ``benchmarks/bench_ablation_rin.py``).
+
+    Concurrency contract (relied on by the parallel batched engine):
+    ``star_matches`` is **read-only** — neither the per-center lists
+    nor their match dicts are ever mutated here, and every emitted
+    ``Rin`` row is a fresh dict sharing no structure with the inputs.
+    That makes it safe to feed this join match lists that other
+    concurrent queries may also be holding (e.g. out of the shared
+    star cache).  The join is also deterministic: star order, anchor
+    choice, and bucket iteration are all keyed on sizes with vertex-id
+    tie-breaks, so serial and parallel star matching yield bit-identical
+    ``Rin`` lists.
     """
     if not stars:
         raise QueryError("cannot join an empty decomposition")
+    missing = [s.center for s in stars if s.center not in star_matches]
+    if missing:
+        raise QueryError(f"star matches missing for centers {missing}")
     stats = JoinStats()
     started = time.perf_counter()
 

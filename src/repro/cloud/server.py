@@ -9,8 +9,11 @@ decompose → star-match → join pipeline of Section 4.2.1.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 from repro.anonymize.cost_model import (
     StarCardinalityEstimator,
@@ -25,6 +28,7 @@ from repro.cloud.cache import (
 )
 from repro.cloud.decomposition import decompose_query
 from repro.cloud.index import CloudIndex
+from repro.cloud.parallel import map_batch, validate_backend
 from repro.cloud.result_join import JoinStats, join_star_matches
 from repro.cloud.star_matching import StarMatchStats, match_star
 from repro.graph.attributed import AttributedGraph
@@ -69,6 +73,12 @@ class CloudServer:
         functions before the join (the ``Rin`` pipeline).  ``False``
         (BAS) -> the star matches already range over the published
         graph in full and are joined directly.
+    star_workers:
+        Width of the per-query star-matching pool: the independent
+        stars of one decomposition are matched concurrently on a
+        shared :class:`ThreadPoolExecutor`.  ``0``/``1`` (default)
+        keeps the paper's serial loop; the parallel path returns
+        bit-identical match sets (stars are gathered in plan order).
     """
 
     def __init__(
@@ -82,6 +92,7 @@ class CloudServer:
         star_cache_size: int = 0,
         decomposition_strategy: str = "optimal",
         engine: str = "stars",
+        star_workers: int = 0,
     ):
         if join_strategy not in ("rin", "full"):
             raise ValueError("join_strategy must be 'rin' or 'full'")
@@ -113,8 +124,20 @@ class CloudServer:
         self._direct_matcher = None
         # optional LRU over star match sets, keyed by the star's
         # canonical constraint signature — different queries sharing a
-        # star shape reuse its R(S, Go).  0 disables caching.
+        # star shape reuse its R(S, Go).  0 disables caching.  The
+        # cache is internally locked, so one instance is shared by all
+        # concurrent queries of a batch.
         self.star_cache = StarMatchCache(star_cache_size)
+        if star_workers < 0:
+            raise ValueError("star_workers must be >= 0")
+        self.star_workers = star_workers
+        # per-query star pool, built lazily; guarded by _state_lock.
+        # _star_pool_pid detects forked children (process batch
+        # backend), whose inherited pool threads do not survive the
+        # fork and must be rebuilt before first use.
+        self._star_pool: ThreadPoolExecutor | None = None
+        self._star_pool_pid: int | None = None
+        self._state_lock = threading.Lock()
         self.index = CloudIndex.build(graph, self.center_vertices)
         self.estimator = self._build_estimator()
 
@@ -166,15 +189,45 @@ class CloudServer:
             total_seconds=time.perf_counter() - started,
         )
 
+    def query_batch(
+        self,
+        queries: list[AttributedGraph],
+        max_workers: int | None = None,
+        backend: str = "thread",
+    ) -> list[CloudAnswer]:
+        """Answer a workload of anonymized queries concurrently.
+
+        A bounded worker pool (``max_workers``, default: one per core)
+        services the batch; every worker shares the immutable VBV/LBV
+        index and the thread-safe :class:`StarMatchCache`, so repeated
+        star shapes across the workload hit warm entries.  Answers come
+        back **in input order** and are bit-identical to running
+        :meth:`answer` in a serial loop (``backend="serial"`` *is* that
+        loop).  ``backend="process"`` forks workers for CPU-bound
+        batches on multi-core hosts; cache/counter updates then stay in
+        the children (the parent's cache is untouched).
+
+        The first query exception (e.g.
+        :class:`~repro.exceptions.ResultBudgetExceeded`) propagates,
+        matching the serial loop's behavior.
+        """
+        validate_backend(backend)
+        return map_batch(self.answer, list(queries), max_workers, backend)
+
     def _answer_direct(self, query: AttributedGraph) -> CloudAnswer:
         """Plain bitset subgraph matching over the stored graph."""
         from repro.matching.bitset import BitsetMatcher
-        from repro.matching.star import Decomposition
 
         started = time.perf_counter()
-        if self._direct_matcher is None:
-            self._direct_matcher = BitsetMatcher(self.graph)
-        matches = self._direct_matcher.find_matches(query)
+        matcher = self._direct_matcher
+        if matcher is None:
+            with self._state_lock:
+                if self._direct_matcher is None:
+                    # double-checked: concurrent batch queries must not
+                    # race to build (and then interleave) two matchers
+                    self._direct_matcher = BitsetMatcher(self.graph)
+                matcher = self._direct_matcher
+        matches = matcher.find_matches(query)
         elapsed = time.perf_counter() - started
         stats = StarMatchStats(seconds=elapsed)
         join_stats = JoinStats(seconds=0.0, rin_size=len(matches))
@@ -188,39 +241,107 @@ class CloudServer:
             total_seconds=elapsed,
         )
 
+    def _star_executor(self) -> ThreadPoolExecutor | None:
+        """The shared per-query star pool (lazy; fork-aware)."""
+        if self.star_workers <= 1:
+            return None
+        pid = os.getpid()
+        with self._state_lock:
+            if self._star_pool is None or self._star_pool_pid != pid:
+                # a forked child inherits a pool object whose worker
+                # threads died with the fork; build a fresh one
+                self._star_pool = ThreadPoolExecutor(
+                    max_workers=self.star_workers,
+                    thread_name_prefix="repro-stars",
+                )
+                self._star_pool_pid = pid
+            return self._star_pool
+
+    def _match_one_star(self, query, star) -> list:
+        return match_star(
+            query,
+            star,
+            self.index,
+            self.graph,
+            max_results=self.max_intermediate_results,
+        )
+
     def _match_stars(self, query, stars) -> tuple[dict, StarMatchStats]:
-        """Algorithm 1 for every star, through the optional LRU cache."""
+        """Algorithm 1 for every star, through the optional LRU cache.
+
+        With ``star_workers > 1`` the cache misses of one decomposition
+        are matched concurrently on the shared star pool; hits, puts
+        and result assembly stay on the calling thread.  Both paths
+        produce bit-identical results: equivalent stars within one
+        query resolve through the same role-form round-trip, and
+        results are assembled in plan (star) order.
+        """
         stats = StarMatchStats()
         started = time.perf_counter()
+        use_cache = self.star_cache.capacity > 0
+        executor = self._star_executor()
         results: dict[int, list] = {}
-        for star in stars:
-            if self.star_cache.capacity > 0:
+
+        if executor is None:
+            for star in stars:
+                if use_cache:
+                    signature = star_signature(query, star)
+                    role_order = leaf_role_order(query, star)
+                    roles = self.star_cache.get(signature)
+                    if roles is None:
+                        matches = self._match_one_star(query, star)
+                        self.star_cache.put(
+                            signature, matches_to_roles(matches, star, role_order)
+                        )
+                    else:
+                        matches = roles_to_matches(roles, star, role_order)
+                else:
+                    matches = self._match_one_star(query, star)
+                results[star.center] = matches
+        else:
+            # resolve cache hits up front; fan the misses out, deduped
+            # by signature so equivalent stars are computed once (as
+            # the serial loop's put-then-hit sequence guarantees)
+            pending: list[tuple] = []  # (star, signature, role_order)
+            computed: dict[tuple, object] = {}  # signature -> future/matches
+            for star in stars:
+                if not use_cache:
+                    pending.append((star, None, None))
+                    continue
                 signature = star_signature(query, star)
                 role_order = leaf_role_order(query, star)
                 roles = self.star_cache.get(signature)
                 if roles is None:
-                    matches = match_star(
-                        query,
-                        star,
-                        self.index,
-                        self.graph,
-                        max_results=self.max_intermediate_results,
-                    )
-                    self.star_cache.put(
-                        signature, matches_to_roles(matches, star, role_order)
-                    )
+                    pending.append((star, signature, role_order))
                 else:
-                    matches = roles_to_matches(roles, star, role_order)
-            else:
-                matches = match_star(
-                    query,
-                    star,
-                    self.index,
-                    self.graph,
-                    max_results=self.max_intermediate_results,
-                )
-            results[star.center] = matches
-            stats.result_sizes[star.center] = len(matches)
+                    results[star.center] = roles_to_matches(roles, star, role_order)
+            futures = []
+            for star, signature, role_order in pending:
+                if signature is not None and signature in computed:
+                    futures.append((star, signature, role_order, None))
+                    continue
+                future = executor.submit(self._match_one_star, query, star)
+                if signature is not None:
+                    computed[signature] = (star, role_order, future)
+                futures.append((star, signature, role_order, future))
+            for star, signature, role_order, future in futures:
+                if signature is None:
+                    results[star.center] = future.result()
+                    continue
+                rep_star, rep_order, rep_future = computed[signature]
+                matches = rep_future.result()
+                roles = matches_to_roles(matches, rep_star, rep_order)
+                self.star_cache.put(signature, roles)
+                if star is rep_star:
+                    results[star.center] = matches
+                else:
+                    # an equivalent star of the same query: re-label the
+                    # representative's roles, exactly like a cache hit
+                    results[star.center] = roles_to_matches(roles, star, role_order)
+            results = {star.center: results[star.center] for star in stars}
+
+        for star in stars:
+            stats.result_sizes[star.center] = len(results[star.center])
         stats.seconds = time.perf_counter() - started
         return results, stats
 
@@ -255,6 +376,19 @@ class CloudServer:
         self.estimator = self._build_estimator()
         self.star_cache.clear()
         self._direct_matcher = None
+
+    def close(self) -> None:
+        """Shut down the per-query star pool (idempotent)."""
+        with self._state_lock:
+            pool, self._star_pool, self._star_pool_pid = self._star_pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "CloudServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # accounting

@@ -14,6 +14,7 @@ the shape of ``Rin``'s anchored matches.
 from __future__ import annotations
 
 import time
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 
 from repro.cloud.index import CloudIndex
@@ -139,14 +140,40 @@ def match_all_stars(
     index: CloudIndex,
     data: AttributedGraph,
     max_results: int | None = None,
+    executor: Executor | None = None,
 ) -> tuple[dict[int, list[Match]], StarMatchStats]:
-    """Run Algorithm 1 for every star; returns results keyed by center."""
+    """Run Algorithm 1 for every star; returns results keyed by center.
+
+    With an ``executor`` the stars of the decomposition are matched
+    concurrently: each ``match_star`` call reads only the immutable
+    query/index/graph, so independent stars are embarrassingly
+    parallel.  Results are gathered **in star order**, making the
+    output bit-identical to the serial loop regardless of completion
+    order; the first star exception (e.g.
+    :class:`~repro.exceptions.ResultBudgetExceeded`) is re-raised as in
+    the serial path.
+    """
     stats = StarMatchStats()
     started = time.perf_counter()
     results: dict[int, list[Match]] = {}
+    if executor is not None and len(stars) > 1:
+        futures = [
+            (
+                star,
+                executor.submit(
+                    match_star, query, star, index, data, max_results=max_results
+                ),
+            )
+            for star in stars
+        ]
+        for star, future in futures:
+            results[star.center] = future.result()
+    else:
+        for star in stars:
+            results[star.center] = match_star(
+                query, star, index, data, max_results=max_results
+            )
     for star in stars:
-        matches = match_star(query, star, index, data, max_results=max_results)
-        results[star.center] = matches
-        stats.result_sizes[star.center] = len(matches)
+        stats.result_sizes[star.center] = len(results[star.center])
     stats.seconds = time.perf_counter() - started
     return results, stats

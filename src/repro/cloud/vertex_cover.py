@@ -26,6 +26,11 @@ def minimum_weighted_vertex_cover(
     get weight 0.  Branch and bound: branch on an endpoint of an
     uncovered edge, preferring the edge whose endpoints are heaviest
     (fail-first), pruning with the best cover found so far.
+
+    The solver is *deterministic*: all weight ties — in edge selection,
+    endpoint branching order, and incumbent replacement — are broken by
+    vertex id, so repeated runs on the same query (in any edge order)
+    return the same cover and hence the same star decomposition/plan.
     """
     edge_list = [tuple(sorted(edge)) for edge in edges]
     edge_list = sorted(set(edge_list))
@@ -55,9 +60,15 @@ def minimum_weighted_vertex_cover(
             best_cover = set(chosen)
             best_cost = cost
             return
-        # fail-first: branch on the edge with the heaviest cheap endpoint
-        u, v = max(remaining, key=lambda e: min(weight_of(e[0]), weight_of(e[1])))
-        for pick in sorted((u, v), key=weight_of):
+        # fail-first: branch on the edge with the heaviest cheap
+        # endpoint; weight ties break on the (sorted) edge itself so
+        # the search tree is reproducible
+        u, v = max(
+            remaining,
+            key=lambda e: (min(weight_of(e[0]), weight_of(e[1])), (-e[0], -e[1])),
+        )
+        # cheaper endpoint first; equal weights break by vertex id
+        for pick in sorted((u, v), key=lambda w: (weight_of(w), w)):
             chosen.add(pick)
             still = [e for e in remaining if pick not in e]
             branch(still, cost + weight_of(pick))
@@ -103,7 +114,9 @@ def _greedy_cover(
                 return float("inf")
             return coverage[v] / w
 
-        pick = max(coverage, key=lambda v: (score(v), coverage[v]))
+        # ties on (score, coverage) break by smallest vertex id so the
+        # greedy cover — and everything seeded from it — is reproducible
+        pick = max(coverage, key=lambda v: (score(v), coverage[v], -v))
         cover.add(pick)
         remaining = [e for e in remaining if pick not in e]
     return cover

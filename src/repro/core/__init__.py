@@ -7,19 +7,28 @@ from repro.core.config import (
     SystemConfig,
 )
 from repro.core.data_owner import DataOwner, PublishedData
-from repro.core.metrics import AggregatedMetrics, PublishMetrics, QueryMetrics
+from repro.core.metrics import (
+    AggregatedMetrics,
+    BatchMetrics,
+    PublishMetrics,
+    QueryMetrics,
+)
 from repro.core.protocol import (
     NetworkChannel,
     TransferRecord,
     decode_answer,
+    decode_answer_batch,
     decode_query,
+    decode_query_batch,
     decode_upload,
     encode_answer,
+    encode_answer_batch,
     encode_query,
+    encode_query_batch,
     encode_upload,
 )
 from repro.core.query_client import ClientOutcome, QueryClient
-from repro.core.system import PrivacyPreservingSystem, QueryOutcome
+from repro.core.system import BatchOutcome, PrivacyPreservingSystem, QueryOutcome
 
 __all__ = [
     "SystemConfig",
@@ -32,9 +41,11 @@ __all__ = [
     "ClientOutcome",
     "PrivacyPreservingSystem",
     "QueryOutcome",
+    "BatchOutcome",
     "PublishMetrics",
     "QueryMetrics",
     "AggregatedMetrics",
+    "BatchMetrics",
     "NetworkChannel",
     "TransferRecord",
     "encode_upload",
@@ -43,4 +54,8 @@ __all__ = [
     "decode_query",
     "encode_answer",
     "decode_answer",
+    "encode_query_batch",
+    "decode_query_batch",
+    "encode_answer_batch",
+    "decode_answer_batch",
 ]

@@ -70,8 +70,15 @@ class SystemConfig:
     label_aware_alignment: bool = False
     # LRU cache of star match sets in the cloud, keyed by the star's
     # constraint signature; entries are reused across queries sharing
-    # star shapes.  0 (default) disables caching.
+    # star shapes.  0 (default) disables caching.  The cache is
+    # internally locked, so it is safe to share across the worker pool
+    # of `query_batch`.
     star_cache_size: int = 0
+    # width of the cloud's per-query star-matching pool: independent
+    # stars of one decomposition are matched concurrently.  0/1
+    # (default) keeps the paper's serial loop; results are bit-identical
+    # either way.
+    star_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 2:
@@ -80,3 +87,5 @@ class SystemConfig:
             raise ReproError("theta must be >= 1")
         if self.expansion_site not in ("client", "cloud"):
             raise ReproError("expansion_site must be 'client' or 'cloud'")
+        if self.star_workers < 0:
+            raise ReproError("star_workers must be >= 0")

@@ -73,6 +73,70 @@ class QueryMetrics:
 
 
 @dataclass
+class BatchMetrics:
+    """One ``query_batch`` run: per-query records + batch aggregates.
+
+    ``wall_seconds`` is the real elapsed time of the whole batch — with
+    a worker pool it is *less* than the sum of per-query times, and
+    ``throughput_qps`` / ``speedup_vs(serial_wall)`` quantify by how
+    much.  Cache counters are deltas over the batch, measured on the
+    shared (locked) star cache, i.e. the hit rate *under contention*;
+    with the process backend the children own the cache copies, so the
+    parent-side delta reads zero and the field is reported as ``None``.
+    """
+
+    backend: str = "thread"
+    worker_count: int = 1
+    wall_seconds: float = 0.0
+    per_query: list[QueryMetrics] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_shared: bool = True
+
+    @property
+    def query_count(self) -> int:
+        return len(self.per_query)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per second of wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.query_count / self.wall_seconds
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Batch-wide hit rate on the shared cache (None if not shared)."""
+        if not self.cache_shared:
+            return None
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_query_seconds(self) -> float:
+        if not self.per_query:
+            return 0.0
+        return sum(q.total_seconds for q in self.per_query) / len(self.per_query)
+
+    @property
+    def cloud_seconds_total(self) -> float:
+        return sum(q.cloud_seconds for q in self.per_query)
+
+    def speedup_vs(self, serial_wall_seconds: float) -> float:
+        """How much faster than a serial loop that took ``serial_wall_seconds``."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return serial_wall_seconds / self.wall_seconds
+
+    def aggregated(self) -> "AggregatedMetrics":
+        """The batch as an :class:`AggregatedMetrics` (mean-based views)."""
+        aggregate = AggregatedMetrics()
+        for run in self.per_query:
+            aggregate.add(run)
+        return aggregate
+
+
+@dataclass
 class AggregatedMetrics:
     """Mean of several :class:`QueryMetrics` (the paper averages 100 queries)."""
 

@@ -127,3 +127,63 @@ def decode_answer(payload: bytes) -> tuple[list[Match], bool]:
 def roundtrip_answer_size(matches: list[Match], query_order: list[int]) -> int:
     """Byte size of an answer without keeping the encoding around."""
     return len(encode_answer(matches, query_order, expanded=False))
+
+
+# ----------------------------------------------------------------------
+# batched messages (one wire round-trip for a whole workload)
+# ----------------------------------------------------------------------
+def encode_query_batch(queries: list[AttributedGraph]) -> bytes:
+    """A multi-query payload: the client ships a workload in one message.
+
+    The batch engine (``query_batch``) answers its elements
+    concurrently; framing them together saves per-message latency on
+    the simulated wire and keeps the batch atomic for accounting.
+    """
+    return json.dumps(
+        {"queries": [graph_to_dict(query) for query in queries]},
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_query_batch(payload: bytes) -> list[AttributedGraph]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        queries = data["queries"]
+        if not isinstance(queries, list):
+            raise ValueError("'queries' must be a list")
+        return [graph_from_dict(entry) for entry in queries]
+    except (KeyError, ValueError, AttributeError) as exc:
+        raise ProtocolError(f"malformed query batch message: {exc}") from exc
+
+
+def encode_answer_batch(
+    answers: list[tuple[list[Match], list[int], bool]],
+) -> bytes:
+    """Batched answers: one ``(matches, query_order, expanded)`` per query."""
+    return json.dumps(
+        {
+            "answers": [
+                {
+                    "order": order,
+                    "rows": matches_to_rows(matches, order),
+                    "expanded": expanded,
+                }
+                for matches, order, expanded in answers
+            ]
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def decode_answer_batch(payload: bytes) -> list[tuple[list[Match], bool]]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        answers = data["answers"]
+        if not isinstance(answers, list):
+            raise ValueError("'answers' must be a list")
+        return [
+            (rows_to_matches(entry["rows"], entry["order"]), bool(entry["expanded"]))
+            for entry in answers
+        ]
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise ProtocolError(f"malformed answer batch message: {exc}") from exc

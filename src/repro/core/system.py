@@ -15,14 +15,16 @@ Usage::
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
 
 from repro.client.expansion import expand_rin
+from repro.cloud.parallel import effective_workers, map_batch, validate_backend
 from repro.cloud.server import CloudServer
 from repro.core.config import SystemConfig
 from repro.core.data_owner import DataOwner, PublishedData
-from repro.core.metrics import PublishMetrics, QueryMetrics
+from repro.core.metrics import BatchMetrics, PublishMetrics, QueryMetrics
 from repro.core.protocol import (
     NetworkChannel,
     decode_answer,
@@ -45,6 +47,19 @@ class QueryOutcome:
 
     matches: list[Match]
     metrics: QueryMetrics
+
+
+@dataclass
+class BatchOutcome:
+    """A ``query_batch`` run: per-query outcomes + batch telemetry."""
+
+    outcomes: list[QueryOutcome]
+    metrics: BatchMetrics
+
+    @property
+    def matches(self) -> list[list[Match]]:
+        """Per-query match lists, in submission order."""
+        return [outcome.matches for outcome in self.outcomes]
 
 
 class PrivacyPreservingSystem:
@@ -101,6 +116,7 @@ class PrivacyPreservingSystem:
             expand_in_cloud=published.expand_in_cloud,
             max_intermediate_results=config.max_intermediate_results,
             star_cache_size=config.star_cache_size,
+            star_workers=config.star_workers,
         )
         client = QueryClient(graph, published.lct, published.transform.avt)
 
@@ -173,3 +189,50 @@ class PrivacyPreservingSystem:
         metrics.result_count = len(outcome.matches)
 
         return QueryOutcome(matches=outcome.matches, metrics=metrics)
+
+    def query_batch(
+        self,
+        queries: list[AttributedGraph],
+        max_workers: int | None = None,
+        backend: str = "thread",
+        limit: int | None = None,
+    ) -> BatchOutcome:
+        """Answer a workload of queries through a bounded worker pool.
+
+        Every query runs the full pipeline of :meth:`query` —
+        anonymize, encode, decompose, star-match, join, decode, expand,
+        filter — on one of ``max_workers`` workers (default: one per
+        core).  The cloud's VBV/LBV index is shared read-only and the
+        star cache is shared through its lock, so repeated star shapes
+        across the batch are matched once.  Outcomes come back **in
+        submission order** with match sets bit-identical to a serial
+        loop of :meth:`query` calls.
+
+        ``backend`` is ``"thread"`` (default; shares the cache),
+        ``"process"`` (fork-based, for CPU-bound batches on multi-core
+        hosts; cache/channel updates stay in the children), or
+        ``"serial"`` (the plain loop — the baseline
+        ``benchmarks/bench_parallel_engine.py`` measures against).
+        """
+        validate_backend(backend)
+        queries = list(queries)
+        worker_count = effective_workers(max_workers, len(queries))
+        cache_shared = backend != "process"
+        hits_before, misses_before = self.cloud.star_cache.counters()
+
+        run_one = functools.partial(self.query, limit=limit)
+        started = time.perf_counter()
+        outcomes = map_batch(run_one, queries, max_workers, backend)
+        wall_seconds = time.perf_counter() - started
+
+        hits_after, misses_after = self.cloud.star_cache.counters()
+        metrics = BatchMetrics(
+            backend=backend,
+            worker_count=1 if backend == "serial" else worker_count,
+            wall_seconds=wall_seconds,
+            per_query=[outcome.metrics for outcome in outcomes],
+            cache_hits=hits_after - hits_before,
+            cache_misses=misses_after - misses_before,
+            cache_shared=cache_shared,
+        )
+        return BatchOutcome(outcomes=outcomes, metrics=metrics)

@@ -40,6 +40,45 @@ class TestPublishAndQuery:
         assert len(query_out["matches"]) == 2
         assert query_out["candidates"] >= 2
 
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_publish_then_batch(self, tmp_path, capsys, backend):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        query_path = tmp_path / "q.json"
+        save_graph(graph, graph_path)
+        save_graph(example_query(), query_path)
+        deployment = tmp_path / "dep"
+
+        assert main(["publish", str(graph_path), str(deployment), "--k", "2"]) == 0
+        capsys.readouterr()
+
+        assert (
+            main(
+                [
+                    "batch",
+                    str(deployment),
+                    str(graph_path),
+                    str(query_path),
+                    str(query_path),
+                    "--workers",
+                    "2",
+                    "--backend",
+                    backend,
+                    "--repeat",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        batch_out = json.loads(capsys.readouterr().out)
+        assert batch_out["queries"] == 4
+        assert batch_out["backend"] == backend
+        assert batch_out["wall_seconds"] >= 0
+        assert len(batch_out["per_query"]) == 4
+        assert all(entry["matches"] == 2 for entry in batch_out["per_query"])
+        # the repeated workload must warm the shared star cache
+        assert batch_out["cache"]["hits"] > 0
+
     def test_publish_with_method(self, tmp_path, capsys):
         graph, _ = example_social_network()
         graph_path = tmp_path / "g.json"

@@ -83,6 +83,89 @@ class TestLru:
         assert cache.hit_rate == 0.0
 
 
+class TestAliasing:
+    """Regression: get/put used to hand out the live internal list."""
+
+    def test_mutating_a_hit_does_not_corrupt_later_hits(self):
+        cache = StarMatchCache(capacity=4)
+        cache.put(("sig",), [(1, 2), (3, 4)])
+        first = cache.get(("sig",))
+        assert first == [(1, 2), (3, 4)]
+        # a buggy caller (or another query's thread) scribbles on it
+        first.append((99, 99))
+        first[0] = (0, 0)
+        second = cache.get(("sig",))
+        assert second == [(1, 2), (3, 4)]
+
+    def test_mutating_the_put_list_does_not_corrupt_the_entry(self):
+        cache = StarMatchCache(capacity=4)
+        roles = [(1, 2)]
+        cache.put(("sig",), roles)
+        roles.append((7, 8))  # caller keeps (and mutates) its list
+        assert cache.get(("sig",)) == [(1, 2)]
+
+    def test_hits_are_independent_copies(self):
+        cache = StarMatchCache(capacity=4)
+        cache.put(("sig",), [(1, 2)])
+        a = cache.get(("sig",))
+        b = cache.get(("sig",))
+        assert a == b
+        assert a is not b
+
+    def test_server_results_survive_caller_mutation(self):
+        """End to end: mutating one answer must not change a re-query."""
+        graph, schema = example_social_network()
+        from repro.graph import example_query
+
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, star_cache_size=32)
+        )
+        query = example_query()
+        first = system.query(query).matches
+        baseline = sorted(match_key(m) for m in first)
+        # a rogue caller mutates the returned matches in place
+        for match in first:
+            for key in list(match):
+                match[key] = -1
+        again = system.query(query).matches
+        assert sorted(match_key(m) for m in again) == baseline
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put_is_consistent(self):
+        import threading
+
+        cache = StarMatchCache(capacity=16)
+        signatures = [(f"s{i}",) for i in range(8)]
+        errors: list[AssertionError] = []
+        barrier = threading.Barrier(4)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for round_ in range(200):
+                    signature = signatures[(seed + round_) % len(signatures)]
+                    expected = [(signature[0], 1), (signature[0], 2)]
+                    hit = cache.get(signature)
+                    if hit is not None:
+                        assert hit == expected, f"corrupted entry for {signature}"
+                        hit.append(("junk", 0))  # must never leak back
+                    else:
+                        cache.put(signature, expected)
+            except AssertionError as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        hits, misses = cache.counters()
+        assert hits + misses == 4 * 200
+        assert len(cache) <= 16
+
+
 class TestCachedServerCorrectness:
     @pytest.mark.parametrize("method", ["EFF", "BAS"])
     def test_results_identical_with_and_without_cache(self, method):

@@ -1,0 +1,305 @@
+"""Tests for the parallel batched query engine (ISSUE 1).
+
+Covers: per-query parallel star matching, `CloudServer.query_batch`,
+`PrivacyPreservingSystem.query_batch` + `BatchMetrics`, exception
+propagation, and a deterministic thread-safety stress test of
+concurrent queries sharing one star cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    BatchOutcome,
+    MethodConfig,
+    PrivacyPreservingSystem,
+    SystemConfig,
+)
+from repro.cloud import CloudServer, fork_available
+from repro.cloud.parallel import effective_workers, map_batch, validate_backend
+from repro.exceptions import ResultBudgetExceeded
+from repro.graph import example_query, example_social_network
+from repro.matching import match_key
+from repro.workloads import generate_workload, load_dataset
+
+
+def match_lists(outcomes) -> list[list[tuple]]:
+    """Per-query ordered match keys (bit-identity comparison)."""
+    return [[match_key(m) for m in outcome.matches] for outcome in outcomes]
+
+
+@pytest.fixture(scope="module")
+def dataset_workload():
+    dataset = load_dataset("DBpedia", scale=0.1)
+    workload = generate_workload(dataset.graph, 4, 6, seed=7)
+    return dataset, workload
+
+
+def build_system(dataset, workload, **config_kwargs) -> PrivacyPreservingSystem:
+    return PrivacyPreservingSystem.setup(
+        dataset.graph,
+        dataset.schema,
+        SystemConfig(k=2, **config_kwargs),
+        sample_workload=workload,
+    )
+
+
+class TestPoolHelpers:
+    def test_effective_workers_clamps(self):
+        assert effective_workers(8, 3) == 3
+        assert effective_workers(2, 100) == 2
+        assert effective_workers(0, 5) == 1
+        assert effective_workers(None, 1) == 1
+        assert effective_workers(None, 100) >= 2
+
+    def test_validate_backend(self):
+        for backend in ("serial", "thread", "process"):
+            assert validate_backend(backend) == backend
+        with pytest.raises(ValueError):
+            validate_backend("gpu")
+
+    def test_map_batch_preserves_order(self):
+        items = list(range(20))
+        assert map_batch(lambda x: x * x, items, 4, "thread") == [
+            x * x for x in items
+        ]
+        assert map_batch(lambda x: x + 1, items, 4, "serial") == [
+            x + 1 for x in items
+        ]
+
+    def test_map_batch_propagates_exceptions(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("task 3 failed")
+            return x
+
+        with pytest.raises(ValueError, match="task 3 failed"):
+            map_batch(boom, list(range(6)), 3, "thread")
+
+
+class TestParallelStarMatching:
+    """star_workers > 1 must be bit-identical to the serial loop."""
+
+    @pytest.mark.parametrize("cache_size", [0, 64])
+    def test_parallel_stars_bit_identical(self, dataset_workload, cache_size):
+        dataset, workload = dataset_workload
+        serial = build_system(dataset, workload, star_cache_size=cache_size)
+        parallel = build_system(
+            dataset, workload, star_cache_size=cache_size, star_workers=4
+        )
+        for query in workload:
+            a = [match_key(m) for m in serial.query(query).matches]
+            b = [match_key(m) for m in parallel.query(query).matches]
+            assert a == b
+
+    def test_parallel_stars_on_running_example(self):
+        graph, schema = example_social_network()
+        serial = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+        parallel = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, star_workers=3)
+        )
+        query = example_query()
+        assert [match_key(m) for m in parallel.query(query).matches] == [
+            match_key(m) for m in serial.query(query).matches
+        ]
+
+    def test_equivalent_stars_still_share_cache_entries(self):
+        """Deduped fan-out: one query's equivalent stars compute once."""
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, star_cache_size=32, star_workers=4)
+        )
+        query = example_query()
+        system.query(query)
+        hits_before, _ = system.cloud.star_cache.counters()
+        system.query(query)  # all stars must now be warm
+        hits_after, _ = system.cloud.star_cache.counters()
+        assert hits_after > hits_before
+
+    def test_star_workers_validation(self):
+        with pytest.raises(Exception):
+            SystemConfig(k=2, star_workers=-1)
+
+
+class TestCloudQueryBatch:
+    def test_backends_match_serial_loop(self, dataset_workload, figure1_pipeline):
+        pipe = figure1_pipeline
+        server = CloudServer(
+            pipe.outsourced.graph,
+            pipe.transform.avt,
+            pipe.outsourced.block_vertices,
+            star_cache_size=32,
+        )
+        queries = [pipe.qo] * 6
+        expected = [[match_key(m) for m in server.answer(q).matches] for q in queries]
+        threaded = server.query_batch(queries, max_workers=4, backend="thread")
+        assert [[match_key(m) for m in a.matches] for a in threaded] == expected
+        serial = server.query_batch(queries, backend="serial")
+        assert [[match_key(m) for m in a.matches] for a in serial] == expected
+
+    @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+    def test_process_backend_matches(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        server = CloudServer(
+            pipe.outsourced.graph,
+            pipe.transform.avt,
+            pipe.outsourced.block_vertices,
+            star_cache_size=32,
+            star_workers=2,  # exercises the fork-aware pool rebuild
+        )
+        queries = [pipe.qo] * 4
+        expected = [[match_key(m) for m in server.answer(q).matches] for q in queries]
+        answers = server.query_batch(queries, max_workers=2, backend="process")
+        assert [[match_key(m) for m in a.matches] for a in answers] == expected
+        server.close()
+
+    def test_unknown_backend_rejected(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        server = CloudServer(
+            pipe.outsourced.graph,
+            pipe.transform.avt,
+            pipe.outsourced.block_vertices,
+        )
+        with pytest.raises(ValueError):
+            server.query_batch([pipe.qo], backend="quantum")
+
+    def test_budget_exceeded_propagates_from_batch(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        server = CloudServer(
+            pipe.outsourced.graph,
+            pipe.transform.avt,
+            pipe.outsourced.block_vertices,
+            max_intermediate_results=0,
+        )
+        with pytest.raises(ResultBudgetExceeded):
+            server.query_batch([pipe.qo] * 3, max_workers=2, backend="thread")
+
+    def test_close_is_idempotent(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        with CloudServer(
+            pipe.outsourced.graph,
+            pipe.transform.avt,
+            pipe.outsourced.block_vertices,
+            star_workers=2,
+        ) as server:
+            server.answer(pipe.qo)
+        server.close()  # second close must be a no-op
+
+
+class TestSystemQueryBatch:
+    def test_batch_outcome_shape_and_metrics(self, dataset_workload):
+        dataset, workload = dataset_workload
+        system = build_system(dataset, workload, star_cache_size=64)
+        batch = system.query_batch(workload, max_workers=4, backend="thread")
+        assert isinstance(batch, BatchOutcome)
+        assert len(batch.outcomes) == len(workload)
+        metrics = batch.metrics
+        assert metrics.backend == "thread"
+        assert metrics.query_count == len(workload)
+        assert metrics.worker_count == min(4, len(workload))
+        assert metrics.wall_seconds > 0
+        assert metrics.throughput_qps > 0
+        assert len(metrics.per_query) == len(workload)
+        assert metrics.cache_shared is True
+        assert metrics.cache_hits + metrics.cache_misses > 0
+        assert 0.0 <= metrics.cache_hit_rate <= 1.0
+        aggregate = metrics.aggregated()
+        assert len(aggregate.runs) == len(workload)
+
+    def test_batch_matches_serial_loop_bit_identical(self, dataset_workload):
+        dataset, workload = dataset_workload
+        system = build_system(dataset, workload, star_cache_size=64)
+        serial = [system.query(q) for q in workload]
+        batch = system.query_batch(workload, max_workers=4, backend="thread")
+        assert match_lists(batch.outcomes) == match_lists(serial)
+        # submission order: per-query metrics line up with the inputs
+        for query, outcome in zip(workload, batch.outcomes):
+            assert outcome.metrics.query_edges == query.edge_count
+
+    @pytest.mark.parametrize("method", ["EFF", "BAS"])
+    def test_methods_agree_across_backends(self, dataset_workload, method):
+        dataset, workload = dataset_workload
+        system = PrivacyPreservingSystem.setup(
+            dataset.graph,
+            dataset.schema,
+            SystemConfig(
+                k=2, method=MethodConfig.from_name(method), star_cache_size=64
+            ),
+            sample_workload=workload,
+        )
+        expected = match_lists(system.query_batch(workload, backend="serial").outcomes)
+        threaded = system.query_batch(workload, max_workers=3, backend="thread")
+        assert match_lists(threaded.outcomes) == expected
+
+    @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
+    def test_process_backend_reports_unshared_cache(self, dataset_workload):
+        dataset, workload = dataset_workload
+        system = build_system(dataset, workload, star_cache_size=64)
+        expected = match_lists(system.query_batch(workload, backend="serial").outcomes)
+        batch = system.query_batch(workload[:4], max_workers=2, backend="process")
+        assert match_lists(batch.outcomes) == expected[:4]
+        assert batch.metrics.cache_shared is False
+        assert batch.metrics.cache_hit_rate is None
+
+    def test_limit_is_honored_in_batches(self, dataset_workload):
+        dataset, workload = dataset_workload
+        system = build_system(dataset, workload)
+        batch = system.query_batch(workload, max_workers=2, limit=1)
+        for outcome in batch.outcomes:
+            assert len(outcome.matches) <= 1
+
+    def test_empty_batch(self, dataset_workload):
+        dataset, workload = dataset_workload
+        system = build_system(dataset, workload)
+        batch = system.query_batch([])
+        assert batch.outcomes == []
+        assert batch.metrics.query_count == 0
+        assert batch.metrics.throughput_qps == 0.0
+
+
+class TestSharedCacheStress:
+    """Concurrent queries hammering one cache must be deterministic."""
+
+    def test_stress_batches_are_deterministic(self, dataset_workload):
+        dataset, workload = dataset_workload
+        system = build_system(dataset, workload, star_cache_size=8)
+        # small LRU + repeated workload = constant eviction churn under
+        # concurrency; every run must still return identical matches
+        stress = (workload * 3)[: max(12, len(workload))]
+        reference = match_lists(system.query_batch(stress, backend="serial").outcomes)
+        for round_ in range(3):
+            batch = system.query_batch(stress, max_workers=4, backend="thread")
+            assert match_lists(batch.outcomes) == reference, f"round {round_}"
+
+    def test_raw_threads_share_one_server(self, figure1_pipeline):
+        """Belt and braces: hand-rolled threads, no pool abstraction."""
+        pipe = figure1_pipeline
+        server = CloudServer(
+            pipe.outsourced.graph,
+            pipe.transform.avt,
+            pipe.outsourced.block_vertices,
+            star_cache_size=4,
+        )
+        expected = [match_key(m) for m in server.answer(pipe.qo).matches]
+        errors: list[str] = []
+        barrier = threading.Barrier(4)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(10):
+                got = [match_key(m) for m in server.answer(pipe.qo).matches]
+                if got != expected:  # pragma: no cover - failure path
+                    errors.append("diverged")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        hits, misses = server.star_cache.counters()
+        assert hits > 0
+        assert hits + misses > 0

@@ -59,6 +59,74 @@ class TestSmallInstances:
         assert cover_cost(cover, weights) == 0.0
 
 
+class TestDeterminism:
+    """Weight ties must break by vertex id: same input -> same cover."""
+
+    def tie_heavy_instance(self, rng):
+        n = rng.randint(5, 10)
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < 0.5
+        ] or [(0, 1)]
+        # few distinct weights -> lots of ties
+        weights = {v: float(rng.choice([1.0, 1.0, 2.0])) for v in range(n)}
+        return edges, weights
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_repeated_runs_identical(self, trial):
+        rng = random.Random(100 + trial)
+        edges, weights = self.tie_heavy_instance(rng)
+        first = minimum_weighted_vertex_cover(edges, weights)
+        for _ in range(5):
+            assert minimum_weighted_vertex_cover(edges, weights) == first
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_edge_order_does_not_matter(self, trial):
+        rng = random.Random(200 + trial)
+        edges, weights = self.tie_heavy_instance(rng)
+        reference = minimum_weighted_vertex_cover(edges, weights)
+        for shuffle_seed in range(4):
+            shuffled = list(edges)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            # also randomly flip endpoint order
+            flipped = [
+                (v, u) if random.Random(shuffle_seed + s).random() < 0.5 else (u, v)
+                for s, (u, v) in enumerate(shuffled)
+            ]
+            assert minimum_weighted_vertex_cover(flipped, weights) == reference
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_greedy_is_deterministic_too(self, trial):
+        from repro.cloud import greedy_weighted_vertex_cover
+
+        rng = random.Random(300 + trial)
+        edges, weights = self.tie_heavy_instance(rng)
+        reference = greedy_weighted_vertex_cover(edges, weights)
+        for shuffle_seed in range(4):
+            shuffled = list(edges)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            assert greedy_weighted_vertex_cover(shuffled, weights) == reference
+
+    def test_decomposition_plan_is_stable(self, figure1_pipeline):
+        """Same query, repeated: identical stars in identical order."""
+        from repro.cloud import CloudServer, decompose_query
+
+        pipe = figure1_pipeline
+        server = CloudServer(
+            pipe.outsourced.graph,
+            pipe.transform.avt,
+            pipe.outsourced.block_vertices,
+        )
+        reference = decompose_query(pipe.qo, server.estimator)
+        for _ in range(5):
+            again = decompose_query(pipe.qo, server.estimator)
+            assert [
+                (s.center, tuple(s.leaves)) for s in again.stars
+            ] == [(s.center, tuple(s.leaves)) for s in reference.stars]
+
+
 class TestOptimalityAgainstBruteForce:
     @pytest.mark.parametrize("trial", range(10))
     def test_random_graphs(self, trial):

@@ -5,13 +5,18 @@ import pytest
 from repro.core import (
     NetworkChannel,
     decode_answer,
+    decode_answer_batch,
     decode_query,
+    decode_query_batch,
     decode_upload,
     encode_answer,
+    encode_answer_batch,
     encode_query,
+    encode_query_batch,
     encode_upload,
 )
 from repro.exceptions import ProtocolError
+from repro.graph import AttributedGraph
 
 
 class TestChannel:
@@ -57,6 +62,82 @@ class TestQueryMessage:
     def test_malformed_rejected(self):
         with pytest.raises(ProtocolError):
             decode_query(b"not json")
+
+
+def unicode_query() -> AttributedGraph:
+    """A query whose labels exercise non-ASCII JSON round-tripping."""
+    query = AttributedGraph()
+    query.add_vertex(0, "person", labels={"name": ["Ωμέγα", "naïve"]})
+    query.add_vertex(1, "café", labels={"città": ["東京", "emoji ✓"]})
+    query.add_edge(0, 1)
+    return query
+
+
+class TestQueryMessageEdgeCases:
+    def test_empty_query_round_trip(self):
+        empty = AttributedGraph()
+        decoded = decode_query(encode_query(empty))
+        assert decoded.vertex_count == 0
+        assert decoded.edge_count == 0
+
+    def test_unicode_labels_round_trip(self):
+        query = unicode_query()
+        decoded = decode_query(encode_query(query))
+        assert decoded.structure_equal(query)
+        assert decoded.vertex(0).labels == query.vertex(0).labels
+        assert decoded.vertex(1).labels == query.vertex(1).labels
+        assert decoded.vertex(1).vertex_type == "café"
+
+
+class TestBatchMessages:
+    """Multi-query payloads: the wire framing of `query_batch`."""
+
+    def test_query_batch_round_trip(self, figure1_pipeline):
+        queries = [figure1_pipeline.qo, unicode_query(), AttributedGraph()]
+        decoded = decode_query_batch(encode_query_batch(queries))
+        assert len(decoded) == 3
+        for original, back in zip(queries, decoded):
+            assert back.structure_equal(original)
+
+    def test_empty_batch_round_trip(self):
+        assert decode_query_batch(encode_query_batch([])) == []
+
+    def test_answer_batch_round_trip(self):
+        answers = [
+            ([{0: 5, 1: 7}, {0: 6, 1: 8}], [0, 1], False),
+            ([], [0], True),
+            ([{0: 1, 1: 2, 2: 3}], [0, 1, 2], True),
+        ]
+        decoded = decode_answer_batch(encode_answer_batch(answers))
+        assert decoded == [
+            ([{0: 5, 1: 7}, {0: 6, 1: 8}], False),
+            ([], True),
+            ([{0: 1, 1: 2, 2: 3}], True),
+        ]
+
+    def test_batch_under_load_round_trip(self, figure1_pipeline):
+        """A large multi-query payload survives encode/decode intact."""
+        queries = [figure1_pipeline.qo, unicode_query()] * 16
+        decoded = decode_query_batch(encode_query_batch(queries))
+        assert len(decoded) == 32
+        assert all(
+            back.structure_equal(original)
+            for original, back in zip(queries, decoded)
+        )
+
+    def test_malformed_query_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_query_batch(b"not json")
+        with pytest.raises(ProtocolError):
+            decode_query_batch(b'{"nope": []}')
+        with pytest.raises(ProtocolError):
+            decode_query_batch(b'{"queries": 3}')
+
+    def test_malformed_answer_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_answer_batch(b'{"answers": "oops"}')
+        with pytest.raises(ProtocolError):
+            decode_answer_batch(b'{"answers": [{"rows": []}]}')
 
 
 class TestAnswerMessage:
