@@ -27,6 +27,7 @@ from conftest import bench_queries
 from repro.bench import format_table, print_report
 from repro.cloud.parallel import fork_available
 from repro.matching import match_key
+from repro.obs import Observability, format_percent
 
 WORKERS = 4
 BATCH_K = 3
@@ -66,11 +67,18 @@ def test_batch_backends_bit_identical(sweep):
 
 
 def test_batch_throughput_cell(benchmark, sweep):
-    """Timed cell: the whole batch through the thread pool."""
+    """Timed cell: the whole batch through the thread pool.
+
+    Tracing is disabled for the timed runs — this cell measures raw
+    engine throughput, the number every perf PR reports against.
+    """
     system, queries = _batch_workload(sweep)
+    silent = Observability.disabled()
 
     def run():
-        return system.query_batch(queries, max_workers=WORKERS, backend="thread")
+        return system.query_batch(
+            queries, max_workers=WORKERS, backend="thread", obs=silent
+        )
 
     outcome = benchmark(run)
     assert outcome.metrics.query_count == len(queries)
@@ -83,6 +91,9 @@ def test_report_parallel_engine(sweep):
     serial_wall = serial.metrics.wall_seconds
     expected = _match_sets(serial.outcomes)
 
+    # cache_hit_rate is None for the process backend (children own the
+    # cache copies, the parent-side delta reads zero) — format_percent
+    # renders that as "n/a" instead of blowing up in a %-format.
     rows = [
         [
             "serial",
@@ -90,6 +101,7 @@ def test_report_parallel_engine(sweep):
             f"{serial_wall * 1000:.1f}",
             f"{serial.metrics.throughput_qps:.1f}",
             "1.00x",
+            format_percent(serial.metrics.cache_hit_rate),
         ]
     ]
     measured = {}
@@ -106,12 +118,13 @@ def test_report_parallel_engine(sweep):
                 f"{batch.metrics.wall_seconds * 1000:.1f}",
                 f"{batch.metrics.throughput_qps:.1f}",
                 f"{speedup:.2f}x",
+                format_percent(batch.metrics.cache_hit_rate),
             ]
         )
 
     print_report(
         format_table(
-            ["backend", "workers", "wall ms", "qps", "speedup"],
+            ["backend", "workers", "wall ms", "qps", "speedup", "hit rate"],
             rows,
             title=(
                 f"parallel batched engine — {len(queries)} queries, "

@@ -31,15 +31,20 @@ Subpackages
 """
 
 from repro.core import (
+    AggregatedMetrics,
+    BatchMetrics,
     BatchOutcome,
     MethodConfig,
     NetworkChannel,
     PrivacyPreservingSystem,
+    PublishMetrics,
+    QueryMetrics,
     QueryOutcome,
     SystemConfig,
 )
 from repro.exceptions import (
     AnonymizationError,
+    ConfigError,
     GraphError,
     PartitionError,
     ProtocolError,
@@ -49,6 +54,16 @@ from repro.exceptions import (
     VerificationError,
 )
 from repro.graph import AttributedGraph, GraphSchema
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Span,
+    Trace,
+    Tracer,
+    export_json,
+    format_summary,
+    prometheus_text,
+)
 
 __version__ = "1.0.0"
 
@@ -61,7 +76,23 @@ __all__ = [
     "NetworkChannel",
     "AttributedGraph",
     "GraphSchema",
+    # observability surface
+    "Observability",
+    "Tracer",
+    "Trace",
+    "Span",
+    "MetricsRegistry",
+    "export_json",
+    "prometheus_text",
+    "format_summary",
+    # metric views
+    "PublishMetrics",
+    "QueryMetrics",
+    "BatchMetrics",
+    "AggregatedMetrics",
+    # errors
     "ReproError",
+    "ConfigError",
     "GraphError",
     "SchemaError",
     "PartitionError",

@@ -106,33 +106,48 @@ def build_lct(
     graph_stats: GraphStatistics | None = None,
     workload_stats: GraphStatistics | None = None,
     seed: int = 0,
+    obs=None,
 ) -> LabelCorrespondenceTable:
     """Run ``strategy`` over every (type, attribute) universe of ``schema``.
 
     The label universes come from the *schema* (not just observed
     labels) so every possible query label has a group.  Frequencies of
     unobserved labels default to zero.
+
+    ``obs`` (a :class:`repro.obs.Observability`, optional) wraps the
+    construction in an ``anonymize.grouping`` span carrying the
+    group/label counts; ``None`` uses the shared null tracer.
     """
+    from repro.obs import names
+    from repro.obs.tracing import NULL_TRACER
+
+    tracer = obs.tracer if obs is not None else NULL_TRACER
     lct = LabelCorrespondenceTable(theta)
     rng = random.Random(seed)
-    for vertex_type in schema.type_names:
-        for attribute in schema.attributes_of(vertex_type):
-            universe = sorted(schema.labels_of(vertex_type, attribute))
-            context = StrategyContext(
-                vertex_type=vertex_type,
-                attribute=attribute,
-                graph_frequency=_frequency_map(
-                    graph_stats, vertex_type, attribute, universe
-                ),
-                workload_frequency=_frequency_map(
-                    workload_stats, vertex_type, attribute, universe
-                ),
-                rng=rng,
-            )
-            groups = strategy(universe, theta, context)
-            _check_partition(universe, groups, vertex_type, attribute)
-            for group in groups:
-                lct.add_group(vertex_type, attribute, group)
+    label_count = 0
+    group_count = 0
+    with tracer.span(names.ANON_GROUPING) as span:
+        for vertex_type in schema.type_names:
+            for attribute in schema.attributes_of(vertex_type):
+                universe = sorted(schema.labels_of(vertex_type, attribute))
+                context = StrategyContext(
+                    vertex_type=vertex_type,
+                    attribute=attribute,
+                    graph_frequency=_frequency_map(
+                        graph_stats, vertex_type, attribute, universe
+                    ),
+                    workload_frequency=_frequency_map(
+                        workload_stats, vertex_type, attribute, universe
+                    ),
+                    rng=rng,
+                )
+                groups = strategy(universe, theta, context)
+                _check_partition(universe, groups, vertex_type, attribute)
+                label_count += len(universe)
+                group_count += len(groups)
+                for group in groups:
+                    lct.add_group(vertex_type, attribute, group)
+        span.set(labels=label_count, groups=group_count)
     return lct
 
 

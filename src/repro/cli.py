@@ -13,9 +13,15 @@ Commands
 ``batch``
     Answer a whole workload of query graphs concurrently through the
     parallel batched engine (``--workers``, ``--backend``).
+``profile``
+    Run a traced (and cProfile'd) workload and print the per-phase
+    span summary plus the hottest functions of each profiled phase.
 ``datasets``
     Generate one of the evaluation dataset analogues to a JSON file.
 
+``demo``, ``query`` and ``batch`` accept ``--trace PATH`` to export
+the run's spans + metrics registry as a JSON trace file, and
+``--prometheus PATH`` (on ``batch``) for the Prometheus text format.
 All graphs use the JSON format of :mod:`repro.graph.io`.
 """
 
@@ -33,6 +39,7 @@ from repro.core.query_client import QueryClient
 from repro.core.storage import load_client_side, load_cloud_side, save_published
 from repro.graph.generators import example_query, example_social_network, schema_from_graph
 from repro.graph.io import load_graph, save_graph
+from repro.obs import Observability, Trace, export_json, format_percent
 from repro.workloads.datasets import DATASETS, load_dataset
 
 
@@ -40,8 +47,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.core.system import PrivacyPreservingSystem
 
     graph, schema = example_social_network()
+    obs = Observability()
     system = PrivacyPreservingSystem.setup(
-        graph, schema, SystemConfig(k=args.k, method=MethodConfig.from_name(args.method))
+        graph,
+        schema,
+        SystemConfig(k=args.k, method=MethodConfig.from_name(args.method)),
+        obs=obs,
     )
     outcome = system.query(example_query())
     print(f"published: {system.publish_metrics.uploaded_edges} edges uploaded")
@@ -49,6 +60,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     for match in outcome.matches:
         print("  " + ", ".join(f"q{q}->v{v}" for q, v in sorted(match.items())))
     print(f"end-to-end: {outcome.metrics.total_seconds * 1000:.2f} ms")
+    if args.trace:
+        trace = Trace()
+        if system.published.trace is not None:
+            trace.extend(system.published.trace)
+        if outcome.trace is not None:
+            trace.extend(outcome.trace)
+        export_json(args.trace, trace=trace, registry=obs.metrics)
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -85,12 +104,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     cloud_graph, cloud_avt, centers, expand = load_cloud_side(args.deployment)
     lct, client_avt = load_client_side(args.deployment)
 
+    obs = Observability()
+    scope = obs.for_query()
     cloud = CloudServer(cloud_graph, cloud_avt, centers, expand_in_cloud=expand)
     client = QueryClient(graph, lct, client_avt)
 
-    anonymized = client.prepare_query(query)
-    answer = cloud.answer(anonymized)
-    outcome = client.process_answer(query, answer.matches, answer.expanded)
+    with scope.tracer.span("query") as root:
+        root.set(query_edges=query.edge_count)
+        anonymized = client.prepare_query(query, obs=scope)
+        answer = cloud.answer(anonymized, obs=scope)
+        outcome = client.process_answer(
+            query, answer.matches, answer.expanded, obs=scope
+        )
     print(
         json.dumps(
             {
@@ -98,12 +123,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     {str(q): v for q, v in sorted(m.items())} for m in outcome.matches
                 ],
                 "candidates": outcome.candidate_count,
-                "cloud_seconds": answer.total_seconds,
-                "client_seconds": outcome.seconds,
+                "cloud_seconds": answer.cloud_seconds,
+                "client_seconds": outcome.client_seconds,
             },
             indent=2,
         )
     )
+    if args.trace:
+        export_json(
+            args.trace, trace=scope.tracer.take_trace(), registry=obs.metrics
+        )
+        print(f"trace written to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -118,6 +148,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     cloud_graph, cloud_avt, centers, expand = load_cloud_side(args.deployment)
     lct, client_avt = load_client_side(args.deployment)
 
+    obs = Observability()
     cloud = CloudServer(
         cloud_graph,
         cloud_avt,
@@ -125,8 +156,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         expand_in_cloud=expand,
         star_cache_size=args.star_cache,
         star_workers=args.star_workers,
+        obs=obs if args.trace else None,
     )
-    client = QueryClient(graph, lct, client_avt)
+    client = QueryClient(graph, lct, client_avt, obs=obs if args.trace else None)
 
     anonymized = [client.prepare_query(query) for query in queries]
     started = time.perf_counter()
@@ -142,10 +174,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             {
                 "matches": len(outcome.matches),
                 "candidates": outcome.candidate_count,
-                "cloud_seconds": answer.total_seconds,
+                "cloud_seconds": answer.cloud_seconds,
             }
         )
     hits, misses = cloud.star_cache.counters()
+    # with the process backend the children own the cache copies: the
+    # parent-side counters read zero, so the rate is unknowable here —
+    # report it as None / "n/a" instead of a misleading 0.0%.
+    cache_shared = args.backend != "process"
+    hit_total = hits + misses
+    hit_rate = (
+        (hits / hit_total if hit_total else 0.0) if cache_shared else None
+    )
     print(
         json.dumps(
             {
@@ -157,14 +197,58 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 "cache": {
                     "hits": hits,
                     "misses": misses,
-                    "hit_rate": cloud.star_cache.hit_rate,
+                    "hit_rate": hit_rate,
+                    "hit_rate_text": format_percent(hit_rate),
                 },
                 "per_query": results,
             },
             indent=2,
         )
     )
+    if args.trace:
+        export_json(args.trace, trace=obs.tracer.take_trace(), registry=obs.metrics)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.prometheus:
+        from repro.obs import write_prometheus
+
+        write_prometheus(obs.metrics, args.prometheus)
+        print(f"metrics written to {args.prometheus}", file=sys.stderr)
     cloud.close()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Trace + cProfile a demo workload; print the per-phase summary."""
+    from repro.core.system import PrivacyPreservingSystem
+    from repro.obs import format_summary
+
+    graph, schema = example_social_network()
+    obs = Observability(profile=True)
+    system = PrivacyPreservingSystem.setup(
+        graph,
+        schema,
+        SystemConfig(k=args.k, method=MethodConfig.from_name(args.method)),
+        obs=obs,
+    )
+    merged = Trace()
+    if system.published.trace is not None:
+        merged.extend(system.published.trace)
+    for _ in range(args.queries):
+        outcome = system.query(example_query())
+        if outcome.trace is not None:
+            merged.extend(outcome.trace)
+    print(format_summary(merged, obs.metrics, title="profile: demo workload"))
+    for span in merged:
+        profile = span.attributes.get("profile")
+        if not profile:
+            continue
+        print(f"\nhottest functions of '{span.name}' "
+              f"({span.duration * 1000:.2f} ms):")
+        for line in profile:
+            print(f"  {line}")
+    if args.trace:
+        export_json(args.trace, trace=merged, registry=obs.metrics)
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -246,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the paper's running example")
     demo.add_argument("--k", type=int, default=2)
     demo.add_argument("--method", default="EFF", choices=["EFF", "RAN", "FSIM", "BAS"])
+    demo.add_argument("--trace", default=None, help="write a JSON trace file")
     demo.set_defaults(func=_cmd_demo)
 
     publish = sub.add_parser("publish", help="anonymize and publish a graph")
@@ -262,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("deployment", help="deployment directory from 'publish'")
     query.add_argument("graph", help="original graph JSON (client side)")
     query.add_argument("query", help="query graph JSON")
+    query.add_argument("--trace", default=None, help="write a JSON trace file")
     query.set_defaults(func=_cmd_query)
 
     batch = sub.add_parser(
@@ -297,7 +383,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="repeat the workload N times (warms the shared cache)",
     )
+    batch.add_argument("--trace", default=None, help="write a JSON trace file")
+    batch.add_argument(
+        "--prometheus",
+        default=None,
+        help="write the metrics registry in Prometheus text format",
+    )
     batch.set_defaults(func=_cmd_batch)
+
+    profile = sub.add_parser(
+        "profile", help="trace + cProfile a demo workload, print a summary"
+    )
+    profile.add_argument("--k", type=int, default=2)
+    profile.add_argument(
+        "--method", default="EFF", choices=["EFF", "RAN", "FSIM", "BAS"]
+    )
+    profile.add_argument(
+        "--queries", type=int, default=5, help="how many demo queries to run"
+    )
+    profile.add_argument("--trace", default=None, help="write a JSON trace file")
+    profile.set_defaults(func=_cmd_profile)
 
     verify = sub.add_parser(
         "verify", help="audit a deployment's privacy guarantees"

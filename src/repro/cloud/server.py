@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -31,16 +30,27 @@ from repro.cloud.index import CloudIndex
 from repro.cloud.parallel import map_batch, validate_backend
 from repro.cloud.result_join import JoinStats, join_star_matches
 from repro.cloud.star_matching import StarMatchStats, match_star
+from repro.compat import warn_renamed
 from repro.graph.attributed import AttributedGraph
 from repro.graph.stats import compute_statistics
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match
 from repro.matching.star import Decomposition
+from repro.obs import Observability, names
+from repro.obs.tracing import Trace
 
 
-@dataclass
+@dataclass(init=False)
 class CloudAnswer:
-    """Everything the cloud returns for one query, with telemetry."""
+    """Everything the cloud returns for one query, with telemetry.
+
+    ``cloud_seconds`` is the wall time of the cloud-side pipeline (the
+    ``cloud.answer`` span's duration); ``trace``, when the caller
+    passed a recording :class:`~repro.obs.Observability`, holds every
+    span the answer produced.  The pre-redesign ``total_seconds`` name
+    still works (field *and* constructor keyword) but emits a
+    :class:`DeprecationWarning`.
+    """
 
     matches: list[Match]
     expanded: bool
@@ -48,7 +58,41 @@ class CloudAnswer:
     decomposition_seconds: float
     star_stats: StarMatchStats
     join_stats: JoinStats
-    total_seconds: float
+    cloud_seconds: float
+    trace: Trace | None
+
+    def __init__(
+        self,
+        matches: list[Match],
+        expanded: bool,
+        decomposition: Decomposition,
+        decomposition_seconds: float,
+        star_stats: StarMatchStats,
+        join_stats: JoinStats,
+        cloud_seconds: float | None = None,
+        trace: Trace | None = None,
+        total_seconds: float | None = None,
+    ):
+        if total_seconds is not None:
+            warn_renamed(
+                "CloudAnswer(total_seconds=...)", "CloudAnswer(cloud_seconds=...)"
+            )
+            if cloud_seconds is None:
+                cloud_seconds = total_seconds
+        self.matches = matches
+        self.expanded = expanded
+        self.decomposition = decomposition
+        self.decomposition_seconds = decomposition_seconds
+        self.star_stats = star_stats
+        self.join_stats = join_stats
+        self.cloud_seconds = 0.0 if cloud_seconds is None else cloud_seconds
+        self.trace = trace
+
+    @property
+    def total_seconds(self) -> float:
+        """Deprecated alias of :attr:`cloud_seconds`."""
+        warn_renamed("CloudAnswer.total_seconds", "CloudAnswer.cloud_seconds")
+        return self.cloud_seconds
 
     @property
     def rs_size(self) -> int:
@@ -79,6 +123,14 @@ class CloudServer:
         shared :class:`ThreadPoolExecutor`.  ``0``/``1`` (default)
         keeps the paper's serial loop; the parallel path returns
         bit-identical match sets (stars are gathered in plan order).
+    obs:
+        The :class:`~repro.obs.Observability` scope the server reports
+        into.  Default: a measure-only scope (span durations fill the
+        :class:`CloudAnswer` telemetry, nothing is retained — same cost
+        as the hand-rolled timing it replaced).  Pass a recording scope
+        for full traces, or ``Observability.disabled()`` for a no-op
+        hot path (telemetry fields then read ``0.0``).  The star-cache
+        hit/miss counters are exported as pull-gauges on its registry.
     """
 
     def __init__(
@@ -93,6 +145,7 @@ class CloudServer:
         decomposition_strategy: str = "optimal",
         engine: str = "stars",
         star_workers: int = 0,
+        obs: Observability | None = None,
     ):
         if join_strategy not in ("rin", "full"):
             raise ValueError("join_strategy must be 'rin' or 'full'")
@@ -138,8 +191,27 @@ class CloudServer:
         self._star_pool: ThreadPoolExecutor | None = None
         self._star_pool_pid: int | None = None
         self._state_lock = threading.Lock()
-        self.index = CloudIndex.build(graph, self.center_vertices)
+        self.obs = obs if obs is not None else Observability.measuring()
+        with self.obs.tracer.span(names.CLOUD_INDEX_BUILD) as span:
+            self.index = CloudIndex.build(graph, self.center_vertices)
+            span.set(
+                index_bytes=self.index.size_bytes(),
+                build_seconds=self.index.build_seconds,
+            )
         self.estimator = self._build_estimator()
+        # pull-style gauges: the cache already counts hits/misses under
+        # its own lock, so the registry reads them at snapshot time
+        # instead of double-counting on the hot path.
+        self.obs.metrics.register_callback(
+            names.M_CACHE_HITS,
+            lambda: float(self.star_cache.hits),
+            help="Star-cache hits since server start (or last clear).",
+        )
+        self.obs.metrics.register_callback(
+            names.M_CACHE_MISSES,
+            lambda: float(self.star_cache.misses),
+            help="Star-cache misses since server start (or last clear).",
+        )
 
     def _build_estimator(self) -> StarCardinalityEstimator:
         if self.expand_in_cloud:
@@ -157,36 +229,78 @@ class CloudServer:
     # ------------------------------------------------------------------
     # query answering
     # ------------------------------------------------------------------
-    def answer(self, query: AttributedGraph) -> CloudAnswer:
-        """Run the full cloud pipeline on an anonymized query ``Qo``."""
+    def answer(
+        self, query: AttributedGraph, obs: Observability | None = None
+    ) -> CloudAnswer:
+        """Run the full cloud pipeline on an anonymized query ``Qo``.
+
+        ``obs`` overrides the server's own observability scope for this
+        one query — :class:`repro.core.system.PrivacyPreservingSystem`
+        passes each query's private recording scope here so the spans
+        land in that query's trace.  Every timing the answer reports is
+        a span duration; no hand-rolled ``perf_counter`` pairs remain.
+        """
+        if obs is None:
+            obs = self.obs
         if self.engine == "direct":
-            return self._answer_direct(query)
-        started = time.perf_counter()
+            return self._answer_direct(query, obs)
+        tracer = obs.tracer
 
-        decomposition_start = time.perf_counter()
-        decomposition = decompose_query(
-            query, self.estimator, strategy=self.decomposition_strategy
-        )
-        decomposition_seconds = time.perf_counter() - decomposition_start
+        with tracer.span(names.CLOUD_ANSWER) as root:
+            with tracer.span(names.CLOUD_DECOMPOSE) as decompose_span:
+                decomposition = decompose_query(
+                    query, self.estimator, strategy=self.decomposition_strategy
+                )
+                decompose_span.set(stars=len(decomposition.stars))
 
-        star_matches, star_stats = self._match_stars(query, decomposition.stars)
-        full_join = self.join_strategy == "full"
-        matches, join_stats = join_star_matches(
-            decomposition.stars,
-            star_matches,
-            self.avt,
-            expand=self.expand_in_cloud,
-            max_intermediate=self.max_intermediate_results,
-            expand_anchor=full_join,
-        )
+            star_matches, star_stats = self._match_stars(
+                query, decomposition.stars, tracer=tracer
+            )
+            full_join = self.join_strategy == "full"
+            with tracer.span(names.CLOUD_JOIN) as join_span:
+                matches, join_stats = join_star_matches(
+                    decomposition.stars,
+                    star_matches,
+                    self.avt,
+                    expand=self.expand_in_cloud,
+                    max_intermediate=self.max_intermediate_results,
+                    expand_anchor=full_join,
+                )
+                join_span.set(
+                    rin_size=join_stats.rin_size,
+                    intermediate_peak=max(
+                        join_stats.intermediate_sizes, default=0
+                    ),
+                )
+            root.set(
+                rs_size=star_stats.total_results,
+                rin_size=join_stats.rin_size,
+                matches=len(matches),
+                expanded=not self.expand_in_cloud or full_join,
+            )
+
+        metrics = obs.metrics
+        metrics.counter(
+            names.M_STAR_MATCHES,
+            help="Star matches (|RS|) produced across all queries.",
+        ).inc(star_stats.total_results)
+        metrics.gauge(
+            names.M_INTERMEDIATE_PEAK,
+            help="Largest join intermediate seen by any query.",
+        ).set_max(max(join_stats.intermediate_sizes, default=0))
+        metrics.histogram(
+            names.M_CLOUD_SECONDS,
+            help="Cloud-side wall seconds per query.",
+        ).observe(root.duration)
+
         return CloudAnswer(
             matches=matches,
             expanded=not self.expand_in_cloud or full_join,
             decomposition=decomposition,
-            decomposition_seconds=decomposition_seconds,
+            decomposition_seconds=decompose_span.duration,
             star_stats=star_stats,
             join_stats=join_stats,
-            total_seconds=time.perf_counter() - started,
+            cloud_seconds=root.duration,
         )
 
     def query_batch(
@@ -214,23 +328,30 @@ class CloudServer:
         validate_backend(backend)
         return map_batch(self.answer, list(queries), max_workers, backend)
 
-    def _answer_direct(self, query: AttributedGraph) -> CloudAnswer:
+    def _answer_direct(
+        self, query: AttributedGraph, obs: Observability
+    ) -> CloudAnswer:
         """Plain bitset subgraph matching over the stored graph."""
         from repro.matching.bitset import BitsetMatcher
 
-        started = time.perf_counter()
-        matcher = self._direct_matcher
-        if matcher is None:
-            with self._state_lock:
-                if self._direct_matcher is None:
-                    # double-checked: concurrent batch queries must not
-                    # race to build (and then interleave) two matchers
-                    self._direct_matcher = BitsetMatcher(self.graph)
-                matcher = self._direct_matcher
-        matches = matcher.find_matches(query)
-        elapsed = time.perf_counter() - started
+        with obs.tracer.span(names.CLOUD_ANSWER, engine="direct") as root:
+            matcher = self._direct_matcher
+            if matcher is None:
+                with self._state_lock:
+                    if self._direct_matcher is None:
+                        # double-checked: concurrent batch queries must
+                        # not race to build (and interleave) two matchers
+                        self._direct_matcher = BitsetMatcher(self.graph)
+                    matcher = self._direct_matcher
+            matches = matcher.find_matches(query)
+            root.set(rs_size=0, rin_size=len(matches), matches=len(matches))
+        elapsed = root.duration
         stats = StarMatchStats(seconds=elapsed)
         join_stats = JoinStats(seconds=0.0, rin_size=len(matches))
+        obs.metrics.histogram(
+            names.M_CLOUD_SECONDS,
+            help="Cloud-side wall seconds per query.",
+        ).observe(elapsed)
         return CloudAnswer(
             matches=matches,
             expanded=True,
@@ -238,7 +359,7 @@ class CloudServer:
             decomposition_seconds=0.0,
             star_stats=stats,
             join_stats=join_stats,
-            total_seconds=elapsed,
+            cloud_seconds=elapsed,
         )
 
     def _star_executor(self) -> ThreadPoolExecutor | None:
@@ -266,7 +387,20 @@ class CloudServer:
             max_results=self.max_intermediate_results,
         )
 
-    def _match_stars(self, query, stars) -> tuple[dict, StarMatchStats]:
+    def _match_one_star_traced(self, query, star, tracer, parent) -> list:
+        """One star under its own span; ``parent`` re-attaches the span
+        to the ``cloud.star_matching`` span opened on the submitting
+        thread (pool threads have no implicit span stack)."""
+        with tracer.span(
+            names.CLOUD_STAR_MATCH, parent=parent, center=star.center
+        ) as span:
+            matches = self._match_one_star(query, star)
+            span.set(results=len(matches))
+        return matches
+
+    def _match_stars(
+        self, query, stars, tracer=None
+    ) -> tuple[dict, StarMatchStats]:
         """Algorithm 1 for every star, through the optional LRU cache.
 
         With ``star_workers > 1`` the cache misses of one decomposition
@@ -275,74 +409,99 @@ class CloudServer:
         produce bit-identical results: equivalent stars within one
         query resolve through the same role-form round-trip, and
         results are assembled in plan (star) order.
+
+        Every computed (cache-missed) star emits a ``cloud.star_match``
+        span under the enclosing ``cloud.star_matching`` span — on the
+        executor path the per-star spans are parented explicitly, since
+        pool threads do not inherit the caller's span stack.
         """
+        if tracer is None:
+            tracer = self.obs.tracer
         stats = StarMatchStats()
-        started = time.perf_counter()
         use_cache = self.star_cache.capacity > 0
         executor = self._star_executor()
         results: dict[int, list] = {}
 
-        if executor is None:
-            for star in stars:
-                if use_cache:
+        with tracer.span(
+            names.CLOUD_STAR_MATCHING, stars=len(stars)
+        ) as matching_span:
+            if executor is None:
+                for star in stars:
+                    if use_cache:
+                        signature = star_signature(query, star)
+                        role_order = leaf_role_order(query, star)
+                        roles = self.star_cache.get(signature)
+                        if roles is None:
+                            matches = self._match_one_star_traced(
+                                query, star, tracer, matching_span
+                            )
+                            self.star_cache.put(
+                                signature,
+                                matches_to_roles(matches, star, role_order),
+                            )
+                        else:
+                            matches = roles_to_matches(roles, star, role_order)
+                    else:
+                        matches = self._match_one_star_traced(
+                            query, star, tracer, matching_span
+                        )
+                    results[star.center] = matches
+            else:
+                # resolve cache hits up front; fan the misses out,
+                # deduped by signature so equivalent stars are computed
+                # once (as the serial put-then-hit sequence guarantees)
+                pending: list[tuple] = []  # (star, signature, role_order)
+                computed: dict[tuple, object] = {}  # signature -> future
+                for star in stars:
+                    if not use_cache:
+                        pending.append((star, None, None))
+                        continue
                     signature = star_signature(query, star)
                     role_order = leaf_role_order(query, star)
                     roles = self.star_cache.get(signature)
                     if roles is None:
-                        matches = self._match_one_star(query, star)
-                        self.star_cache.put(
-                            signature, matches_to_roles(matches, star, role_order)
-                        )
+                        pending.append((star, signature, role_order))
                     else:
-                        matches = roles_to_matches(roles, star, role_order)
-                else:
-                    matches = self._match_one_star(query, star)
-                results[star.center] = matches
-        else:
-            # resolve cache hits up front; fan the misses out, deduped
-            # by signature so equivalent stars are computed once (as
-            # the serial loop's put-then-hit sequence guarantees)
-            pending: list[tuple] = []  # (star, signature, role_order)
-            computed: dict[tuple, object] = {}  # signature -> future/matches
-            for star in stars:
-                if not use_cache:
-                    pending.append((star, None, None))
-                    continue
-                signature = star_signature(query, star)
-                role_order = leaf_role_order(query, star)
-                roles = self.star_cache.get(signature)
-                if roles is None:
-                    pending.append((star, signature, role_order))
-                else:
-                    results[star.center] = roles_to_matches(roles, star, role_order)
-            futures = []
-            for star, signature, role_order in pending:
-                if signature is not None and signature in computed:
-                    futures.append((star, signature, role_order, None))
-                    continue
-                future = executor.submit(self._match_one_star, query, star)
-                if signature is not None:
-                    computed[signature] = (star, role_order, future)
-                futures.append((star, signature, role_order, future))
-            for star, signature, role_order, future in futures:
-                if signature is None:
-                    results[star.center] = future.result()
-                    continue
-                rep_star, rep_order, rep_future = computed[signature]
-                matches = rep_future.result()
-                roles = matches_to_roles(matches, rep_star, rep_order)
-                self.star_cache.put(signature, roles)
-                if star is rep_star:
-                    results[star.center] = matches
-                else:
-                    # an equivalent star of the same query: re-label the
-                    # representative's roles, exactly like a cache hit
-                    results[star.center] = roles_to_matches(roles, star, role_order)
-            results = {star.center: results[star.center] for star in stars}
+                        results[star.center] = roles_to_matches(
+                            roles, star, role_order
+                        )
+                futures = []
+                for star, signature, role_order in pending:
+                    if signature is not None and signature in computed:
+                        futures.append((star, signature, role_order, None))
+                        continue
+                    future = executor.submit(
+                        self._match_one_star_traced,
+                        query,
+                        star,
+                        tracer,
+                        matching_span,
+                    )
+                    if signature is not None:
+                        computed[signature] = (star, role_order, future)
+                    futures.append((star, signature, role_order, future))
+                for star, signature, role_order, future in futures:
+                    if signature is None:
+                        results[star.center] = future.result()
+                        continue
+                    rep_star, rep_order, rep_future = computed[signature]
+                    matches = rep_future.result()
+                    roles = matches_to_roles(matches, rep_star, rep_order)
+                    self.star_cache.put(signature, roles)
+                    if star is rep_star:
+                        results[star.center] = matches
+                    else:
+                        # an equivalent star of the same query: re-label
+                        # the representative's roles, like a cache hit
+                        results[star.center] = roles_to_matches(
+                            roles, star, role_order
+                        )
+                results = {star.center: results[star.center] for star in stars}
 
-        for star in stars:
-            stats.result_sizes[star.center] = len(results[star.center])
-        stats.seconds = time.perf_counter() - started
+            for star in stars:
+                stats.result_sizes[star.center] = len(results[star.center])
+            matching_span.set(rs_size=stats.total_results)
+        stats.seconds = matching_span.duration
         return results, stats
 
     # ------------------------------------------------------------------

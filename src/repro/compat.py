@@ -1,0 +1,36 @@
+"""Deprecation shims for the PR-2 naming unification.
+
+The Outcome/metrics API redesign renamed a handful of fields so the
+three result types line up (``matches`` / ``metrics`` / ``trace`` and
+``*_seconds`` names that say *whose* seconds they are):
+
+==============================  ==============================
+old                             new
+==============================  ==============================
+``CloudAnswer.total_seconds``   ``CloudAnswer.cloud_seconds``
+``ClientOutcome.seconds``       ``ClientOutcome.client_seconds``
+==============================  ==============================
+
+Every old spelling keeps working for one release and emits exactly one
+:class:`DeprecationWarning` per call site through :func:`warn_renamed`.
+The library itself only uses the new names, so running the test suite
+with ``-W error::DeprecationWarning`` (the CI gate) passes unless a
+caller still uses an old name.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_renamed(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the canonical rename warning (``old`` -> ``new``).
+
+    ``stacklevel=3`` points at the *caller* of the deprecated property
+    or keyword (one frame above the property getter / ``__init__``).
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -1,4 +1,11 @@
-"""End-to-end orchestration: owner, cloud, client, protocol, metrics."""
+"""End-to-end orchestration: owner, cloud, client, protocol, metrics.
+
+The observability layer itself lives in :mod:`repro.obs`; the pieces a
+deployment typically touches — :class:`~repro.obs.Observability`, the
+metric views, :func:`~repro.obs.exporters.format_percent` — are
+re-exported here (and from the top-level ``repro`` package) so
+``from repro import Tracer, MetricsRegistry`` works.
+"""
 
 from repro.core.config import (
     DEFAULT_THETA,
@@ -12,6 +19,13 @@ from repro.core.metrics import (
     BatchMetrics,
     PublishMetrics,
     QueryMetrics,
+    format_percent,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Trace,
+    Tracer,
 )
 from repro.core.protocol import (
     NetworkChannel,
@@ -46,6 +60,11 @@ __all__ = [
     "QueryMetrics",
     "AggregatedMetrics",
     "BatchMetrics",
+    "format_percent",
+    "Observability",
+    "Tracer",
+    "Trace",
+    "MetricsRegistry",
     "NetworkChannel",
     "TransferRecord",
     "encode_upload",

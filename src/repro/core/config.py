@@ -10,6 +10,11 @@ name      label grouping           uploaded graph
 ``FSIM``  frequency-similar        ``Go``
 ``BAS``   cost-model (same as EFF) full ``Gk``
 ========  =======================  ==================
+
+:class:`SystemConfig` is **keyword-only** and validates every field at
+construction (``ConfigError`` — a :class:`~repro.exceptions.ReproError`
+subclass — instead of silently accepting bad values).  ``method``
+accepts either a :class:`MethodConfig` or one of the four names.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.anonymize import STRATEGIES, GroupingStrategy
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigError
 
 DEFAULT_THETA = 2  # the paper's default: two labels per label group
 
@@ -32,12 +37,12 @@ class MethodConfig:
 
     @classmethod
     def from_name(cls, name: str) -> "MethodConfig":
-        key = name.upper()
+        key = str(name).upper()
         if key == "BAS":
             return cls(name="BAS", strategy=STRATEGIES["EFF"], upload_full_gk=True)
         if key in STRATEGIES:
             return cls(name=key, strategy=STRATEGIES[key], upload_full_gk=False)
-        raise ReproError(
+        raise ConfigError(
             f"unknown method {name!r}; expected one of EFF, RAN, FSIM, BAS"
         )
 
@@ -45,13 +50,18 @@ class MethodConfig:
 METHOD_NAMES = ("EFF", "RAN", "FSIM", "BAS")
 
 
-@dataclass
+@dataclass(kw_only=True)
 class SystemConfig:
-    """Full configuration of one publish-and-query experiment."""
+    """Full configuration of one publish-and-query experiment.
+
+    All fields are keyword-only: ``SystemConfig(k=3, method="BAS")``.
+    Validation happens in ``__post_init__`` and raises
+    :class:`~repro.exceptions.ConfigError` on any out-of-range value.
+    """
 
     k: int = 2
     theta: int = DEFAULT_THETA
-    method: MethodConfig = field(
+    method: MethodConfig | str = field(
         default_factory=lambda: MethodConfig.from_name("EFF")
     )
     seed: int = 0
@@ -81,11 +91,33 @@ class SystemConfig:
     star_workers: int = 0
 
     def __post_init__(self) -> None:
+        if isinstance(self.method, str):
+            # convenience: SystemConfig(method="BAS"); unknown names
+            # raise ConfigError from from_name
+            self.method = MethodConfig.from_name(self.method)
+        elif not isinstance(self.method, MethodConfig):
+            raise ConfigError(
+                f"method must be a MethodConfig or a method name, "
+                f"got {type(self.method).__name__}"
+            )
+        if not isinstance(self.k, int) or isinstance(self.k, bool):
+            raise ConfigError(f"k must be an int, got {self.k!r}")
         if self.k < 2:
-            raise ReproError("k must be >= 2 for any privacy")
+            raise ConfigError("k must be >= 2 for any privacy")
+        if not isinstance(self.theta, int) or isinstance(self.theta, bool):
+            raise ConfigError(f"theta must be an int, got {self.theta!r}")
         if self.theta < 1:
-            raise ReproError("theta must be >= 1")
+            raise ConfigError("theta must be >= 1")
         if self.expansion_site not in ("client", "cloud"):
-            raise ReproError("expansion_site must be 'client' or 'cloud'")
+            raise ConfigError("expansion_site must be 'client' or 'cloud'")
+        if self.max_intermediate_results is not None and (
+            self.max_intermediate_results < 0
+        ):
+            # 0 is legal: "no intermediate results allowed" (every
+            # non-empty star/join trips the budget) — the bench harness
+            # uses it to exercise the skip path.
+            raise ConfigError("max_intermediate_results must be >= 0 or None")
+        if self.star_cache_size < 0:
+            raise ConfigError("star_cache_size must be >= 0")
         if self.star_workers < 0:
-            raise ReproError("star_workers must be >= 0")
+            raise ConfigError("star_workers must be >= 0")

@@ -1,193 +1,27 @@
-"""Metric records for publish-time and query-time experiments.
+"""Historical home of the metric records — now aliases into ``repro.obs``.
 
-Field names mirror the quantities the paper reports so the benchmark
-harness can print paper-shaped tables directly (see
-:mod:`repro.bench.reporting`).
+The four dataclasses moved to :mod:`repro.obs.views`, where they are
+computed as views over the observability layer's spans and counters
+instead of being hand-threaded through the call paths.  This module
+stays importable forever (no deprecation warning: the names did not
+change, only the implementation's home), so ``from repro.core.metrics
+import QueryMetrics`` keeps working verbatim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.views import (
+    AggregatedMetrics,
+    BatchMetrics,
+    PublishMetrics,
+    QueryMetrics,
+    format_percent,
+)
 
-
-@dataclass
-class PublishMetrics:
-    """One data-owner publish run (Figures 10, 11, 12, 13)."""
-
-    method: str = ""
-    k: int = 0
-    theta: int = 0
-    # timings (seconds)
-    lct_seconds: float = 0.0
-    gk_seconds: float = 0.0
-    go_seconds: float = 0.0
-    upload_network_seconds: float = 0.0
-    index_seconds: float = 0.0
-    # sizes
-    original_vertices: int = 0
-    original_edges: int = 0
-    gk_vertices: int = 0
-    gk_edges: int = 0
-    uploaded_vertices: int = 0
-    uploaded_edges: int = 0
-    noise_vertices: int = 0
-    noise_edges: int = 0
-    upload_bytes: int = 0
-    index_bytes: int = 0
-
-    @property
-    def generation_seconds(self) -> float:
-        """Time to generate ``Gk`` incl. label generalization (Fig 10)."""
-        return self.lct_seconds + self.gk_seconds
-
-
-@dataclass
-class QueryMetrics:
-    """One end-to-end query (Figures 14-22, 31-34)."""
-
-    method: str = ""
-    k: int = 0
-    query_edges: int = 0
-    # cloud side
-    cloud_seconds: float = 0.0
-    decomposition_seconds: float = 0.0
-    star_matching_seconds: float = 0.0
-    join_seconds: float = 0.0
-    rs_size: int = 0
-    rin_size: int = 0
-    # network
-    query_bytes: int = 0
-    answer_bytes: int = 0
-    network_seconds: float = 0.0
-    # client side
-    client_seconds: float = 0.0
-    expansion_seconds: float = 0.0
-    filter_seconds: float = 0.0
-    candidate_count: int = 0
-    result_count: int = 0
-
-    @property
-    def total_seconds(self) -> float:
-        """End-to-end: cloud + network + client (Figure 22)."""
-        return self.cloud_seconds + self.network_seconds + self.client_seconds
-
-
-@dataclass
-class BatchMetrics:
-    """One ``query_batch`` run: per-query records + batch aggregates.
-
-    ``wall_seconds`` is the real elapsed time of the whole batch — with
-    a worker pool it is *less* than the sum of per-query times, and
-    ``throughput_qps`` / ``speedup_vs(serial_wall)`` quantify by how
-    much.  Cache counters are deltas over the batch, measured on the
-    shared (locked) star cache, i.e. the hit rate *under contention*;
-    with the process backend the children own the cache copies, so the
-    parent-side delta reads zero and the field is reported as ``None``.
-    """
-
-    backend: str = "thread"
-    worker_count: int = 1
-    wall_seconds: float = 0.0
-    per_query: list[QueryMetrics] = field(default_factory=list)
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_shared: bool = True
-
-    @property
-    def query_count(self) -> int:
-        return len(self.per_query)
-
-    @property
-    def throughput_qps(self) -> float:
-        """Completed queries per second of wall time."""
-        if self.wall_seconds <= 0.0:
-            return 0.0
-        return self.query_count / self.wall_seconds
-
-    @property
-    def cache_hit_rate(self) -> float | None:
-        """Batch-wide hit rate on the shared cache (None if not shared)."""
-        if not self.cache_shared:
-            return None
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
-
-    @property
-    def mean_query_seconds(self) -> float:
-        if not self.per_query:
-            return 0.0
-        return sum(q.total_seconds for q in self.per_query) / len(self.per_query)
-
-    @property
-    def cloud_seconds_total(self) -> float:
-        return sum(q.cloud_seconds for q in self.per_query)
-
-    def speedup_vs(self, serial_wall_seconds: float) -> float:
-        """How much faster than a serial loop that took ``serial_wall_seconds``."""
-        if self.wall_seconds <= 0.0:
-            return 0.0
-        return serial_wall_seconds / self.wall_seconds
-
-    def aggregated(self) -> "AggregatedMetrics":
-        """The batch as an :class:`AggregatedMetrics` (mean-based views)."""
-        aggregate = AggregatedMetrics()
-        for run in self.per_query:
-            aggregate.add(run)
-        return aggregate
-
-
-@dataclass
-class AggregatedMetrics:
-    """Mean of several :class:`QueryMetrics` (the paper averages 100 queries)."""
-
-    runs: list[QueryMetrics] = field(default_factory=list)
-    # queries skipped because they tripped the cloud's result budget
-    skipped: int = 0
-
-    def add(self, metrics: QueryMetrics) -> None:
-        self.runs.append(metrics)
-
-    def _mean(self, attr: str) -> float:
-        if not self.runs:
-            return 0.0
-        return sum(getattr(run, attr) for run in self.runs) / len(self.runs)
-
-    @property
-    def cloud_seconds(self) -> float:
-        return self._mean("cloud_seconds")
-
-    @property
-    def star_matching_seconds(self) -> float:
-        return self._mean("star_matching_seconds")
-
-    @property
-    def join_seconds(self) -> float:
-        return self._mean("join_seconds")
-
-    @property
-    def client_seconds(self) -> float:
-        return self._mean("client_seconds")
-
-    @property
-    def network_seconds(self) -> float:
-        return self._mean("network_seconds")
-
-    @property
-    def total_seconds(self) -> float:
-        return self._mean("total_seconds")
-
-    @property
-    def rs_size(self) -> float:
-        return self._mean("rs_size")
-
-    @property
-    def rin_size(self) -> float:
-        return self._mean("rin_size")
-
-    @property
-    def answer_bytes(self) -> float:
-        return self._mean("answer_bytes")
-
-    @property
-    def result_count(self) -> float:
-        return self._mean("result_count")
+__all__ = [
+    "PublishMetrics",
+    "QueryMetrics",
+    "BatchMetrics",
+    "AggregatedMetrics",
+    "format_percent",
+]

@@ -20,6 +20,7 @@ from repro.graph.attributed import AttributedGraph
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match, matches_to_rows, rows_to_matches
+from repro.obs import names
 
 DEFAULT_BANDWIDTH_BYTES_PER_SEC = 1_000_000  # ~1 MB/s effective throughput
 DEFAULT_LATENCY_SECONDS = 0.001
@@ -36,16 +37,30 @@ class TransferRecord:
 
 @dataclass
 class NetworkChannel:
-    """Byte counter + linear latency/bandwidth cost model."""
+    """Byte counter + linear latency/bandwidth cost model.
+
+    :meth:`transmit` optionally reports into an
+    :class:`~repro.obs.Observability` scope: one ``network.<direction>``
+    span per message (attributes ``bytes`` and ``simulated_seconds`` —
+    the *cost-model* time, distinct from the span's negligible wall
+    duration) and a ``network_bytes_total{direction=...}`` counter.
+    """
 
     bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH_BYTES_PER_SEC
     latency_seconds: float = DEFAULT_LATENCY_SECONDS
     transfers: list[TransferRecord] = field(default_factory=list)
 
-    def transmit(self, direction: str, payload: bytes) -> float:
+    def transmit(self, direction: str, payload: bytes, obs=None) -> float:
         """Record a message; returns the simulated transmission time."""
         seconds = self.latency_seconds + len(payload) / self.bandwidth_bytes_per_sec
         self.transfers.append(TransferRecord(direction, len(payload), seconds))
+        if obs is not None:
+            with obs.tracer.span(f"network.{direction}") as span:
+                span.set(bytes=len(payload), simulated_seconds=seconds)
+            obs.metrics.counter(
+                names.M_NETWORK_BYTES,
+                help="Bytes on the simulated wire, by message direction.",
+            ).inc(len(payload), direction=direction)
         return seconds
 
     def total_bytes(self, direction: str | None = None) -> int:

@@ -5,6 +5,11 @@ The client is trusted by the data owner: it holds the original graph
 is linear in the number of candidate matches: expand ``Rin`` through
 the automorphic functions (unless the cloud already did) and filter
 false positives against ``G``.
+
+Each phase emits a span (``client.anonymize`` / ``client.expand`` /
+``client.filter``) on the :class:`~repro.obs.Observability` scope
+passed in; the :class:`ClientOutcome` timing fields are those spans'
+durations.
 """
 
 from __future__ import annotations
@@ -15,41 +20,85 @@ from repro.anonymize.lct import LabelCorrespondenceTable
 from repro.anonymize.query_anonymizer import anonymize_query
 from repro.client.expansion import expand_rin
 from repro.client.filtering import ClientFilter
+from repro.compat import warn_renamed
 from repro.graph.attributed import AttributedGraph
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match
+from repro.obs import Observability, names
 
 
-@dataclass
+@dataclass(init=False)
 class ClientOutcome:
-    """Final results of one query plus the client-side timings."""
+    """Final results of one query plus the client-side timings.
+
+    ``client_seconds`` (expansion + filtering) replaces the old
+    ``seconds`` property, which still works but emits a
+    :class:`DeprecationWarning` — the new name says *whose* seconds
+    these are, matching ``CloudAnswer.cloud_seconds``.
+    """
 
     matches: list[Match]
     expansion_seconds: float
     filter_seconds: float
     candidate_count: int
 
+    def __init__(
+        self,
+        matches: list[Match],
+        expansion_seconds: float = 0.0,
+        filter_seconds: float = 0.0,
+        candidate_count: int = 0,
+    ):
+        self.matches = matches
+        self.expansion_seconds = expansion_seconds
+        self.filter_seconds = filter_seconds
+        self.candidate_count = candidate_count
+
+    @property
+    def client_seconds(self) -> float:
+        """Total client-side wall seconds (expansion + filtering)."""
+        return self.expansion_seconds + self.filter_seconds
+
     @property
     def seconds(self) -> float:
-        return self.expansion_seconds + self.filter_seconds
+        """Deprecated alias of :attr:`client_seconds`."""
+        warn_renamed("ClientOutcome.seconds", "ClientOutcome.client_seconds")
+        return self.client_seconds
 
 
 class QueryClient:
-    """A client authorized to query ``G`` through the cloud."""
+    """A client authorized to query ``G`` through the cloud.
+
+    ``obs`` is the client's default observability scope (measure-only
+    unless overridden); :class:`~repro.core.system.
+    PrivacyPreservingSystem` passes a per-query recording scope to
+    :meth:`prepare_query` / :meth:`process_answer` instead.
+    """
 
     def __init__(
         self,
         original_graph: AttributedGraph,
         lct: LabelCorrespondenceTable,
         avt: AlignmentVertexTable,
+        obs: Observability | None = None,
     ):
         self.graph = original_graph
         self.lct = lct
         self.avt = avt
+        self.obs = obs if obs is not None else Observability.measuring()
 
-    def prepare_query(self, query: AttributedGraph) -> AttributedGraph:
+    def prepare_query(
+        self, query: AttributedGraph, obs: Observability | None = None
+    ) -> AttributedGraph:
         """``Q -> Qo``: generalize the query's labels through the LCT."""
-        return anonymize_query(query, self.lct)
+        if obs is None:
+            obs = self.obs
+        with obs.tracer.span(names.CLIENT_ANONYMIZE) as span:
+            anonymized = anonymize_query(query, self.lct)
+            span.set(
+                query_vertices=query.vertex_count, query_edges=query.edge_count
+            )
+        return anonymized
 
     def process_answer(
         self,
@@ -57,23 +106,55 @@ class QueryClient:
         matches: list[Match],
         already_expanded: bool,
         limit: int | None = None,
+        obs: Observability | None = None,
     ) -> ClientOutcome:
         """Algorithm 3: expand ``Rin`` (if needed) and filter against G.
 
         ``limit`` returns at most that many exact matches (any subset
         of R(Q, G); useful for "find me a few examples" queries).
         """
+        if obs is None:
+            obs = self.obs
+        tracer = obs.tracer
         if already_expanded:
             candidates = matches
             expansion_seconds = 0.0
         else:
-            expansion = expand_rin(matches, self.avt)
-            candidates = expansion.matches
-            expansion_seconds = expansion.seconds
-        filter_result = ClientFilter(self.graph, query).filter(candidates, limit=limit)
-        return ClientOutcome(
+            with tracer.span(names.CLIENT_EXPAND, rin_size=len(matches)) as span:
+                expansion = expand_rin(matches, self.avt)
+                candidates = expansion.matches
+                span.set(candidates=len(candidates))
+            expansion_seconds = span.duration
+        with tracer.span(names.CLIENT_FILTER) as span:
+            filter_result = ClientFilter(self.graph, query).filter(
+                candidates, limit=limit
+            )
+            span.set(
+                candidates=len(candidates),
+                results=len(filter_result.matches),
+                dropped=len(candidates) - len(filter_result.matches),
+            )
+        outcome = ClientOutcome(
             matches=filter_result.matches,
             expansion_seconds=expansion_seconds,
-            filter_seconds=filter_result.seconds,
+            filter_seconds=span.duration,
             candidate_count=len(candidates),
         )
+        metrics = obs.metrics
+        metrics.counter(
+            names.M_CANDIDATES,
+            help="Candidate matches the client inspected across all queries.",
+        ).inc(len(candidates))
+        metrics.counter(
+            names.M_FALSE_POSITIVES,
+            help="Candidates rejected by the client-side filter.",
+        ).inc(len(candidates) - len(filter_result.matches))
+        metrics.counter(
+            names.M_MATCHES,
+            help="Exact matches returned to clients across all queries.",
+        ).inc(len(filter_result.matches))
+        metrics.histogram(
+            names.M_CLIENT_SECONDS,
+            help="Client-side wall seconds per query.",
+        ).observe(outcome.client_seconds)
+        return outcome

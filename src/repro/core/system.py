@@ -1,30 +1,41 @@
 """End-to-end facade: data owner + simulated wire + cloud + client.
 
 :class:`PrivacyPreservingSystem` wires the whole paper pipeline
-together and measures every phase the evaluation reports: cloud query
-time, star matching time, |RS|, |Rin|, network bytes/time, client
-expansion/filter time, and the end-to-end total.
+together.  Every phase the evaluation reports — cloud query time, star
+matching time, |RS|, |Rin|, network bytes/time, client expansion/filter
+time, the end-to-end total — is a *span* on the system's
+:class:`~repro.obs.Observability` scope; the
+:class:`~repro.obs.views.QueryMetrics` record on each outcome is a view
+computed from that trace, not a hand-threaded ledger.
 
 Usage::
 
     system = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=3))
     outcome = system.query(query_graph)
     outcome.matches        # exactly R(Q, G)
-    outcome.metrics        # per-phase timings and sizes
+    outcome.metrics        # per-phase timings and sizes (from the trace)
+    outcome.trace          # the spans themselves
+
+Each query runs on its own recording tracer (``obs.for_query()``), so
+concurrent batch queries never interleave spans and every trace is
+self-contained and picklable (the ``process`` batch backend ships them
+back from forked children).  Pass ``obs=Observability.disabled()`` to
+:meth:`~PrivacyPreservingSystem.setup` for a no-op hot path — metrics
+and traces then read empty.
 """
 
 from __future__ import annotations
 
 import functools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.client.expansion import expand_rin
 from repro.cloud.parallel import effective_workers, map_batch, validate_backend
 from repro.cloud.server import CloudServer
 from repro.core.config import SystemConfig
 from repro.core.data_owner import DataOwner, PublishedData
-from repro.core.metrics import BatchMetrics, PublishMetrics, QueryMetrics
 from repro.core.protocol import (
     NetworkChannel,
     decode_answer,
@@ -39,27 +50,84 @@ from repro.graph.attributed import AttributedGraph
 from repro.graph.schema import GraphSchema
 from repro.graph.validation import validate_query
 from repro.matching.match import Match
+from repro.obs import (
+    BatchMetrics,
+    Observability,
+    PublishMetrics,
+    QueryMetrics,
+    names,
+)
+from repro.obs.tracing import Trace
 
 
 @dataclass
 class QueryOutcome:
-    """Final exact results plus the full per-phase cost breakdown."""
+    """Final exact results plus the full per-phase cost breakdown.
+
+    ``metrics`` is derived from ``trace`` (see
+    :meth:`~repro.obs.views.QueryMetrics.from_trace`); both are
+    ``None``-safe and round-trip through :meth:`to_dict` /
+    :meth:`from_dict`.
+    """
 
     matches: list[Match]
     metrics: QueryMetrics
+    trace: Trace | None = field(default=None)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "matches": [sorted(match.items()) for match in self.matches],
+            "metrics": self.metrics.to_dict(),
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QueryOutcome":
+        trace = data.get("trace")
+        return cls(
+            matches=[
+                {int(q): int(v) for q, v in match} for match in data["matches"]
+            ],
+            metrics=QueryMetrics.from_dict(data["metrics"]),
+            trace=Trace.from_dict(trace) if trace is not None else None,
+        )
 
 
 @dataclass
 class BatchOutcome:
-    """A ``query_batch`` run: per-query outcomes + batch telemetry."""
+    """A ``query_batch`` run: per-query outcomes + batch telemetry.
+
+    ``trace`` carries the batch-level ``batch`` span (backend, worker
+    count, wall time); the per-query traces live on the individual
+    outcomes.
+    """
 
     outcomes: list[QueryOutcome]
     metrics: BatchMetrics
+    trace: Trace | None = field(default=None)
 
     @property
     def matches(self) -> list[list[Match]]:
         """Per-query match lists, in submission order."""
         return [outcome.matches for outcome in self.outcomes]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "metrics": self.metrics.to_dict(),
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BatchOutcome":
+        trace = data.get("trace")
+        return cls(
+            outcomes=[
+                QueryOutcome.from_dict(entry) for entry in data["outcomes"]
+            ],
+            metrics=BatchMetrics.from_dict(data["metrics"]),
+            trace=Trace.from_dict(trace) if trace is not None else None,
+        )
 
 
 class PrivacyPreservingSystem:
@@ -74,6 +142,7 @@ class PrivacyPreservingSystem:
         config: SystemConfig,
         channel: NetworkChannel,
         publish_metrics: PublishMetrics,
+        obs: Observability | None = None,
     ):
         self.owner = owner
         self.published = published
@@ -82,6 +151,7 @@ class PrivacyPreservingSystem:
         self.config = config
         self.channel = channel
         self.publish_metrics = publish_metrics
+        self.obs = obs if obs is not None else Observability()
 
     # ------------------------------------------------------------------
     # setup
@@ -94,101 +164,152 @@ class PrivacyPreservingSystem:
         config: SystemConfig,
         sample_workload: list[AttributedGraph] | None = None,
         channel: NetworkChannel | None = None,
+        obs: Observability | None = None,
     ) -> "PrivacyPreservingSystem":
         """Publish ``graph`` under ``config`` and stand up cloud+client.
 
         The upload really travels through the protocol encoder/decoder
         so its byte size is measured and the cloud works from exactly
-        what the wire carried.
+        what the wire carried.  The whole run is traced into one
+        publish-side trace (``publish`` + upload/index spans), exposed
+        as ``system.published.trace`` / ``system.publish_metrics``.
         """
+        obs = obs if obs is not None else Observability()
+        scope = obs.for_query()
+        tracer = scope.tracer
         channel = channel or NetworkChannel()
-        owner = DataOwner(graph, schema, sample_workload)
-        published = owner.publish(config)
+        # components default to measure-only scopes that share the
+        # system registry: standalone calls on them stay cheap, while
+        # system-driven calls receive the per-query recording scope.
+        component_obs = Observability(record=False, registry=obs.metrics)
 
-        payload = encode_upload(published.upload_graph, published.transform.avt)
-        upload_seconds = channel.transmit("upload", payload)
+        owner = DataOwner(graph, schema, sample_workload, obs=component_obs)
+        published = owner.publish(config, obs=scope)
+
+        with tracer.span(names.ENCODE_UPLOAD) as span:
+            payload = encode_upload(
+                published.upload_graph, published.transform.avt
+            )
+            span.set(bytes=len(payload))
+        channel.transmit("upload", payload, obs=scope)
         cloud_graph, cloud_avt = decode_upload(payload)
 
-        cloud = CloudServer(
-            cloud_graph,
-            cloud_avt,
-            published.center_vertices,
-            expand_in_cloud=published.expand_in_cloud,
-            max_intermediate_results=config.max_intermediate_results,
-            star_cache_size=config.star_cache_size,
-            star_workers=config.star_workers,
+        with tracer.span(names.CLOUD_INDEX_BUILD) as span:
+            cloud = CloudServer(
+                cloud_graph,
+                cloud_avt,
+                published.center_vertices,
+                expand_in_cloud=published.expand_in_cloud,
+                max_intermediate_results=config.max_intermediate_results,
+                star_cache_size=config.star_cache_size,
+                star_workers=config.star_workers,
+                obs=component_obs,
+            )
+            span.set(
+                index_bytes=cloud.index_size_bytes(),
+                build_seconds=cloud.index_build_seconds(),
+            )
+        client = QueryClient(
+            graph, published.lct, published.transform.avt, obs=component_obs
         )
-        client = QueryClient(graph, published.lct, published.transform.avt)
 
-        metrics = published.metrics
-        metrics.upload_bytes = len(payload)
-        metrics.upload_network_seconds = upload_seconds
-        metrics.index_bytes = cloud.index_size_bytes()
-        metrics.index_seconds = cloud.index_build_seconds()
+        trace = tracer.take_trace() if tracer.recording else None
+        published.trace = trace
+        published.metrics = PublishMetrics.from_trace(trace)
 
-        return cls(owner, published, cloud, client, config, channel, metrics)
+        return cls(
+            owner,
+            published,
+            cloud,
+            client,
+            config,
+            channel,
+            published.metrics,
+            obs=obs,
+        )
 
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def query(self, query: AttributedGraph, limit: int | None = None) -> QueryOutcome:
+    def query(
+        self,
+        query: AttributedGraph,
+        limit: int | None = None,
+        obs: Observability | None = None,
+    ) -> QueryOutcome:
         """Answer ``query`` exactly, through the privacy pipeline.
 
         ``limit`` caps the number of returned matches (the client stops
         filtering early); the cloud-side work is unchanged.
+
+        The query runs on a fresh per-query recording scope forked from
+        ``obs`` (default: the system scope) — its spans become
+        ``outcome.trace`` and the registry aggregates accumulate on the
+        shared :class:`~repro.obs.MetricsRegistry`.
         """
         validate_query(query)
-        metrics = QueryMetrics(
-            method=self.config.method.name,
-            k=self.config.k,
-            query_edges=query.edge_count,
+        base = obs if obs is not None else self.obs
+        scope = base.for_query()
+        tracer = scope.tracer
+
+        with tracer.span(names.QUERY) as root:
+            root.set(
+                method=self.config.method.name,
+                k=self.config.k,
+                query_edges=query.edge_count,
+            )
+
+            # client: anonymize and send
+            anonymized = self.client.prepare_query(query, obs=scope)
+            with tracer.span(names.ENCODE_QUERY) as span:
+                query_payload = encode_query(anonymized)
+                span.set(bytes=len(query_payload))
+            self.channel.transmit("query", query_payload, obs=scope)
+
+            # cloud: decompose, star-match, join
+            with tracer.span(names.DECODE_QUERY):
+                cloud_query = decode_query(query_payload)
+            answer = self.cloud.answer(cloud_query, obs=scope)
+
+            matches, expanded = answer.matches, answer.expanded
+            if self.config.expansion_site == "cloud" and not expanded:
+                # Section 4.2.2: the expansion step may run in the cloud
+                # to spare the client, at higher communication cost.
+                with tracer.span(
+                    names.CLOUD_EXPAND, rin_size=len(matches)
+                ) as span:
+                    expansion = expand_rin(matches, self.cloud.avt)
+                    matches, expanded = expansion.matches, True
+                    span.set(candidates=len(matches))
+
+            # wire: ship the answer
+            order = sorted(query.vertex_ids())
+            with tracer.span(names.ENCODE_ANSWER) as span:
+                answer_payload = encode_answer(matches, order, expanded)
+                span.set(bytes=len(answer_payload))
+            self.channel.transmit("answer", answer_payload, obs=scope)
+
+            # client: expand (if needed) + filter
+            with tracer.span(names.DECODE_ANSWER):
+                received, already_expanded = decode_answer(answer_payload)
+            outcome = self.client.process_answer(
+                query, received, already_expanded, limit=limit, obs=scope
+            )
+
+        scope.metrics.counter(
+            names.M_QUERIES, help="Queries answered end to end."
+        ).inc()
+        scope.metrics.histogram(
+            names.M_QUERY_SECONDS,
+            help="End-to-end wall seconds per query (excl. simulated wire).",
+        ).observe(root.duration)
+
+        trace = tracer.take_trace() if tracer.recording else None
+        return QueryOutcome(
+            matches=outcome.matches,
+            metrics=QueryMetrics.from_trace(trace),
+            trace=trace,
         )
-
-        # client: anonymize and send
-        anonymized = self.client.prepare_query(query)
-        query_payload = encode_query(anonymized)
-        metrics.query_bytes = len(query_payload)
-        query_network = self.channel.transmit("query", query_payload)
-
-        # cloud: decompose, star-match, join
-        cloud_query = decode_query(query_payload)
-        answer = self.cloud.answer(cloud_query)
-        metrics.decomposition_seconds = answer.decomposition_seconds
-        metrics.star_matching_seconds = answer.star_stats.seconds
-        metrics.join_seconds = answer.join_stats.seconds
-        metrics.rs_size = answer.rs_size
-        metrics.rin_size = len(answer.matches)
-        cloud_seconds = answer.total_seconds
-
-        matches, expanded = answer.matches, answer.expanded
-        if self.config.expansion_site == "cloud" and not expanded:
-            # Section 4.2.2: the expansion step may run in the cloud to
-            # spare the client, at higher communication cost.
-            cloud_expand_start = time.perf_counter()
-            expansion = expand_rin(matches, self.cloud.avt)
-            matches, expanded = expansion.matches, True
-            cloud_seconds += time.perf_counter() - cloud_expand_start
-        metrics.cloud_seconds = cloud_seconds
-
-        # wire: ship the answer
-        order = sorted(query.vertex_ids())
-        answer_payload = encode_answer(matches, order, expanded)
-        metrics.answer_bytes = len(answer_payload)
-        answer_network = self.channel.transmit("answer", answer_payload)
-        metrics.network_seconds = query_network + answer_network
-
-        # client: expand (if needed) + filter
-        received, already_expanded = decode_answer(answer_payload)
-        outcome = self.client.process_answer(
-            query, received, already_expanded, limit=limit
-        )
-        metrics.expansion_seconds = outcome.expansion_seconds
-        metrics.filter_seconds = outcome.filter_seconds
-        metrics.client_seconds = outcome.seconds
-        metrics.candidate_count = outcome.candidate_count
-        metrics.result_count = len(outcome.matches)
-
-        return QueryOutcome(matches=outcome.matches, metrics=metrics)
 
     def query_batch(
         self,
@@ -196,6 +317,7 @@ class PrivacyPreservingSystem:
         max_workers: int | None = None,
         backend: str = "thread",
         limit: int | None = None,
+        obs: Observability | None = None,
     ) -> BatchOutcome:
         """Answer a workload of queries through a bounded worker pool.
 
@@ -210,9 +332,14 @@ class PrivacyPreservingSystem:
 
         ``backend`` is ``"thread"`` (default; shares the cache),
         ``"process"`` (fork-based, for CPU-bound batches on multi-core
-        hosts; cache/channel updates stay in the children), or
-        ``"serial"`` (the plain loop — the baseline
+        hosts; cache/channel/registry updates stay in the children —
+        per-query *traces* still come back, pickled inside each
+        outcome), or ``"serial"`` (the plain loop — the baseline
         ``benchmarks/bench_parallel_engine.py`` measures against).
+
+        ``obs`` overrides the system scope for the whole batch; pass
+        ``Observability.disabled()`` to serve the batch with tracing
+        fully off (raw-throughput benchmarking).
         """
         validate_backend(backend)
         queries = list(queries)
@@ -220,10 +347,19 @@ class PrivacyPreservingSystem:
         cache_shared = backend != "process"
         hits_before, misses_before = self.cloud.star_cache.counters()
 
-        run_one = functools.partial(self.query, limit=limit)
-        started = time.perf_counter()
-        outcomes = map_batch(run_one, queries, max_workers, backend)
-        wall_seconds = time.perf_counter() - started
+        base = obs if obs is not None else self.obs
+        scope = base.for_query()
+        run_one = functools.partial(self.query, limit=limit, obs=obs)
+        with scope.tracer.span(names.BATCH) as span:
+            started = time.perf_counter()
+            outcomes = map_batch(run_one, queries, max_workers, backend)
+            wall_seconds = time.perf_counter() - started
+            span.set(
+                backend=backend,
+                workers=1 if backend == "serial" else worker_count,
+                queries=len(queries),
+                wall_seconds=wall_seconds,
+            )
 
         hits_after, misses_after = self.cloud.star_cache.counters()
         metrics = BatchMetrics(
@@ -235,4 +371,7 @@ class PrivacyPreservingSystem:
             cache_misses=misses_after - misses_before,
             cache_shared=cache_shared,
         )
-        return BatchOutcome(outcomes=outcomes, metrics=metrics)
+        trace = (
+            scope.tracer.take_trace() if scope.tracer.recording else None
+        )
+        return BatchOutcome(outcomes=outcomes, metrics=metrics, trace=trace)

@@ -12,6 +12,15 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class ConfigError(ReproError):
+    """A configuration value is invalid (bad ``k``/``theta``/method...).
+
+    Raised by :class:`repro.core.config.SystemConfig` and
+    :meth:`repro.core.config.MethodConfig.from_name` instead of
+    silently accepting values the paper's guarantees do not cover.
+    """
+
+
 class GraphError(ReproError):
     """Structural problem with an attributed graph (bad vertex, edge...)."""
 

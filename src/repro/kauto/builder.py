@@ -27,6 +27,8 @@ from typing import Callable
 from repro.exceptions import PartitionError
 from repro.graph.attributed import AttributedGraph
 from repro.kauto.alignment import align_blocks, build_avt
+from repro.obs import names
+from repro.obs.tracing import NULL_TRACER
 from repro.kauto.avt import AlignmentVertexTable
 from repro.kauto.edge_copy import copy_crossing_edges
 from repro.kauto.partition import balance_types, partition_graph, validate_partition
@@ -65,6 +67,7 @@ def build_k_automorphic_graph(
     partitioner: Partitioner | None = None,
     label_aware_alignment: bool = False,
     type_balancing: bool = True,
+    obs=None,
 ) -> KAutomorphismResult:
     """Transform ``graph`` into a k-automorphic graph ``Gk``.
 
@@ -81,26 +84,41 @@ def build_k_automorphic_graph(
     ``type_balancing`` (default on) equalizes per-type counts across
     blocks after partitioning, minimizing the noise vertices the
     type-aware AVT must pad with.
+
+    ``obs`` (an :class:`repro.obs.Observability`, optional) records a
+    span per phase (``kauto.partition`` / ``kauto.alignment`` /
+    ``kauto.edge_copy``); ``None`` runs with the shared null tracer.
     """
     if k < 2:
         raise PartitionError("k-automorphism requires k >= 2")
+    tracer = obs.tracer if obs is not None else NULL_TRACER
     started = time.perf_counter()
 
-    if partitioner is None:
-        blocks = partition_graph(graph, k, seed=seed)
-    else:
-        blocks = partitioner(graph, k)
-    validate_partition(graph, blocks, k)
-    if type_balancing:
-        blocks = balance_types(graph, blocks)
+    with tracer.span(names.KAUTO_PARTITION) as span:
+        if partitioner is None:
+            blocks = partition_graph(graph, k, seed=seed)
+        else:
+            blocks = partitioner(graph, k)
         validate_partition(graph, blocks, k)
+        if type_balancing:
+            blocks = balance_types(graph, blocks)
+            validate_partition(graph, blocks, k)
+        span.set(blocks=len(blocks), block_size=len(blocks[0]) if blocks else 0)
 
-    avt, noise_ids, gk = build_avt(graph, blocks, label_aware=label_aware_alignment)
-    gk.name = f"{graph.name}-k{k}"
+    with tracer.span(names.KAUTO_ALIGNMENT) as span:
+        avt, noise_ids, gk = build_avt(
+            graph, blocks, label_aware=label_aware_alignment
+        )
+        gk.name = f"{graph.name}-k{k}"
+        alignment_edges = align_blocks(gk, avt)
+        span.set(
+            noise_vertices=len(noise_ids), alignment_edges=len(alignment_edges)
+        )
 
-    alignment_edges = align_blocks(gk, avt)
-    crossing_edges = copy_crossing_edges(gk, avt)
-    _unify_row_labels(gk, avt)
+    with tracer.span(names.KAUTO_EDGE_COPY) as span:
+        crossing_edges = copy_crossing_edges(gk, avt)
+        _unify_row_labels(gk, avt)
+        span.set(crossing_edges=len(crossing_edges))
 
     return KAutomorphismResult(
         gk=gk,

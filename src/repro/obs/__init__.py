@@ -1,0 +1,181 @@
+"""repro.obs — the unified observability layer.
+
+One coherent surface for everything the paper's evaluation (Section 6)
+measures: where the time and the bytes go.  The pieces:
+
+* :class:`~repro.obs.tracing.Tracer` — nested spans (context-manager
+  API, thread-safe, fork-aware) around every pipeline phase;
+* :class:`~repro.obs.registry.MetricsRegistry` — named counters /
+  gauges / histograms (cache hits, candidates, wire bytes, peaks);
+* exporters — JSON trace files, Prometheus text format, human tables;
+* :mod:`~repro.obs.views` — the legacy metric dataclasses
+  (``PublishMetrics`` …), now computed from spans instead of
+  hand-threaded assignments;
+* :class:`Observability` — the facade components carry around.
+
+Cost model: the default ``Observability()`` records spans at *phase*
+granularity only (a dozen per query — the same perf-counter pairs the
+hand-rolled timing used).  ``Observability(record=False)`` measures
+without retaining (standalone components).  ``Observability.disabled()``
+is a true no-op — the hot path sees a shared null span and a null
+registry, nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs import names
+from repro.obs.exporters import (
+    export_dict,
+    export_json,
+    format_summary,
+    prometheus_text,
+    write_prometheus,
+)
+from repro.obs.profiling import SpanProfiler
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+)
+from repro.obs.views import (
+    AggregatedMetrics,
+    BatchMetrics,
+    PublishMetrics,
+    QueryMetrics,
+    format_percent,
+)
+
+
+class Observability:
+    """Tracer + metrics registry, bundled for threading through the stack.
+
+    Parameters
+    ----------
+    record:
+        ``True`` (default): the tracer retains spans and
+        :meth:`for_query` hands each query its own recording tracer.
+        ``False``: spans are timed but not retained (standalone
+        component default — costs what the replaced hand timing cost).
+    profile:
+        ``True`` profiles every top-level span with :mod:`cProfile`;
+        an iterable of span names profiles just those.
+    """
+
+    def __init__(
+        self,
+        *,
+        record: bool = True,
+        profile: bool | Iterable[str] | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        max_spans: int = 100_000,
+    ):
+        if profile is True:
+            self.profiler: SpanProfiler | None = SpanProfiler()
+        elif profile:
+            self.profiler = SpanProfiler(profile)
+        else:
+            self.profiler = None
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.max_spans = max_spans
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(record=record, max_spans=max_spans, profiler=self.profiler)
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """False only for the null (fully disabled) instance."""
+        return True
+
+    @property
+    def recording(self) -> bool:
+        return self.tracer.recording
+
+    def for_query(self) -> "Observability":
+        """A fresh per-query scope: its own tracer, the shared registry.
+
+        Per-query tracers keep concurrent batch queries from
+        interleaving spans in one buffer and make ``QueryOutcome.trace``
+        self-contained (and picklable, for the process backend).
+        """
+        return Observability(
+            registry=self.metrics,
+            tracer=Tracer(
+                record=True, max_spans=self.max_spans, profiler=self.profiler
+            ),
+            profile=None,
+        )
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op instance: null tracer, null registry."""
+        return NULL_OBS
+
+    @classmethod
+    def measuring(cls) -> "Observability":
+        """Measure-only: real span durations, nothing retained."""
+        return Observability(record=False)
+
+
+class _NullObservability(Observability):
+    """Fully disabled: shared null tracer + null registry, no per-query forks."""
+
+    def __init__(self) -> None:
+        super().__init__(registry=NULL_REGISTRY, tracer=NULL_TRACER)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def for_query(self) -> "Observability":
+        return self
+
+
+NULL_OBS = _NullObservability()
+
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "Trace",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanProfiler",
+    "names",
+    "export_dict",
+    "export_json",
+    "format_summary",
+    "prometheus_text",
+    "write_prometheus",
+    "PublishMetrics",
+    "QueryMetrics",
+    "BatchMetrics",
+    "AggregatedMetrics",
+    "format_percent",
+]

@@ -1,0 +1,74 @@
+"""Optional per-span cProfile hook.
+
+When a recording tracer is built with a :class:`SpanProfiler`, every
+span whose name matches the profiler's selection runs under its own
+``cProfile.Profile``; on exit the hottest frames (by cumulative time)
+are attached to the span as the ``profile`` attribute — a list of
+``"cumtime seconds  ncalls  function"`` strings ready for the human
+summary exporter or the JSON trace.
+
+Only one profiler can be active per thread (cProfile's own
+restriction), so nested selected spans are profiled at the outermost
+level and inner ones are skipped — their cost is inside the outer
+profile anyway.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import threading
+from typing import Iterable
+
+from repro.obs.tracing import Span
+
+
+class SpanProfiler:
+    """Profile spans selected by name (or all root-level spans).
+
+    Parameters
+    ----------
+    names:
+        Span names to profile; ``None`` profiles every span that is not
+        nested inside an already-profiled one.
+    top:
+        How many functions (by cumulative time) to attach per span.
+    """
+
+    def __init__(self, names: Iterable[str] | None = None, top: int = 10):
+        self.names = None if names is None else frozenset(names)
+        self.top = top
+        self._local = threading.local()
+
+    def wants(self, span: Span) -> bool:
+        if getattr(self._local, "active", False):
+            return False  # cProfile cannot nest on one thread
+        return self.names is None or span.name in self.names
+
+    def enter(self, span: Span) -> cProfile.Profile | None:
+        if not self.wants(span):
+            return None
+        profile = cProfile.Profile()
+        self._local.active = True
+        profile.enable()
+        return profile
+
+    def exit(self, span: Span, profile: cProfile.Profile | None) -> None:
+        if profile is None:
+            return
+        profile.disable()
+        self._local.active = False
+        span.set(profile=self.top_functions(profile, self.top))
+
+    @staticmethod
+    def top_functions(profile: cProfile.Profile, top: int) -> list[str]:
+        stats = pstats.Stats(profile)
+        rows = []
+        for func, (cc, nc, _tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+            filename, lineno, name = func
+            where = f"{filename.rsplit('/', 1)[-1]}:{lineno}:{name}"
+            rows.append((ct, nc, where))
+        rows.sort(reverse=True)
+        return [
+            f"{ct:.6f}s  {nc:>6}  {where}" for ct, nc, where in rows[:top]
+        ]

@@ -168,6 +168,160 @@ class TestDatasets:
             main(["datasets", "nope", "out.json"])
 
 
+class TestTraceExport:
+    def _deployment(self, tmp_path, capsys):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        query_path = tmp_path / "q.json"
+        save_graph(graph, graph_path)
+        save_graph(example_query(), query_path)
+        deployment = tmp_path / "dep"
+        assert main(["publish", str(graph_path), str(deployment), "--k", "2"]) == 0
+        capsys.readouterr()
+        return graph_path, query_path, deployment
+
+    def test_query_trace_file_spans_sum_to_wall(self, tmp_path, capsys):
+        """Acceptance: span durations sum within 20% of the query wall."""
+        graph_path, query_path, deployment = self._deployment(tmp_path, capsys)
+        trace_path = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "query",
+                    str(deployment),
+                    str(graph_path),
+                    str(query_path),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        from repro.obs import Trace
+
+        trace = Trace.from_dict(doc["trace"])
+        names = {span.name for span in trace}
+        for expected in (
+            "query",
+            "client.anonymize",
+            "cloud.answer",
+            "cloud.decompose",
+            "cloud.star_matching",
+            "cloud.join",
+            "client.expand",
+            "client.filter",
+        ):
+            assert expected in names, f"missing span {expected!r}"
+        root = trace.first("query")
+        phase_total = sum(
+            s.duration for s in trace if s.parent_id == root.span_id
+        )
+        # 20% relative, with a 2 ms absolute floor: the phases are
+        # sub-millisecond, so scheduler noise is a visible fraction
+        assert phase_total == pytest.approx(root.duration, rel=0.20, abs=0.002)
+        assert doc["metrics"]["matches_total"]["series"][0]["value"] == 2.0
+
+    def test_demo_trace_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "demo.json"
+        assert main(["demo", "--trace", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = {span["name"] for span in doc["trace"]["spans"]}
+        assert "publish" in names and "query" in names
+
+    def test_batch_prometheus_export_parses(self, tmp_path, capsys):
+        from repro.obs.exporters import PROM_LINE_RE
+
+        graph_path, query_path, deployment = self._deployment(tmp_path, capsys)
+        prom_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "batch.json"
+        assert (
+            main(
+                [
+                    "batch",
+                    str(deployment),
+                    str(graph_path),
+                    str(query_path),
+                    "--repeat",
+                    "2",
+                    "--trace",
+                    str(trace_path),
+                    "--prometheus",
+                    str(prom_path),
+                ]
+            )
+            == 0
+        )
+        text = prom_path.read_text(encoding="utf-8")
+        assert text.strip(), "empty Prometheus export"
+        for line in text.strip().splitlines():
+            assert PROM_LINE_RE.match(line), f"unparseable line: {line!r}"
+        assert trace_path.exists()
+
+    def test_batch_process_backend_reports_na_hit_rate(self, tmp_path, capsys):
+        """Regression: None hit rate must serialize, not crash a %-format."""
+        from repro.cloud.parallel import fork_available
+
+        if not fork_available():
+            pytest.skip("fork unavailable")
+        graph_path, query_path, deployment = self._deployment(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "batch",
+                    str(deployment),
+                    str(graph_path),
+                    str(query_path),
+                    "--repeat",
+                    "2",
+                    "--backend",
+                    "process",
+                ]
+            )
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["cache"]["hit_rate"] is None
+        assert out["cache"]["hit_rate_text"] == "n/a"
+
+    def test_batch_thread_backend_reports_numeric_hit_rate(
+        self, tmp_path, capsys
+    ):
+        graph_path, query_path, deployment = self._deployment(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "batch",
+                    str(deployment),
+                    str(graph_path),
+                    str(query_path),
+                    "--repeat",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["cache"]["hit_rate"] is not None
+        assert out["cache"]["hit_rate_text"].endswith("%")
+
+
+class TestProfile:
+    def test_profile_prints_table_and_hot_functions(self, capsys):
+        assert main(["profile", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span summary" in out or "profile: demo workload" in out
+        assert "% wall" in out
+        assert "hottest functions of" in out
+
+    def test_profile_trace_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "profile.json"
+        assert main(["profile", "--queries", "1", "--trace", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        spans = doc["trace"]["spans"]
+        assert any("profile" in span["attributes"] for span in spans)
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.anonymize import STRATEGIES
 from repro.core import METHOD_NAMES, MethodConfig, SystemConfig
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigError, ReproError
 
 
 class TestMethodConfig:
@@ -49,3 +49,49 @@ class TestSystemConfig:
     def test_invalid_expansion_site(self):
         with pytest.raises(ReproError):
             SystemConfig(expansion_site="moon")
+
+    def test_keyword_only(self):
+        """Positional construction is a TypeError, not a silent k=3."""
+        with pytest.raises(TypeError):
+            SystemConfig(3)  # noqa: the point of the test
+
+    def test_config_error_is_a_repro_error(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(k=1)
+        assert issubclass(ConfigError, ReproError)
+
+    @pytest.mark.parametrize("bad_k", ["3", 2.0, True, None])
+    def test_non_int_k_rejected(self, bad_k):
+        with pytest.raises(ConfigError):
+            SystemConfig(k=bad_k)
+
+    @pytest.mark.parametrize("bad_theta", ["2", 1.5, False])
+    def test_non_int_theta_rejected(self, bad_theta):
+        with pytest.raises(ConfigError):
+            SystemConfig(theta=bad_theta)
+
+    def test_method_name_string_is_coerced(self):
+        config = SystemConfig(method="bas")
+        assert isinstance(config.method, MethodConfig)
+        assert config.method.name == "BAS"
+
+    def test_unknown_method_name_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(method="MAGIC")
+
+    def test_non_method_object_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(method=42)
+
+    def test_negative_tuning_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(star_cache_size=-1)
+        with pytest.raises(ConfigError):
+            SystemConfig(star_workers=-1)
+        with pytest.raises(ConfigError):
+            SystemConfig(max_intermediate_results=-1)
+
+    def test_zero_budget_is_legal(self):
+        """0 = 'no intermediate results allowed' (bench skip path)."""
+        config = SystemConfig(max_intermediate_results=0)
+        assert config.max_intermediate_results == 0

@@ -1,0 +1,134 @@
+"""The renamed API surface: old names work, warn exactly once per use.
+
+The redesign renamed ``CloudAnswer.total_seconds`` ->
+``cloud_seconds`` and ``ClientOutcome.seconds`` -> ``client_seconds``
+(so every timing says *whose* seconds it is).  PR-1 callers must keep
+working for one release — each deprecated access emits exactly one
+``DeprecationWarning`` pointing at the new name, and the new names are
+silent (CI runs the suite with ``-W error::DeprecationWarning``).
+"""
+
+import warnings
+
+import pytest
+
+from repro.cloud.result_join import JoinStats
+from repro.cloud.server import CloudAnswer
+from repro.cloud.star_matching import StarMatchStats
+from repro.core.query_client import ClientOutcome
+from repro.matching.star import Decomposition
+
+
+def _answer(**kwargs) -> CloudAnswer:
+    return CloudAnswer(
+        matches=[],
+        expanded=False,
+        decomposition=Decomposition(stars=[]),
+        decomposition_seconds=0.0,
+        star_stats=StarMatchStats(),
+        join_stats=JoinStats(),
+        **kwargs,
+    )
+
+
+def _one_warning(record) -> DeprecationWarning:
+    assert len(record) == 1, [str(w.message) for w in record]
+    return record[0]
+
+
+class TestCloudAnswerRename:
+    def test_total_seconds_property_warns_once_and_aliases(self):
+        answer = _answer(cloud_seconds=1.5)
+        with pytest.warns(DeprecationWarning, match="cloud_seconds") as record:
+            value = answer.total_seconds
+        _one_warning(record)
+        assert value == 1.5
+
+    def test_total_seconds_kwarg_warns_once_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="cloud_seconds") as record:
+            answer = _answer(total_seconds=2.5)
+        _one_warning(record)
+        assert answer.cloud_seconds == 2.5
+
+    def test_new_kwarg_wins_over_deprecated_one(self):
+        with pytest.warns(DeprecationWarning):
+            answer = _answer(cloud_seconds=1.0, total_seconds=9.0)
+        assert answer.cloud_seconds == 1.0
+
+    def test_new_name_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            answer = _answer(cloud_seconds=3.0)
+            assert answer.cloud_seconds == 3.0
+
+
+class TestClientOutcomeRename:
+    def test_seconds_property_warns_once_and_aliases(self):
+        outcome = ClientOutcome(
+            matches=[], expansion_seconds=1.0, filter_seconds=0.5
+        )
+        with pytest.warns(DeprecationWarning, match="client_seconds") as record:
+            value = outcome.seconds
+        _one_warning(record)
+        assert value == 1.5
+
+    def test_new_name_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            outcome = ClientOutcome(matches=[], expansion_seconds=1.0)
+            assert outcome.client_seconds == 1.0
+
+
+class TestImportSurface:
+    def test_observability_importable_from_repro(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro import (  # noqa: F401
+                MetricsRegistry,
+                Observability,
+                Span,
+                Trace,
+                Tracer,
+            )
+
+    def test_metrics_views_importable_from_repro_and_core(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro import BatchMetrics as top  # noqa: F401
+            from repro.core import QueryMetrics as mid  # noqa: F401
+
+    def test_historical_core_metrics_module_is_silent(self):
+        """The classes moved homes but not names: no warning on import."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core.metrics import (  # noqa: F401
+                AggregatedMetrics,
+                BatchMetrics,
+                PublishMetrics,
+                QueryMetrics,
+                format_percent,
+            )
+
+    def test_core_metrics_classes_are_the_obs_views(self):
+        import repro.core.metrics as legacy
+        import repro.obs.views as views
+
+        assert legacy.QueryMetrics is views.QueryMetrics
+        assert legacy.PublishMetrics is views.PublishMetrics
+        assert legacy.BatchMetrics is views.BatchMetrics
+        assert legacy.AggregatedMetrics is views.AggregatedMetrics
+
+
+class TestPipelineIsWarningClean:
+    def test_end_to_end_query_emits_no_deprecation_warnings(self):
+        from repro import PrivacyPreservingSystem, SystemConfig
+        from repro.graph import example_query, example_social_network
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            graph, schema = example_social_network()
+            system = PrivacyPreservingSystem.setup(
+                graph, schema, SystemConfig(k=2)
+            )
+            outcome = system.query(example_query())
+            assert len(outcome.matches) == 2
