@@ -27,7 +27,7 @@ from conftest import bench_queries
 from repro.bench import format_table, print_report
 from repro.cloud.parallel import fork_available
 from repro.matching import match_key
-from repro.obs import Observability, format_percent
+from repro.obs import Observability, SlidingWindow, format_percent
 
 WORKERS = 4
 BATCH_K = 3
@@ -138,3 +138,45 @@ def test_report_parallel_engine(sweep):
     assert max(measured.values()) >= 1.5, (
         f"expected >=1.5x throughput with {WORKERS} workers, got {measured}"
     )
+
+
+def test_report_steady_state_latency(sweep):
+    """Steady-state per-query latency through the SLO window.
+
+    Feeds every outcome's end-to-end seconds into a ``SlidingWindow``
+    (the same structure ``repro serve`` exports as
+    ``repro_query_seconds_window_*``) and prints the p50/p95/p99 row a
+    serving deployment would expose.  The untraced throughput cell
+    above stays the authoritative raw-engine number; this row is the
+    tail-latency view of the same workload.
+    """
+    system, queries = _batch_workload(sweep)
+    window = SlidingWindow(capacity=256)
+
+    batch = system.query_batch(queries, max_workers=WORKERS, backend="thread")
+    for outcome in batch.outcomes:
+        window.observe(outcome.metrics.total_seconds)
+
+    snap = window.snapshot()
+    ms = lambda v: f"{v * 1000:.2f}"  # noqa: E731
+    print_report(
+        format_table(
+            ["queries", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
+            [
+                [
+                    int(snap["count"]),
+                    ms(snap["p50"]),
+                    ms(snap["p95"]),
+                    ms(snap["p99"]),
+                    ms(snap["mean"]),
+                ]
+            ],
+            title=(
+                f"steady-state query latency — {len(queries)} queries, "
+                f"k={BATCH_K}, |E(Q)|={BATCH_EDGES}, thread backend"
+            ),
+        )
+    )
+
+    assert snap["count"] == len(queries)
+    assert 0.0 < snap["p50"] <= snap["p95"] <= snap["p99"]

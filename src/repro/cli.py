@@ -13,6 +13,14 @@ Commands
 ``batch``
     Answer a whole workload of query graphs concurrently through the
     parallel batched engine (``--workers``, ``--backend``).
+``serve``
+    Answer a workload through a deployment while exposing ``/metrics``,
+    ``/healthz``, ``/readyz`` and ``/traces`` over HTTP (with optional
+    JSONL event logging and sliding-window SLO gauges).
+``audit``
+    Quantify a deployment's privacy posture: candidate sets vs ``k``,
+    label groups vs ``theta``, outsourced fraction and Algorithm 3's
+    false-positive ratio.
 ``profile``
     Run a traced (and cProfile'd) workload and print the per-phase
     span summary plus the hottest functions of each profiled phase.
@@ -310,6 +318,260 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a deployment with live telemetry exposition.
+
+    Loads a published deployment, stands up the cloud + client halves,
+    starts the :class:`~repro.obs.serve.TelemetryServer` (``/metrics``,
+    ``/healthz``, ``/readyz``, ``/traces``), then answers the workload:
+    query-graph files (optionally ``--repeat``-ed) or, with no files,
+    one JSON graph document per stdin line.  ``--linger`` keeps the
+    endpoint up after the workload drains so scrapers can collect.
+    """
+    import time
+
+    from repro.obs import (
+        EventLog,
+        SlidingWindow,
+        TelemetryServer,
+        TraceRing,
+        names,
+    )
+    from repro.obs.audit import build_audit
+
+    graph = load_graph(args.graph)
+    obs = Observability()
+    if args.events:
+        obs.events = EventLog(
+            args.events, level=args.event_level, sample_rate=args.sample_rate
+        )
+    state = {"ready": False, "served": 0}
+    window = SlidingWindow(capacity=args.window)
+    window.register(
+        obs.metrics,
+        names.W_QUERY_WINDOW,
+        help="End-to-end query seconds over the SLO window.",
+    )
+    ring = TraceRing(capacity=args.trace_ring)
+    telemetry = TelemetryServer(
+        obs.metrics,
+        ready=lambda: state["ready"],
+        health=lambda: {
+            "deployment": str(Path(args.deployment).resolve()),
+            "queries_served": state["served"],
+        },
+        traces=ring,
+        host=args.host,
+        port=args.port,
+    ).start()
+    try:
+        if args.port_file:
+            port_file = Path(args.port_file)
+            port_file.parent.mkdir(parents=True, exist_ok=True)
+            port_file.write_text(str(telemetry.port), encoding="utf-8")
+        print(f"telemetry listening on {telemetry.url}", file=sys.stderr)
+
+        cloud_graph, cloud_avt, centers, expand = load_cloud_side(
+            args.deployment
+        )
+        lct, client_avt = load_client_side(args.deployment)
+        component_obs = Observability(record=False, registry=obs.metrics)
+        cloud = CloudServer(
+            cloud_graph,
+            cloud_avt,
+            centers,
+            expand_in_cloud=expand,
+            star_cache_size=args.star_cache,
+            obs=component_obs,
+        )
+        client = QueryClient(graph, lct, client_avt, obs=component_obs)
+        # static privacy posture of the served deployment, as gauges
+        # next to the latency metrics (per-query filter counts feed the
+        # live ratio callback QueryClient registers).
+        build_audit(
+            cloud_avt,
+            lct,
+            theta=lct.theta,
+            gk_edges=cloud_graph.edge_count if not expand else 0,
+            outsourced_edges=cloud_graph.edge_count,
+            registry=obs.metrics,
+        ).register(obs.metrics)
+        state["ready"] = True  # index built: /readyz flips to 200
+        if obs.events.enabled:
+            obs.events.emit(
+                "serve",
+                deployment=str(args.deployment),
+                url=telemetry.url,
+                k=cloud_avt.k,
+            )
+
+        def answer_one(query) -> None:
+            scope = obs.for_query()
+            tracer = scope.tracer
+            with tracer.span(names.QUERY) as root:
+                root.set(query_edges=query.edge_count)
+                anonymized = client.prepare_query(query, obs=scope)
+                answer = cloud.answer(anonymized, obs=scope)
+                outcome = client.process_answer(
+                    query, answer.matches, answer.expanded, obs=scope
+                )
+            obs.metrics.counter(
+                names.M_QUERIES, help="Queries answered end to end."
+            ).inc()
+            obs.metrics.histogram(
+                names.M_QUERY_SECONDS,
+                help="End-to-end wall seconds per query "
+                "(excl. simulated wire).",
+            ).observe(root.duration)
+            window.observe(root.duration)
+            trace = tracer.take_trace()
+            ring.push(
+                trace,
+                query_id=scope.query_id,
+                matches=len(outcome.matches),
+            )
+            if obs.events.enabled:
+                obs.events.emit_query(
+                    trace, scope.query_id, matches=len(outcome.matches)
+                )
+            state["served"] += 1
+
+        if args.queries:
+            for query_graph in [
+                load_graph(path) for path in args.queries
+            ] * args.repeat:
+                answer_one(query_graph)
+        elif not sys.stdin.isatty():
+            from repro.graph.io import graph_from_json
+
+            for line in sys.stdin:
+                line = line.strip()
+                if line:
+                    answer_one(graph_from_json(line))
+
+        summary = {
+            "deployment": str(args.deployment),
+            "url": telemetry.url,
+            "queries_served": state["served"],
+            "window": window.snapshot(),
+            "events_emitted": obs.events.emitted,
+        }
+        print(json.dumps(summary, indent=2), file=sys.stderr)
+        if args.linger > 0:
+            print(
+                f"lingering {args.linger:.0f}s for scrapers...",
+                file=sys.stderr,
+            )
+            time.sleep(args.linger)
+        cloud.close()
+        return 0
+    finally:
+        telemetry.stop()
+        obs.events.close()
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Quantify a deployment's privacy posture (paper Sections 3-5).
+
+    With a deployment directory, audits the on-disk artifacts (AVT
+    candidate sets vs ``k``, LCT label groups vs ``theta``, outsourced
+    fraction); add ``--graph``/``--queries`` to also run queries and
+    report Algorithm 3's false-positive ratio.  Without a deployment,
+    audits the paper's running example end to end.  Exit status is 0
+    only when every guarantee holds.
+    """
+    from repro.obs.audit import audit_system, build_audit, format_audit
+
+    obs = Observability()
+    outcomes = []
+    if args.deployment is None:
+        # demo mode: the paper's running example, end to end
+        from repro.core.system import PrivacyPreservingSystem
+
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(
+            graph,
+            schema,
+            SystemConfig(k=args.k, theta=args.theta),
+            obs=obs,
+        )
+        for _ in range(args.queries_count):
+            outcomes.append(system.query(example_query()))
+        report = audit_system(system, outcomes=outcomes)
+        title = "privacy audit: running example"
+    else:
+        cloud_graph, cloud_avt, centers, expand = load_cloud_side(
+            args.deployment
+        )
+        lct, client_avt = load_client_side(args.deployment)
+        if expand:
+            # Go deployment: the cloud holds the outsourced subgraph;
+            # recover Gk through the AVT for the full symmetric size.
+            from repro.outsource import OutsourcedGraph, recover_gk
+
+            outsourced = OutsourcedGraph(
+                graph=cloud_graph, block_vertices=centers
+            )
+            gk_edges = recover_gk(outsourced, cloud_avt).edge_count
+        else:
+            gk_edges = cloud_graph.edge_count
+        if args.graph and args.queries:
+            graph = load_graph(args.graph)
+            component_obs = Observability(record=False, registry=obs.metrics)
+            cloud = CloudServer(
+                cloud_graph,
+                cloud_avt,
+                centers,
+                expand_in_cloud=expand,
+                obs=component_obs,
+            )
+            client = QueryClient(graph, lct, client_avt, obs=component_obs)
+            from repro.core.system import QueryOutcome
+            from repro.obs import QueryMetrics
+
+            for path in args.queries:
+                query = load_graph(path)
+                scope = obs.for_query()
+                with scope.tracer.span("query"):
+                    anonymized = client.prepare_query(query, obs=scope)
+                    answer = cloud.answer(anonymized, obs=scope)
+                    outcome = client.process_answer(
+                        query, answer.matches, answer.expanded, obs=scope
+                    )
+                trace = scope.tracer.take_trace()
+                outcomes.append(
+                    QueryOutcome(
+                        matches=outcome.matches,
+                        metrics=QueryMetrics.from_trace(trace),
+                        trace=trace,
+                        query_id=scope.query_id,
+                    )
+                )
+            cloud.close()
+        report = build_audit(
+            cloud_avt,
+            lct,
+            theta=lct.theta,
+            gk_edges=gk_edges,
+            outsourced_edges=cloud_graph.edge_count,
+            outcomes=outcomes,
+            registry=obs.metrics if outcomes else None,
+        )
+        title = f"privacy audit: {args.deployment}"
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_audit(report, title=title))
+    if args.prometheus:
+        from repro.obs import write_prometheus
+
+        report.register(obs.metrics)
+        write_prometheus(obs.metrics, args.prometheus)
+        print(f"metrics written to {args.prometheus}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.name, scale=args.scale)
     save_graph(dataset.graph, args.out)
@@ -410,6 +672,107 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("deployment", help="deployment directory from 'publish'")
     verify.add_argument("--sample", type=int, default=50, help="attack targets")
     verify.set_defaults(func=_cmd_verify)
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer a workload while exposing /metrics, /healthz, "
+        "/readyz and /traces over HTTP",
+    )
+    serve.add_argument("deployment", help="deployment directory from 'publish'")
+    serve.add_argument("graph", help="original graph JSON (client side)")
+    serve.add_argument(
+        "queries",
+        nargs="*",
+        help="query graph JSON file(s); omit to read JSON graphs "
+        "from stdin, one per line",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 = OS-assigned free port"
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port here once listening (for harnesses)",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=1, help="repeat the workload N times"
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        help="keep the endpoint up N seconds after the workload drains",
+    )
+    serve.add_argument(
+        "--events", default=None, help="JSONL structured event log path"
+    )
+    serve.add_argument(
+        "--event-level", default="info", choices=["info", "debug"]
+    )
+    serve.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of queries whose events are logged",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        default=1024,
+        help="sliding SLO window capacity (observations)",
+    )
+    serve.add_argument(
+        "--trace-ring",
+        type=int,
+        default=64,
+        help="how many recent query traces /traces retains",
+    )
+    serve.add_argument(
+        "--star-cache",
+        type=int,
+        default=256,
+        help="shared star-match LRU capacity (0 disables)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    audit = sub.add_parser(
+        "audit", help="quantify a deployment's privacy posture"
+    )
+    audit.add_argument(
+        "deployment",
+        nargs="?",
+        default=None,
+        help="deployment directory (omit to audit the running example)",
+    )
+    audit.add_argument(
+        "--graph", default=None, help="original graph JSON (client side)"
+    )
+    audit.add_argument(
+        "--queries",
+        nargs="*",
+        default=None,
+        help="query graph JSON file(s) for the false-positive audit",
+    )
+    audit.add_argument("--k", type=int, default=2, help="demo-mode k")
+    audit.add_argument(
+        "--theta", type=int, default=2, help="demo-mode theta"
+    )
+    audit.add_argument(
+        "--queries-count",
+        type=int,
+        default=3,
+        help="demo-mode: how many example queries to audit",
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    audit.add_argument(
+        "--prometheus",
+        default=None,
+        help="also write the audit gauges in Prometheus text format",
+    )
+    audit.set_defaults(func=_cmd_audit)
 
     datasets = sub.add_parser("datasets", help="generate a dataset analogue")
     datasets.add_argument("name", choices=sorted(DATASETS))

@@ -36,7 +36,7 @@ from repro.graph.stats import compute_statistics
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match
 from repro.matching.star import Decomposition
-from repro.obs import Observability, names
+from repro.obs import Observability, SlidingWindow, names
 from repro.obs.tracing import Trace
 
 
@@ -212,6 +212,15 @@ class CloudServer:
             lambda: float(self.star_cache.misses),
             help="Star-cache misses since server start (or last clear).",
         )
+        # sliding-window SLO view of the cloud phase: quantiles are
+        # computed at scrape time only (pull callbacks), the answer path
+        # pays one deque append — and none at all under a null scope.
+        self.latency_window = SlidingWindow(capacity=1024)
+        self.latency_window.register(
+            self.obs.metrics,
+            names.W_CLOUD_WINDOW,
+            help="Cloud-side answer seconds over the SLO window.",
+        )
 
     def _build_estimator(self) -> StarCardinalityEstimator:
         if self.expand_in_cloud:
@@ -292,6 +301,8 @@ class CloudServer:
             names.M_CLOUD_SECONDS,
             help="Cloud-side wall seconds per query.",
         ).observe(root.duration)
+        if obs.enabled:
+            self.latency_window.observe(root.duration)
 
         return CloudAnswer(
             matches=matches,
@@ -352,6 +363,8 @@ class CloudServer:
             names.M_CLOUD_SECONDS,
             help="Cloud-side wall seconds per query.",
         ).observe(elapsed)
+        if obs.enabled:
+            self.latency_window.observe(elapsed)
         return CloudAnswer(
             matches=matches,
             expanded=True,

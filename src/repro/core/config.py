@@ -89,6 +89,23 @@ class SystemConfig:
     # (default) keeps the paper's serial loop; results are bit-identical
     # either way.
     star_workers: int = 0
+    # -- serving telemetry (repro.obs.events / repro.obs.windows) -------
+    # JSONL event-log destination.  None (default) disables structured
+    # event logging entirely; a path makes PrivacyPreservingSystem
+    # attach an EventLog emitting one event per traced phase boundary.
+    event_log_path: str | None = None
+    # "info" records phase boundaries; "debug" additionally records
+    # per-star detail (one event per star per query — high volume).
+    event_log_level: str = "info"
+    # fraction of queries whose events are written, decided
+    # deterministically per query_id.  0.0 writes nothing and costs a
+    # single predicate call per query (NullTracer-grade).
+    event_sample_rate: float = 1.0
+    # sliding-window SLO views (p50/p95/p99 + rate on /metrics):
+    # ring capacity and optional time bound in seconds (None = purely
+    # count-bounded).
+    slo_window_size: int = 1024
+    slo_window_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.method, str):
@@ -121,3 +138,22 @@ class SystemConfig:
             raise ConfigError("star_cache_size must be >= 0")
         if self.star_workers < 0:
             raise ConfigError("star_workers must be >= 0")
+        if self.event_log_level not in ("debug", "info"):
+            raise ConfigError(
+                f"event_log_level must be 'debug' or 'info', "
+                f"got {self.event_log_level!r}"
+            )
+        if not 0.0 <= float(self.event_sample_rate) <= 1.0:
+            raise ConfigError("event_sample_rate must be in [0.0, 1.0]")
+        if not isinstance(self.slo_window_size, int) or isinstance(
+            self.slo_window_size, bool
+        ):
+            raise ConfigError(
+                f"slo_window_size must be an int, got {self.slo_window_size!r}"
+            )
+        if self.slo_window_size < 1:
+            raise ConfigError("slo_window_size must be >= 1")
+        if self.slo_window_seconds is not None and not (
+            self.slo_window_seconds > 0
+        ):
+            raise ConfigError("slo_window_seconds must be positive or None")

@@ -25,6 +25,7 @@ from repro.graph.attributed import AttributedGraph
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match
 from repro.obs import Observability, names
+from repro.obs.audit import register_live_false_positive_ratio
 
 
 @dataclass(init=False)
@@ -86,6 +87,11 @@ class QueryClient:
         self.lct = lct
         self.avt = avt
         self.obs = obs if obs is not None else Observability.measuring()
+        # export the Algorithm-3 filter effectiveness as a live pull
+        # gauge: false_positives / candidates over everything this
+        # client has filtered (shows up on /metrics as
+        # `privacy_audit_false_positive_ratio_live`).
+        register_live_false_positive_ratio(self.obs.metrics)
 
     def prepare_query(
         self, query: AttributedGraph, obs: Observability | None = None

@@ -52,9 +52,11 @@ from repro.graph.validation import validate_query
 from repro.matching.match import Match
 from repro.obs import (
     BatchMetrics,
+    EventLog,
     Observability,
     PublishMetrics,
     QueryMetrics,
+    SlidingWindow,
     names,
 )
 from repro.obs.tracing import Trace
@@ -73,12 +75,17 @@ class QueryOutcome:
     matches: list[Match]
     metrics: QueryMetrics
     trace: Trace | None = field(default=None)
+    #: id of the per-query scope the query ran on; also stamped onto
+    #: every span of ``trace`` and onto the structured events derived
+    #: from it ("" when the system ran with observability disabled).
+    query_id: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "matches": [sorted(match.items()) for match in self.matches],
             "metrics": self.metrics.to_dict(),
             "trace": self.trace.to_dict() if self.trace is not None else None,
+            "query_id": self.query_id,
         }
 
     @classmethod
@@ -90,6 +97,7 @@ class QueryOutcome:
             ],
             metrics=QueryMetrics.from_dict(data["metrics"]),
             trace=Trace.from_dict(trace) if trace is not None else None,
+            query_id=data.get("query_id", ""),
         )
 
 
@@ -152,6 +160,40 @@ class PrivacyPreservingSystem:
         self.channel = channel
         self.publish_metrics = publish_metrics
         self.obs = obs if obs is not None else Observability()
+        # -- serving telemetry (config-driven, off by default) ----------
+        if (
+            config.event_log_path is not None
+            and self.obs.enabled
+            and not self.obs.events.enabled
+        ):
+            self.obs.events = EventLog(
+                config.event_log_path,
+                level=config.event_log_level,
+                sample_rate=config.event_sample_rate,
+            )
+        # sliding window behind the `query_seconds_window_*` pull gauges
+        # (p50/p95/p99/rate/count on /metrics); null-obs systems skip the
+        # registration so the disabled hot path stays flat.
+        self.query_window = SlidingWindow(
+            capacity=config.slo_window_size,
+            window_seconds=config.slo_window_seconds,
+        )
+        if self.obs.enabled:
+            self.query_window.register(
+                self.obs.metrics,
+                names.W_QUERY_WINDOW,
+                help="End-to-end query seconds over the SLO window.",
+            )
+        if self.obs.events.enabled and published.trace is not None:
+            # one "publish" record so the event log is self-describing:
+            # every later query event refers back to this deployment.
+            self.obs.events.emit(
+                names.PUBLISH,
+                method=config.method.name,
+                k=config.k,
+                theta=config.theta,
+                spans=len(published.trace),
+            )
 
     # ------------------------------------------------------------------
     # setup
@@ -303,12 +345,22 @@ class PrivacyPreservingSystem:
             names.M_QUERY_SECONDS,
             help="End-to-end wall seconds per query (excl. simulated wire).",
         ).observe(root.duration)
+        if scope.enabled:
+            self.query_window.observe(root.duration)
 
         trace = tracer.take_trace() if tracer.recording else None
+        if scope.events.enabled and trace is not None:
+            scope.events.emit_query(
+                trace,
+                scope.query_id,
+                method=self.config.method.name,
+                matches=len(outcome.matches),
+            )
         return QueryOutcome(
             matches=outcome.matches,
             metrics=QueryMetrics.from_trace(trace),
             trace=trace,
+            query_id=scope.query_id,
         )
 
     def query_batch(
@@ -374,4 +426,12 @@ class PrivacyPreservingSystem:
         trace = (
             scope.tracer.take_trace() if scope.tracer.recording else None
         )
+        if scope.events.enabled:
+            scope.events.emit(
+                names.BATCH,
+                backend=backend,
+                workers=metrics.worker_count,
+                queries=len(queries),
+                seconds=wall_seconds,
+            )
         return BatchOutcome(outcomes=outcomes, metrics=metrics, trace=trace)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.obs import names
+from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog, new_query_id
 from repro.obs.exporters import (
     export_dict,
     export_json,
@@ -51,6 +52,7 @@ from repro.obs.tracing import (
     Trace,
     Tracer,
 )
+from repro.obs.serve import TelemetryServer, TraceRing
 from repro.obs.views import (
     AggregatedMetrics,
     BatchMetrics,
@@ -58,6 +60,7 @@ from repro.obs.views import (
     QueryMetrics,
     format_percent,
 )
+from repro.obs.windows import SlidingWindow, quantile_inclusive
 
 
 class Observability:
@@ -73,6 +76,9 @@ class Observability:
     profile:
         ``True`` profiles every top-level span with :mod:`cProfile`;
         an iterable of span names profiles just those.
+    events:
+        Optional :class:`~repro.obs.events.EventLog` sink shared by
+        every scope forked from this one (default: the null sink).
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class Observability:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
         max_spans: int = 100_000,
+        events: "EventLog | NullEventLog | None" = None,
     ):
         if profile is True:
             self.profiler: SpanProfiler | None = SpanProfiler()
@@ -92,6 +99,7 @@ class Observability:
             self.profiler = None
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.max_spans = max_spans
+        self.events = events if events is not None else NULL_EVENTS
         self.tracer = (
             tracer
             if tracer is not None
@@ -107,20 +115,33 @@ class Observability:
     def recording(self) -> bool:
         return self.tracer.recording
 
-    def for_query(self) -> "Observability":
+    @property
+    def query_id(self) -> str:
+        """The query id of a per-query scope ("" on a base scope)."""
+        return self.tracer.query_id
+
+    def for_query(self, query_id: str | None = None) -> "Observability":
         """A fresh per-query scope: its own tracer, the shared registry.
 
         Per-query tracers keep concurrent batch queries from
         interleaving spans in one buffer and make ``QueryOutcome.trace``
-        self-contained (and picklable, for the process backend).
+        self-contained (and picklable, for the process backend).  Each
+        scope carries a ``query_id`` (allocated here unless supplied)
+        stamped onto every span it records and onto the structured
+        events derived from them.
         """
-        return Observability(
+        scope = Observability(
             registry=self.metrics,
             tracer=Tracer(
-                record=True, max_spans=self.max_spans, profiler=self.profiler
+                record=True,
+                max_spans=self.max_spans,
+                profiler=self.profiler,
+                query_id=query_id or new_query_id(),
             ),
             profile=None,
+            events=self.events,
         )
+        return scope
 
     @classmethod
     def disabled(cls) -> "Observability":
@@ -137,13 +158,15 @@ class _NullObservability(Observability):
     """Fully disabled: shared null tracer + null registry, no per-query forks."""
 
     def __init__(self) -> None:
-        super().__init__(registry=NULL_REGISTRY, tracer=NULL_TRACER)
+        super().__init__(
+            registry=NULL_REGISTRY, tracer=NULL_TRACER, events=NULL_EVENTS
+        )
 
     @property
     def enabled(self) -> bool:
         return False
 
-    def for_query(self) -> "Observability":
+    def for_query(self, query_id: str | None = None) -> "Observability":
         return self
 
 
@@ -167,6 +190,14 @@ __all__ = [
     "Gauge",
     "Histogram",
     "SpanProfiler",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENTS",
+    "new_query_id",
+    "SlidingWindow",
+    "quantile_inclusive",
+    "TelemetryServer",
+    "TraceRing",
     "names",
     "export_dict",
     "export_json",

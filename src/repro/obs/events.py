@@ -1,0 +1,252 @@
+"""Structured JSON-lines event log for long-lived serving processes.
+
+A running ``repro serve`` process needs to be *tailable*: operators
+follow what the system is doing per query without attaching a
+debugger or waiting for a trace export.  :class:`EventLog` appends one
+JSON object per line to a file (or any text stream), each event
+carrying
+
+* ``ts`` — wall-clock UNIX timestamp of the emission,
+* ``level`` — ``"info"`` (phase boundaries) or ``"debug"`` (per-star
+  detail),
+* ``event`` — the event kind (``"span"``, ``"query"``, ``"publish"``,
+  ``"batch"``, ``"serve"``, ...),
+* ``query_id`` — the owning query's id (empty outside a query scope),
+
+plus event-specific fields.  The phase-boundary events mirror the span
+taxonomy of :mod:`repro.obs.names` — decompose, star matching, join,
+expansion, filtering, network send/recv — and are derived *from the
+trace after the query completes*, so the hot path never formats JSON:
+with sampling rate ``0.0`` (or the :data:`NULL_EVENTS` sink) the only
+per-query cost is a single predicate call.
+
+Sampling is **deterministic by query id** (a CRC of the id against the
+rate), so re-running a workload logs the same subset and distributed
+components sampling independently agree on which queries to keep.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+import zlib
+from pathlib import Path
+from typing import IO, Any, Iterable
+
+from repro.obs import names
+from repro.obs.tracing import Trace
+
+LEVELS = ("debug", "info")
+
+#: Span names logged only at ``level="debug"`` — per-star detail is
+#: high-volume (one event per star per query) and off by default.
+DEBUG_SPANS = frozenset({names.CLOUD_STAR_MATCH})
+
+#: The phase boundaries an ``"info"`` event log records, in pipeline
+#: order: every span name in a query/publish trace *except* the
+#: per-star detail above.  Kept as an explicit allowlist so a renamed
+#: phase fails the event-log tests instead of silently vanishing.
+INFO_SPANS = frozenset(names.ALL_SPANS) - DEBUG_SPANS
+
+
+def new_query_id() -> str:
+    """A fresh, process-unique query identifier (``"q-" + 12 hex``)."""
+    return "q-" + uuid.uuid4().hex[:12]
+
+
+def _sampled(query_id: str, rate: float) -> bool:
+    """Deterministic per-query coin flip: CRC32(query_id) / 2**32 < rate."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return (zlib.crc32(query_id.encode("utf-8")) / 2**32) < rate
+
+
+class NullEventLog:
+    """The disabled sink: accepts everything, writes nothing.
+
+    ``enabled`` is ``False`` so emitters can skip even the event
+    *construction* — the hot path sees one attribute read.
+    """
+
+    enabled = False
+    level = "info"
+    sample_rate = 0.0
+    emitted = 0
+
+    def should_log(self, query_id: str = "") -> bool:
+        return False
+
+    def emit(self, event: str, query_id: str = "", **fields: Any) -> None:
+        return None
+
+    def emit_spans(self, trace: Trace | None, query_id: str = "") -> int:
+        return 0
+
+    def emit_query(
+        self, trace: Trace | None, query_id: str, **fields: Any
+    ) -> int:
+        return 0
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullEventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_EVENTS = NullEventLog()
+
+
+class EventLog(NullEventLog):
+    """Thread-safe JSON-lines event sink.
+
+    Parameters
+    ----------
+    target:
+        A path (opened in append mode, parents created) or an already
+        open text stream (e.g. ``sys.stderr``; not closed by
+        :meth:`close`).
+    level:
+        ``"info"`` (default) records phase boundaries; ``"debug"``
+        additionally records per-star spans.
+    sample_rate:
+        Fraction of queries whose events are written, decided
+        deterministically per ``query_id``.  ``0.0`` writes nothing
+        and costs one predicate call per query; non-query events
+        (``publish``, ``serve``, ...) are always written.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        target: str | Path | IO[str],
+        *,
+        level: str = "info",
+        sample_rate: float = 1.0,
+    ):
+        if level not in LEVELS:
+            raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be within [0, 1], got {sample_rate!r}"
+            )
+        self.level = level
+        self.sample_rate = sample_rate
+        self.emitted = 0
+        self._lock = threading.Lock()
+        if isinstance(target, (str, Path)):
+            self.path: Path | None = Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: IO[str] = self.path.open("a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self.path = None
+            self._stream = target
+            self._owns_stream = False
+
+    # -- predicates -----------------------------------------------------
+    def should_log(self, query_id: str = "") -> bool:
+        """Whether this query's events will be written (cheap, no I/O)."""
+        return _sampled(query_id, self.sample_rate)
+
+    def _span_visible(self, name: str) -> bool:
+        return self.level == "debug" or name not in DEBUG_SPANS
+
+    # -- emission -------------------------------------------------------
+    def emit(self, event: str, query_id: str = "", **fields: Any) -> None:
+        """Write one event line (unconditionally — callers sample)."""
+        doc: dict[str, Any] = {
+            "ts": time.time(),
+            "level": fields.pop("level", "info"),
+            "event": event,
+        }
+        if query_id:
+            doc["query_id"] = query_id
+        doc.update(fields)
+        line = json.dumps(doc, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self.emitted += 1
+
+    def emit_spans(self, trace: Trace | None, query_id: str = "") -> int:
+        """One ``span`` event per phase boundary of ``trace``.
+
+        Returns the number of events written.  Per-star spans
+        (:data:`DEBUG_SPANS`) are included only at ``level="debug"``.
+        """
+        if trace is None:
+            return 0
+        written = 0
+        for span in trace:
+            if not self._span_visible(span.name):
+                continue
+            self.emit(
+                "span",
+                query_id=query_id or span.query_id,
+                level="debug" if span.name in DEBUG_SPANS else "info",
+                span=span.name,
+                seconds=span.duration,
+                attrs=dict(span.attributes),
+            )
+            written += 1
+        return written
+
+    def emit_query(
+        self, trace: Trace | None, query_id: str, **fields: Any
+    ) -> int:
+        """The per-query emission: phase events + one ``query`` summary.
+
+        Applies the sampling decision; returns the number of events
+        written (0 when the query is not sampled).
+        """
+        if not self.should_log(query_id):
+            return 0
+        written = self.emit_spans(trace, query_id=query_id)
+        summary: dict[str, Any] = dict(fields)
+        if trace is not None:
+            summary.setdefault("seconds", trace.total_seconds)
+        self.emit("query", query_id=query_id, **summary)
+        return written + 1
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self) -> None:
+        with self._lock:
+            self._stream.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and not self._stream.closed:
+                self._stream.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL event file back into dicts (tests, tooling)."""
+    out: list[dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def query_ids(events: Iterable[dict[str, Any]]) -> set[str]:
+    """The distinct query ids appearing in an event stream."""
+    return {e["query_id"] for e in events if e.get("query_id")}

@@ -41,7 +41,16 @@ def _labels_text(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
     def escape(value: str) -> str:
-        return str(value).replace("\\", "\\\\").replace('"', '\\"')
+        # The Prometheus text format requires escaping backslash, the
+        # double quote *and* the line feed inside label values — an
+        # unescaped newline would split one sample across two
+        # unparseable lines (PROM_LINE_RE is line-anchored).
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
 
     inner = ",".join(
         f'{key}="{escape(value)}"' for key, value in sorted(labels.items())
@@ -93,6 +102,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
 def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
     path = Path(path)
+    # same courtesy as export_json: create missing parent directories
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(prometheus_text(registry), encoding="utf-8")
     return path
 
@@ -121,6 +132,9 @@ def export_json(
     extra: Mapping[str, Any] | None = None,
 ) -> Path:
     path = Path(path)
+    # --trace out/dir/t.json must work on a fresh checkout: create the
+    # parent directories instead of crashing with FileNotFoundError.
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(export_dict(trace, registry, extra), indent=2, sort_keys=True),
         encoding="utf-8",

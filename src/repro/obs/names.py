@@ -104,3 +104,8 @@ M_INTERMEDIATE_PEAK = "join_intermediate_peak"
 M_QUERY_SECONDS = "query_seconds"
 M_CLOUD_SECONDS = "cloud_seconds"
 M_CLIENT_SECONDS = "client_seconds"
+
+# -- sliding-window SLO view prefixes (repro.obs.windows) ---------------
+# Each expands into pull gauges `<prefix>_{p50,p95,p99,rate,count}`.
+W_QUERY_WINDOW = "query_seconds_window"
+W_CLOUD_WINDOW = "cloud_seconds_window"

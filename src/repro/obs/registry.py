@@ -78,6 +78,11 @@ class Counter(_Metric):
         with self._lock:
             return self._values.get(_label_key(labels), 0.0)
 
+    def present(self, **labels: Any) -> bool:
+        """True once the labeled series has been incremented at least once."""
+        with self._lock:
+            return _label_key(labels) in self._values
+
     @property
     def total(self) -> float:
         with self._lock:
@@ -108,9 +113,21 @@ class Gauge(_Metric):
             if current is None or value > current:
                 self._values[key] = float(value)
 
-    def value(self, **labels: Any) -> float | None:
+    def value(self, **labels: Any) -> float:
+        """The gauge's value; ``0.0`` when never set.
+
+        Unified with :meth:`Counter.value` (which has always defaulted
+        to ``0.0``): callers that must distinguish "never set" from "set
+        to zero" ask :meth:`present` explicitly instead of sniffing for
+        ``None``.
+        """
         with self._lock:
-            return self._values.get(_label_key(labels))
+            return self._values.get(_label_key(labels), 0.0)
+
+    def present(self, **labels: Any) -> bool:
+        """True once the labeled series has been set at least once."""
+        with self._lock:
+            return _label_key(labels) in self._values
 
     def items(self) -> list[tuple[LabelKey, float]]:
         with self._lock:
@@ -195,6 +212,9 @@ class NullMetric:
 
     def value(self, **labels: Any) -> float:
         return 0.0
+
+    def present(self, **labels: Any) -> bool:
+        return False
 
     @property
     def total(self) -> float:

@@ -53,6 +53,7 @@ class Span:
     duration: float = 0.0  # wall seconds (perf_counter)
     thread: str = ""
     pid: int = 0
+    query_id: str = ""  # the owning query's id ("" outside a query scope)
     attributes: dict[str, Any] = field(default_factory=dict)
 
     def set(self, **attrs: Any) -> "Span":
@@ -81,6 +82,7 @@ class NullSpan:
     duration = 0.0
     thread = ""
     pid = 0
+    query_id = ""
     attributes: dict[str, Any] = {}
 
     def set(self, **attrs: Any) -> "NullSpan":
@@ -200,6 +202,7 @@ class NullTracer:
 
     recording = False
     enabled = False
+    query_id = ""
 
     def span(self, name: str, parent: Span | None = None, **attrs: Any) -> NullSpan:
         return NULL_SPAN
@@ -231,6 +234,11 @@ class Tracer(NullTracer):
     profiler:
         Optional :class:`repro.obs.profiling.SpanProfiler`; profiled
         spans carry a ``profile`` attribute with their hottest frames.
+    query_id:
+        Identifier stamped onto every recorded span — set by
+        ``Observability.for_query`` so one query's spans (and the
+        structured events derived from them) are correlatable across
+        traces, the event log and the ``/traces`` endpoint.
     """
 
     enabled = True
@@ -241,10 +249,12 @@ class Tracer(NullTracer):
         record: bool = True,
         max_spans: int = 100_000,
         profiler: "Any | None" = None,
+        query_id: str = "",
     ):
         self._record = record
         self._max_spans = max_spans
         self._profiler = profiler
+        self.query_id = query_id
         self._spans: list[Span] = []
         self._ids = itertools.count(1)
         self._stacks = threading.local()
@@ -271,7 +281,12 @@ class Tracer(NullTracer):
             return _SpanContext(self, span)
         if os.getpid() != self._pid:
             self._reset_for_fork()
-        span = Span(name, pid=self._pid, thread=threading.current_thread().name)
+        span = Span(
+            name,
+            pid=self._pid,
+            thread=threading.current_thread().name,
+            query_id=self.query_id,
+        )
         if attrs:
             span.attributes.update(attrs)
         if parent is not None and parent.span_id:

@@ -322,6 +322,174 @@ class TestProfile:
         assert any("profile" in span["attributes"] for span in spans)
 
 
+class TestAudit:
+    def test_demo_mode_prints_passing_table(self, capsys):
+        assert main(["audit", "--queries-count", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k guarantee" in out and "PASS" in out
+        assert "false-positive ratio" in out
+
+    def test_demo_mode_json(self, capsys):
+        assert main(["audit", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["candidate_set_min"] >= doc["k"]
+        assert doc["label_group_min_size"] >= doc["theta"]
+
+    def test_deployment_mode_with_queries_and_prometheus(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.exporters import PROM_LINE_RE
+
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        query_path = tmp_path / "q.json"
+        save_graph(graph, graph_path)
+        save_graph(example_query(), query_path)
+        deployment = tmp_path / "dep"
+        assert main(["publish", str(graph_path), str(deployment)]) == 0
+        capsys.readouterr()
+
+        prom_path = tmp_path / "audit.prom"
+        assert (
+            main(
+                [
+                    "audit",
+                    str(deployment),
+                    "--graph",
+                    str(graph_path),
+                    "--queries",
+                    str(query_path),
+                    "--json",
+                    "--prometheus",
+                    str(prom_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["candidates_total"] > doc["matches_total"] > 0
+        assert 0.0 < doc["outsourced_fraction"] < 1.0
+        assert doc["per_query"] and doc["per_query"][0]["query_id"]
+        text = prom_path.read_text(encoding="utf-8")
+        assert "repro_privacy_audit_ok 1" in text
+        for line in text.strip().splitlines():
+            assert PROM_LINE_RE.match(line), f"unparseable: {line!r}"
+
+
+class TestServe:
+    def test_serve_workload_and_scrape(self, tmp_path, capsys):
+        import threading
+        import urllib.request
+
+        from repro.obs.exporters import PROM_LINE_RE
+
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        query_path = tmp_path / "q.json"
+        save_graph(graph, graph_path)
+        save_graph(example_query(), query_path)
+        deployment = tmp_path / "dep"
+        assert main(["publish", str(graph_path), str(deployment)]) == 0
+        capsys.readouterr()
+
+        port_file = tmp_path / "port.txt"
+        events_path = tmp_path / "events.jsonl"
+        scraped: dict[str, str] = {}
+
+        def scrape():
+            import time
+
+            for _ in range(100):
+                if port_file.is_file() and port_file.read_text().strip():
+                    break
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+            base = f"http://127.0.0.1:{port}"
+            for path in ("/metrics", "/healthz", "/readyz", "/traces"):
+                with urllib.request.urlopen(base + path, timeout=5) as rsp:
+                    scraped[path] = rsp.read().decode("utf-8")
+
+        scraper = threading.Thread(target=scrape, daemon=True)
+        scraper.start()
+        code = main(
+            [
+                "serve",
+                str(deployment),
+                str(graph_path),
+                str(query_path),
+                "--repeat",
+                "3",
+                "--events",
+                str(events_path),
+                "--port-file",
+                str(port_file),
+                "--linger",
+                "3",
+            ]
+        )
+        scraper.join(timeout=30)
+        assert code == 0
+        assert set(scraped) == {"/metrics", "/healthz", "/readyz", "/traces"}
+        for line in scraped["/metrics"].strip().splitlines():
+            assert PROM_LINE_RE.match(line), f"unparseable: {line!r}"
+        assert "repro_query_seconds_window_p95" in scraped["/metrics"]
+        assert "repro_privacy_audit_k" in scraped["/metrics"]
+        assert json.loads(scraped["/readyz"]) == {"ready": True}
+        health = json.loads(scraped["/healthz"])
+        assert health["status"] == "ok"
+        traces = json.loads(scraped["/traces"])
+        assert traces["count"] >= 1
+        assert all(t["query_id"].startswith("q-") for t in traces["traces"])
+        # the JSONL event log was written with matching query ids
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert {e["event"] for e in events} >= {"serve", "span", "query"}
+        logged_ids = {e["query_id"] for e in events if "query_id" in e}
+        ring_ids = {t["query_id"] for t in traces["traces"]}
+        assert ring_ids <= logged_ids
+
+    def test_serve_sample_rate_zero_logs_no_query_events(
+        self, tmp_path, capsys
+    ):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        query_path = tmp_path / "q.json"
+        save_graph(graph, graph_path)
+        save_graph(example_query(), query_path)
+        deployment = tmp_path / "dep"
+        assert main(["publish", str(graph_path), str(deployment)]) == 0
+        capsys.readouterr()
+
+        events_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "serve",
+                    str(deployment),
+                    str(graph_path),
+                    str(query_path),
+                    "--events",
+                    str(events_path),
+                    "--sample-rate",
+                    "0.0",
+                ]
+            )
+            == 0
+        )
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+            if line.strip()
+        ]
+        # only the non-query "serve" lifecycle event is written
+        assert {e["event"] for e in events} == {"serve"}
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,182 @@
+"""Privacy-audit reporter: k / theta guarantees, FP ratio, gauges."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import PrivacyPreservingSystem
+from repro.graph.generators import example_query, example_social_network
+from repro.obs import MetricsRegistry, Observability, names, prometheus_text
+from repro.obs.audit import (
+    PrivacyAuditReport,
+    QueryAuditEntry,
+    audit_system,
+    build_audit,
+    candidate_set_sizes,
+    format_audit,
+    group_entropy_bits,
+    label_group_sizes,
+    query_audit_entry,
+    register_live_false_positive_ratio,
+)
+from repro.obs.exporters import PROM_LINE_RE
+
+
+def _demo_system(k: int = 2) -> PrivacyPreservingSystem:
+    graph, schema = example_social_network()
+    return PrivacyPreservingSystem.setup(
+        graph, schema, SystemConfig(k=k), obs=Observability()
+    )
+
+
+class TestQueryAuditEntry:
+    def test_false_positive_arithmetic(self):
+        entry = QueryAuditEntry(
+            query_id="q-x", candidates=8, results=2, rin_size=4
+        )
+        assert entry.false_positives == 6
+        assert entry.false_positive_ratio == pytest.approx(0.75)
+
+    def test_zero_candidates_give_zero_ratio(self):
+        assert QueryAuditEntry().false_positive_ratio == 0.0
+
+    def test_entry_reads_off_a_query_outcome(self):
+        system = _demo_system()
+        outcome = system.query(example_query())
+        entry = query_audit_entry(outcome)
+        assert entry.query_id == outcome.query_id
+        assert entry.results == len(outcome.matches)
+        assert entry.candidates >= entry.results
+
+
+class TestGuarantees:
+    def test_candidate_sets_meet_k_on_demo_deployment(self):
+        system = _demo_system(k=2)
+        sizes = candidate_set_sizes(system.published.transform.avt)
+        assert sizes and min(sizes) >= 2
+
+    def test_label_groups_meet_theta(self):
+        system = _demo_system()
+        sizes = label_group_sizes(system.published.lct)
+        assert sizes and min(sizes) >= system.config.theta
+
+    def test_entropy_is_log2_of_group_size(self):
+        assert group_entropy_bits(2) == pytest.approx(1.0)
+        assert group_entropy_bits(8) == pytest.approx(3.0)
+        assert group_entropy_bits(0) == 0.0
+
+    def test_report_flags_violations(self):
+        report = PrivacyAuditReport(
+            k=3, theta=2, vertex_count=4, candidate_set_min=2,
+            label_group_count=2, label_group_min_size=2,
+        )
+        assert not report.k_satisfied  # 2 < k=3
+        assert report.theta_satisfied
+        assert not report.ok
+        assert "FAIL" in format_audit(report)
+
+    def test_attack_bound_is_inverse_min_candidate_set(self):
+        report = PrivacyAuditReport(k=2, candidate_set_min=4, vertex_count=1)
+        assert report.attack_probability_bound == pytest.approx(0.25)
+        assert PrivacyAuditReport().attack_probability_bound == 1.0
+
+
+class TestAuditSystem:
+    def test_demo_audit_passes_and_fp_matches_counters(self):
+        system = _demo_system()
+        outcomes = [system.query(example_query()) for _ in range(2)]
+        report = audit_system(system, outcomes=outcomes)
+        assert report.ok
+        assert report.k == 2 and report.candidate_set_min >= 2
+        assert report.theta == 2 and report.label_group_min_size >= 2
+        # aggregate Algorithm-3 counts come from the registry counters
+        registry = system.obs.metrics
+        assert report.candidates_total == registry.counter(
+            names.M_CANDIDATES
+        ).total
+        assert report.matches_total == registry.counter(
+            names.M_MATCHES
+        ).total
+        assert report.false_positives_total == registry.counter(
+            names.M_FALSE_POSITIVES
+        ).total
+        assert report.false_positive_ratio == pytest.approx(
+            report.false_positives_total / report.candidates_total
+        )
+        # ... and line up with the per-query entries
+        assert len(report.per_query) == 2
+        assert sum(e.candidates for e in report.per_query) == (
+            report.candidates_total
+        )
+
+    def test_outsourced_fraction_below_one_for_go_deployment(self):
+        system = _demo_system()
+        report = audit_system(system)
+        assert 0.0 < report.outsourced_fraction < 1.0
+
+    def test_bas_deployment_outsources_everything(self):
+        graph, schema = example_social_network()
+        system = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, method="BAS")
+        )
+        report = audit_system(system)
+        assert report.outsourced_fraction == pytest.approx(1.0)
+
+    def test_build_audit_without_registry_uses_outcomes(self):
+        system = _demo_system()
+        outcome = system.query(example_query())
+        report = build_audit(
+            system.published.transform.avt,
+            system.published.lct,
+            theta=2,
+            outcomes=[outcome],
+        )
+        entry = query_audit_entry(outcome)
+        assert report.candidates_total == entry.candidates
+        assert report.matches_total == entry.results
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        report = audit_system(_demo_system())
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["ok"] is True
+        assert doc["k_satisfied"] is True
+
+
+class TestGauges:
+    def test_register_exports_parseable_prometheus_gauges(self):
+        system = _demo_system()
+        outcomes = [system.query(example_query())]
+        report = audit_system(system, outcomes=outcomes)
+        registry = MetricsRegistry()
+        report.register(registry)
+        text = prometheus_text(registry)
+        for needle in (
+            "repro_privacy_audit_k 2",
+            "repro_privacy_audit_candidate_set_min 2",
+            "repro_privacy_audit_label_group_min_size 2",
+            "repro_privacy_audit_ok 1",
+            "repro_privacy_audit_attack_probability_bound 0.5",
+            "repro_privacy_audit_query_false_positive_ratio{query_id=",
+        ):
+            assert needle in text, f"missing: {needle}"
+        for line in text.strip().splitlines():
+            assert PROM_LINE_RE.match(line), f"unparseable: {line!r}"
+
+    def test_live_fp_ratio_callback_tracks_counters(self):
+        registry = MetricsRegistry()
+        register_live_false_positive_ratio(registry)
+        values = {n: v for n, v, _ in registry.callbacks()}
+        assert values["privacy_audit_false_positive_ratio_live"] == 0.0
+        registry.counter(names.M_CANDIDATES).inc(10)
+        registry.counter(names.M_FALSE_POSITIVES).inc(4)
+        values = {n: v for n, v, _ in registry.callbacks()}
+        assert values[
+            "privacy_audit_false_positive_ratio_live"
+        ] == pytest.approx(0.4)
+
+    def test_query_client_registers_live_ratio(self):
+        system = _demo_system()
+        system.query(example_query())
+        text = prometheus_text(system.obs.metrics)
+        assert "repro_privacy_audit_false_positive_ratio_live" in text

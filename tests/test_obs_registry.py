@@ -47,6 +47,13 @@ class TestCounter:
         with pytest.raises(ValueError):
             counter.inc(-1)
 
+    def test_unset_series_reads_zero_but_absent(self):
+        counter = MetricsRegistry().counter("c")
+        assert counter.value() == 0.0
+        assert not counter.present()
+        counter.inc(0)
+        assert counter.present() and counter.value() == 0.0
+
 
 class TestGauge:
     def test_set_and_set_max(self):
@@ -57,8 +64,21 @@ class TestGauge:
         gauge.set_max(9)
         assert gauge.value() == 9.0
 
-    def test_unset_reads_none(self):
-        assert MetricsRegistry().gauge("g").value() is None
+    def test_unset_reads_zero_like_counter(self):
+        # unified with Counter.value(): 0.0 default, present() to
+        # distinguish "never set" from "set to zero"
+        gauge = MetricsRegistry().gauge("g")
+        assert gauge.value() == 0.0
+        assert not gauge.present()
+        gauge.set(0.0)
+        assert gauge.present() and gauge.value() == 0.0
+
+    def test_present_is_per_label_series(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(1.5, site="cloud")
+        assert gauge.present(site="cloud")
+        assert not gauge.present(site="client")
+        assert gauge.value(site="client") == 0.0
 
 
 class TestHistogram:
@@ -211,6 +231,29 @@ class TestPrometheusFormat:
         for line in text.strip().splitlines():
             assert PROM_LINE_RE.match(line), f"unparseable line: {line!r}"
 
+    def test_newline_in_label_value_stays_one_line(self):
+        # a raw newline would split the sample across two unparseable
+        # lines; the exposition format says it must become a literal \n
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, q="line one\nline two")
+        text = prometheus_text(registry)
+        assert 'repro_c{q="line one\\nline two"} 1' in text
+        for line in text.strip().splitlines():
+            assert PROM_LINE_RE.match(line), f"unparseable line: {line!r}"
+
+    def test_backslash_then_n_distinct_from_newline(self):
+        # "a\\nb" (backslash + n) and "a\nb" (newline) must render as
+        # distinct series: \\n vs \n in the exposition text
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(1, q="a\\nb")
+        counter.inc(2, q="a\nb")
+        text = prometheus_text(registry)
+        assert 'repro_c{q="a\\\\nb"} 1' in text
+        assert 'repro_c{q="a\\nb"} 2' in text
+        for line in text.strip().splitlines():
+            assert PROM_LINE_RE.match(line), f"unparseable line: {line!r}"
+
 
 class TestSummaryTable:
     def test_groups_by_span_name_with_shares(self):
@@ -225,6 +268,20 @@ class TestSummaryTable:
     def test_empty_trace_renders(self):
         text = format_summary(Trace())
         assert "wall (root spans): 0.000 ms" in text
+
+
+class TestExportPaths:
+    def test_export_json_creates_missing_parent_dirs(self, tmp_path):
+        target = tmp_path / "runs" / "2026-08" / "trace.json"
+        path = export_json(target, trace=_golden_trace())
+        assert path == target and target.is_file()
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        assert doc["trace"]["total_seconds"] == pytest.approx(0.012)
+
+    def test_write_prometheus_creates_missing_parent_dirs(self, tmp_path):
+        target = tmp_path / "scrapes" / "deep" / "metrics.prom"
+        path = write_prometheus(_golden_registry(), target)
+        assert path == target and target.is_file()
 
 
 class TestExportDict:
