@@ -10,17 +10,17 @@ Expected shape: the full index is fastest; results are identical in
 all configurations (asserted).
 """
 
+import time
+
 from conftest import bench_datasets, bench_queries, bench_scale
 
+from repro.anonymize import estimator_from_outsourced
 from repro.bench import format_table, ms, print_report
 from repro.cloud import CloudIndex, decompose_query
 from repro.cloud.star_matching import match_star
-from repro.anonymize import estimator_from_outsourced
 from repro.core import DataOwner, SystemConfig
 from repro.matching import match_key
 from repro.workloads import generate_workload, load_dataset
-
-import time
 
 K = 3
 CONFIGS = {

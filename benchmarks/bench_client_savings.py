@@ -9,14 +9,14 @@ This bench compares, per query: (a) local VF2 matching on G (no cloud)
 vs (b) the client-side cost in the EFF pipeline (expand + filter).
 """
 
+import time
+
 from conftest import bench_queries, bench_scale
 
 from repro.bench import format_table, ms, print_report
 from repro.core import PrivacyPreservingSystem, SystemConfig
 from repro.matching import find_subgraph_matches
 from repro.workloads import generate_workload, load_dataset
-
-import time
 
 SIZES = (6, 12)
 K = 3

@@ -72,7 +72,14 @@ def test_report_matcher_engines(benchmark):
                     ]
                 )
         table = format_table(
-            ["dataset", "|E(Q)|", "reference ms", "bitset cold ms", "bitset warm ms", "warm speedup"],
+            [
+                "dataset",
+                "|E(Q)|",
+                "reference ms",
+                "bitset cold ms",
+                "bitset warm ms",
+                "warm speedup",
+            ],
             rows,
             title="[Substrate] matcher engines (cold = incl. one-time index build)",
         )

@@ -1,0 +1,284 @@
+"""The lint engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately small: it turns every ``.py`` file into a
+:class:`ModuleInfo` (source + AST + derived context), hands it to each
+registered :class:`Rule`, and filters the resulting
+:class:`~repro.analysis.findings.Finding` stream through per-line
+``# lint: ignore[R?]`` suppressions.  Rules are pure functions of one
+module — no cross-file state — which keeps a full-tree run at
+"parse the tree once" cost and makes every rule unit-testable against
+a fixture file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+#: Directories never linted (caches, VCS internals, build output,
+#: and the deliberately violating rule fixtures — those are linted
+#: explicitly via :func:`lint_file` by ``tests/test_analysis_rules.py``,
+#: never by directory walk, so ``repro lint tests`` stays clean).
+SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".mypy_cache",
+        ".ruff_cache",
+        "build",
+        "dist",
+        ".eggs",
+        "lint_fixtures",
+    }
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file")
+_MODULE_OVERRIDE_RE = re.compile(r"#\s*lint:\s*module=([\w.]+)")
+
+#: The rule id reserved for files the engine cannot parse.
+PARSE_ERROR_RULE = "E0"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path`` under a ``src/`` layout.
+
+    ``.../src/repro/cloud/server.py`` -> ``repro.cloud.server``;
+    package ``__init__.py`` maps to the package itself.  Files outside
+    a ``src/`` root (tests, benchmarks, fixtures) get ``""`` — rules
+    scoped by module name then rely on a ``# lint: module=...``
+    override or simply do not apply.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        rel = parts[len(parts) - parts[::-1].index("src"):]
+        if rel:
+            if rel[-1] == "__init__.py":
+                rel = rel[:-1]
+            elif rel[-1].endswith(".py"):
+                rel[-1] = rel[-1][:-3]
+            return ".".join(rel)
+    return ""
+
+
+def _docstring_nodes(tree: ast.Module) -> set[int]:
+    """``id()`` of every docstring Constant node in the tree."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module: str = ""
+    lines: list[str] = field(default_factory=list)
+    #: per-line suppressions: line number -> rule ids ({"*"} = all)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: ``id()`` of docstring Constant nodes (skipped by literal rules)
+    docstrings: set[int] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, source: str | None = None) -> "ModuleInfo":
+        text = path.read_text(encoding="utf-8") if source is None else source
+        tree = ast.parse(text, filename=str(path))
+        info = cls(
+            path=path,
+            source=text,
+            tree=tree,
+            module=module_name_for(path),
+            lines=text.splitlines(),
+        )
+        for lineno, line in enumerate(info.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = match.group(1)
+                info.suppressions[lineno] = (
+                    {r.strip() for r in rules.split(",") if r.strip()}
+                    if rules
+                    else {"*"}
+                )
+            override = _MODULE_OVERRIDE_RE.search(line)
+            if override:
+                info.module = override.group(1)
+        info.docstrings = _docstring_nodes(tree)
+        return info
+
+    @property
+    def skip_file(self) -> bool:
+        return any(_SKIP_FILE_RE.search(line) for line in self.lines[:5])
+
+    def suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and ("*" in rules or finding.rule in rules)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST | None,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` for ``node`` (module-level if None)."""
+        return Finding(
+            path=self.path.as_posix(),
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+            rule=rule.id,
+            message=message,
+            severity=rule.severity,
+            hint=rule.hint if hint is None else hint,
+        )
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement :meth:`check`.
+
+    Subclasses in :mod:`repro.analysis.rules` register themselves via
+    that package's ``ALL_RULES`` list; the engine instantiates each
+    once per process and calls :meth:`check` once per module.
+    """
+
+    id: str = ""
+    name: str = ""
+    #: One-line fix guidance attached to every finding.
+    hint: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, str]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "hint": self.hint,
+            "doc": (self.__doc__ or "").strip().splitlines()[0],
+        }
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in id order."""
+    from repro.analysis.rules import ALL_RULES
+
+    return [cls() for cls in sorted(ALL_RULES, key=lambda c: c.id)]
+
+
+def rule_ids() -> list[str]:
+    return [rule.id for rule in all_rules()]
+
+
+def get_rule(rule_id: str) -> Rule:
+    for rule in all_rules():
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule {rule_id!r}; known: {rule_ids()}")
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates = sorted(
+                p
+                for p in root.rglob("*.py")
+                if not (set(p.parts) & SKIP_DIRS)
+            )
+        elif root.suffix == ".py":
+            candidates = [root]
+        else:
+            candidates = []
+        for path in candidates:
+            key = path.resolve()
+            if key not in seen:
+                seen.add(key)
+                collected.append(path)
+    return iter(collected)
+
+
+@dataclass
+class LintResult:
+    """The outcome of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def lint_file(
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    source: str | None = None,
+    module: str | None = None,
+) -> list[Finding]:
+    """Lint one file; ``module`` overrides the inferred module name."""
+    path = Path(path)
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        info = ModuleInfo.parse(path, source=source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path.as_posix(),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule=PARSE_ERROR_RULE,
+                message=f"cannot parse: {exc.msg}",
+                hint="fix the syntax error; nothing else was checked",
+            )
+        ]
+    if module is not None:
+        info.module = module
+    if info.skip_file:
+        return []
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(info):
+            if not info.suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint every python file under ``paths`` with ``rules`` (default: all)."""
+    active = list(rules) if rules is not None else all_rules()
+    result = LintResult(rules=[rule.id for rule in active])
+    for path in iter_python_files(paths):
+        result.files_checked += 1
+        result.findings.extend(lint_file(path, rules=active))
+    result.findings.sort()
+    return result

@@ -1,0 +1,62 @@
+"""The :class:`Finding` record every lint rule emits."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``ERROR`` findings fail the gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Orders by ``(path, line, col, rule)`` so reports are stable across
+    runs and dict/set iteration orders.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+    hint: str = field(default="", compare=False)
+
+    @property
+    def location(self) -> str:
+        """``file:line`` — clickable in most terminals/editors."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            rule=data["rule"],
+            message=data["message"],
+            severity=Severity(data.get("severity", "error")),
+            hint=data.get("hint", ""),
+        )

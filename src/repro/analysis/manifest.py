@@ -1,0 +1,105 @@
+"""The declared layering manifest behind the R1 trust-boundary rule.
+
+The paper's threat model (Section 3): the cloud is *honest but
+curious*.  It receives only the outsourced graph ``Go``, the published
+Alignment Vertex Table, and anonymized queries ``Qo`` — never the
+original graph ``G``, raw labels, or the client-private Label
+Correspondence Table.  In code, that boundary is an *import* boundary:
+``repro.cloud.*`` must be buildable and auditable from the
+cloud-visible surface alone.
+
+``LAYERS`` maps a layer prefix to the module prefixes it may import
+from within ``repro``; anything else under ``repro.`` is a violation.
+``FORBIDDEN_REASONS`` documents *why* the best-known offenders are
+outside the boundary, so R1 findings explain themselves.
+"""
+
+from __future__ import annotations
+
+#: layer prefix -> the repro-internal import surface it is allowed.
+#: Prefixes match whole dotted components (``repro.obs`` also allows
+#: ``repro.obs.names``, but not ``repro.obscure``).
+LAYERS: dict[str, tuple[str, ...]] = {
+    # The honest-but-curious cloud: only the published/cloud-visible
+    # surface.  Notably absent: repro.client (query expansion over the
+    # private LCT), repro.core.data_owner / repro.core.query_client
+    # (plaintext G and Q), repro.anonymize minus the cost model (the
+    # LCT and the anonymization strategies are owner/client secrets),
+    # and repro.kauto minus the published AVT.
+    "repro.cloud": (
+        "repro.cloud",  # intra-layer
+        "repro.graph",  # published graph structures (Go / Gk)
+        "repro.matching",  # star/match data structures + engines
+        "repro.anonymize.cost_model",  # cloud-side cardinality estimation
+        "repro.kauto.avt",  # the *published* Alignment Vertex Table
+        "repro.obs",  # observability (names, tracing, metrics)
+        "repro.core.protocol",  # the wire the cloud legitimately sees
+        "repro.outsource",  # Go + delta structures the owner uploads
+        "repro.exceptions",  # shared error taxonomy (no data)
+        "repro.compat",  # deprecation shim helper (no data)
+        "repro.analysis.markers",  # dependency-free lint markers
+    ),
+}
+
+#: Module prefixes whose appearance in a restricted layer gets a
+#: targeted explanation (beyond the generic "not in the manifest").
+FORBIDDEN_REASONS: dict[str, str] = {
+    "repro.client": (
+        "client-side query expansion/filtering runs over the private "
+        "LCT and original labels (paper Section 4.2.2)"
+    ),
+    "repro.core.data_owner": (
+        "the data owner holds the original graph G and the private LCT "
+        "(paper Section 3)"
+    ),
+    "repro.core.query_client": (
+        "the query client holds the plaintext query Q and the LCT "
+        "(paper Section 3)"
+    ),
+    "repro.anonymize.lct": (
+        "the Label Correspondence Table is the client-side secret that "
+        "de-anonymizes labels (paper Section 4.1)"
+    ),
+    "repro.anonymize.strategies": (
+        "label-grouping strategies consume raw label distributions the "
+        "cloud must never see"
+    ),
+    "repro.anonymize.query_anonymizer": (
+        "query anonymization consumes the plaintext query Q"
+    ),
+    "repro.anonymize.eff": (
+        "EFF grouping consumes raw label frequencies (owner-side)"
+    ),
+    "repro.kauto.builder": (
+        "the k-automorphism builder transforms the original graph G "
+        "(owner-side, paper Section 5)"
+    ),
+    "repro.attacks": (
+        "attack simulations model the adversary; the serving cloud "
+        "must not depend on them"
+    ),
+}
+
+
+def allowed_for(module: str) -> tuple[str, ...] | None:
+    """The allowlist governing ``module``, or ``None`` if unrestricted."""
+    for layer, allowed in LAYERS.items():
+        if module == layer or module.startswith(layer + "."):
+            return allowed
+    return None
+
+
+def is_allowed(imported: str, allowed: tuple[str, ...]) -> bool:
+    """Whether ``imported`` matches one of the allowed prefixes."""
+    return any(
+        imported == prefix or imported.startswith(prefix + ".")
+        for prefix in allowed
+    )
+
+
+def forbidden_reason(imported: str) -> str:
+    """The targeted explanation for ``imported``, if one is declared."""
+    for prefix, reason in FORBIDDEN_REASONS.items():
+        if imported == prefix or imported.startswith(prefix + "."):
+            return reason
+    return "not in the declared cloud-visible import surface"

@@ -1,0 +1,27 @@
+"""Runtime markers the lint rules key off.
+
+This module is intentionally dependency-free (stdlib only, no repro
+imports) so *any* layer — including ``repro.cloud.*`` under the R1
+trust boundary — may import it without widening its import surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def hot_path(func: F) -> F:
+    """Mark a function as serving-hot for the R4 hygiene rule.
+
+    The decorator is a runtime no-op (it returns ``func`` unchanged and
+    adds zero call overhead); its only effect is static: ``repro lint``
+    applies the R4 hot-path checks — no ``json`` serialization, no
+    ``logging``, no ``repr()`` formatting, no per-iteration f-strings —
+    to the decorated function, wherever it lives.  Files under the
+    declared hot-path set (star matching, result join, bitset engine)
+    get the same treatment without the marker.
+    """
+    func.__repro_hot_path__ = True  # type: ignore[attr-defined]
+    return func

@@ -1,0 +1,48 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.engine import LintResult
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one ``file:line [Rx] message`` per finding."""
+    out: list[str] = []
+    for finding in result.findings:
+        out.append(
+            f"{finding.location}:{finding.col} [{finding.rule}]"
+            f" {finding.message}"
+        )
+        if finding.hint and verbose:
+            out.append(f"    hint: {finding.hint}")
+    counts = result.by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}={n}" for rule, n in sorted(counts.items()))
+        out.append(
+            f"{len(result.findings)} finding(s) in {result.files_checked}"
+            f" file(s) ({per_rule})"
+        )
+    else:
+        out.append(
+            f"clean: {result.files_checked} file(s),"
+            f" rules {', '.join(result.rules)}"
+        )
+    return "\n".join(out)
+
+
+def result_to_dict(result: LintResult) -> dict[str, Any]:
+    return {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules": list(result.rules),
+        "counts": result.by_rule(),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+
+
+def render_json(result: LintResult, indent: int | None = 2) -> str:
+    """Machine-readable report (stable key order; CI artifact format)."""
+    return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)

@@ -1,0 +1,129 @@
+"""R5: library code must not use the names shimmed in ``repro.compat``.
+
+The PR-2 Outcome/metrics redesign renamed ``CloudAnswer.total_seconds``
+-> ``cloud_seconds`` and ``ClientOutcome.seconds`` -> ``client_seconds``
+behind one-release :class:`DeprecationWarning` shims.  The shims exist
+for *callers*; the library itself must be warning-clean (the CI tier-1
+run with ``-W error::DeprecationWarning`` depends on it) and must keep
+working the day the shims are deleted.  R5 flags, in ``repro.*``
+modules only:
+
+* attribute access to a shimmed name where the receiver is plausibly
+  the shimmed type — ``<...answer>.total_seconds`` /
+  ``<...outcome>.seconds`` (plain names only; ``trace.total_seconds``
+  and ``stats.seconds`` are different, canonical APIs and are not
+  matched);
+* the deprecated constructor keyword (``CloudAnswer(total_seconds=...)``).
+
+Shim *definition* sites — functions whose body calls
+:func:`repro.compat.warn_renamed` — are exempt: they must reference
+the old spelling to implement it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+#: attr -> (receiver-name substring, replacement, shimmed class)
+SHIMMED_ATTRS: dict[str, tuple[str, str, str]] = {
+    "total_seconds": ("answer", "cloud_seconds", "CloudAnswer"),
+    "seconds": ("outcome", "client_seconds", "ClientOutcome"),
+}
+
+#: class name -> {deprecated constructor keyword: replacement}
+SHIMMED_KEYWORDS: dict[str, dict[str, str]] = {
+    "CloudAnswer": {"total_seconds": "cloud_seconds"},
+    "ClientOutcome": {"seconds": "client_seconds"},
+}
+
+
+def _is_shim_definition(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether this function *implements* a shim (calls warn_renamed)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name == "warn_renamed":
+                return True
+    return False
+
+
+class NoInternalDeprecatedRule(Rule):
+    """Keep ``src/`` off its own deprecation shims."""
+
+    id = "R5"
+    name = "no-internal-deprecated"
+    hint = (
+        "use the post-redesign spelling (CloudAnswer.cloud_seconds / "
+        "ClientOutcome.client_seconds); the compat shims are for "
+        "external callers and will be deleted"
+    )
+
+    def _applies(self, module: ModuleInfo) -> bool:
+        return (
+            module.module.startswith("repro")
+            and module.module != "repro.compat"
+            and not module.module.startswith("repro.analysis")
+        )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        if not self._applies(module):
+            return []
+        shim_spans: list[tuple[int, int]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_shim_definition(node):
+                    shim_spans.append((node.lineno, node.end_lineno or node.lineno))
+
+        def in_shim(node: ast.AST) -> bool:
+            line = getattr(node, "lineno", 0)
+            return any(lo <= line <= hi for lo, hi in shim_spans)
+
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr in SHIMMED_ATTRS:
+                needle, replacement, cls = SHIMMED_ATTRS[node.attr]
+                receiver = node.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and needle in receiver.id.lower()
+                    and not in_shim(node)
+                ):
+                    findings.append(
+                        module.finding(
+                            self,
+                            node,
+                            f"{receiver.id}.{node.attr} uses the deprecated "
+                            f"{cls}.{node.attr} shim; use .{replacement}",
+                        )
+                    )
+            elif isinstance(node, ast.Call) and not in_shim(node):
+                func = node.func
+                called = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else ""
+                )
+                renames = SHIMMED_KEYWORDS.get(called)
+                if not renames:
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg in renames:
+                        findings.append(
+                            module.finding(
+                                self,
+                                node,
+                                f"{called}({keyword.arg}=...) uses the "
+                                f"deprecated keyword; use "
+                                f"{renames[keyword.arg]}=...",
+                            )
+                        )
+        return findings

@@ -1,0 +1,172 @@
+"""R4: the matching hot path stays allocation- and I/O-lean.
+
+``cloud/star_matching.py``, ``cloud/result_join.py`` and
+``matching/bitset.py`` are the per-query inner loops the paper's
+evaluation times (Figures 18-22); PR 1's parallel engine multiplies
+whatever they cost by the batch width.  Anything decorated
+``@hot_path`` (:func:`repro.analysis.markers.hot_path`) joins the set
+wherever it lives.  Inside those functions R4 forbids:
+
+* ``json.dumps`` / ``json.dump`` / ``json.loads`` / ``json.load`` —
+  serialization belongs at the protocol boundary;
+* ``logging`` calls (``logging.info``, ``logger.debug``, ...) — the
+  observability layer derives events *from traces after the query
+  completes* precisely so the hot path never formats log lines;
+* ``repr()`` calls and ``!r`` f-string conversions — repr-formatting
+  graph structures is O(result set) work that belongs in reporters;
+* f-strings inside ``for``/``while`` bodies — a per-iteration string
+  allocation in a loop that runs |candidates| times.  (f-strings in
+  ``raise`` statements are fine: they only evaluate on the error
+  path.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+#: Modules that are hot by declaration (no decorator needed).
+HOT_MODULES = (
+    "repro.cloud.star_matching",
+    "repro.cloud.result_join",
+    "repro.matching.bitset",
+)
+
+JSON_FUNCS = frozenset({"dumps", "dump", "loads", "load"})
+LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "critical", "exception", "log"}
+)
+LOGGER_NAMES = frozenset({"logging", "logger", "log"})
+
+
+def is_hot_module(module: ModuleInfo) -> bool:
+    return module.module in HOT_MODULES
+
+
+def has_hot_path_decorator(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "hot_path":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "hot_path":
+            return True
+    return False
+
+
+class _HotBodyChecker(ast.NodeVisitor):
+    """Scan one hot function body; tracks loop depth and raise context."""
+
+    def __init__(self, rule: "HotPathRule", module: ModuleInfo, func_name: str):
+        self.rule = rule
+        self.module = module
+        self.func_name = func_name
+        self.loop_depth = 0
+        self.raise_depth = 0
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            self.module.finding(
+                self.rule,
+                node,
+                f"hot path '{self.func_name}' {what}",
+            )
+        )
+
+    # -- loops ----------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    def _visit_loop(self, node: ast.For | ast.While | ast.AsyncFor) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self.raise_depth += 1
+        self.generic_visit(node)
+        self.raise_depth -= 1
+
+    # -- forbidden constructs -------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = func.value
+            if (
+                isinstance(owner, ast.Name)
+                and owner.id == "json"
+                and func.attr in JSON_FUNCS
+            ):
+                self._flag(node, f"calls json.{func.attr} (serialize at the "
+                                 "protocol boundary instead)")
+            elif (
+                isinstance(owner, ast.Name)
+                and owner.id in LOGGER_NAMES
+                and func.attr in LOG_METHODS
+            ):
+                self._flag(node, f"calls {owner.id}.{func.attr} (derive "
+                                 "events from the trace after the query "
+                                 "completes)")
+        elif isinstance(func, ast.Name) and func.id == "repr":
+            if self.raise_depth == 0:
+                self._flag(node, "calls repr() (repr-formatting belongs in "
+                                 "reporters)")
+        self.generic_visit(node)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        if self.loop_depth > 0 and self.raise_depth == 0:
+            self._flag(
+                node,
+                "allocates an f-string inside a loop (hoist it out or "
+                "defer formatting to the caller)",
+            )
+        for value in node.values:
+            if (
+                isinstance(value, ast.FormattedValue)
+                and value.conversion == ord("r")
+                and self.raise_depth == 0
+            ):
+                self._flag(value, "uses !r formatting (repr of graph "
+                                  "structures is O(result set) work)")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested defs are checked as their own (hot) functions
+        return None
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+
+class HotPathRule(Rule):
+    """No serialization, logging, repr or per-loop f-strings when hot."""
+
+    id = "R4"
+    name = "hot-path"
+    hint = (
+        "move the work off the per-query inner loop: serialize at the "
+        "protocol layer, report through spans/metrics, format in "
+        "reporters; or drop the @hot_path marker if the function is "
+        "genuinely cold"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        hot_module = is_hot_module(module)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not hot_module and not has_hot_path_decorator(node):
+                continue
+            checker = _HotBodyChecker(self, module, node.name)
+            for stmt in node.body:
+                checker.visit(stmt)
+            findings.extend(checker.findings)
+        return findings

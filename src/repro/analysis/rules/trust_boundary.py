@@ -1,0 +1,70 @@
+"""R1: the cloud may only import the declared cloud-visible surface.
+
+The honest-but-curious cloud of the paper (Section 3) sees ``Go``, the
+published AVT and anonymized queries ``Qo`` — never ``G``, raw labels
+or the private LCT.  A single careless ``from repro.client import ...``
+inside ``repro.cloud.*`` would silently collapse that model while every
+test keeps passing.  R1 enforces the layering manifest of
+:mod:`repro.analysis.manifest` on every ``import``/``from-import``
+node, including imports nested inside functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis import manifest
+from repro.analysis.engine import ModuleInfo, Rule
+from repro.analysis.findings import Finding
+
+
+def _imported_modules(node: ast.AST, current: str) -> Iterator[str]:
+    """The dotted module names an import node pulls in."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+    elif isinstance(node, ast.ImportFrom):
+        if node.level:  # relative: resolve against the current module
+            base = current.rsplit(".", node.level)[0] if current else ""
+            target = f"{base}.{node.module}" if node.module else base
+        else:
+            target = node.module or ""
+        if target:
+            yield target
+
+
+class TrustBoundaryRule(Rule):
+    """Enforce the layering manifest on import statements."""
+
+    id = "R1"
+    name = "trust-boundary"
+    hint = (
+        "the cloud layer may import only the cloud-visible surface "
+        "declared in repro.analysis.manifest; move the shared logic "
+        "into a published module or pass the data in via the protocol"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        allowed = manifest.allowed_for(module.module)
+        if allowed is None:
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for imported in _imported_modules(node, module.module):
+                if not (imported == "repro" or imported.startswith("repro.")):
+                    continue  # stdlib / third-party: out of scope
+                if manifest.is_allowed(imported, allowed):
+                    continue
+                reason = manifest.forbidden_reason(imported)
+                findings.append(
+                    module.finding(
+                        self,
+                        node,
+                        f"{module.module} imports {imported}, which is "
+                        f"outside the cloud trust boundary: {reason}",
+                    )
+                )
+        return findings

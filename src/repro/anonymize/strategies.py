@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.anonymize.lct import LabelCorrespondenceTable
 from repro.exceptions import AnonymizationError

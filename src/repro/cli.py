@@ -47,7 +47,7 @@ from repro.core.query_client import QueryClient
 from repro.core.storage import load_client_side, load_cloud_side, save_published
 from repro.graph.generators import example_query, example_social_network, schema_from_graph
 from repro.graph.io import load_graph, save_graph
-from repro.obs import Observability, Trace, export_json, format_percent
+from repro.obs import Observability, Trace, export_json, format_percent, names
 from repro.workloads.datasets import DATASETS, load_dataset
 
 
@@ -117,7 +117,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     cloud = CloudServer(cloud_graph, cloud_avt, centers, expand_in_cloud=expand)
     client = QueryClient(graph, lct, client_avt)
 
-    with scope.tracer.span("query") as root:
+    with scope.tracer.span(names.QUERY) as root:
         root.set(query_edges=query.edge_count)
         anonymized = client.prepare_query(query, obs=scope)
         answer = cloud.answer(anonymized, obs=scope)
@@ -131,8 +131,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     {str(q): v for q, v in sorted(m.items())} for m in outcome.matches
                 ],
                 "candidates": outcome.candidate_count,
-                "cloud_seconds": answer.cloud_seconds,
-                "client_seconds": outcome.client_seconds,
+                names.M_CLOUD_SECONDS: answer.cloud_seconds,
+                names.M_CLIENT_SECONDS: outcome.client_seconds,
             },
             indent=2,
         )
@@ -182,7 +182,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             {
                 "matches": len(outcome.matches),
                 "candidates": outcome.candidate_count,
-                "cloud_seconds": answer.cloud_seconds,
+                names.M_CLOUD_SECONDS: answer.cloud_seconds,
             }
         )
     hits, misses = cloud.star_cache.counters()
@@ -532,7 +532,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             for path in args.queries:
                 query = load_graph(path)
                 scope = obs.for_query()
-                with scope.tracer.span("query"):
+                with scope.tracer.span(names.QUERY):
                     anonymized = client.prepare_query(query, obs=scope)
                     answer = cloud.answer(anonymized, obs=scope)
                     outcome = client.process_answer(
@@ -570,6 +570,44 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         write_prometheus(obs.metrics, args.prometheus)
         print(f"metrics written to {args.prometheus}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant linter (``repro.analysis``) over source trees.
+
+    Exit status: 0 when clean, 1 when findings exist, 2 on a bad
+    ``--rule``.  ``--json`` emits the machine-readable findings
+    document (the CI artifact format); ``--out`` writes it to a file
+    as well.  See ``docs/static-analysis.md`` for the rule catalog.
+    """
+    from repro.analysis import all_rules, lint_paths, render_json, render_text
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name}: {rule.describe()['doc']}")
+        return 0
+    if args.rule:
+        wanted = {r.strip() for part in args.rule for r in part.split(",")}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown rule(s) {sorted(unknown)}; known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+    result = lint_paths(args.paths, rules=rules)
+    if args.out:
+        out_path = Path(args.out)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(render_json(result) + "\n", encoding="utf-8")
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -773,6 +811,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the audit gauges in Prometheus text format",
     )
     audit.set_defaults(func=_cmd_audit)
+
+    lint = sub.add_parser(
+        "lint", help="check the codebase's architectural invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        help="run only these rule ids (comma-separated, repeatable)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    lint.add_argument(
+        "--out", default=None, help="also write the JSON findings here"
+    )
+    lint.add_argument(
+        "--verbose", action="store_true", help="print per-finding fix hints"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalog"
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     datasets = sub.add_parser("datasets", help="generate a dataset analogue")
     datasets.add_argument("name", choices=sorted(DATASETS))

@@ -27,6 +27,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.analysis.markers import hot_path
 from repro.graph.attributed import AttributedGraph, VertexData
 from repro.matching.match import Match
 from repro.matching.star import Star
@@ -64,6 +65,7 @@ def leaf_role_order(query: AttributedGraph, star: Star) -> list[int]:
     )
 
 
+@hot_path
 def matches_to_roles(
     matches: list[Match], star: Star, role_order: list[int]
 ) -> list[tuple[int, ...]]:
@@ -74,6 +76,7 @@ def matches_to_roles(
     ]
 
 
+@hot_path
 def roles_to_matches(
     roles: list[tuple[int, ...]], star: Star, role_order: list[int]
 ) -> list[Match]:
@@ -104,9 +107,9 @@ class StarMatchCache:
     """
 
     capacity: int
-    _entries: OrderedDict = field(default_factory=OrderedDict)
-    hits: int = 0
-    misses: int = 0
+    _entries: OrderedDict = field(default_factory=OrderedDict)  #: guarded by _lock
+    hits: int = 0  #: guarded by _lock
+    misses: int = 0  #: guarded by _lock
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )

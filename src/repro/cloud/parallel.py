@@ -30,7 +30,7 @@ import itertools
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -74,7 +74,7 @@ _FORK_REGISTRY: dict[int, Callable] = {}
 _FORK_TOKENS = itertools.count(1)
 
 
-def _call_registered(token: int, payload):  # pragma: no cover - runs in child
+def _call_registered(token: int, payload: Any) -> Any:  # pragma: no cover - runs in child
     return _FORK_REGISTRY[token](payload)
 
 

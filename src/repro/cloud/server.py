@@ -13,6 +13,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.anonymize.cost_model import (
     StarCardinalityEstimator,
@@ -35,9 +36,10 @@ from repro.graph.attributed import AttributedGraph
 from repro.graph.stats import compute_statistics
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match
-from repro.matching.star import Decomposition
+from repro.matching.star import Decomposition, Star
 from repro.obs import Observability, SlidingWindow, names
-from repro.obs.tracing import Trace
+from repro.obs.tracing import NullSpan, NullTracer, Span, Trace
+from repro.outsource.delta import GoDelta
 
 
 @dataclass(init=False)
@@ -72,7 +74,7 @@ class CloudAnswer:
         cloud_seconds: float | None = None,
         trace: Trace | None = None,
         total_seconds: float | None = None,
-    ):
+    ) -> None:
         if total_seconds is not None:
             warn_renamed(
                 "CloudAnswer(total_seconds=...)", "CloudAnswer(cloud_seconds=...)"
@@ -146,7 +148,7 @@ class CloudServer:
         engine: str = "stars",
         star_workers: int = 0,
         obs: Observability | None = None,
-    ):
+    ) -> None:
         if join_strategy not in ("rin", "full"):
             raise ValueError("join_strategy must be 'rin' or 'full'")
         if decomposition_strategy not in ("optimal", "greedy"):
@@ -174,7 +176,7 @@ class CloudServer:
         # the bitset engine — an ablation baseline for BAS that
         # quantifies what the star framework buys.
         self.engine = engine
-        self._direct_matcher = None
+        self._direct_matcher = None  #: guarded by _state_lock
         # optional LRU over star match sets, keyed by the star's
         # canonical constraint signature — different queries sharing a
         # star shape reuse its R(S, Go).  0 disables caching.  The
@@ -184,12 +186,12 @@ class CloudServer:
         if star_workers < 0:
             raise ValueError("star_workers must be >= 0")
         self.star_workers = star_workers
-        # per-query star pool, built lazily; guarded by _state_lock.
-        # _star_pool_pid detects forked children (process batch
-        # backend), whose inherited pool threads do not survive the
-        # fork and must be rebuilt before first use.
-        self._star_pool: ThreadPoolExecutor | None = None
-        self._star_pool_pid: int | None = None
+        # per-query star pool, built lazily.  _star_pool_pid detects
+        # forked children (process batch backend), whose inherited pool
+        # threads do not survive the fork and must be rebuilt before
+        # first use.
+        self._star_pool: ThreadPoolExecutor | None = None  #: guarded by _state_lock
+        self._star_pool_pid: int | None = None  #: guarded by _state_lock
         self._state_lock = threading.Lock()
         self.obs = obs if obs is not None else Observability.measuring()
         with self.obs.tracer.span(names.CLOUD_INDEX_BUILD) as span:
@@ -346,14 +348,15 @@ class CloudServer:
         from repro.matching.bitset import BitsetMatcher
 
         with obs.tracer.span(names.CLOUD_ANSWER, engine="direct") as root:
-            matcher = self._direct_matcher
-            if matcher is None:
-                with self._state_lock:
-                    if self._direct_matcher is None:
-                        # double-checked: concurrent batch queries must
-                        # not race to build (and interleave) two matchers
-                        self._direct_matcher = BitsetMatcher(self.graph)
-                    matcher = self._direct_matcher
+            # R3 (lock discipline): every _direct_matcher access happens
+            # under _state_lock — concurrent batch queries must neither
+            # race to build two matchers nor observe apply_delta()'s
+            # invalidation mid-build.  The lock is held across the lazy
+            # build; later queries pay one uncontended acquire.
+            with self._state_lock:
+                matcher = self._direct_matcher
+                if matcher is None:
+                    matcher = self._direct_matcher = BitsetMatcher(self.graph)
             matches = matcher.find_matches(query)
             root.set(rs_size=0, rin_size=len(matches), matches=len(matches))
         elapsed = root.duration
@@ -391,7 +394,7 @@ class CloudServer:
                 self._star_pool_pid = pid
             return self._star_pool
 
-    def _match_one_star(self, query, star) -> list:
+    def _match_one_star(self, query: AttributedGraph, star: Star) -> list[Match]:
         return match_star(
             query,
             star,
@@ -400,7 +403,13 @@ class CloudServer:
             max_results=self.max_intermediate_results,
         )
 
-    def _match_one_star_traced(self, query, star, tracer, parent) -> list:
+    def _match_one_star_traced(
+        self,
+        query: AttributedGraph,
+        star: Star,
+        tracer: NullTracer,
+        parent: "Span | NullSpan",
+    ) -> list[Match]:
         """One star under its own span; ``parent`` re-attaches the span
         to the ``cloud.star_matching`` span opened on the submitting
         thread (pool threads have no implicit span stack)."""
@@ -412,7 +421,10 @@ class CloudServer:
         return matches
 
     def _match_stars(
-        self, query, stars, tracer=None
+        self,
+        query: AttributedGraph,
+        stars: Sequence[Star],
+        tracer: NullTracer | None = None,
     ) -> tuple[dict, StarMatchStats]:
         """Algorithm 1 for every star, through the optional LRU cache.
 
@@ -520,7 +532,7 @@ class CloudServer:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def apply_delta(self, delta) -> None:
+    def apply_delta(self, delta: GoDelta) -> None:
         """Apply a :class:`repro.outsource.GoDelta` from the data owner.
 
         Updates the stored graph, extends the AVT with any shipped
@@ -547,7 +559,11 @@ class CloudServer:
         self.index = CloudIndex.build(self.graph, self.center_vertices)
         self.estimator = self._build_estimator()
         self.star_cache.clear()
-        self._direct_matcher = None
+        # R3 fix: this invalidation used to race with _answer_direct's
+        # lazy build — a concurrent query could re-publish a matcher
+        # over the *old* graph after the delta was applied.
+        with self._state_lock:
+            self._direct_matcher = None
 
     def close(self) -> None:
         """Shut down the per-query star pool (idempotent)."""
@@ -559,7 +575,7 @@ class CloudServer:
     def __enter__(self) -> "CloudServer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

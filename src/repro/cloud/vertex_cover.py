@@ -12,7 +12,7 @@ larger inputs.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 
 def minimum_weighted_vertex_cover(
@@ -98,7 +98,7 @@ def greedy_weighted_vertex_cover(
 
 def _greedy_cover(
     edges: list[tuple[int, int]],
-    weight_of,
+    weight_of: Callable[[int], float],
 ) -> set[int]:
     remaining = list(edges)
     cover: set[int] = set()

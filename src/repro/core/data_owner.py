@@ -69,7 +69,7 @@ class DataOwner:
         schema: GraphSchema,
         sample_workload: list[AttributedGraph] | None = None,
         obs: Observability | None = None,
-    ):
+    ) -> None:
         self.graph = graph
         self.schema = schema
         self.sample_workload = list(sample_workload or [])

@@ -13,14 +13,13 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.exceptions import ProtocolError
 from repro.graph.attributed import AttributedGraph
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match, matches_to_rows, rows_to_matches
-from repro.obs import names
+from repro.obs import Observability, names
 
 DEFAULT_BANDWIDTH_BYTES_PER_SEC = 1_000_000  # ~1 MB/s effective throughput
 DEFAULT_LATENCY_SECONDS = 0.001
@@ -50,12 +49,17 @@ class NetworkChannel:
     latency_seconds: float = DEFAULT_LATENCY_SECONDS
     transfers: list[TransferRecord] = field(default_factory=list)
 
-    def transmit(self, direction: str, payload: bytes, obs=None) -> float:
+    def transmit(
+        self, direction: str, payload: bytes, obs: Observability | None = None
+    ) -> float:
         """Record a message; returns the simulated transmission time."""
         seconds = self.latency_seconds + len(payload) / self.bandwidth_bytes_per_sec
         self.transfers.append(TransferRecord(direction, len(payload), seconds))
         if obs is not None:
-            with obs.tracer.span(f"network.{direction}") as span:
+            # R2: span names come from the canonical taxonomy, never
+            # from runtime data (the direction is validated en route).
+            span_name = names.NETWORK_SPANS[direction]
+            with obs.tracer.span(span_name) as span:
                 span.set(bytes=len(payload), simulated_seconds=seconds)
             obs.metrics.counter(
                 names.M_NETWORK_BYTES,

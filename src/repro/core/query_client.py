@@ -49,7 +49,7 @@ class ClientOutcome:
         expansion_seconds: float = 0.0,
         filter_seconds: float = 0.0,
         candidate_count: int = 0,
-    ):
+    ) -> None:
         self.matches = matches
         self.expansion_seconds = expansion_seconds
         self.filter_seconds = filter_seconds
@@ -82,7 +82,7 @@ class QueryClient:
         lct: LabelCorrespondenceTable,
         avt: AlignmentVertexTable,
         obs: Observability | None = None,
-    ):
+    ) -> None:
         self.graph = original_graph
         self.lct = lct
         self.avt = avt

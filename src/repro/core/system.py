@@ -151,7 +151,7 @@ class PrivacyPreservingSystem:
         channel: NetworkChannel,
         publish_metrics: PublishMetrics,
         obs: Observability | None = None,
-    ):
+    ) -> None:
         self.owner = owner
         self.published = published
         self.cloud = cloud

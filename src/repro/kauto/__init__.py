@@ -1,10 +1,10 @@
 """k-automorphism substrate (Zou et al., VLDB'09, as used by the paper)."""
 
-from repro.kauto.avt import AlignmentVertexTable
 from repro.kauto.alignment import align_blocks, bfs_order, build_avt
+from repro.kauto.avt import AlignmentVertexTable
 from repro.kauto.builder import KAutomorphismResult, build_k_automorphic_graph
-from repro.kauto.edge_copy import copy_crossing_edges
 from repro.kauto.dynamic import DynamicRelease, UpdateLog
+from repro.kauto.edge_copy import copy_crossing_edges
 from repro.kauto.partition import (
     cut_size,
     partition_graph,

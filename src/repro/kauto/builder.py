@@ -27,11 +27,11 @@ from typing import Callable
 from repro.exceptions import PartitionError
 from repro.graph.attributed import AttributedGraph
 from repro.kauto.alignment import align_blocks, build_avt
-from repro.obs import names
-from repro.obs.tracing import NULL_TRACER
 from repro.kauto.avt import AlignmentVertexTable
 from repro.kauto.edge_copy import copy_crossing_edges
 from repro.kauto.partition import balance_types, partition_graph, validate_partition
+from repro.obs import names
+from repro.obs.tracing import NULL_TRACER
 
 Partitioner = Callable[[AttributedGraph, int], list[list[int]]]
 

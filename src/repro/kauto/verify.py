@@ -49,7 +49,10 @@ def verify_k_automorphism(gk: AttributedGraph, avt: AlignmentVertexTable) -> Non
             raise VerificationError(
                 f"AVT row {row} mixes vertex types {sorted(types)}"
             )
-        labels = {tuple(sorted((a, tuple(sorted(vs))) for a, vs in gk.vertex(v).labels.items())) for v in row}
+        labels = {
+            tuple(sorted((a, tuple(sorted(vs))) for a, vs in gk.vertex(v).labels.items()))
+            for v in row
+        }
         if len(labels) != 1:
             raise VerificationError(f"AVT row {row} has diverging label sets")
 

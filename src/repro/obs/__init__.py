@@ -90,7 +90,7 @@ class Observability:
         tracer: Tracer | NullTracer | None = None,
         max_spans: int = 100_000,
         events: "EventLog | NullEventLog | None" = None,
-    ):
+    ) -> None:
         if profile is True:
             self.profiler: SpanProfiler | None = SpanProfiler()
         elif profile:

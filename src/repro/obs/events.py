@@ -134,7 +134,7 @@ class EventLog(NullEventLog):
         *,
         level: str = "info",
         sample_rate: float = 1.0,
-    ):
+    ) -> None:
         if level not in LEVELS:
             raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
         if not 0.0 <= sample_rate <= 1.0:
@@ -143,7 +143,7 @@ class EventLog(NullEventLog):
             )
         self.level = level
         self.sample_rate = sample_rate
-        self.emitted = 0
+        self.emitted = 0  #: guarded by _lock
         self._lock = threading.Lock()
         if isinstance(target, (str, Path)):
             self.path: Path | None = Path(target)

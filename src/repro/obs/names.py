@@ -84,6 +84,14 @@ NETWORK_QUERY = "network.query"
 NETWORK_ANSWER = "network.answer"
 NETWORK_UPLOAD = "network.upload"
 
+#: Wire direction -> canonical network span name, for call sites that
+#: receive the direction as data (:meth:`NetworkChannel.transmit`).
+NETWORK_SPANS = {
+    "upload": NETWORK_UPLOAD,
+    "query": NETWORK_QUERY,
+    "answer": NETWORK_ANSWER,
+}
+
 #: Every span name above, for validation and documentation tests.
 ALL_SPANS = tuple(
     value

@@ -35,7 +35,7 @@ class SpanProfiler:
         How many functions (by cumulative time) to attach per span.
     """
 
-    def __init__(self, names: Iterable[str] | None = None, top: int = 10):
+    def __init__(self, names: Iterable[str] | None = None, top: int = 10) -> None:
         self.names = None if names is None else frozenset(names)
         self.top = top
         self._local = threading.local()

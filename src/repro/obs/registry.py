@@ -49,7 +49,7 @@ class _Metric:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self._lock = threading.Lock()
@@ -63,7 +63,7 @@ class Counter(_Metric):
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[LabelKey, float] = {}
 
@@ -98,7 +98,7 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
         self._values: dict[LabelKey, float] = {}
 
@@ -144,7 +144,7 @@ class Histogram(_Metric):
         name: str,
         help: str = "",
         buckets: Iterable[float] = DEFAULT_BUCKETS,
-    ):
+    ) -> None:
         super().__init__(name, help)
         self.buckets = tuple(sorted(buckets))
         if not self.buckets:
@@ -231,12 +231,14 @@ class MetricsRegistry:
     """Get-or-create home for named metrics + pull-style callbacks."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, _Metric] = {}
-        self._callbacks: dict[str, tuple[Callable[[], float], str]] = {}
+        self._metrics: dict[str, _Metric] = {}  #: guarded by _lock
+        self._callbacks: dict[str, tuple[Callable[[], float], str]] = {}  #: guarded by _lock
         self._lock = threading.Lock()
 
     # -- creation -------------------------------------------------------
-    def _get_or_create(self, name: str, cls: type, factory: Callable[[], _Metric]):
+    def _get_or_create(
+        self, name: str, cls: type, factory: Callable[[], _Metric]
+    ) -> Any:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
@@ -338,10 +340,14 @@ class NullRegistry(MetricsRegistry):
     def gauge(self, name: str, help: str = "") -> NullMetric:  # type: ignore[override]
         return NULL_METRIC
 
-    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS):  # type: ignore[override]
+    def histogram(  # type: ignore[override]
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> NullMetric:
         return NULL_METRIC
 
-    def register_callback(self, name, fn, help: str = "") -> None:
+    def register_callback(
+        self, name: str, fn: Callable[[], float], help: str = ""
+    ) -> None:
         return None
 
 

@@ -39,6 +39,7 @@ from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 
+from repro.obs import names
 from repro.obs.exporters import prometheus_text
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Trace
@@ -50,12 +51,12 @@ DEFAULT_TRACE_RING_CAPACITY = 64
 class TraceRing:
     """Thread-safe ring buffer of the last N query traces (as dicts)."""
 
-    def __init__(self, capacity: int = DEFAULT_TRACE_RING_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_TRACE_RING_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
-        self._pushed = 0
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)  #: guarded by _lock
+        self._pushed = 0  #: guarded by _lock
         self._lock = threading.Lock()
 
     def push(
@@ -170,7 +171,7 @@ class TelemetryServer:
         traces: TraceRing | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
-    ):
+    ) -> None:
         self.registry = registry
         self.traces = traces if traces is not None else TraceRing()
         self._ready = ready
@@ -195,9 +196,9 @@ class TelemetryServer:
             "status": "ok",
             "uptime_seconds": time.time() - self._started_at,
         }
-        counter = self.registry.get("queries_total")
+        counter = self.registry.get(names.M_QUERIES)
         if counter is not None:
-            doc["queries_total"] = counter.total  # type: ignore[union-attr]
+            doc[names.M_QUERIES] = counter.total  # type: ignore[union-attr]
         if self._health is not None:
             try:
                 doc.update(self._health())

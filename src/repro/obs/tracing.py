@@ -172,7 +172,7 @@ class _SpanContext:
 
     __slots__ = ("_tracer", "span", "_profile")
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
         self._tracer = tracer
         self.span = span
         self._profile = None
@@ -204,7 +204,9 @@ class NullTracer:
     enabled = False
     query_id = ""
 
-    def span(self, name: str, parent: Span | None = None, **attrs: Any) -> NullSpan:
+    def span(
+        self, name: str, parent: "Span | NullSpan | None" = None, **attrs: Any
+    ) -> "NullSpan | _SpanContext":
         return NULL_SPAN
 
     def trace(self) -> Trace:
@@ -250,12 +252,12 @@ class Tracer(NullTracer):
         max_spans: int = 100_000,
         profiler: "Any | None" = None,
         query_id: str = "",
-    ):
+    ) -> None:
         self._record = record
         self._max_spans = max_spans
         self._profiler = profiler
         self.query_id = query_id
-        self._spans: list[Span] = []
+        self._spans: list[Span] = []  #: guarded by _lock
         self._ids = itertools.count(1)
         self._stacks = threading.local()
         self._lock = threading.Lock()
@@ -267,7 +269,9 @@ class Tracer(NullTracer):
     def recording(self) -> bool:  # type: ignore[override]
         return self._record
 
-    def span(self, name: str, parent: Span | None = None, **attrs: Any) -> _SpanContext:
+    def span(
+        self, name: str, parent: "Span | NullSpan | None" = None, **attrs: Any
+    ) -> _SpanContext:
         """Open a span; use as ``with tracer.span("phase") as sp:``.
 
         ``parent`` overrides the implicit (thread-local) parent — pass

@@ -285,7 +285,9 @@ class AggregatedMetrics:
 
     @property
     def cloud_seconds(self) -> float:
-        return self._mean("cloud_seconds")
+        # the per-run field shares the canonical metric's name; using
+        # the constant keeps the view keyed to the taxonomy (R2)
+        return self._mean(names.M_CLOUD_SECONDS)
 
     @property
     def star_matching_seconds(self) -> float:
@@ -297,7 +299,7 @@ class AggregatedMetrics:
 
     @property
     def client_seconds(self) -> float:
-        return self._mean("client_seconds")
+        return self._mean(names.M_CLIENT_SECONDS)
 
     @property
     def network_seconds(self) -> float:

@@ -83,7 +83,7 @@ class SlidingWindow:
         capacity: int = 1024,
         window_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
-    ):
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if window_seconds is not None and window_seconds <= 0:
@@ -91,7 +91,8 @@ class SlidingWindow:
         self.capacity = capacity
         self.window_seconds = window_seconds
         self._clock = clock
-        self._entries: deque[tuple[float, float]] = deque(maxlen=capacity)
+        self._entries: deque[tuple[float, float]] = deque(maxlen=capacity)  #: guarded by _lock
+        #: guarded by _lock
         self._total = 0  # lifetime observation count (survives eviction)
         self._lock = threading.Lock()
 

@@ -19,7 +19,7 @@ from pathlib import Path
 
 from repro.exceptions import GraphError
 from repro.graph.attributed import AttributedGraph
-from repro.graph.generators import make_schema, zipf_weights
+from repro.graph.generators import zipf_weights
 from repro.graph.schema import GraphSchema
 
 

@@ -1,0 +1,14 @@
+# lint: module=repro.cloud.fixture_component
+"""R1 fixture (clean): a cloud module importing only the published surface."""
+
+from repro.anonymize.cost_model import estimator_from_outsourced
+from repro.graph.attributed import AttributedGraph
+from repro.kauto.avt import AlignmentVertexTable
+from repro.obs import Observability, names
+
+
+def answer(graph: AttributedGraph, avt: AlignmentVertexTable) -> int:
+    obs = Observability.disabled()
+    with obs.tracer.span(names.CLOUD_ANSWER):
+        estimator_from_outsourced
+        return graph.vertex_count

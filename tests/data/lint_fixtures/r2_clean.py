@@ -1,0 +1,18 @@
+# lint: module=repro.cloud.fixture_component
+"""R2 fixture (clean): span and metric names come from the taxonomy.
+
+Mentioning ``cloud.star_matching`` in a docstring is fine — R2 skips
+docstrings.
+"""
+
+from repro.obs import Observability, names
+
+
+def timed_answer(obs: Observability) -> None:
+    with obs.tracer.span(names.CLOUD_STAR_MATCHING):
+        pass
+    obs.metrics.counter(names.M_QUERIES).inc()
+    # ordinary literals that merely *look* like words are fine:
+    kind = "query"
+    direction = "answer"
+    del kind, direction

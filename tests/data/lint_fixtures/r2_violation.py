@@ -1,0 +1,14 @@
+# lint: module=repro.cloud.fixture_component
+"""R2 fixture (violating): literal span/metric names shadowing the taxonomy."""
+
+from repro.obs import Observability
+
+
+def timed_answer(obs: Observability, direction: str) -> None:
+    with obs.tracer.span("cloud.star_matching"):  # literal span-call name
+        pass
+    name = "cloud.answer"  # dotted canonical span name at rest
+    metric = "queries_total"  # canonical metric name
+    with obs.tracer.span(f"network.{direction}"):  # runtime-built span name
+        pass
+    del name, metric

@@ -1,0 +1,23 @@
+"""R3 fixture (clean): every guarded access holds the declared lock."""
+
+import threading
+
+
+class Ring:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[int] = []  #: guarded by _lock
+        #: guarded by _lock
+        self._total = 0
+
+    def push(self, value: int) -> None:
+        with self._lock:
+            self._entries.append(value)
+            self._total += value
+
+    def snapshot(self) -> list[int]:
+        with self._lock:
+            return list(self._entries)
+
+    def unrelated(self) -> int:
+        return 42  # touching nothing guarded is fine

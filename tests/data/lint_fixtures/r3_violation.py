@@ -1,0 +1,26 @@
+"""R3 fixture (violating): guarded attributes touched without the lock."""
+
+import threading
+
+
+class Ring:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[int] = []  #: guarded by _lock
+        #: guarded by _lock
+        self._total = 0
+
+    def push(self, value: int) -> None:
+        self._entries.append(value)  # no lock held
+        with self._lock:
+            self._total += value
+
+    def racy_reset(self) -> None:
+        with self._lock:
+            self._entries = []
+        self._total = 0  # outside the with block
+
+    def callback_leak(self) -> None:
+        with self._lock:
+            # the lambda runs later, when the lock is no longer held
+            return lambda: len(self._entries)

@@ -1,0 +1,19 @@
+"""R4 fixture (clean): a hot function that stays lean."""
+
+from repro.analysis.markers import hot_path
+
+
+@hot_path
+def join_rows(rows: list[tuple[int, ...]], limit: int) -> list[tuple[int, ...]]:
+    out: list[tuple[int, ...]] = []
+    for row in rows:
+        if len(out) >= limit:
+            # f-strings on the raise path only evaluate on error
+            raise ValueError(f"result budget exceeded at {limit}")
+        out.append(row)
+    return out
+
+
+def cold_reporter(rows: list[tuple[int, ...]]) -> str:
+    # not decorated, not a hot module: formatting is fine here
+    return "\n".join(f"{row!r}" for row in rows)

@@ -1,0 +1,22 @@
+"""R4 fixture (violating): serialization, logging and repr in a hot loop."""
+
+import json
+import logging
+
+from repro.analysis.markers import hot_path
+
+
+@hot_path
+def join_rows(rows: list[tuple[int, ...]]) -> list[str]:
+    out: list[str] = []
+    for row in rows:
+        logging.debug("joining %s", row)  # logging in the hot path
+        out.append(json.dumps(row))  # serialization in the hot path
+        label = f"row-{row[0]}"  # per-iteration f-string allocation
+        out.append(label)
+    return out
+
+
+@hot_path
+def describe(row: tuple[int, ...]) -> str:
+    return repr(row)  # repr off the error path

@@ -1,0 +1,10 @@
+# lint: module=repro.cloud.fixture_component
+"""R5 fixture (clean): post-redesign spellings and unrelated .seconds uses."""
+
+
+def report(answer, outcome, trace, stats) -> float:
+    total = answer.cloud_seconds + outcome.client_seconds
+    # different, canonical APIs — not the shims:
+    total += trace.total_seconds
+    total += stats.seconds
+    return total

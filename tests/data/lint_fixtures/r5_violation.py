@@ -1,0 +1,10 @@
+# lint: module=repro.cloud.fixture_component
+"""R5 fixture (violating): library code leaning on its own compat shims."""
+
+
+def report(answer, outcome) -> float:
+    return answer.total_seconds + outcome.seconds  # both shimmed
+
+
+def build(CloudAnswer, matches) -> object:
+    return CloudAnswer(matches=matches, total_seconds=1.0)  # shimmed keyword

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.exceptions import AnonymizationError
 from repro.anonymize import LabelCorrespondenceTable
+from repro.exceptions import AnonymizationError
 from repro.graph import AttributedGraph
 
 

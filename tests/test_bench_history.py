@@ -1,7 +1,5 @@
 """Tests for benchmark result comparison."""
 
-import pytest
-
 from repro.bench.history import (
     CellDelta,
     compare_results,

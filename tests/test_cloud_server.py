@@ -1,6 +1,5 @@
 """Unit tests for the CloudServer facade (estimators, accounting)."""
 
-import pytest
 
 from repro.cloud import CloudServer
 from repro.graph import AttributedGraph

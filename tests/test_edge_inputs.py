@@ -4,7 +4,6 @@ Disconnected data graphs, isolated vertices, unicode labels, single
 edges — the pipeline must stay exact (or fail loudly) on all of them.
 """
 
-import pytest
 
 from repro import PrivacyPreservingSystem, SystemConfig
 from repro.graph import AttributedGraph, GraphSchema, schema_from_graph

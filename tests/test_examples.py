@@ -1,10 +1,7 @@
 """Smoke tests: the lightweight examples run end to end."""
 
 import runpy
-import sys
 from pathlib import Path
-
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import PartitionError, VerificationError
-from repro.graph import assert_supergraph, example_social_network
+from repro.graph import assert_supergraph
 from repro.kauto import (
     build_k_automorphic_graph,
     identification_probability,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.anonymize import build_lct, cost_based_grouping
 from repro.exceptions import GraphError
-from repro.graph import assert_supergraph, compute_statistics, example_social_network
+from repro.graph import assert_supergraph, compute_statistics
 from repro.kauto import build_k_automorphic_graph, verify_k_automorphism
 from repro.kauto.dynamic import DynamicRelease
 from repro.matching import find_subgraph_matches, match_key

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import PartitionError
-from repro.graph import grid_graph, make_schema, random_attributed_graph
+from repro.graph import grid_graph
 from repro.kauto import cut_size, partition_graph, validate_partition
 
 

@@ -9,12 +9,12 @@ time, and the legacy metric views are derivable from the trace alone.
 
 import pytest
 
+from repro import SystemConfig
 from repro.cloud.parallel import fork_available
 from repro.core.system import BatchOutcome, PrivacyPreservingSystem, QueryOutcome
 from repro.graph import example_query, example_social_network
 from repro.matching import match_key
 from repro.obs import Observability, QueryMetrics, names
-from repro import SystemConfig
 
 
 @pytest.fixture(scope="module")

@@ -112,7 +112,10 @@ class TestSymmetricIndistinguishability:
         for row in avt.rows():
             degrees = {gk.degree(v) for v in row}
             types = {gk.vertex(v).vertex_type for v in row}
-            labels = {json.dumps(sorted((a, sorted(vs)) for a, vs in gk.vertex(v).labels.items())) for v in row}
+            labels = {
+                json.dumps(sorted((a, sorted(vs)) for a, vs in gk.vertex(v).labels.items()))
+                for v in row
+            }
             assert len(degrees) == 1
             assert len(types) == 1
             assert len(labels) == 1

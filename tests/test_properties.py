@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 from repro import MethodConfig, PrivacyPreservingSystem, SystemConfig
 from repro.anonymize import label_combination_cost
 from repro.anonymize.eff import cost_based_grouping
-from repro.anonymize.strategies import StrategyContext, chunk_permutation, group_sizes
+from repro.anonymize.strategies import StrategyContext, group_sizes
 from repro.cloud import cover_cost, is_vertex_cover, minimum_weighted_vertex_cover
 from repro.graph import AttributedGraph, make_schema, random_attributed_graph
 from repro.kauto import (

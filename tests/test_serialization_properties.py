@@ -6,9 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.anonymize import LabelCorrespondenceTable
-from repro.graph import AttributedGraph, graph_from_json, graph_to_json
-from repro.kauto import AlignmentVertexTable
-from repro.matching import matches_to_rows, rows_to_matches
 from repro.core.protocol import (
     decode_answer,
     decode_query,
@@ -17,6 +14,9 @@ from repro.core.protocol import (
     encode_query,
     encode_upload,
 )
+from repro.graph import AttributedGraph, graph_from_json, graph_to_json
+from repro.kauto import AlignmentVertexTable
+from repro.matching import matches_to_rows, rows_to_matches
 
 # ----------------------------------------------------------------------
 # strategies
