@@ -1,0 +1,276 @@
+"""Columnar pipeline A/B: dict kernels vs. tuple-row tables (ISSUE 5).
+
+Not a paper figure — this measures the representation change behind
+the columnar ``MatchTable`` pipeline.  Star matching over Go is run
+once per cell (its output is the shared input to both arms); the timed
+segment is everything downstream of it:
+
+* ``legacy``   — Algorithm 2 via ``join_star_matches_legacy`` (dict
+  merges per row), client expansion via ``expand_rin`` (dict remaps),
+  Algorithm 3 via ``ClientFilter.filter`` (dict scans);
+* ``columnar`` — ``join_star_tables`` (positional hash join),
+  ``expand_rin_table`` (flat id-remap LUTs), ``filter_table``
+  (precomputed column-pair edge checks).
+
+Two cells, both asserted bit-identical:
+
+* ``workload`` — the parallel-engine benchmark workload (DBpedia, EFF,
+  k=3, |E(Q)|=6).  Label selectivity keeps candidate sets tiny there
+  (a few rows per query), so per-query setup dominates and the gate is
+  only "columnar is never slower" (the CI perf-smoke step).
+* ``dense``    — a fixed-seed low-selectivity deployment where the
+  join materializes tens of thousands of intermediate rows, i.e. the
+  regime the representation change targets.  Gate: >= 2x.
+
+The report cell writes both measurements to ``BENCH_columnar.json`` at
+the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import bench_queries
+
+from repro.anonymize import estimator_from_outsourced
+from repro.bench import format_table, ms, print_report
+from repro.client.expansion import expand_rin, expand_rin_table
+from repro.client.filtering import ClientFilter
+from repro.cloud import (
+    CloudIndex,
+    decompose_query,
+    join_star_matches_legacy,
+    join_star_tables,
+)
+from repro.cloud.star_matching import match_star_table
+from repro.graph import make_schema, random_attributed_graph
+from repro.kauto import build_k_automorphic_graph
+from repro.outsource import build_outsourced_graph
+from repro.workloads import random_walk_query
+
+DATASET = "DBpedia"
+METHOD = "EFF"
+K = 3
+EDGES = 6
+REPEATS = 5
+DENSE = dict(seed=7, n=200, edges_per_vertex=3, k=3, query_edges=3, labels=2)
+DENSE_BUDGET = 2_000_000
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_columnar.json"
+
+
+def _workload_cells(sweep):
+    """Per-query segment inputs from the parallel-engine workload.
+
+    Each cell carries the original query, the client AVT/graph, the
+    star list, the columnar star tables, and their dict-form twins
+    (``to_matches`` is the boundary adapter, so both arms consume
+    byte-for-byte the same star matching output).
+    """
+    system = sweep.system(DATASET, METHOD, K)
+    cloud = system.cloud
+    count = max(8, bench_queries())
+    queries = sweep.context(DATASET).workload(EDGES, count)
+    cells = []
+    for query in queries:
+        anonymized = system.client.prepare_query(query)
+        decomposition = decompose_query(anonymized, cloud.estimator)
+        tables = {
+            star.center: match_star_table(
+                anonymized,
+                star,
+                cloud.index,
+                cloud.graph,
+                max_results=cloud.max_intermediate_results,
+            )
+            for star in decomposition.stars
+        }
+        matches = {c: t.to_matches() for c, t in tables.items()}
+        cells.append(
+            dict(
+                query=query,
+                graph=system.client.graph,
+                avt=cloud.avt,
+                client_avt=system.client.avt,
+                budget=cloud.max_intermediate_results,
+                stars=decomposition.stars,
+                tables=tables,
+                matches=matches,
+            )
+        )
+    return cells
+
+
+def _dense_cells():
+    """One fixed-seed low-selectivity deployment (dense candidates)."""
+    schema = make_schema(2, 1, DENSE["labels"])
+    graph = random_attributed_graph(
+        schema,
+        DENSE["n"],
+        edges_per_vertex=DENSE["edges_per_vertex"],
+        seed=DENSE["seed"],
+    )
+    query = random_walk_query(graph, DENSE["query_edges"], seed=DENSE["seed"] + 1)
+    transform = build_k_automorphic_graph(graph, DENSE["k"], seed=DENSE["seed"])
+    outsourced = build_outsourced_graph(transform.gk, transform.avt)
+    index = CloudIndex.build(outsourced.graph, outsourced.block_vertices)
+    estimator = estimator_from_outsourced(
+        outsourced.block_vertices, outsourced.graph, DENSE["k"]
+    )
+    decomposition = decompose_query(query, estimator)
+    tables = {
+        star.center: match_star_table(query, star, index, outsourced.graph)
+        for star in decomposition.stars
+    }
+    return [
+        dict(
+            query=query,
+            graph=graph,
+            avt=transform.avt,
+            client_avt=transform.avt,
+            budget=DENSE_BUDGET,
+            stars=decomposition.stars,
+            tables=tables,
+            matches={c: t.to_matches() for c, t in tables.items()},
+        )
+    ]
+
+
+def _run_legacy(cells):
+    results = []
+    for cell in cells:
+        rin, _ = join_star_matches_legacy(
+            cell["stars"],
+            cell["matches"],
+            cell["avt"],
+            max_intermediate=cell["budget"],
+        )
+        candidates = expand_rin(rin, cell["client_avt"]).matches
+        results.append(
+            ClientFilter(cell["graph"], cell["query"]).filter(candidates).matches
+        )
+    return results
+
+
+def _run_columnar(cells):
+    results = []
+    for cell in cells:
+        rin, _ = join_star_tables(
+            cell["stars"],
+            cell["tables"],
+            cell["avt"],
+            max_intermediate=cell["budget"],
+        )
+        candidates = expand_rin_table(rin, cell["client_avt"]).table
+        results.append(
+            ClientFilter(cell["graph"], cell["query"])
+            .filter_table(candidates)
+            .table.to_matches()
+        )
+    return results
+
+
+def _timed(fn, cells) -> tuple[float, list]:
+    best = float("inf")
+    results = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        results = fn(cells)
+        best = min(best, time.perf_counter() - started)
+    return best, results
+
+
+def _ab(cells) -> dict:
+    legacy_seconds, legacy_results = _timed(_run_legacy, cells)
+    columnar_seconds, columnar_results = _timed(_run_columnar, cells)
+    assert columnar_results == legacy_results
+    return {
+        "queries": len(cells),
+        "legacy_seconds": legacy_seconds,
+        "columnar_seconds": columnar_seconds,
+        "speedup": round(legacy_seconds / columnar_seconds, 3),
+        "exact_matches": sum(len(r) for r in legacy_results),
+    }
+
+
+def test_workload_bit_identical(sweep):
+    """Both arms return exactly the same R(Q, G) for every query."""
+    cells = _workload_cells(sweep)
+    assert _run_columnar(cells) == _run_legacy(cells)
+
+
+def test_dense_bit_identical():
+    cells = _dense_cells()
+    assert _run_columnar(cells) == _run_legacy(cells)
+
+
+def test_columnar_join_cell(benchmark):
+    """Timed cell: the columnar join+expansion+filter segment (dense)."""
+    cells = _dense_cells()
+    results = benchmark(lambda: _run_columnar(cells))
+    assert results and results[0]
+
+
+def test_report_columnar_vs_legacy(sweep):
+    """A/B report + ``BENCH_columnar.json``; the CI perf-smoke gate."""
+    measured = {
+        "workload": _ab(_workload_cells(sweep)),
+        "dense": _ab(_dense_cells()),
+    }
+    rows = [
+        [
+            name,
+            cell["queries"],
+            ms(cell["legacy_seconds"]),
+            ms(cell["columnar_seconds"]),
+            f"{cell['speedup']:.2f}x",
+            cell["exact_matches"],
+        ]
+        for name, cell in measured.items()
+    ]
+    print_report(
+        format_table(
+            ["cell", "queries", "legacy ms", "columnar ms", "speedup", "exact"],
+            rows,
+            title=(
+                "columnar join+expansion+filter A/B — "
+                f"workload: {DATASET}/{METHOD} k={K} |E(Q)|={EDGES}; "
+                f"dense: n={DENSE['n']} k={DENSE['k']} seed={DENSE['seed']}; "
+                f"best of {REPEATS}"
+            ),
+        )
+    )
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "segment": "join+expansion+filter",
+                "repeats": REPEATS,
+                "bit_identical": True,
+                "speedup": measured["dense"]["speedup"],
+                "cells": {
+                    "workload": {
+                        "dataset": DATASET,
+                        "method": METHOD,
+                        "k": K,
+                        "edge_count": EDGES,
+                        **measured["workload"],
+                    },
+                    "dense": {**DENSE, **measured["dense"]},
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # CI perf-smoke gates: never a regression on the selective
+    # workload, and >= 2x in the dense-candidate regime the
+    # representation change targets.
+    assert measured["workload"]["speedup"] >= 1.0, (
+        f"columnar slower than legacy on the workload cell: {measured}"
+    )
+    assert measured["dense"]["speedup"] >= 2.0, (
+        f"expected >= 2x on the dense cell, got {measured}"
+    )

@@ -122,7 +122,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         anonymized = client.prepare_query(query, obs=scope)
         answer = cloud.answer(anonymized, obs=scope)
         outcome = client.process_answer(
-            query, answer.matches, answer.expanded, obs=scope
+            query, answer.results, answer.expanded, obs=scope
         )
     print(
         json.dumps(
@@ -177,7 +177,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     results = []
     for query, answer in zip(queries, answers):
-        outcome = client.process_answer(query, answer.matches, answer.expanded)
+        outcome = client.process_answer(query, answer.results, answer.expanded)
         results.append(
             {
                 "matches": len(outcome.matches),
@@ -413,7 +413,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 anonymized = client.prepare_query(query, obs=scope)
                 answer = cloud.answer(anonymized, obs=scope)
                 outcome = client.process_answer(
-                    query, answer.matches, answer.expanded, obs=scope
+                    query, answer.results, answer.expanded, obs=scope
                 )
             obs.metrics.counter(
                 names.M_QUERIES, help="Queries answered end to end."
@@ -536,7 +536,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
                     anonymized = client.prepare_query(query, obs=scope)
                     answer = cloud.answer(anonymized, obs=scope)
                     outcome = client.process_answer(
-                        query, answer.matches, answer.expanded, obs=scope
+                        query, answer.results, answer.expanded, obs=scope
                     )
                 trace = scope.tracer.take_trace()
                 outcomes.append(

@@ -14,8 +14,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.analysis.markers import hot_path
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match, dedupe_matches
+from repro.matching.table import MatchTable, dedupe_rows
 
 
 @dataclass
@@ -24,6 +26,40 @@ class ExpansionResult:
     seconds: float
     rin_size: int
     rout_size: int
+
+
+@dataclass
+class TableExpansionResult:
+    """Columnar counterpart of :class:`ExpansionResult`."""
+
+    table: MatchTable
+    seconds: float
+    rin_size: int
+    rout_size: int
+
+
+@hot_path
+def expand_rin_table(
+    rin: MatchTable, avt: AlignmentVertexTable
+) -> TableExpansionResult:
+    """Columnar Lines 1-5: ``Rin ∪ F_1(Rin) ∪ ... ∪ F_{k-1}(Rin)``.
+
+    The automorphic functions are applied as per-shift id-lookup remaps
+    over the row columns (one dict hit per value), and dedupe keys are
+    the row tuples themselves — no per-match dict builds or
+    ``match_key`` sorts.  The surviving rows equal
+    :func:`expand_rin` of the same matches, in the same order; unknown
+    vertex ids are dropped up front exactly as there.
+    """
+    started = time.perf_counter()
+    usable = avt.known_rows(rin.rows)
+    full = dedupe_rows(avt.expand_rows(usable))
+    return TableExpansionResult(
+        table=MatchTable(rin.schema, full),
+        seconds=time.perf_counter() - started,
+        rin_size=len(rin),
+        rout_size=len(full) - len(rin),
+    )
 
 
 def expand_rin(rin: list[Match], avt: AlignmentVertexTable) -> ExpansionResult:

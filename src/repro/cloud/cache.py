@@ -31,6 +31,7 @@ from repro.analysis.markers import hot_path
 from repro.graph.attributed import AttributedGraph, VertexData
 from repro.matching.match import Match
 from repro.matching.star import Star
+from repro.matching.table import MatchTable, Row, row_getter
 
 # a vertex constraint: (type, ((attr, (group, ...)), ...))
 Constraint = tuple
@@ -88,6 +89,40 @@ def roles_to_matches(
             match[leaf] = value
         out.append(match)
     return out
+
+
+@hot_path
+def table_to_roles(
+    table: MatchTable, star: Star, role_order: list[int]
+) -> list[Row]:
+    """Columnar :func:`matches_to_roles`: a column re-order, no dicts.
+
+    Produces exactly the tuples ``matches_to_roles`` would produce for
+    ``table.to_matches()`` — the cache wire format is unchanged, so
+    dict-path and columnar-path servers can share cache entries.
+    """
+    getter = row_getter(
+        [table.column_of(q) for q in (star.center, *role_order)]
+    )
+    return [getter(row) for row in table.rows]
+
+
+@hot_path
+def roles_to_table(
+    roles: list[Row], star: Star, role_order: list[int]
+) -> MatchTable:
+    """Columnar :func:`roles_to_matches`: re-label onto a star table.
+
+    The output schema is the star's canonical column order
+    ``(center, *leaves)`` — the same schema
+    :func:`~repro.cloud.star_matching.match_star_table` emits, so cache
+    hits are indistinguishable from fresh computations.
+    """
+    schema = (star.center, *star.leaves)
+    role_schema = (star.center, *role_order)
+    column = {q: i for i, q in enumerate(role_schema)}
+    getter = row_getter([column[q] for q in schema])
+    return MatchTable(schema, [getter(row) for row in roles])
 
 
 @dataclass

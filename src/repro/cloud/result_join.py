@@ -9,6 +9,24 @@ output ``Rin`` therefore contains exactly the matches of
 ``R(Qo, Gk)`` whose anchor-center vertex lies in ``B1``; the remaining
 matches (``Rout``) are recovered later by applying ``F_1..F_{k-1}``
 (Theorem 3), avoiding ``k-1`` redundant join passes.
+
+Two implementations share the Algorithm-2 control flow (anchor
+selection, overlap-driven join order, budget enforcement):
+
+* :func:`join_star_tables` — the **columnar** hash join the serving
+  path uses.  Star results arrive as
+  :class:`~repro.matching.table.MatchTable`\\ s; join keys are extracted
+  positionally (:func:`~repro.matching.table.row_getter`), expansion is
+  the AVT's column-wise id remap, injectivity is decided from
+  precomputed per-row flags plus one ``isdisjoint`` per candidate pair
+  (no dict merges, no ``set(match.values())`` rebuilds), and dedupe
+  keys are the row tuples themselves.
+* :func:`join_star_matches_legacy` — the dict-based reference path,
+  kept for the ablation/A-B benchmarks.  It produces results equal to
+  the columnar path (same matches, same order).
+
+The public dict API :func:`join_star_matches` is a thin boundary
+adapter over the columnar kernel.
 """
 
 from __future__ import annotations
@@ -16,10 +34,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.markers import hot_path
 from repro.exceptions import QueryError, ResultBudgetExceeded
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match, dedupe_matches, is_injective
 from repro.matching.star import Star
+from repro.matching.table import MatchTable, Row, dedupe_rows, row_getter
 
 
 @dataclass
@@ -32,6 +52,212 @@ class JoinStats:
     rin_size: int = 0
 
 
+# ----------------------------------------------------------------------
+# columnar kernels (serving path)
+# ----------------------------------------------------------------------
+@hot_path
+def expand_star_table(
+    table: MatchTable, avt: AlignmentVertexTable
+) -> MatchTable:
+    """``R(S, Gk) = ∪_m F_m(R(S, Go))``, columnar (Lines 5-8).
+
+    The AVT remap is a flat per-shift id lookup applied column-wise;
+    under a fixed schema the row tuple is already the canonical dedupe
+    key, so no per-match sort is performed.  Output rows equal
+    :func:`expand_star_matches` of the same matches, in the same order.
+    """
+    return MatchTable(table.schema, dedupe_rows(avt.expand_rows(table.rows)))
+
+
+@hot_path
+def _hash_join_tables(
+    left: MatchTable,
+    right: MatchTable,
+    shared: tuple[int, ...],
+    budget: int | None = None,
+) -> MatchTable:
+    """Natural join on ``shared`` query vertices, injective rows only.
+
+    The output schema is ``left.schema`` followed by the right table's
+    non-shared columns in their schema order.  A merged row is
+    injective iff the left row is injective, the right row's *new*
+    values are pairwise distinct, and the two value sets are disjoint —
+    the first two are precomputed per row, leaving one ``isdisjoint``
+    per candidate pair.  With no shared vertices this degenerates to a
+    cross product (still injectivity-filtered); connected queries never
+    hit that path.  ``budget`` caps the output size (quota
+    enforcement), checked per emitted row.
+    """
+    shared_set = set(shared)
+    out_schema = left.schema + tuple(
+        q for q in right.schema if q not in shared_set
+    )
+    left_key = row_getter([left.column_of(q) for q in shared])
+    right_key = row_getter([right.column_of(q) for q in shared])
+    new_vals_of = row_getter(
+        [i for i, q in enumerate(right.schema) if q not in shared_set]
+    )
+
+    # bucket the right side once: key -> [(new values, injective?), ...]
+    # in row order, so emission order matches the legacy nested loops
+    buckets: dict[Row, list[tuple[Row, bool]]] = {}
+    setdefault = buckets.setdefault
+    for rrow in right.rows:
+        new_vals = new_vals_of(rrow)
+        setdefault(right_key(rrow), []).append(
+            (new_vals, len(set(new_vals)) == len(new_vals))
+        )
+
+    out_rows: list[Row] = []
+    append = out_rows.append
+    get = buckets.get
+    count = 0
+    for lrow in left.rows:
+        hits = get(left_key(lrow))
+        if not hits:
+            continue
+        lset = set(lrow)
+        if len(lset) != len(lrow):
+            # Lines 10-12: subgraph isomorphism is injective — a left
+            # row reusing a data vertex can never merge injectively.
+            continue
+        isdisjoint = lset.isdisjoint
+        for new_vals, r_ok in hits:
+            if r_ok and isdisjoint(new_vals):
+                append(lrow + new_vals)
+                count += 1
+                if budget is not None and count > budget:
+                    raise ResultBudgetExceeded("result join", count, budget)
+    return MatchTable(out_schema, out_rows)
+
+
+def join_star_tables(
+    stars: list[Star],
+    star_tables: dict[int, MatchTable],
+    avt: AlignmentVertexTable,
+    expand: bool = True,
+    max_intermediate: int | None = None,
+    expand_anchor: bool = False,
+) -> tuple[MatchTable, JoinStats]:
+    """Algorithm 2 over columnar star tables: join into ``Rin``.
+
+    ``star_tables`` maps each star's center to its
+    :func:`~repro.cloud.star_matching.match_star_table` result; the
+    output table's schema is the anchor star's columns followed by each
+    joined star's new columns in join order.  Rows (viewed as
+    query-vertex → data-vertex mappings) are identical to
+    :func:`join_star_matches_legacy` on the same inputs, in the same
+    order.
+
+    ``expand=False`` joins the star results as-is — used by the BAS
+    baseline whose star matches already range over the full ``Gk``
+    (its index covers every ``Gk`` vertex), so the output is the whole
+    ``R(Qo, Gk)`` rather than ``Rin``.
+
+    ``max_intermediate`` is the cloud's per-query result quota: a join
+    step growing past it raises :class:`ResultBudgetExceeded`.
+
+    ``expand_anchor=True`` selects the *straightforward* strategy the
+    paper describes before introducing ``Rin``: every star (anchor
+    included) is expanded to ``R(S_i, Gk)`` and the join computes the
+    whole ``R(Qo, Gk)`` directly — k times more anchor tuples enter the
+    join.  Kept as an ablation baseline (see
+    ``benchmarks/bench_ablation_rin.py``).
+
+    Concurrency contract (relied on by the parallel batched engine):
+    ``star_tables`` is **read-only** — no input table or row is ever
+    mutated here, and the returned table is freshly allocated (its rows
+    are immutable tuples, possibly shared with the inputs, which is
+    safe).  That makes it safe to feed this join tables that other
+    concurrent queries may also be holding (e.g. out of the shared
+    star cache).  The join is also deterministic: star order, anchor
+    choice, and bucket iteration are all keyed on sizes with vertex-id
+    tie-breaks, so serial and parallel star matching yield bit-identical
+    ``Rin`` tables.
+    """
+    if not stars:
+        raise QueryError("cannot join an empty decomposition")
+    missing = [s.center for s in stars if s.center not in star_tables]
+    if missing:
+        raise QueryError(f"star matches missing for centers {missing}")
+    stats = JoinStats()
+    started = time.perf_counter()
+
+    remaining = sorted(stars, key=lambda s: (len(star_tables[s.center]), s.center))
+    anchor = remaining.pop(0)
+    stats.anchor_center = anchor.center
+    current = star_tables[anchor.center]
+    if expand and expand_anchor:
+        current = expand_star_table(current, avt)
+    covered: set[int] = set(current.schema)
+    stats.intermediate_sizes.append(len(current))
+
+    while remaining:
+        overlapping = [s for s in remaining if s.overlaps(covered)]
+        pool = overlapping or remaining  # disconnected fallback: cross join
+        nxt = min(pool, key=lambda s: (len(star_tables[s.center]), s.center))
+        remaining.remove(nxt)
+
+        right = star_tables[nxt.center]
+        if expand:
+            right = expand_star_table(right, avt)
+        shared = tuple(sorted(covered & set(right.schema)))
+        current = _hash_join_tables(
+            current, right, shared, budget=max_intermediate
+        )
+        covered |= set(right.schema)
+        stats.intermediate_sizes.append(len(current))
+        if not current:
+            break
+
+    rin = current.deduped()
+    stats.rin_size = len(rin)
+    stats.seconds = time.perf_counter() - started
+    return rin, stats
+
+
+def join_star_matches(
+    stars: list[Star],
+    star_matches: dict[int, list[Match]],
+    avt: AlignmentVertexTable,
+    expand: bool = True,
+    max_intermediate: int | None = None,
+    expand_anchor: bool = False,
+) -> tuple[list[Match], JoinStats]:
+    """Algorithm 2 with the dict-based ``Match`` API (boundary adapter).
+
+    Tabulates each star's matches (columns in ``star.vertex_order``),
+    runs the columnar :func:`join_star_tables`, and converts the result
+    back to fresh dicts.  Output matches — and their order — equal
+    :func:`join_star_matches_legacy`; only the internal representation
+    differs.  See :func:`join_star_tables` for the parameter and
+    concurrency contracts.
+    """
+    if not stars:
+        raise QueryError("cannot join an empty decomposition")
+    missing = [s.center for s in stars if s.center not in star_matches]
+    if missing:
+        raise QueryError(f"star matches missing for centers {missing}")
+    tables = {
+        star.center: MatchTable.from_matches(
+            star_matches[star.center], star.vertex_order
+        )
+        for star in stars
+    }
+    rin, stats = join_star_tables(
+        stars,
+        tables,
+        avt,
+        expand=expand,
+        max_intermediate=max_intermediate,
+        expand_anchor=expand_anchor,
+    )
+    return rin.to_matches(), stats
+
+
+# ----------------------------------------------------------------------
+# dict-based reference path (ablation / A-B benchmarks)
+# ----------------------------------------------------------------------
 def expand_star_matches(
     matches: list[Match],
     avt: AlignmentVertexTable,
@@ -83,7 +309,7 @@ def _hash_join(
     return out
 
 
-def join_star_matches(
+def join_star_matches_legacy(
     stars: list[Star],
     star_matches: dict[int, list[Match]],
     avt: AlignmentVertexTable,
@@ -91,33 +317,13 @@ def join_star_matches(
     max_intermediate: int | None = None,
     expand_anchor: bool = False,
 ) -> tuple[list[Match], JoinStats]:
-    """Algorithm 2: join star matches into ``Rin``.
+    """Algorithm 2, dict-based reference implementation.
 
-    ``expand=False`` joins the star results as-is — used by the BAS
-    baseline whose star matches already range over the full ``Gk``
-    (its index covers every ``Gk`` vertex), so the output is the whole
-    ``R(Qo, Gk)`` rather than ``Rin``.
-
-    ``max_intermediate`` is the cloud's per-query result quota: a join
-    step growing past it raises :class:`ResultBudgetExceeded`.
-
-    ``expand_anchor=True`` selects the *straightforward* strategy the
-    paper describes before introducing ``Rin``: every star (anchor
-    included) is expanded to ``R(S_i, Gk)`` and the join computes the
-    whole ``R(Qo, Gk)`` directly — k times more anchor tuples enter the
-    join.  Kept as an ablation baseline (see
-    ``benchmarks/bench_ablation_rin.py``).
-
-    Concurrency contract (relied on by the parallel batched engine):
-    ``star_matches`` is **read-only** — neither the per-center lists
-    nor their match dicts are ever mutated here, and every emitted
-    ``Rin`` row is a fresh dict sharing no structure with the inputs.
-    That makes it safe to feed this join match lists that other
-    concurrent queries may also be holding (e.g. out of the shared
-    star cache).  The join is also deterministic: star order, anchor
-    choice, and bucket iteration are all keyed on sizes with vertex-id
-    tie-breaks, so serial and parallel star matching yield bit-identical
-    ``Rin`` lists.
+    The original per-match implementation: one dict per candidate, dict
+    merges per join row, ``match_key`` sorts for dedupe.  Kept for the
+    columnar A/B benchmark and as an executable specification — its
+    output is the ground truth :func:`join_star_matches` must equal.
+    See :func:`join_star_tables` for the parameter semantics.
     """
     if not stars:
         raise QueryError("cannot join an empty decomposition")

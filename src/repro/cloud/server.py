@@ -22,21 +22,22 @@ from repro.anonymize.cost_model import (
 from repro.cloud.cache import (
     StarMatchCache,
     leaf_role_order,
-    matches_to_roles,
-    roles_to_matches,
+    roles_to_table,
     star_signature,
+    table_to_roles,
 )
 from repro.cloud.decomposition import decompose_query
 from repro.cloud.index import CloudIndex
 from repro.cloud.parallel import map_batch, validate_backend
-from repro.cloud.result_join import JoinStats, join_star_matches
-from repro.cloud.star_matching import StarMatchStats, match_star
+from repro.cloud.result_join import JoinStats, join_star_tables
+from repro.cloud.star_matching import StarMatchStats, match_star_table
 from repro.compat import warn_renamed
 from repro.graph.attributed import AttributedGraph
 from repro.graph.stats import compute_statistics
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match
 from repro.matching.star import Decomposition, Star
+from repro.matching.table import MatchTable
 from repro.obs import Observability, SlidingWindow, names
 from repro.obs.tracing import NullSpan, NullTracer, Span, Trace
 from repro.outsource.delta import GoDelta
@@ -46,6 +47,13 @@ from repro.outsource.delta import GoDelta
 class CloudAnswer:
     """Everything the cloud returns for one query, with telemetry.
 
+    The result set is carried natively as a columnar
+    :class:`~repro.matching.table.MatchTable` (``table``); the
+    dict-form :attr:`matches` view is materialized lazily on first
+    access, so serving paths that stay columnar (the system pipeline,
+    the CLI) never pay the conversion.  Constructing with ``matches``
+    only (no table) remains supported for the dict-based engines.
+
     ``cloud_seconds`` is the wall time of the cloud-side pipeline (the
     ``cloud.answer`` span's duration); ``trace``, when the caller
     passed a recording :class:`~repro.obs.Observability`, holds every
@@ -54,7 +62,6 @@ class CloudAnswer:
     :class:`DeprecationWarning`.
     """
 
-    matches: list[Match]
     expanded: bool
     decomposition: Decomposition
     decomposition_seconds: float
@@ -62,18 +69,20 @@ class CloudAnswer:
     join_stats: JoinStats
     cloud_seconds: float
     trace: Trace | None
+    table: MatchTable | None
 
     def __init__(
         self,
-        matches: list[Match],
-        expanded: bool,
-        decomposition: Decomposition,
-        decomposition_seconds: float,
-        star_stats: StarMatchStats,
-        join_stats: JoinStats,
+        matches: list[Match] | None = None,
+        expanded: bool = False,
+        decomposition: Decomposition | None = None,
+        decomposition_seconds: float = 0.0,
+        star_stats: StarMatchStats | None = None,
+        join_stats: JoinStats | None = None,
         cloud_seconds: float | None = None,
         trace: Trace | None = None,
         total_seconds: float | None = None,
+        table: MatchTable | None = None,
     ) -> None:
         if total_seconds is not None:
             warn_renamed(
@@ -81,14 +90,38 @@ class CloudAnswer:
             )
             if cloud_seconds is None:
                 cloud_seconds = total_seconds
-        self.matches = matches
+        if matches is None and table is None:
+            raise ValueError("CloudAnswer needs matches or a table")
+        self._matches = matches
+        self.table = table
         self.expanded = expanded
-        self.decomposition = decomposition
+        self.decomposition = (
+            decomposition if decomposition is not None else Decomposition(stars=[])
+        )
         self.decomposition_seconds = decomposition_seconds
-        self.star_stats = star_stats
-        self.join_stats = join_stats
+        self.star_stats = star_stats if star_stats is not None else StarMatchStats()
+        self.join_stats = join_stats if join_stats is not None else JoinStats()
         self.cloud_seconds = 0.0 if cloud_seconds is None else cloud_seconds
         self.trace = trace
+
+    @property
+    def matches(self) -> list[Match]:
+        """Dict-form results (lazily converted from :attr:`table`)."""
+        matches = self._matches
+        if matches is None:
+            assert self.table is not None  # enforced by __init__
+            matches = self._matches = self.table.to_matches()
+        return matches
+
+    @property
+    def results(self) -> "MatchTable | list[Match]":
+        """The preferred result payload: columnar when available.
+
+        Feed this to :meth:`repro.core.query_client.QueryClient.
+        process_answer` — it accepts either form and stays columnar
+        end-to-end when given the table.
+        """
+        return self.table if self.table is not None else self.matches
 
     @property
     def total_seconds(self) -> float:
@@ -264,14 +297,14 @@ class CloudServer:
                 )
                 decompose_span.set(stars=len(decomposition.stars))
 
-            star_matches, star_stats = self._match_stars(
+            star_tables, star_stats = self._match_stars(
                 query, decomposition.stars, tracer=tracer
             )
             full_join = self.join_strategy == "full"
             with tracer.span(names.CLOUD_JOIN) as join_span:
-                matches, join_stats = join_star_matches(
+                rin_table, join_stats = join_star_tables(
                     decomposition.stars,
-                    star_matches,
+                    star_tables,
                     self.avt,
                     expand=self.expand_in_cloud,
                     max_intermediate=self.max_intermediate_results,
@@ -286,7 +319,7 @@ class CloudServer:
             root.set(
                 rs_size=star_stats.total_results,
                 rin_size=join_stats.rin_size,
-                matches=len(matches),
+                matches=len(rin_table),
                 expanded=not self.expand_in_cloud or full_join,
             )
 
@@ -307,7 +340,7 @@ class CloudServer:
             self.latency_window.observe(root.duration)
 
         return CloudAnswer(
-            matches=matches,
+            table=rin_table,
             expanded=not self.expand_in_cloud or full_join,
             decomposition=decomposition,
             decomposition_seconds=decompose_span.duration,
@@ -394,8 +427,8 @@ class CloudServer:
                 self._star_pool_pid = pid
             return self._star_pool
 
-    def _match_one_star(self, query: AttributedGraph, star: Star) -> list[Match]:
-        return match_star(
+    def _match_one_star(self, query: AttributedGraph, star: Star) -> MatchTable:
+        return match_star_table(
             query,
             star,
             self.index,
@@ -409,24 +442,30 @@ class CloudServer:
         star: Star,
         tracer: NullTracer,
         parent: "Span | NullSpan",
-    ) -> list[Match]:
+    ) -> MatchTable:
         """One star under its own span; ``parent`` re-attaches the span
         to the ``cloud.star_matching`` span opened on the submitting
         thread (pool threads have no implicit span stack)."""
         with tracer.span(
             names.CLOUD_STAR_MATCH, parent=parent, center=star.center
         ) as span:
-            matches = self._match_one_star(query, star)
-            span.set(results=len(matches))
-        return matches
+            table = self._match_one_star(query, star)
+            span.set(results=len(table))
+        return table
 
     def _match_stars(
         self,
         query: AttributedGraph,
         stars: Sequence[Star],
         tracer: NullTracer | None = None,
-    ) -> tuple[dict, StarMatchStats]:
+    ) -> tuple[dict[int, MatchTable], StarMatchStats]:
         """Algorithm 1 for every star, through the optional LRU cache.
+
+        Results are columnar :class:`~repro.matching.table.MatchTable`
+        instances (schema ``(center, *leaves)``); the cache keeps its
+        role-form tuple wire format, now written/read through the
+        columnar codec (:func:`~repro.cloud.cache.table_to_roles` /
+        :func:`~repro.cloud.cache.roles_to_table`).
 
         With ``star_workers > 1`` the cache misses of one decomposition
         are matched concurrently on the shared star pool; hits, puts
@@ -445,7 +484,7 @@ class CloudServer:
         stats = StarMatchStats()
         use_cache = self.star_cache.capacity > 0
         executor = self._star_executor()
-        results: dict[int, list] = {}
+        results: dict[int, MatchTable] = {}
 
         with tracer.span(
             names.CLOUD_STAR_MATCHING, stars=len(stars)
@@ -457,20 +496,20 @@ class CloudServer:
                         role_order = leaf_role_order(query, star)
                         roles = self.star_cache.get(signature)
                         if roles is None:
-                            matches = self._match_one_star_traced(
+                            table = self._match_one_star_traced(
                                 query, star, tracer, matching_span
                             )
                             self.star_cache.put(
                                 signature,
-                                matches_to_roles(matches, star, role_order),
+                                table_to_roles(table, star, role_order),
                             )
                         else:
-                            matches = roles_to_matches(roles, star, role_order)
+                            table = roles_to_table(roles, star, role_order)
                     else:
-                        matches = self._match_one_star_traced(
+                        table = self._match_one_star_traced(
                             query, star, tracer, matching_span
                         )
-                    results[star.center] = matches
+                    results[star.center] = table
             else:
                 # resolve cache hits up front; fan the misses out,
                 # deduped by signature so equivalent stars are computed
@@ -487,7 +526,7 @@ class CloudServer:
                     if roles is None:
                         pending.append((star, signature, role_order))
                     else:
-                        results[star.center] = roles_to_matches(
+                        results[star.center] = roles_to_table(
                             roles, star, role_order
                         )
                 futures = []
@@ -510,15 +549,15 @@ class CloudServer:
                         results[star.center] = future.result()
                         continue
                     rep_star, rep_order, rep_future = computed[signature]
-                    matches = rep_future.result()
-                    roles = matches_to_roles(matches, rep_star, rep_order)
+                    table = rep_future.result()
+                    roles = table_to_roles(table, rep_star, rep_order)
                     self.star_cache.put(signature, roles)
                     if star is rep_star:
-                        results[star.center] = matches
+                        results[star.center] = table
                     else:
                         # an equivalent star of the same query: re-label
                         # the representative's roles, like a cache hit
-                        results[star.center] = roles_to_matches(
+                        results[star.center] = roles_to_table(
                             roles, star, role_order
                         )
                 results = {star.center: results[star.center] for star in stars}

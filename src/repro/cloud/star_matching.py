@@ -9,6 +9,22 @@ then assigned by backtracking over the candidate center's neighbours
 Centers are restricted to the indexed vertex set (block ``B1`` for the
 optimized method) while leaves may land anywhere in ``Go`` — exactly
 the shape of ``Rin``'s anchored matches.
+
+Two implementations share the candidate-generation logic:
+
+* :func:`match_star_table` — the **columnar** kernel the serving path
+  uses.  Leaf assignment is an iterative backtracking loop writing
+  into a reusable row buffer; the center's neighbour list is sorted
+  once per center (not once per depth), per-leaf label checks are
+  memoized across centers, and results are emitted straight into a
+  :class:`~repro.matching.table.MatchTable` (no per-match dicts).
+* :func:`match_star` — the dict-based reference path, kept for the
+  ablation benchmarks and any caller of the ``list[Match]`` API.  It
+  produces bit-identical results (same DFS emission order).
+
+Both enforce the ``max_results`` quota *inside* the leaf-assignment
+loop: a single high-degree center cannot blow past the budget before
+:class:`~repro.exceptions.ResultBudgetExceeded` fires.
 """
 
 from __future__ import annotations
@@ -16,12 +32,14 @@ from __future__ import annotations
 import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.cloud.index import CloudIndex
 from repro.exceptions import ResultBudgetExceeded
 from repro.graph.attributed import AttributedGraph
 from repro.matching.match import Match
 from repro.matching.star import Star
+from repro.matching.table import MatchTable, Row
 
 
 @dataclass
@@ -37,6 +55,172 @@ class StarMatchStats:
         return sum(self.result_sizes.values())
 
 
+def _leaf_order(query: AttributedGraph, star: Star) -> list[int]:
+    """Most-constrained leaves first: more labels, then higher query id
+    for determinism."""
+    return sorted(
+        star.leaves,
+        key=lambda leaf: (
+            -sum(len(v) for v in query.vertex(leaf).labels.values()),
+            leaf,
+        ),
+    )
+
+
+def _center_candidates(
+    query: AttributedGraph,
+    star: Star,
+    index: CloudIndex,
+    data: AttributedGraph,
+    use_vbv: bool,
+) -> Iterable[int] | None:
+    """Candidate centers from the VBV (or a linear scan); ``None`` = empty."""
+    center_vertex = query.vertex(star.center)
+    if use_vbv:
+        center_mask = index.candidate_center_mask(center_vertex)
+        if not center_mask:
+            return None
+        return index.candidates_from_mask(center_mask)
+    return (
+        vid
+        for vid in index.indexed_vertices
+        if center_vertex.matches(data.vertex(vid))
+    )
+
+
+def _query_mask(
+    query: AttributedGraph, star: Star, index: CloudIndex, use_lbv: bool
+) -> int | None:
+    """The LBV neighbourhood mask for the star's leaves; ``None`` = empty."""
+    if not use_lbv:
+        return 0  # every vertex trivially supports the empty mask
+    leaf_vertices = [query.vertex(leaf) for leaf in star.leaves]
+    mask = index.query_neighbor_mask(leaf_vertices)
+    if mask < 0 and star.leaves:
+        return None
+    return mask
+
+
+def match_star_table(
+    query: AttributedGraph,
+    star: Star,
+    index: CloudIndex,
+    data: AttributedGraph,
+    max_results: int | None = None,
+    use_vbv: bool = True,
+    use_lbv: bool = True,
+) -> MatchTable:
+    """``R(S, data)`` as a columnar table (Algorithm 1, serving kernel).
+
+    The table schema is ``star.vertex_order`` (center first, then the
+    sorted leaves).  Results are bit-identical to :func:`match_star`
+    (same rows, same order); only the representation differs.
+    """
+    schema = (star.center, *star.leaves)
+    rows: list[Row] = []
+
+    candidates = _center_candidates(query, star, index, data, use_vbv)
+    if candidates is None:
+        return MatchTable(schema, rows)
+    query_mask = _query_mask(query, star, index, use_lbv)
+    if query_mask is None:
+        return MatchTable(schema, rows)
+
+    leaf_order = _leaf_order(query, star)
+    leaf_count = len(leaf_order)
+    column_of = {q: i for i, q in enumerate(schema)}
+    leaf_cols = [column_of[leaf] for leaf in leaf_order]
+    leaf_vertices = [query.vertex(leaf) for leaf in leaf_order]
+    # (leaf, data vertex) label checks are center-independent: memoize
+    # them across centers (high-degree graphs revisit the same vertices
+    # from many centers).
+    leaf_memos: list[dict[int, bool]] = [{} for _ in leaf_order]
+
+    neighbors = data.neighbors
+    degree = data.degree
+    vertex = data.vertex
+    supports = index.neighborhood_supports
+    has_leaves = bool(star.leaves)
+    count = 0
+
+    row_buf: list[int] = [0] * (1 + leaf_count)
+    positions: list[int] = [0] * max(leaf_count, 1)
+    cand_lists: list[list[int]] = [[] for _ in range(leaf_count)]
+
+    for center_candidate in candidates:
+        if has_leaves and not supports(center_candidate, query_mask):
+            continue
+        if degree(center_candidate) < leaf_count:
+            continue
+        if leaf_count == 0:
+            rows.append((center_candidate,))
+            count += 1
+            if max_results is not None and count > max_results:
+                raise ResultBudgetExceeded("star matching", count, max_results)
+            continue
+
+        # the neighbour list is sorted once per center — every depth of
+        # the legacy backtracking re-sorted the same set
+        nbrs = sorted(neighbors(center_candidate))
+        viable = True
+        for li in range(leaf_count):
+            memo = leaf_memos[li]
+            leaf_vertex = leaf_vertices[li]
+            lst = cand_lists[li]
+            lst.clear()
+            for v in nbrs:
+                hit = memo.get(v)
+                if hit is None:
+                    hit = leaf_vertex.matches(vertex(v))
+                    memo[v] = hit
+                if hit:
+                    lst.append(v)
+            if not lst:
+                viable = False
+                break
+        if not viable:
+            continue
+
+        # iterative DFS over the per-leaf candidate lists, writing into
+        # the reusable row buffer; injectivity via the ``used`` set
+        row_buf[0] = center_candidate
+        used = {center_candidate}
+        depth = 0
+        positions[0] = 0
+        last = leaf_count - 1
+        while True:
+            lst = cand_lists[depth]
+            i = positions[depth]
+            limit = len(lst)
+            chosen = -1
+            while i < limit:
+                v = lst[i]
+                i += 1
+                if v not in used:
+                    chosen = v
+                    break
+            if chosen >= 0:
+                positions[depth] = i
+                row_buf[leaf_cols[depth]] = chosen
+                if depth == last:
+                    rows.append(tuple(row_buf))
+                    count += 1
+                    if max_results is not None and count > max_results:
+                        raise ResultBudgetExceeded(
+                            "star matching", count, max_results
+                        )
+                else:
+                    used.add(chosen)
+                    depth += 1
+                    positions[depth] = 0
+            else:
+                if depth == 0:
+                    break
+                depth -= 1
+                used.discard(row_buf[leaf_cols[depth]])
+    return MatchTable(schema, rows)
+
+
 def match_star(
     query: AttributedGraph,
     star: Star,
@@ -48,89 +232,97 @@ def match_star(
 ) -> list[Match]:
     """``R(S, data)`` with centers drawn from the index (Algorithm 1).
 
+    The dict-based reference path: one ``Match`` dict per result.  The
+    serving pipeline uses :func:`match_star_table` instead; this
+    remains for the index/decomposition ablation benchmarks and for
+    callers of the ``list[Match]`` API.  Output is bit-identical to
+    ``match_star_table(...).to_matches()``.
+
     ``max_results`` is an optional resource quota: exceeding it raises
-    :class:`ResultBudgetExceeded` rather than exhausting cloud memory.
+    :class:`ResultBudgetExceeded` rather than exhausting cloud memory
+    (enforced per emitted match, inside the backtracking).
 
     ``use_vbv`` / ``use_lbv`` disable the corresponding half of the
     Figure 7 index (candidates then come from a linear scan / no
     neighbourhood pruning).  Results are identical either way; the
     flags exist for the index ablation benchmark.
     """
-    center_vertex = query.vertex(star.center)
-    leaf_vertices = [query.vertex(leaf) for leaf in star.leaves]
+    candidates = _center_candidates(query, star, index, data, use_vbv)
+    if candidates is None:
+        return []
+    query_mask = _query_mask(query, star, index, use_lbv)
+    if query_mask is None:
+        return []
 
-    if use_vbv:
-        center_mask = index.candidate_center_mask(center_vertex)
-        if not center_mask:
-            return []
-        center_candidates = index.candidates_from_mask(center_mask)
-    else:
-        center_candidates = (
-            vid
-            for vid in index.indexed_vertices
-            if center_vertex.matches(data.vertex(vid))
-        )
-
-    if use_lbv:
-        query_mask = index.query_neighbor_mask(leaf_vertices)
-        if query_mask < 0 and star.leaves:
-            return []
-    else:
-        query_mask = 0  # every vertex trivially supports the empty mask
-
-    # most-constrained leaves first: more labels, then higher query id
-    # for determinism
-    leaf_order = sorted(
-        star.leaves,
-        key=lambda leaf: (
-            -sum(len(v) for v in query.vertex(leaf).labels.values()),
-            leaf,
-        ),
-    )
+    leaf_order = _leaf_order(query, star)
+    leaf_vertices = [query.vertex(leaf) for leaf in leaf_order]
     results: list[Match] = []
-    for center_candidate in center_candidates:
-        if star.leaves and not index.neighborhood_supports(center_candidate, query_mask):
+    for center_candidate in candidates:
+        if star.leaves and not index.neighborhood_supports(
+            center_candidate, query_mask
+        ):
             continue
         if data.degree(center_candidate) < len(star.leaves):
             continue
+        # hoisted: sorted once per center (the set is the same at every
+        # backtracking depth) and the used-set is maintained
+        # incrementally instead of rebuilt per call
+        sorted_neighbors = sorted(data.neighbors(center_candidate))
         _assign_leaves(
-            query,
-            leaf_order,
+            leaf_vertices,
             0,
-            center_candidate,
+            sorted_neighbors,
+            leaf_order,
             {star.center: center_candidate},
+            {center_candidate},
             data,
             results,
+            max_results,
         )
-        if max_results is not None and len(results) > max_results:
-            raise ResultBudgetExceeded("star matching", len(results), max_results)
     return results
 
 
 def _assign_leaves(
-    query: AttributedGraph,
-    leaf_order: list[int],
+    leaf_vertices: list,
     depth: int,
-    center_candidate: int,
+    sorted_neighbors: list[int],
+    leaf_order: list[int],
     partial: Match,
+    used: set[int],
     data: AttributedGraph,
     results: list[Match],
+    max_results: int | None,
 ) -> None:
     if depth == len(leaf_order):
         results.append(dict(partial))
+        # quota enforced per emitted match: a single high-degree center
+        # cannot overshoot the budget before the check fires
+        if max_results is not None and len(results) > max_results:
+            raise ResultBudgetExceeded(
+                "star matching", len(results), max_results
+            )
         return
     leaf = leaf_order[depth]
-    leaf_vertex = query.vertex(leaf)
-    used = set(partial.values())
-    for candidate in sorted(data.neighbors(center_candidate)):
+    leaf_vertex = leaf_vertices[depth]
+    for candidate in sorted_neighbors:
         if candidate in used:
             continue
         if not leaf_vertex.matches(data.vertex(candidate)):
             continue
         partial[leaf] = candidate
+        used.add(candidate)
         _assign_leaves(
-            query, leaf_order, depth + 1, center_candidate, partial, data, results
+            leaf_vertices,
+            depth + 1,
+            sorted_neighbors,
+            leaf_order,
+            partial,
+            used,
+            data,
+            results,
+            max_results,
         )
+        used.discard(candidate)
         del partial[leaf]
 
 

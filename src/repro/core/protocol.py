@@ -19,6 +19,7 @@ from repro.graph.attributed import AttributedGraph
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match, matches_to_rows, rows_to_matches
+from repro.matching.table import MatchTable
 from repro.obs import Observability, names
 
 DEFAULT_BANDWIDTH_BYTES_PER_SEC = 1_000_000  # ~1 MB/s effective throughput
@@ -140,6 +141,44 @@ def decode_answer(payload: bytes) -> tuple[list[Match], bool]:
         matches = rows_to_matches(data["rows"], data["order"])
         return matches, bool(data["expanded"])
     except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"malformed answer message: {exc}") from exc
+
+
+def encode_answer_table(
+    table: MatchTable,
+    query_order: list[int],
+    expanded: bool,
+) -> bytes:
+    """Columnar :func:`encode_answer`: frame a result table directly.
+
+    The payload is **byte-identical** to
+    ``encode_answer(table.to_matches(), query_order, expanded)`` — the
+    rows are already tabular, so the dict detour (and its per-match
+    key lookups) is skipped; the columns are just re-ordered to
+    ``query_order``.
+    """
+    return json.dumps(
+        {
+            "order": query_order,
+            "rows": table.project_rows(query_order),
+            "expanded": expanded,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def decode_answer_table(payload: bytes) -> tuple[MatchTable, bool]:
+    """Columnar :func:`decode_answer`: the rows stay tabular.
+
+    The table's schema is the message's ``order``; width-mismatched
+    rows are a :class:`ProtocolError` (the dict decoder silently
+    truncated them — tabular framing is stricter by construction).
+    """
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        table = MatchTable.from_rows(data["order"], data["rows"])
+        return table, bool(data["expanded"])
+    except (KeyError, ValueError, TypeError) as exc:
         raise ProtocolError(f"malformed answer message: {exc}") from exc
 
 

@@ -18,12 +18,13 @@ from dataclasses import dataclass
 
 from repro.anonymize.lct import LabelCorrespondenceTable
 from repro.anonymize.query_anonymizer import anonymize_query
-from repro.client.expansion import expand_rin
+from repro.client.expansion import expand_rin, expand_rin_table
 from repro.client.filtering import ClientFilter
 from repro.compat import warn_renamed
 from repro.graph.attributed import AttributedGraph
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match
+from repro.matching.table import MatchTable
 from repro.obs import Observability, names
 from repro.obs.audit import register_live_false_positive_ratio
 
@@ -109,12 +110,19 @@ class QueryClient:
     def process_answer(
         self,
         query: AttributedGraph,
-        matches: list[Match],
+        matches: "list[Match] | MatchTable",
         already_expanded: bool,
         limit: int | None = None,
         obs: Observability | None = None,
     ) -> ClientOutcome:
         """Algorithm 3: expand ``Rin`` (if needed) and filter against G.
+
+        ``matches`` may be the dict-form list or a columnar
+        :class:`~repro.matching.table.MatchTable` (what the system's
+        serving path decodes off the wire); the columnar form runs the
+        tabular expansion/filter kernels and converts only the final
+        exact results back to dicts.  Outcomes are identical either
+        way.
 
         ``limit`` returns at most that many exact matches (any subset
         of R(Q, G); useful for "find me a few examples" queries).
@@ -122,26 +130,33 @@ class QueryClient:
         if obs is None:
             obs = self.obs
         tracer = obs.tracer
+        candidates: "list[Match] | MatchTable"
         if already_expanded:
             candidates = matches
             expansion_seconds = 0.0
         else:
             with tracer.span(names.CLIENT_EXPAND, rin_size=len(matches)) as span:
-                expansion = expand_rin(matches, self.avt)
-                candidates = expansion.matches
+                if isinstance(matches, MatchTable):
+                    candidates = expand_rin_table(matches, self.avt).table
+                else:
+                    candidates = expand_rin(matches, self.avt).matches
                 span.set(candidates=len(candidates))
             expansion_seconds = span.duration
         with tracer.span(names.CLIENT_FILTER) as span:
-            filter_result = ClientFilter(self.graph, query).filter(
-                candidates, limit=limit
-            )
+            client_filter = ClientFilter(self.graph, query)
+            if isinstance(candidates, MatchTable):
+                exact = client_filter.filter_table(
+                    candidates, limit=limit
+                ).table.to_matches()
+            else:
+                exact = client_filter.filter(candidates, limit=limit).matches
             span.set(
                 candidates=len(candidates),
-                results=len(filter_result.matches),
-                dropped=len(candidates) - len(filter_result.matches),
+                results=len(exact),
+                dropped=len(candidates) - len(exact),
             )
         outcome = ClientOutcome(
-            matches=filter_result.matches,
+            matches=exact,
             expansion_seconds=expansion_seconds,
             filter_seconds=span.duration,
             candidate_count=len(candidates),
@@ -154,11 +169,11 @@ class QueryClient:
         metrics.counter(
             names.M_FALSE_POSITIVES,
             help="Candidates rejected by the client-side filter.",
-        ).inc(len(candidates) - len(filter_result.matches))
+        ).inc(len(candidates) - len(exact))
         metrics.counter(
             names.M_MATCHES,
             help="Exact matches returned to clients across all queries.",
-        ).inc(len(filter_result.matches))
+        ).inc(len(exact))
         metrics.histogram(
             names.M_CLIENT_SECONDS,
             help="Client-side wall seconds per query.",

@@ -31,7 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.client.expansion import expand_rin
+from repro.client.expansion import expand_rin, expand_rin_table
 from repro.cloud.parallel import effective_workers, map_batch, validate_backend
 from repro.cloud.server import CloudServer
 from repro.core.config import SystemConfig
@@ -39,9 +39,11 @@ from repro.core.data_owner import DataOwner, PublishedData
 from repro.core.protocol import (
     NetworkChannel,
     decode_answer,
+    decode_answer_table,
     decode_query,
     decode_upload,
     encode_answer,
+    encode_answer_table,
     encode_query,
     encode_upload,
 )
@@ -313,27 +315,56 @@ class PrivacyPreservingSystem:
                 cloud_query = decode_query(query_payload)
             answer = self.cloud.answer(cloud_query, obs=scope)
 
-            matches, expanded = answer.matches, answer.expanded
-            if self.config.expansion_site == "cloud" and not expanded:
-                # Section 4.2.2: the expansion step may run in the cloud
-                # to spare the client, at higher communication cost.
-                with tracer.span(
-                    names.CLOUD_EXPAND, rin_size=len(matches)
-                ) as span:
-                    expansion = expand_rin(matches, self.cloud.avt)
-                    matches, expanded = expansion.matches, True
-                    span.set(candidates=len(matches))
-
-            # wire: ship the answer
             order = sorted(query.vertex_ids())
-            with tracer.span(names.ENCODE_ANSWER) as span:
-                answer_payload = encode_answer(matches, order, expanded)
-                span.set(bytes=len(answer_payload))
-            self.channel.transmit("answer", answer_payload, obs=scope)
+            table, expanded = answer.table, answer.expanded
+            if table is not None:
+                # columnar serving path: the result set stays tabular
+                # from the cloud join to the client filter; dicts are
+                # only materialized for the final (small) exact results.
+                if self.config.expansion_site == "cloud" and not expanded:
+                    # Section 4.2.2: the expansion step may run in the
+                    # cloud to spare the client, at higher communication
+                    # cost.
+                    with tracer.span(
+                        names.CLOUD_EXPAND, rin_size=len(table)
+                    ) as span:
+                        expansion = expand_rin_table(table, self.cloud.avt)
+                        table, expanded = expansion.table, True
+                        span.set(candidates=len(table))
+
+                # wire: ship the answer
+                with tracer.span(names.ENCODE_ANSWER) as span:
+                    answer_payload = encode_answer_table(
+                        table, order, expanded
+                    )
+                    span.set(bytes=len(answer_payload))
+                self.channel.transmit("answer", answer_payload, obs=scope)
+
+                with tracer.span(names.DECODE_ANSWER):
+                    received: Any
+                    received, already_expanded = decode_answer_table(
+                        answer_payload
+                    )
+            else:
+                # dict-based fallback (e.g. the direct-engine ablation)
+                matches, expanded = answer.matches, expanded
+                if self.config.expansion_site == "cloud" and not expanded:
+                    with tracer.span(
+                        names.CLOUD_EXPAND, rin_size=len(matches)
+                    ) as span:
+                        dict_expansion = expand_rin(matches, self.cloud.avt)
+                        matches, expanded = dict_expansion.matches, True
+                        span.set(candidates=len(matches))
+
+                with tracer.span(names.ENCODE_ANSWER) as span:
+                    answer_payload = encode_answer(matches, order, expanded)
+                    span.set(bytes=len(answer_payload))
+                self.channel.transmit("answer", answer_payload, obs=scope)
+
+                with tracer.span(names.DECODE_ANSWER):
+                    received, already_expanded = decode_answer(answer_payload)
 
             # client: expand (if needed) + filter
-            with tracer.span(names.DECODE_ANSWER):
-                received, already_expanded = decode_answer(answer_payload)
             outcome = self.client.process_answer(
                 query, received, already_expanded, limit=limit, obs=scope
             )

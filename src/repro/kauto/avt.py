@@ -12,10 +12,12 @@ and therefore reveal nothing beyond what ``Gk`` itself would.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.analysis.markers import hot_path
 from repro.exceptions import VerificationError
 from repro.matching.match import Match
+from repro.matching.table import Row
 
 
 class AlignmentVertexTable:
@@ -39,6 +41,12 @@ class AlignmentVertexTable:
                 if vid in self._position:
                     raise VerificationError(f"vertex {vid} appears twice in AVT")
                 self._position[vid] = (i, b)
+        # Per-shift id-remap lookup tables (``_luts[m][vid] == F_m(vid)``)
+        # built lazily on first columnar expansion.  The AVT is immutable
+        # after construction, so a duplicated lazy build under a race is
+        # benign (both threads compute identical tables; the final
+        # assignment is atomic under the GIL).
+        self._luts: list[dict[int, int]] | None = None
 
     # ------------------------------------------------------------------
     # shape
@@ -123,6 +131,62 @@ class AlignmentVertexTable:
             for match in matches:
                 expanded.append(self.apply_to_match(match, m))
         return expanded
+
+    # ------------------------------------------------------------------
+    # columnar (row) kernels
+    # ------------------------------------------------------------------
+    def _remap_luts(self) -> list[dict[int, int]]:
+        """``luts[m][vid] == F_m(vid)``: one flat lookup per shift.
+
+        Built once per AVT (lazily) so the columnar expansion applies
+        ``F_m`` to a row with a single lookup per value instead of a
+        position fetch, two tuple indexings and a per-match dict build.
+        """
+        luts = self._luts
+        if luts is None:
+            k = self._k
+            rows = self._rows
+            luts = [dict() for _ in range(k)]
+            for vid, (i, b) in self._position.items():
+                row = rows[i]
+                for m in range(k):
+                    luts[m][vid] = row[(b + m) % k]
+            self._luts = luts
+        return luts
+
+    @hot_path
+    def remap_rows(self, rows: Sequence[Row], m: int) -> list[Row]:
+        """``F_m`` applied to every row, column-wise.
+
+        Raises ``KeyError`` for any vertex id unknown to the AVT —
+        exactly like :meth:`apply_to_match`.  Callers on the client
+        path prefilter with :meth:`known_rows` first.
+        """
+        shift = m % self._k
+        if shift == 0:
+            return list(rows)
+        lut = self._remap_luts()[shift]
+        return [tuple(lut[v] for v in row) for row in rows]
+
+    @hot_path
+    def expand_rows(self, rows: Sequence[Row]) -> list[Row]:
+        """``rows ∪ F_1(rows) ∪ ... ∪ F_{k-1}(rows)`` (duplicates kept).
+
+        The columnar counterpart of :meth:`expand_matches`: identical
+        output order (all of ``F_0``, then all of ``F_1``, ...).
+        """
+        out: list[Row] = list(rows)
+        luts = self._remap_luts()
+        for m in range(1, self._k):
+            lut = luts[m]
+            out.extend(tuple(lut[v] for v in row) for row in rows)
+        return out
+
+    @hot_path
+    def known_rows(self, rows: Iterable[Row]) -> list[Row]:
+        """Rows whose every vertex id is in the AVT (order preserved)."""
+        position = self._position
+        return [row for row in rows if all(v in position for v in row)]
 
     def to_block_anchor(self, vid: int) -> tuple[int, int]:
         """Return ``(m, v)`` with ``v in B1`` and ``F_m(v) == vid``."""

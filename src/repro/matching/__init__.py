@@ -18,6 +18,13 @@ from repro.matching.match import (
     rows_to_matches,
 )
 from repro.matching.star import Decomposition, Star, star_as_graph, star_of
+from repro.matching.table import (
+    MatchTable,
+    Row,
+    RowInterner,
+    dedupe_rows,
+    row_getter,
+)
 
 __all__ = [
     "Match",
@@ -27,6 +34,11 @@ __all__ = [
     "apply_mapping",
     "matches_to_rows",
     "rows_to_matches",
+    "MatchTable",
+    "Row",
+    "RowInterner",
+    "dedupe_rows",
+    "row_getter",
     "iter_subgraph_matches",
     "find_subgraph_matches",
     "BitsetMatcher",

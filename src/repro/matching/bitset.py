@@ -23,6 +23,8 @@ function :func:`find_subgraph_matches_bitset` wraps it.
 
 from __future__ import annotations
 
+import threading
+
 from repro.exceptions import QueryError
 from repro.graph.attributed import AttributedGraph
 from repro.matching.match import Match
@@ -31,7 +33,7 @@ from repro.matching.match import Match
 class BitsetMatcher:
     """Reusable bitset index over one data graph."""
 
-    def __init__(self, data: AttributedGraph):
+    def __init__(self, data: AttributedGraph) -> None:
         self.data = data
         self._order: list[int] = sorted(data.vertex_ids())
         self._position: dict[int, int] = {
@@ -57,23 +59,35 @@ class BitsetMatcher:
             for attr, label in vertex.label_items():
                 key = (attr, label)
                 self._label_masks[key] = self._label_masks.get(key, 0) | bit
-        self._degree_masks: dict[int, int] = {}
+        # lazily filled per-degree masks: the only mutable state after
+        # construction.  A matcher may be shared by the parallel batched
+        # engine's star workers (whose contract is "shared structures
+        # are read-only or internally locked"), so the memo is guarded.
+        self._degree_masks: dict[int, int] = {}  #: guarded by _lock
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # per-query precomputation
     # ------------------------------------------------------------------
     def _degree_mask(self, minimum: int) -> int:
-        """Bitmask of data vertices with degree >= ``minimum`` (cached)."""
+        """Bitmask of data vertices with degree >= ``minimum`` (cached).
+
+        Thread-safe: the memo is read and filled under ``_lock`` (R3),
+        so concurrent queries on a shared matcher never race the lazy
+        build.  ``_degrees`` is immutable after construction, making it
+        safe to compute while holding the lock.
+        """
         if minimum <= 0:
             return (1 << len(self._order)) - 1
-        mask = self._degree_masks.get(minimum)
-        if mask is None:
-            mask = 0
-            for position, degree in enumerate(self._degrees):
-                if degree >= minimum:
-                    mask |= 1 << position
-            self._degree_masks[minimum] = mask
-        return mask
+        with self._lock:
+            mask = self._degree_masks.get(minimum)
+            if mask is None:
+                mask = 0
+                for position, degree in enumerate(self._degrees):
+                    if degree >= minimum:
+                        mask |= 1 << position
+                self._degree_masks[minimum] = mask
+            return mask
 
     def _compatibility_mask(self, query: AttributedGraph, q: int) -> int:
         """Bitmask of data vertices that query vertex ``q`` may map to."""

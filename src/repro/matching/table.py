@@ -1,0 +1,230 @@
+"""Columnar match tables — the hot-path result representation.
+
+The dict-based :data:`~repro.matching.match.Match` API is convenient at
+the system boundary, but the per-query inner loops (Algorithm 1's star
+matching, Algorithm 2's join, the AVT expansion, Algorithm 3's client
+filter) touch millions of candidate matches per query; materializing
+each one as a fresh ``dict[int, int]`` makes the per-row constant
+factor — allocation, hashing, ``match_key`` re-sorting — the dominant
+cost of the pipeline.
+
+A :class:`MatchTable` stores a result set *columnar*: a fixed
+``schema`` (the query vertex ids, in a canonical order) shared by every
+row, plus flat tuple rows holding only the data vertex ids.  That buys
+
+* **one schema per table** instead of one key set per match — a row is
+  ``len(schema)`` machine ints, not a hash table;
+* **O(1) canonical keys** — with a fixed column order the row tuple
+  *is* the canonical key, so dedupe never re-sorts
+  (:func:`~repro.matching.match.match_key` sorted every match);
+* **positional kernels** — joins extract keys by column index, the AVT
+  expansion remaps ids column-wise, and the client filter checks
+  precomputed column pairs, all without dict lookups or merges;
+* **structural sharing** — rows are immutable tuples, so tables can be
+  sliced, cached and shipped across threads without defensive copies
+  (the parallel batched engine's read-only contract holds for free).
+
+Conversion to and from the dict form lives at the boundary
+(:meth:`MatchTable.from_matches` / :meth:`MatchTable.to_matches`);
+``CloudAnswer.matches``, ``QueryOutcome.matches`` and the star-cache
+wire format are unchanged and bit-identical to the dict pipeline.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.markers import hot_path
+from repro.matching.match import Match
+
+#: One match in tabular form: the data vertex ids, in schema order.
+Row = tuple[int, ...]
+
+
+def row_getter(indices: Sequence[int]) -> Callable[[Row], Row]:
+    """A fast column extractor: ``getter(row) == tuple(row[i] for i in indices)``.
+
+    Wraps :func:`operator.itemgetter`, papering over its scalar return
+    for a single index and supporting the zero-column projection (which
+    joins on fully shared schemas need).
+    """
+    if len(indices) == 1:
+        index = indices[0]
+
+        def single(row: Row) -> Row:
+            return (row[index],)
+
+        return single
+    if not indices:
+
+        def empty(row: Row) -> Row:
+            return ()
+
+        return empty
+    # itemgetter already returns a tuple for two or more indices and is
+    # the fastest projection primitive CPython offers (C-level).
+    getter: Callable[[Row], Row] = itemgetter(*indices)
+    return getter
+
+
+@hot_path
+def dedupe_rows(rows: Iterable[Row]) -> list[Row]:
+    """Drop duplicate rows, preserving first-seen order.
+
+    The columnar replacement for
+    :func:`~repro.matching.match.dedupe_matches`: under a fixed schema
+    the row tuple is already the canonical (sorted-column) key, so no
+    per-match sort is ever performed.
+    """
+    seen: set[Row] = set()
+    add = seen.add
+    out: list[Row] = []
+    append = out.append
+    for row in rows:
+        if row not in seen:
+            add(row)
+            append(row)
+    return out
+
+
+class RowInterner:
+    """Share one tuple object per distinct row.
+
+    Expansion multiplies every row ``k`` ways and different star tables
+    of one workload repeat the same anchored rows; interning collapses
+    the duplicates to a single object so later set operations hash each
+    distinct row once and equality checks short-circuit on identity.
+    """
+
+    __slots__ = ("_pool",)
+
+    def __init__(self) -> None:
+        self._pool: dict[Row, Row] = {}
+
+    @hot_path
+    def intern(self, row: Row) -> Row:
+        """The canonical shared instance of ``row``."""
+        return self._pool.setdefault(row, row)
+
+    @hot_path
+    def intern_all(self, rows: Iterable[Row]) -> list[Row]:
+        """Intern every row, preserving order (duplicates kept)."""
+        setdefault = self._pool.setdefault
+        return [setdefault(row, row) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+
+class MatchTable:
+    """A result set ``R(·)`` in columnar form.
+
+    ``schema`` is the tuple of query vertex ids defining the column
+    order; ``rows`` is a list of equally wide tuples of data vertex
+    ids.  The constructor **trusts** its arguments on the hot path —
+    rows must already be tuples of the schema's width (use
+    :meth:`from_rows` for validated construction from untrusted data).
+
+    Tables returned by the pipeline kernels are always freshly
+    allocated and their rows are immutable, so sharing a table across
+    threads (or caching it) needs no defensive copying.
+    """
+
+    __slots__ = ("schema", "rows", "_column")
+
+    def __init__(
+        self, schema: Iterable[int], rows: list[Row] | None = None
+    ) -> None:
+        self.schema: tuple[int, ...] = tuple(schema)
+        self._column: dict[int, int] = {
+            q: i for i, q in enumerate(self.schema)
+        }
+        if len(self._column) != len(self.schema):
+            raise ValueError("duplicate query vertex in MatchTable schema")
+        self.rows: list[Row] = rows if rows is not None else []
+
+    # ------------------------------------------------------------------
+    # construction / boundary adapters
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matches(
+        cls, matches: Iterable[Mapping[int, int]], schema: Iterable[int]
+    ) -> "MatchTable":
+        """Tabulate dict matches (each must cover every schema vertex)."""
+        table = cls(schema)
+        order = table.schema
+        table.rows = [tuple(match[q] for q in order) for match in matches]
+        return table
+
+    @classmethod
+    def from_rows(
+        cls, schema: Iterable[int], rows: Iterable[Sequence[int]]
+    ) -> "MatchTable":
+        """Validated construction: rows are re-tupled and width-checked."""
+        table = cls(schema)
+        width = len(table.schema)
+        out: list[Row] = []
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != width:
+                raise ValueError(
+                    f"row width {len(tup)} does not match schema width {width}"
+                )
+            out.append(tup)
+        table.rows = out
+        return table
+
+    @hot_path
+    def to_matches(self) -> list[Match]:
+        """The boundary adapter back to dict-form matches."""
+        schema = self.schema
+        return [dict(zip(schema, row)) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    def column_of(self, q: int) -> int:
+        """Column index of query vertex ``q`` (raises ``KeyError``)."""
+        return self._column[q]
+
+    def has_column(self, q: int) -> bool:
+        return q in self._column
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchTable):
+            return NotImplemented
+        return self.schema == other.schema and self.rows == other.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchTable(schema={self.schema}, rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------
+    # columnar kernels
+    # ------------------------------------------------------------------
+    @hot_path
+    def project_rows(self, order: Sequence[int]) -> list[Row]:
+        """Rows with columns re-ordered to ``order`` (a schema subset)."""
+        if tuple(order) == self.schema:
+            return list(self.rows)
+        column = self._column
+        getter = row_getter([column[q] for q in order])
+        return [getter(row) for row in self.rows]
+
+    def projected(self, order: Sequence[int]) -> "MatchTable":
+        """A new table over the same matches with columns in ``order``."""
+        return MatchTable(order, self.project_rows(order))
+
+    def deduped(self) -> "MatchTable":
+        """A new table with duplicate rows dropped (first-seen order)."""
+        return MatchTable(self.schema, dedupe_rows(self.rows))
+
+    def interned(self, interner: RowInterner) -> "MatchTable":
+        """A new table whose rows are shared through ``interner``."""
+        return MatchTable(self.schema, interner.intern_all(self.rows))

@@ -1,0 +1,317 @@
+"""Equivalence suite: the columnar pipeline is bit-identical to the
+dict pipeline.
+
+Every columnar kernel (Algorithm 1 star matching, the Algorithm 2 join
+with and without anchor expansion, the AVT row expansion, the
+Algorithm 3 client filter) is checked against its dict-based reference
+implementation over randomly generated graphs, queries, ``k`` and
+decompositions — same results, same order, same telemetry.  Budget and
+empty-decomposition edge cases of the columnar path are covered at the
+end.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize import estimator_from_outsourced
+from repro.client.expansion import expand_rin, expand_rin_table
+from repro.client.filtering import ClientFilter
+from repro.cloud import (
+    CloudIndex,
+    CloudServer,
+    decompose_query,
+    join_star_matches,
+    join_star_matches_legacy,
+    join_star_tables,
+    match_all_stars,
+    match_star,
+    match_star_table,
+)
+from repro.exceptions import QueryError, ResultBudgetExceeded
+from repro.graph import AttributedGraph, make_schema, random_attributed_graph
+from repro.kauto import build_k_automorphic_graph
+from repro.matching import MatchTable, star_of
+from repro.outsource import build_outsourced_graph
+from repro.workloads import random_walk_query
+
+EQUIV = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+PARAMS = dict(
+    seed=st.integers(0, 10_000),
+    n=st.integers(16, 40),
+    k=st.integers(2, 4),
+    edges=st.integers(1, 4),
+)
+
+
+def deployment(seed: int, n: int, k: int, edges: int) -> SimpleNamespace:
+    """A random outsourced deployment plus a random query over it."""
+    schema = make_schema(2, 1, 4)
+    graph = random_attributed_graph(schema, n, edges_per_vertex=2, seed=seed)
+    query = random_walk_query(graph, edges, seed=seed + 1)
+    transform = build_k_automorphic_graph(graph, k, seed=seed)
+    outsourced = build_outsourced_graph(transform.gk, transform.avt)
+    index = CloudIndex.build(outsourced.graph, outsourced.block_vertices)
+    estimator = estimator_from_outsourced(
+        outsourced.block_vertices, outsourced.graph, k
+    )
+    decomposition = decompose_query(query, estimator)
+    return SimpleNamespace(
+        graph=graph,
+        query=query,
+        avt=transform.avt,
+        outsourced=outsourced,
+        index=index,
+        stars=decomposition.stars,
+    )
+
+
+class TestStarMatchingEquivalence:
+    @EQUIV
+    @given(**PARAMS)
+    def test_table_kernel_bit_identical(self, seed, n, k, edges):
+        dep = deployment(seed, n, k, edges)
+        for star in dep.stars:
+            legacy = match_star(dep.query, star, dep.index, dep.outsourced.graph)
+            table = match_star_table(
+                dep.query, star, dep.index, dep.outsourced.graph
+            )
+            assert table.schema == (star.center, *star.leaves)
+            assert table.to_matches() == legacy  # same rows, same order
+
+    @EQUIV
+    @given(**PARAMS, use_vbv=st.booleans(), use_lbv=st.booleans())
+    def test_index_ablation_flags_agree(self, seed, n, k, edges, use_vbv, use_lbv):
+        dep = deployment(seed, n, k, edges)
+        star = dep.stars[0]
+        legacy = match_star(
+            dep.query,
+            star,
+            dep.index,
+            dep.outsourced.graph,
+            use_vbv=use_vbv,
+            use_lbv=use_lbv,
+        )
+        table = match_star_table(
+            dep.query,
+            star,
+            dep.index,
+            dep.outsourced.graph,
+            use_vbv=use_vbv,
+            use_lbv=use_lbv,
+        )
+        assert table.to_matches() == legacy
+
+    def test_leafless_star(self, figure1_pipeline):
+        """An isolated query vertex yields single-column rows."""
+        pipe = figure1_pipeline
+        index = CloudIndex.build(
+            pipe.outsourced.graph, pipe.outsourced.block_vertices
+        )
+        query = AttributedGraph()
+        data = pipe.qo.vertex(0)
+        query.add_vertex(0, data.vertex_type, data.labels)
+        star = star_of(query, 0)
+        assert star.leaves == ()
+        legacy = match_star(query, star, index, pipe.outsourced.graph)
+        table = match_star_table(query, star, index, pipe.outsourced.graph)
+        assert table.schema == (0,)
+        assert table.to_matches() == legacy
+        assert len(table) > 0
+
+
+class TestJoinEquivalence:
+    @EQUIV
+    @given(**PARAMS, expand_anchor=st.booleans())
+    def test_join_bit_identical(self, seed, n, k, edges, expand_anchor):
+        dep = deployment(seed, n, k, edges)
+        star_matches, _ = match_all_stars(
+            dep.query, dep.stars, dep.index, dep.outsourced.graph
+        )
+        legacy, legacy_stats = join_star_matches_legacy(
+            dep.stars, star_matches, dep.avt, expand_anchor=expand_anchor
+        )
+        columnar, stats = join_star_matches(
+            dep.stars, star_matches, dep.avt, expand_anchor=expand_anchor
+        )
+        assert columnar == legacy  # same matches, same order
+        assert stats.anchor_center == legacy_stats.anchor_center
+        assert stats.intermediate_sizes == legacy_stats.intermediate_sizes
+        assert stats.rin_size == legacy_stats.rin_size
+
+    @EQUIV
+    @given(**PARAMS)
+    def test_unexpanded_join_bit_identical(self, seed, n, k, edges):
+        """The BAS-style join (``expand=False``) agrees as well."""
+        dep = deployment(seed, n, k, edges)
+        star_matches, _ = match_all_stars(
+            dep.query, dep.stars, dep.index, dep.outsourced.graph
+        )
+        legacy, _ = join_star_matches_legacy(
+            dep.stars, star_matches, dep.avt, expand=False
+        )
+        columnar, _ = join_star_matches(
+            dep.stars, star_matches, dep.avt, expand=False
+        )
+        assert columnar == legacy
+
+
+class TestClientEquivalence:
+    @EQUIV
+    @given(**PARAMS)
+    def test_expansion_and_filter_bit_identical(self, seed, n, k, edges):
+        dep = deployment(seed, n, k, edges)
+        star_matches, _ = match_all_stars(
+            dep.query, dep.stars, dep.index, dep.outsourced.graph
+        )
+        rin, _ = join_star_matches_legacy(dep.stars, star_matches, dep.avt)
+        schema = tuple(sorted(dep.query.vertex_ids()))
+        rin_table = MatchTable.from_matches(rin, schema)
+
+        legacy_exp = expand_rin(rin, dep.avt)
+        table_exp = expand_rin_table(rin_table, dep.avt)
+        assert table_exp.table.to_matches() == legacy_exp.matches
+        assert table_exp.rin_size == legacy_exp.rin_size
+        assert table_exp.rout_size == legacy_exp.rout_size
+
+        flt = ClientFilter(dep.graph, dep.query)
+        legacy_fr = flt.filter(legacy_exp.matches)
+        table_fr = flt.filter_table(table_exp.table)
+        assert table_fr.table.to_matches() == legacy_fr.matches
+        assert table_fr.candidates == legacy_fr.candidates
+        assert table_fr.dropped_vertex == legacy_fr.dropped_vertex
+        assert table_fr.dropped_edge == legacy_fr.dropped_edge
+        assert table_fr.dropped_label == legacy_fr.dropped_label
+
+    @EQUIV
+    @given(**PARAMS, limit=st.integers(0, 5))
+    def test_filter_limit_agrees(self, seed, n, k, edges, limit):
+        dep = deployment(seed, n, k, edges)
+        star_matches, _ = match_all_stars(
+            dep.query, dep.stars, dep.index, dep.outsourced.graph
+        )
+        rin, _ = join_star_matches_legacy(dep.stars, star_matches, dep.avt)
+        schema = tuple(sorted(dep.query.vertex_ids()))
+        candidates = expand_rin(rin, dep.avt).matches
+        table = MatchTable.from_matches(candidates, schema)
+        flt = ClientFilter(dep.graph, dep.query)
+        assert flt.filter_table(table, limit=limit).table.to_matches() == (
+            flt.filter(candidates, limit=limit).matches
+        )
+
+
+class TestServerEquivalence:
+    @EQUIV
+    @given(**PARAMS)
+    def test_cloud_answer_table_matches_legacy_pipeline(self, seed, n, k, edges):
+        """``CloudServer.answer`` (columnar end to end) equals the
+        legacy match-then-join composition."""
+        dep = deployment(seed, n, k, edges)
+        server = CloudServer(
+            dep.outsourced.graph,
+            dep.avt,
+            dep.outsourced.block_vertices,
+        )
+        answer = server.answer(dep.query)
+        assert answer.table is not None
+        star_matches, _ = match_all_stars(
+            dep.query, dep.stars, dep.index, dep.outsourced.graph
+        )
+        legacy, _ = join_star_matches_legacy(dep.stars, star_matches, dep.avt)
+        assert answer.table.to_matches() == legacy
+        assert answer.matches == legacy  # the lazy dict view agrees
+
+
+class TestAvtRowKernels:
+    @EQUIV
+    @given(seed=st.integers(0, 10_000), n=st.integers(10, 40), k=st.integers(2, 4))
+    def test_row_kernels_equal_match_kernels(self, seed, n, k):
+        schema = make_schema(2, 1, 4)
+        graph = random_attributed_graph(schema, n, edges_per_vertex=2, seed=seed)
+        avt = build_k_automorphic_graph(graph, k, seed=seed).avt
+        vids = sorted(avt.vertex_ids())[: 3 * k]
+        rows = [tuple(vids[i : i + 2]) for i in range(0, len(vids) - 1, 2)]
+        matches = [dict(enumerate(row)) for row in rows]
+        for m in range(2 * k):
+            remapped = avt.remap_rows(rows, m)
+            assert remapped == [
+                tuple(avt.apply_to_match(match, m)[q] for q in range(len(row)))
+                for match, row in zip(matches, rows)
+            ]
+        expanded = avt.expand_rows(rows)
+        assert [dict(enumerate(row)) for row in expanded] == (
+            avt.expand_matches(matches)
+        )
+        noisy = rows + [(max(vids) + 10_000, vids[0])]
+        assert avt.known_rows(noisy) == rows
+
+    def test_remap_rejects_unknown_ids(self, figure1_pipeline):
+        avt = figure1_pipeline.transform.avt
+        with pytest.raises(KeyError):
+            avt.remap_rows([(10**9,)], 1)
+
+
+class TestColumnarEdgeCases:
+    def test_star_budget_enforced_in_loop(self, figure1_pipeline):
+        """Satellite: the quota trips *inside* the leaf assignment, so
+        the overshoot is exactly one row — on both implementations."""
+        pipe = figure1_pipeline
+        index = CloudIndex.build(
+            pipe.outsourced.graph, pipe.outsourced.block_vertices
+        )
+        star = next(
+            s
+            for s in (star_of(pipe.qo, c) for c in pipe.qo.vertex_ids())
+            if len(match_star(pipe.qo, s, index, pipe.outsourced.graph)) > 1
+        )
+        for kernel in (match_star, match_star_table):
+            with pytest.raises(ResultBudgetExceeded) as exc_info:
+                kernel(pipe.qo, star, index, pipe.outsourced.graph, max_results=1)
+            assert exc_info.value.stage == "star matching"
+            assert exc_info.value.size == 2  # budget + 1, not a full center
+
+    def test_join_budget_trips_columnar(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        index = CloudIndex.build(
+            pipe.outsourced.graph, pipe.outsourced.block_vertices
+        )
+        stars = [star_of(pipe.qo, c) for c in sorted(pipe.qo.vertex_ids())]
+        tables = {
+            s.center: match_star_table(pipe.qo, s, index, pipe.outsourced.graph)
+            for s in stars
+        }
+        with pytest.raises(ResultBudgetExceeded) as exc_info:
+            join_star_tables(stars, tables, pipe.transform.avt, max_intermediate=1)
+        assert exc_info.value.stage == "result join"
+        assert exc_info.value.size == 2  # enforced per emitted row
+
+    def test_empty_decomposition_rejected(self, figure1_pipeline):
+        avt = figure1_pipeline.transform.avt
+        with pytest.raises(QueryError):
+            join_star_tables([], {}, avt)
+
+    def test_missing_star_table_rejected(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        star = star_of(pipe.qo, 0)
+        with pytest.raises(QueryError):
+            join_star_tables([star], {}, pipe.transform.avt)
+
+    def test_empty_star_table_short_circuits(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        star = star_of(pipe.qo, 0)
+        empty = MatchTable((star.center, *star.leaves))
+        rin, stats = join_star_tables(
+            [star], {star.center: empty}, pipe.transform.avt
+        )
+        assert len(rin) == 0
+        assert stats.rin_size == 0
+        assert stats.intermediate_sizes == [0]

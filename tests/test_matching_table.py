@@ -1,0 +1,178 @@
+"""Unit tests for the columnar MatchTable representation and codecs."""
+
+import pytest
+
+from repro.cloud.cache import (
+    leaf_role_order,
+    matches_to_roles,
+    roles_to_matches,
+    roles_to_table,
+    star_signature,
+    table_to_roles,
+)
+from repro.core.protocol import (
+    decode_answer,
+    decode_answer_table,
+    encode_answer,
+    encode_answer_table,
+)
+from repro.exceptions import ProtocolError
+from repro.matching import (
+    MatchTable,
+    RowInterner,
+    Star,
+    dedupe_rows,
+    row_getter,
+    star_of,
+)
+
+
+class TestRowGetter:
+    def test_multi_column(self):
+        getter = row_getter([2, 0])
+        assert getter((10, 11, 12)) == (12, 10)
+
+    def test_single_column_returns_tuple(self):
+        getter = row_getter([1])
+        assert getter((10, 11, 12)) == (11,)
+
+    def test_zero_columns(self):
+        getter = row_getter([])
+        assert getter((10, 11)) == ()
+
+
+class TestMatchTable:
+    def test_from_matches_round_trip(self):
+        matches = [{1: 10, 2: 20}, {2: 21, 1: 11}]
+        table = MatchTable.from_matches(matches, (1, 2))
+        assert table.rows == [(10, 20), (11, 21)]
+        assert table.to_matches() == matches
+
+    def test_from_rows_validates_width(self):
+        with pytest.raises(ValueError):
+            MatchTable.from_rows((1, 2), [(10, 20), (30,)])
+
+    def test_duplicate_schema_rejected(self):
+        with pytest.raises(ValueError):
+            MatchTable((1, 1))
+
+    def test_column_lookup(self):
+        table = MatchTable((3, 1, 2))
+        assert table.column_of(1) == 1
+        assert table.has_column(2)
+        assert not table.has_column(9)
+
+    def test_project_rows_reorders(self):
+        table = MatchTable((1, 2, 3), [(10, 20, 30), (11, 21, 31)])
+        assert table.project_rows([3, 1]) == [(30, 10), (31, 11)]
+        # identical order short-circuits to a copy
+        copy = table.project_rows((1, 2, 3))
+        assert copy == table.rows and copy is not table.rows
+
+    def test_projected_and_eq(self):
+        table = MatchTable((1, 2), [(10, 20)])
+        assert table.projected((2, 1)) == MatchTable((2, 1), [(20, 10)])
+        assert table != MatchTable((1, 2), [(10, 21)])
+
+    def test_deduped_first_seen_order(self):
+        table = MatchTable((1,), [(3,), (1,), (3,), (2,), (1,)])
+        assert table.deduped().rows == [(3,), (1,), (2,)]
+
+    def test_dedupe_rows_keeps_first(self):
+        assert dedupe_rows([(1, 2), (1, 2), (2, 1)]) == [(1, 2), (2, 1)]
+
+    def test_iter_and_len(self):
+        table = MatchTable((1, 2), [(10, 20), (11, 21)])
+        assert len(table) == 2
+        assert list(table) == [(10, 20), (11, 21)]
+
+
+class TestRowInterner:
+    def test_duplicates_share_one_object(self):
+        interner = RowInterner()
+        a = interner.intern((1, 2))
+        b = interner.intern((1, 2))
+        assert a is b
+        assert len(interner) == 1
+
+    def test_intern_all_preserves_order(self):
+        interner = RowInterner()
+        rows = [(1,), (2,), (1,)]
+        out = interner.intern_all(rows)
+        assert out == rows
+        assert out[0] is out[2]
+
+
+class TestCacheCodecEquivalence:
+    """The columnar cache codec writes the dict codec's wire format."""
+
+    def _star_table(self, pipe):
+        star = star_of(pipe.qo, 1)
+        from repro.cloud import CloudIndex, match_star_table
+
+        index = CloudIndex.build(
+            pipe.outsourced.graph, pipe.outsourced.block_vertices
+        )
+        return star, match_star_table(
+            pipe.qo, star, index, pipe.outsourced.graph
+        )
+
+    def test_roles_match_dict_codec(self, figure1_pipeline):
+        pipe = figure1_pipeline
+        star, table = self._star_table(pipe)
+        role_order = leaf_role_order(pipe.qo, star)
+        roles = table_to_roles(table, star, role_order)
+        assert roles == matches_to_roles(table.to_matches(), star, role_order)
+        # role-form round trip restores the canonical star schema
+        back = roles_to_table(roles, star, role_order)
+        assert back == table
+        assert back.to_matches() == roles_to_matches(roles, star, role_order)
+
+    def test_relabeling_onto_equivalent_star(self, figure1_pipeline):
+        """Roles cached for one star re-label onto another star's ids."""
+        pipe = figure1_pipeline
+        star, table = self._star_table(pipe)
+        role_order = leaf_role_order(pipe.qo, star)
+        roles = table_to_roles(table, star, role_order)
+        renamed = Star(center=star.center, leaves=star.leaves)
+        assert star_signature(pipe.qo, renamed) == star_signature(pipe.qo, star)
+        assert roles_to_table(roles, renamed, role_order).to_matches() == (
+            roles_to_matches(roles, renamed, role_order)
+        )
+
+
+class TestProtocolTableFraming:
+    def test_bytes_identical_to_dict_encoder(self):
+        matches = [{1: 10, 2: 20}, {1: 11, 2: 21}]
+        order = [1, 2]
+        table = MatchTable.from_matches(matches, order)
+        for expanded in (False, True):
+            assert encode_answer_table(table, order, expanded) == encode_answer(
+                matches, order, expanded
+            )
+
+    def test_round_trip(self):
+        table = MatchTable((2, 1), [(20, 10), (21, 11)])
+        payload = encode_answer_table(table, [1, 2], True)
+        decoded, expanded = decode_answer_table(payload)
+        assert expanded is True
+        assert decoded.schema == (1, 2)
+        assert decoded.rows == [(10, 20), (11, 21)]
+        # and the dict decoder reads the same message
+        dict_decoded, _ = decode_answer(payload)
+        assert dict_decoded == decoded.to_matches()
+
+    def test_empty_table(self):
+        table = MatchTable((1, 2))
+        decoded, expanded = decode_answer_table(
+            encode_answer_table(table, [1, 2], False)
+        )
+        assert decoded.rows == [] and expanded is False
+
+    def test_malformed_rows_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_answer_table(b'{"order":[1,2],"rows":[[1]],"expanded":false}')
+        with pytest.raises(ProtocolError):
+            decode_answer_table(b"not json")
+        with pytest.raises(ProtocolError):
+            decode_answer_table(b'{"rows":[],"expanded":false}')

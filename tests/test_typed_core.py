@@ -1,6 +1,7 @@
 """The typed-core gate, approximated locally.
 
-CI runs mypy over ``repro.core``, ``repro.cloud`` and ``repro.obs``
+CI runs mypy over ``repro.core``, ``repro.cloud``, ``repro.obs`` and
+``repro.matching`` (the columnar hot path lives there)
 with ``disallow_untyped_defs`` (see ``[tool.mypy]`` in pyproject.toml
 and the ``typecheck`` workflow job).  The development container does
 not ship mypy, so this test enforces the *completeness* half of that
@@ -22,7 +23,7 @@ SRC = REPO / "src"
 
 #: The typed core: the packages pyproject's ``[tool.mypy]`` overrides
 #: hold to ``disallow_untyped_defs`` / ``disallow_incomplete_defs``.
-TYPED_PACKAGES = ("repro/core", "repro/cloud", "repro/obs")
+TYPED_PACKAGES = ("repro/core", "repro/cloud", "repro/obs", "repro/matching")
 
 
 def _typed_core_files() -> list[Path]:
