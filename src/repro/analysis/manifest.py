@@ -32,6 +32,11 @@ LAYERS: dict[str, tuple[str, ...]] = {
         "repro.matching",  # star/match data structures + engines
         "repro.anonymize.cost_model",  # cloud-side cardinality estimation
         "repro.kauto.avt",  # the *published* Alignment Vertex Table
+        # the multilevel partitioner is a pure structural algorithm over
+        # whatever graph it is handed; the sharded cloud runs it on the
+        # published Go it already stores, so no owner/client secret
+        # crosses the boundary (labels/LCT are never consulted).
+        "repro.kauto.partition",
         "repro.obs",  # observability (names, tracing, metrics)
         "repro.core.protocol",  # the wire the cloud legitimately sees
         "repro.outsource",  # Go + delta structures the owner uploads

@@ -41,6 +41,7 @@ import sys
 from pathlib import Path
 
 from repro.cloud.server import CloudServer
+from repro.cloud.sharding import ShardedCloud
 from repro.core.config import MethodConfig, SystemConfig
 from repro.core.data_owner import DataOwner
 from repro.core.query_client import QueryClient
@@ -157,15 +158,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     lct, client_avt = load_client_side(args.deployment)
 
     obs = Observability()
-    cloud = CloudServer(
-        cloud_graph,
-        cloud_avt,
-        centers,
-        expand_in_cloud=expand,
-        star_cache_size=args.star_cache,
-        star_workers=args.star_workers,
-        obs=obs if args.trace else None,
-    )
+    cloud: CloudServer | ShardedCloud
+    if args.shards > 1:
+        cloud = ShardedCloud(
+            cloud_graph,
+            cloud_avt,
+            centers,
+            shards=args.shards,
+            expand_in_cloud=expand,
+            star_cache_size=args.star_cache,
+            backend=args.shard_backend,
+            obs=obs if args.trace else None,
+        )
+    else:
+        cloud = CloudServer(
+            cloud_graph,
+            cloud_avt,
+            centers,
+            expand_in_cloud=expand,
+            star_cache_size=args.star_cache,
+            star_workers=args.star_workers,
+            obs=obs if args.trace else None,
+        )
     client = QueryClient(graph, lct, client_avt, obs=obs if args.trace else None)
 
     anonymized = [client.prepare_query(query) for query in queries]
@@ -376,14 +390,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         lct, client_avt = load_client_side(args.deployment)
         component_obs = Observability(record=False, registry=obs.metrics)
-        cloud = CloudServer(
-            cloud_graph,
-            cloud_avt,
-            centers,
-            expand_in_cloud=expand,
-            star_cache_size=args.star_cache,
-            obs=component_obs,
-        )
+        cloud: CloudServer | ShardedCloud
+        if args.shards > 1:
+            cloud = ShardedCloud(
+                cloud_graph,
+                cloud_avt,
+                centers,
+                shards=args.shards,
+                expand_in_cloud=expand,
+                star_cache_size=args.star_cache,
+                backend=args.shard_backend,
+                obs=component_obs,
+            )
+        else:
+            cloud = CloudServer(
+                cloud_graph,
+                cloud_avt,
+                centers,
+                expand_in_cloud=expand,
+                star_cache_size=args.star_cache,
+                obs=component_obs,
+            )
         client = QueryClient(graph, lct, client_avt, obs=component_obs)
         # static privacy posture of the served deployment, as gauges
         # next to the latency metrics (per-query filter counts feed the
@@ -678,6 +705,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query star matching pool width (0/1 = serial)",
     )
     batch.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the cloud graph over N shard servers (1 = single)",
+    )
+    batch.add_argument(
+        "--shard-backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="scatter backend of the sharded cloud",
+    )
+    batch.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -771,6 +810,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="shared star-match LRU capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the cloud graph over N shard servers (1 = single)",
+    )
+    serve.add_argument(
+        "--shard-backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="scatter backend of the sharded cloud",
     )
     serve.set_defaults(func=_cmd_serve)
 

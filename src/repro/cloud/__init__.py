@@ -13,6 +13,13 @@ from repro.cloud.result_join import (
     join_star_tables,
 )
 from repro.cloud.server import CloudAnswer, CloudServer
+from repro.cloud.sharding import (
+    CloudShard,
+    ShardCacheView,
+    ShardedCloud,
+    build_shards,
+    merge_star_tables,
+)
 from repro.cloud.star_matching import (
     StarMatchStats,
     match_all_stars,
@@ -35,6 +42,11 @@ __all__ = [
     "map_batch",
     "CloudServer",
     "CloudAnswer",
+    "ShardedCloud",
+    "CloudShard",
+    "ShardCacheView",
+    "build_shards",
+    "merge_star_tables",
     "decompose_query",
     "estimate_all_stars",
     "match_star",

@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
@@ -70,12 +71,83 @@ def validate_backend(backend: str) -> str:
 # fork; children inherit the registry (and the server behind it)
 # copy-on-write and look it up by token.  Only the token + payload are
 # pickled per task.
-_FORK_REGISTRY: dict[int, Callable] = {}
+_FORK_REGISTRY: dict[int, Callable] = {}  #: guarded by _FORK_LOCK
+# R3 (lock discipline): concurrent process-backend batches — two
+# ShardedCloud answers, or a sharded answer inside a process batch —
+# register and pop tokens from different threads; the registry dict is
+# shared module state and every parent-side mutation holds this lock.
+_FORK_LOCK = threading.Lock()
 _FORK_TOKENS = itertools.count(1)
 
 
 def _call_registered(token: int, payload: Any) -> Any:  # pragma: no cover - runs in child
+    # Lock-free by design: this runs in a freshly forked, single-threaded
+    # child whose registry snapshot was fixed at fork time (the parent
+    # registered the token before creating the pool).
     return _FORK_REGISTRY[token](payload)
+
+
+class PersistentProcessPool:
+    """A long-lived fork pool bound to one registered callable.
+
+    :func:`map_batch` builds a fresh ``ProcessPoolExecutor`` per call,
+    so every batch repays the fork *plus* the copy-on-write faulting of
+    the inherited heap — refcount updates dirty every object page a
+    worker touches, which for a graph-scanning task costs about as much
+    as the scan itself.  Callers that scatter over the same immutable
+    state once per query (:class:`repro.cloud.sharding.ShardedCloud`)
+    keep one of these alive instead: children fork once, fault their
+    share of the heap once, and stay warm for every later call.
+
+    The callable is parked in the fork registry *before* the pool is
+    created — exactly like ``map_batch``'s process branch — and stays
+    registered for the pool's lifetime (popped by :meth:`close`).  Per
+    call only the payload items and results cross the pipe.
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], max_workers: int) -> None:
+        if not fork_available():  # pragma: no cover - non-fork platforms
+            raise RuntimeError(
+                "PersistentProcessPool requires the fork start method"
+            )
+        self._token = next(_FORK_TOKENS)
+        with _FORK_LOCK:
+            _FORK_REGISTRY[self._token] = fn
+        context = multiprocessing.get_context("fork")
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=max(1, int(max_workers)), mp_context=context
+        )
+
+    def map(self, items: Sequence[Any]) -> list[Any]:
+        """Apply the bound callable to every item; results in input order.
+
+        Re-raises the first task exception, like :func:`map_batch`.  The
+        pool survives task exceptions (only a crashed worker breaks it).
+        """
+        pool = self._pool
+        if pool is None:
+            raise RuntimeError("persistent pool is closed")
+        return list(
+            pool.map(_call_registered, itertools.repeat(self._token), items)
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._pool is None
+
+    def close(self) -> None:
+        """Shut the workers down and unregister the callable (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        with _FORK_LOCK:
+            _FORK_REGISTRY.pop(self._token, None)
+
+    def __enter__(self) -> "PersistentProcessPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def map_batch(
@@ -102,7 +174,8 @@ def map_batch(
             backend = "thread"
         else:
             token = next(_FORK_TOKENS)
-            _FORK_REGISTRY[token] = fn
+            with _FORK_LOCK:
+                _FORK_REGISTRY[token] = fn
             try:
                 context = multiprocessing.get_context("fork")
                 with ProcessPoolExecutor(
@@ -112,7 +185,8 @@ def map_batch(
                         pool.map(_call_registered, itertools.repeat(token), items)
                     )
             finally:
-                _FORK_REGISTRY.pop(token, None)
+                with _FORK_LOCK:
+                    _FORK_REGISTRY.pop(token, None)
 
     with ThreadPoolExecutor(
         max_workers=workers, thread_name_prefix="repro-batch"

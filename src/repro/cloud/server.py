@@ -391,10 +391,24 @@ class CloudServer:
                 if matcher is None:
                     matcher = self._direct_matcher = BitsetMatcher(self.graph)
             matches = matcher.find_matches(query)
-            root.set(rs_size=0, rin_size=len(matches), matches=len(matches))
+            root.set(
+                rs_size=len(matches),
+                rin_size=len(matches),
+                matches=len(matches),
+            )
         elapsed = root.duration
-        stats = StarMatchStats(seconds=elapsed)
+        # The direct engine matches the whole query as one pseudo-star,
+        # so its result set *is* |RS|.  Reporting result_sizes under the
+        # sentinel key -1 (no query vertex is negative) keeps rs_size,
+        # the span attribute above and the M_STAR_MATCHES counter
+        # consistent with the stars engine — they all used to read 0
+        # here, under-counting every direct-engine query.
+        stats = StarMatchStats(seconds=elapsed, result_sizes={-1: len(matches)})
         join_stats = JoinStats(seconds=0.0, rin_size=len(matches))
+        obs.metrics.counter(
+            names.M_STAR_MATCHES,
+            help="Star matches (|RS|) produced across all queries.",
+        ).inc(len(matches))
         obs.metrics.histogram(
             names.M_CLOUD_SECONDS,
             help="Cloud-side wall seconds per query.",

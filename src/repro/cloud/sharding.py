@@ -1,0 +1,774 @@
+"""Sharded scatter-gather cloud: ``Go`` partitioned across N servers.
+
+The paper's cloud holds all of ``Go`` in one machine.  This module
+scales the same engine horizontally, the way STwig partitions billion
+node graphs over Trinity: the coordinator splits ``Go`` into ``N``
+shards with the multilevel partitioner
+(:func:`repro.kauto.partition.partition_graph` — the privacy argument:
+the partitioner is a pure structural algorithm run on the *published*
+graph the cloud already stores, so no owner/client secret is
+consulted), scatters each query's star plan to every shard, and joins
+the gathered per-shard tables centrally.
+
+**Halo construction.**  A star anchored at center ``c`` touches only
+``c`` and its direct neighbours, so shard ``i`` stores its centers
+(``block_i ∩ center_vertices``) plus a one-hop *halo* of every
+neighbour of those centers.  Within the shard subgraph each local
+center then has exactly its ``Go`` neighbourhood — star matching
+against the shard is bit-identical to matching the same center against
+the full graph.  Halo vertices are storage overlap only: they are
+never indexed as centers, so each candidate center lives in exactly
+one shard.
+
+**Bit-identity.**  Single-server star tables list centers in
+``center_vertices`` order (the VBV yields candidates in ascending bit
+position) with a deterministic DFS row block per center.  Shard-local
+center lists preserve the global order, so gathering is a stable merge
+of the per-shard tables keyed by each row's global center position —
+followed by a defensive dedupe — and reproduces the single-server
+table exactly, rows and order.  The central join, budget enforcement
+and telemetry then run the very same code as
+:class:`~repro.cloud.server.CloudServer`, making
+:meth:`ShardedCloud.answer` bit-identical to the single-server path
+for every shard count and scatter backend.
+
+**Wire format.**  With a :class:`~repro.core.protocol.NetworkChannel`
+attached, scatter/gather really crosses the simulated wire: one
+:func:`~repro.core.protocol.encode_shard_request` frame per shard out,
+one :func:`~repro.core.protocol.encode_shard_tables` frame per shard
+back, all byte-accounted under the ``shard_query``/``shard_answer``
+directions.  Without a channel (the default) the handoff is in-memory
+and only the scatter backend (serial/thread/fork-process via
+:func:`~repro.cloud.parallel.map_batch`) is exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.markers import hot_path
+from repro.anonymize.cost_model import (
+    StarCardinalityEstimator,
+    estimator_from_outsourced,
+)
+from repro.cloud.cache import (
+    StarMatchCache,
+    leaf_role_order,
+    roles_to_table,
+    star_signature,
+    table_to_roles,
+)
+from repro.cloud.decomposition import decompose_query
+from repro.cloud.index import CloudIndex
+from repro.cloud.parallel import (
+    PersistentProcessPool,
+    effective_workers,
+    fork_available,
+    map_batch,
+    validate_backend,
+)
+from repro.cloud.result_join import join_star_tables
+from repro.cloud.server import CloudAnswer
+from repro.cloud.star_matching import StarMatchStats, match_star_table
+from repro.core.protocol import (
+    NetworkChannel,
+    decode_shard_request,
+    decode_shard_tables,
+    encode_shard_request,
+    encode_shard_tables,
+)
+from repro.exceptions import ResultBudgetExceeded
+from repro.graph.attributed import AttributedGraph
+from repro.graph.stats import compute_statistics
+from repro.kauto.avt import AlignmentVertexTable
+from repro.kauto.partition import partition_graph
+from repro.matching.star import Star
+from repro.matching.table import MatchTable, Row, dedupe_rows
+from repro.obs import Observability, SlidingWindow, names
+from repro.outsource.delta import GoDelta
+
+import threading
+
+
+@dataclass
+class CloudShard:
+    """One shard server: a slice of ``Go`` with its own index + cache.
+
+    ``centers`` is this shard's subsequence of the global
+    ``center_vertices`` list (global order preserved — the merge step
+    depends on it); ``graph`` is the induced subgraph over the centers
+    plus their one-hop halo; ``index``/``cache`` mirror a standalone
+    :class:`~repro.cloud.server.CloudServer`'s per-server state.
+    """
+
+    shard_id: int
+    centers: list[int]
+    graph: AttributedGraph
+    index: CloudIndex
+    cache: StarMatchCache
+
+    def index_size_bytes(self) -> int:
+        return self.index.size_bytes()
+
+
+def halo_vertices(graph: AttributedGraph, centers: Sequence[int]) -> set[int]:
+    """The shard's vertex set: centers plus every direct neighbour.
+
+    One hop suffices: a star match binds the center and vertices
+    adjacent to it, and leaf label checks only read vertex data — no
+    leaf-to-leaf edges are ever consulted (those belong to other stars
+    of the decomposition).
+    """
+    keep: set[int] = set(centers)
+    for center in centers:
+        keep |= graph.neighbors(center)
+    return keep
+
+
+def build_shards(
+    graph: AttributedGraph,
+    center_vertices: Sequence[int],
+    shards: int,
+    star_cache_size: int = 0,
+    seed: int = 0,
+) -> list[CloudShard]:
+    """Partition ``graph`` and stand up one :class:`CloudShard` per block.
+
+    Blocks that receive no candidate centers are dropped (they would
+    answer every request with empty tables), so the returned list may
+    be shorter than ``shards`` on small graphs.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    position = {vid: i for i, vid in enumerate(center_vertices)}
+    if shards == 1:
+        blocks = [list(center_vertices)]
+    else:
+        blocks = partition_graph(graph, shards, seed=seed)
+    built: list[CloudShard] = []
+    for block in blocks:
+        members = set(block)
+        centers = [vid for vid in center_vertices if vid in members]
+        if not centers:
+            continue
+        shard_graph = graph.induced_subgraph(
+            halo_vertices(graph, centers), name=f"shard-{len(built)}"
+        )
+        built.append(
+            CloudShard(
+                shard_id=len(built),
+                centers=centers,
+                graph=shard_graph,
+                index=CloudIndex.build(shard_graph, centers),
+                cache=StarMatchCache(star_cache_size),
+            )
+        )
+    # re-assert the global invariant the merge relies on: every center
+    # in exactly one shard, in global order within each
+    assert sum(len(s.centers) for s in built) == len(position)
+    return built
+
+
+@hot_path
+def merge_star_tables(
+    star: Star, tables: Sequence[MatchTable], position: dict[int, int]
+) -> MatchTable:
+    """Gather one star's per-shard tables into the single-server table.
+
+    Rows are keyed by the global position of their center (column 0 of
+    the star schema); each shard's rows arrive already ordered by it,
+    and shard center sets are disjoint, so a stable sort reconstructs
+    exactly the order the full-graph kernel emits.  The trailing dedupe
+    is defensive — halo vertices are never indexed, so duplicates can
+    only come from a misbehaving shard reply.
+    """
+    schema = (star.center, *star.leaves)
+    rows: list[Row] = []
+    for table in tables:
+        if table.schema == schema:
+            rows.extend(table.rows)
+        else:
+            rows.extend(table.project_rows(schema))
+    rows.sort(key=lambda row: position[row[0]])
+    return MatchTable(schema, dedupe_rows(rows))
+
+
+class ShardCacheView:
+    """CloudServer-compatible facade over the per-shard star caches.
+
+    ``PrivacyPreservingSystem.query_batch`` and the CLI read
+    ``cloud.star_cache.counters()``; this view aggregates the shard
+    caches behind the same surface.  It reads through a callable so a
+    post-:meth:`ShardedCloud.apply_delta` rebuild is reflected
+    immediately.
+    """
+
+    def __init__(self, caches: Callable[[], list[StarMatchCache]]) -> None:
+        self._caches = caches
+
+    @property
+    def hits(self) -> int:
+        return sum(cache.counters()[0] for cache in self._caches())
+
+    @property
+    def misses(self) -> int:
+        return sum(cache.counters()[1] for cache in self._caches())
+
+    def counters(self) -> tuple[int, int]:
+        """Aggregate ``(hits, misses)`` across every shard cache."""
+        hits = misses = 0
+        for cache in self._caches():
+            shard_hits, shard_misses = cache.counters()
+            hits += shard_hits
+            misses += shard_misses
+        return hits, misses
+
+    def clear(self) -> None:
+        for cache in self._caches():
+            cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        hits, misses = self.counters()
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self._caches())
+
+
+class ShardedCloud:
+    """Scatter-gather coordinator over ``N`` :class:`CloudShard` servers.
+
+    Construction mirrors :class:`~repro.cloud.server.CloudServer` (the
+    coordinator still holds the full published graph — it is the data
+    the owner uploaded; the shards are the cloud's *internal* layout),
+    plus:
+
+    shards:
+        Requested shard count.  Shards whose partition block holds no
+        candidate center are dropped; ``len(cloud.shards)`` is the
+        effective count.
+    backend / max_workers:
+        How star-match requests are scattered:
+        :func:`~repro.cloud.parallel.map_batch` semantics
+        (``serial``/``thread``/``process``).  The fork-process backend
+        scatters through a persistent
+        :class:`~repro.cloud.parallel.PersistentProcessPool` — children
+        inherit the shard state copy-on-write at first use and stay
+        warm across answers (so per-shard cache updates live in the
+        children, and the page-faulting cost of the inherited heap is
+        paid once, not per query).
+    channel:
+        Optional :class:`~repro.core.protocol.NetworkChannel`.  When
+        given, every scatter/gather really encodes, transmits and
+        decodes shard frames (byte-accounted under ``shard_query`` /
+        ``shard_answer``); ``None`` (default) hands tables over
+        in-memory.
+    partition_seed:
+        Seed of the multilevel partitioner (answers are bit-identical
+        for every seed; the seed only shapes the shard layout).
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        avt: AlignmentVertexTable,
+        center_vertices: list[int],
+        shards: int = 2,
+        expand_in_cloud: bool = True,
+        max_intermediate_results: int | None = None,
+        join_strategy: str = "rin",
+        star_cache_size: int = 0,
+        decomposition_strategy: str = "optimal",
+        backend: str = "thread",
+        max_workers: int | None = None,
+        channel: NetworkChannel | None = None,
+        partition_seed: int = 0,
+        obs: Observability | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if join_strategy not in ("rin", "full"):
+            raise ValueError("join_strategy must be 'rin' or 'full'")
+        if decomposition_strategy not in ("optimal", "greedy"):
+            raise ValueError("decomposition_strategy must be 'optimal' or 'greedy'")
+        validate_backend(backend)
+        self.graph = graph
+        self.avt = avt
+        self.center_vertices = list(center_vertices)
+        self.shard_count = shards
+        self.expand_in_cloud = expand_in_cloud
+        self.max_intermediate_results = max_intermediate_results
+        self.join_strategy = join_strategy
+        self.star_cache_size = star_cache_size
+        self.decomposition_strategy = decomposition_strategy
+        self.backend = backend
+        self.max_workers = max_workers
+        self.channel = channel
+        self.partition_seed = partition_seed
+        self._state_lock = threading.Lock()
+        # persistent fork pool of the process backend: forked lazily on
+        # the first process scatter and reused across answers so the
+        # children's copy-on-write faulting of the shard heap is paid
+        # once, not per query.  Swapped out whenever the shard state it
+        # snapshotted changes (apply_delta) and torn down by close().
+        self._scatter_pool: PersistentProcessPool | None = None  #: guarded by _state_lock
+        self._scatter_pool_version = -1  #: guarded by _state_lock
+        self._shard_version = 0  #: guarded by _state_lock
+        self.obs = obs if obs is not None else Observability.measuring()
+        with self.obs.tracer.span(names.CLOUD_INDEX_BUILD) as span:
+            self._shards = build_shards(  #: guarded by _state_lock
+                graph,
+                self.center_vertices,
+                shards,
+                star_cache_size=star_cache_size,
+                seed=partition_seed,
+            )
+            span.set(
+                shards=len(self._shards),
+                index_bytes=sum(s.index_size_bytes() for s in self._shards),
+                build_seconds=sum(s.index.build_seconds for s in self._shards),
+            )
+        self._center_position = {
+            vid: i for i, vid in enumerate(self.center_vertices)
+        }
+        self.estimator = self._build_estimator()
+        self.star_cache = ShardCacheView(self._shard_caches)
+        self.obs.metrics.register_callback(
+            names.M_CACHE_HITS,
+            lambda: float(self.star_cache.hits),
+            help="Star-cache hits across all shards (or since clear).",
+        )
+        self.obs.metrics.register_callback(
+            names.M_CACHE_MISSES,
+            lambda: float(self.star_cache.misses),
+            help="Star-cache misses across all shards (or since clear).",
+        )
+        self.latency_window = SlidingWindow(capacity=1024)
+        self.latency_window.register(
+            self.obs.metrics,
+            names.W_CLOUD_WINDOW,
+            help="Cloud-side answer seconds over the SLO window.",
+        )
+
+    # ------------------------------------------------------------------
+    # shard state accessors
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> list[CloudShard]:
+        """A snapshot of the current shard servers."""
+        with self._state_lock:
+            return list(self._shards)
+
+    def _shard_caches(self) -> list[StarMatchCache]:
+        with self._state_lock:
+            return [shard.cache for shard in self._shards]
+
+    def _build_estimator(self) -> StarCardinalityEstimator:
+        # identical to CloudServer._build_estimator: decomposition must
+        # pick the same star plan the single server would.
+        if self.expand_in_cloud:
+            return estimator_from_outsourced(
+                self.center_vertices, self.graph, self.avt.k
+            )
+        stats = compute_statistics(self.graph)
+        return StarCardinalityEstimator(
+            block_stats=stats,
+            gk_vertex_count=self.graph.vertex_count,
+            average_degree=self.graph.average_degree(),
+            k=1,
+        )
+
+    # ------------------------------------------------------------------
+    # query answering
+    # ------------------------------------------------------------------
+    def answer(
+        self, query: AttributedGraph, obs: Observability | None = None
+    ) -> CloudAnswer:
+        """The full scatter-gather pipeline on an anonymized query ``Qo``.
+
+        Bit-identical to single-server
+        :meth:`~repro.cloud.server.CloudServer.answer`: same
+        decomposition, same star tables (same rows, same order), same
+        join, same budget trips, same telemetry fields.
+        """
+        if obs is None:
+            obs = self.obs
+        tracer = obs.tracer
+        with self._state_lock:
+            shards = list(self._shards)
+
+        with tracer.span(names.CLOUD_ANSWER) as root:
+            with tracer.span(names.CLOUD_DECOMPOSE) as decompose_span:
+                decomposition = decompose_query(
+                    query, self.estimator, strategy=self.decomposition_strategy
+                )
+                decompose_span.set(stars=len(decomposition.stars))
+
+            star_tables, star_stats, shard_results = self._scatter_gather(
+                query, decomposition.stars, shards, tracer, obs
+            )
+            full_join = self.join_strategy == "full"
+            with tracer.span(names.CLOUD_JOIN) as join_span:
+                rin_table, join_stats = join_star_tables(
+                    decomposition.stars,
+                    star_tables,
+                    self.avt,
+                    expand=self.expand_in_cloud,
+                    max_intermediate=self.max_intermediate_results,
+                    expand_anchor=full_join,
+                )
+                join_span.set(
+                    rin_size=join_stats.rin_size,
+                    intermediate_peak=max(
+                        join_stats.intermediate_sizes, default=0
+                    ),
+                )
+            root.set(
+                rs_size=star_stats.total_results,
+                rin_size=join_stats.rin_size,
+                matches=len(rin_table),
+                expanded=not self.expand_in_cloud or full_join,
+                shards=len(shards),
+            )
+
+        metrics = obs.metrics
+        metrics.counter(
+            names.M_STAR_MATCHES,
+            help="Star matches (|RS|) produced across all queries.",
+        ).inc(star_stats.total_results)
+        metrics.counter(
+            names.M_SHARD_MATCHES,
+            help="Per-shard star matches gathered (pre-merge).",
+        ).inc(shard_results)
+        metrics.gauge(
+            names.M_INTERMEDIATE_PEAK,
+            help="Largest join intermediate seen by any query.",
+        ).set_max(max(join_stats.intermediate_sizes, default=0))
+        metrics.histogram(
+            names.M_CLOUD_SECONDS,
+            help="Cloud-side wall seconds per query.",
+        ).observe(root.duration)
+        if obs.enabled:
+            self.latency_window.observe(root.duration)
+
+        return CloudAnswer(
+            table=rin_table,
+            expanded=not self.expand_in_cloud or full_join,
+            decomposition=decomposition,
+            decomposition_seconds=decompose_span.duration,
+            star_stats=star_stats,
+            join_stats=join_stats,
+            cloud_seconds=root.duration,
+        )
+
+    def query_batch(
+        self,
+        queries: list[AttributedGraph],
+        max_workers: int | None = None,
+        backend: str = "thread",
+    ) -> list[CloudAnswer]:
+        """Answer a workload concurrently; results in input order.
+
+        Each query runs the full scatter-gather of :meth:`answer`; the
+        shard indexes are shared read-only and each shard's cache is
+        internally locked, so batch workers overlap freely.  Nesting a
+        ``process`` batch over a ``process`` scatter is legal (each
+        forked batch child scatters over its inherited shard copies).
+        """
+        validate_backend(backend)
+        return map_batch(self.answer, list(queries), max_workers, backend)
+
+    # ------------------------------------------------------------------
+    # scatter / gather
+    # ------------------------------------------------------------------
+    @hot_path
+    def _match_on_shard(
+        self, shard: CloudShard, query: AttributedGraph, stars: Sequence[Star]
+    ) -> dict[int, MatchTable]:
+        """Match every star of the plan against one shard (Algorithm 1).
+
+        The per-shard replica of the single server's cached star loop:
+        misses run the columnar kernel over the shard graph/index,
+        hits re-label the shard cache's role-form rows.
+        """
+        results: dict[int, MatchTable] = {}
+        use_cache = shard.cache.capacity > 0
+        for star in stars:
+            if use_cache:
+                signature = star_signature(query, star)
+                role_order = leaf_role_order(query, star)
+                roles = shard.cache.get(signature)
+                if roles is None:
+                    table = match_star_table(
+                        query,
+                        star,
+                        shard.index,
+                        shard.graph,
+                        max_results=self.max_intermediate_results,
+                    )
+                    shard.cache.put(
+                        signature, table_to_roles(table, star, role_order)
+                    )
+                else:
+                    table = roles_to_table(roles, star, role_order)
+            else:
+                table = match_star_table(
+                    query,
+                    star,
+                    shard.index,
+                    shard.graph,
+                    max_results=self.max_intermediate_results,
+                )
+            results[star.center] = table
+        return results
+
+    def _make_scatter_worker(
+        self, shards: list[CloudShard]
+    ) -> Callable[[tuple[int, AttributedGraph, tuple[Star, ...]]], dict[int, MatchTable]]:
+        """The fixed callable a persistent scatter pool is bound to.
+
+        Captures an explicit shard snapshot rather than reading
+        ``self._shards`` so the forked children never touch the
+        coordinator's state lock (a lock inherited mid-acquisition
+        would deadlock the child); per task only the payload triple
+        crosses the pipe.
+        """
+
+        def run(
+            payload: tuple[int, AttributedGraph, tuple[Star, ...]]
+        ) -> dict[int, MatchTable]:
+            position, query, stars = payload
+            return self._match_on_shard(shards[position], query, list(stars))
+
+        return run
+
+    def _ensure_scatter_pool(self, workers: int) -> PersistentProcessPool:
+        """The warm fork pool for the current shard state (lazily forked).
+
+        A pool snapshotted against stale shard state (after
+        :meth:`apply_delta`) is replaced — its children hold the old
+        copy-on-write graph and would answer against it forever.
+        """
+        stale: PersistentProcessPool | None = None
+        with self._state_lock:
+            pool = self._scatter_pool
+            if (
+                pool is not None
+                and self._scatter_pool_version == self._shard_version
+            ):
+                return pool
+            stale = pool
+            pool = PersistentProcessPool(
+                self._make_scatter_worker(list(self._shards)), workers
+            )
+            self._scatter_pool = pool
+            self._scatter_pool_version = self._shard_version
+        if stale is not None:
+            stale.close()
+        return pool
+
+    def _scatter_gather(
+        self,
+        query: AttributedGraph,
+        stars: Sequence[Star],
+        shards: list[CloudShard],
+        tracer: NullTracer,
+        obs: Observability,
+    ) -> tuple[dict[int, MatchTable], StarMatchStats, int]:
+        """Scatter the star plan, gather and merge the shard tables.
+
+        Returns the merged per-star tables (single-server identical),
+        the :class:`StarMatchStats`, and the raw pre-merge shard result
+        count (the ``shard_star_matches_total`` increment).
+        """
+        stats = StarMatchStats()
+        star_list = list(stars)
+        channel = self.channel
+
+        with tracer.span(
+            names.CLOUD_STAR_MATCHING, stars=len(star_list), shards=len(shards)
+        ) as matching_span:
+            with tracer.span(names.CLOUD_SCATTER, shards=len(shards)) as scatter:
+                payload: bytes | None = None
+                if channel is not None:
+                    payload = encode_shard_request(query, star_list)
+                    for _ in shards:
+                        channel.transmit("shard_query", payload, obs=obs)
+                    scatter.set(bytes=len(payload) * len(shards))
+
+            if channel is not None:
+                request = payload
+
+                def run_shard_wire(position: int) -> bytes:
+                    shard = shards[position]
+                    with tracer.span(
+                        names.CLOUD_SHARD_MATCH,
+                        parent=matching_span,
+                        shard=shard.shard_id,
+                    ) as span:
+                        assert request is not None
+                        shard_query, shard_stars = decode_shard_request(request)
+                        tables = self._match_on_shard(
+                            shard, shard_query, shard_stars
+                        )
+                        span.set(
+                            results=sum(len(t) for t in tables.values())
+                        )
+                    return encode_shard_tables(tables)
+
+                replies = map_batch(
+                    run_shard_wire,
+                    list(range(len(shards))),
+                    self.max_workers,
+                    self.backend,
+                )
+                per_shard: list[dict[int, MatchTable]] = []
+                for reply in replies:
+                    channel.transmit("shard_answer", reply, obs=obs)
+                    per_shard.append(decode_shard_tables(reply))
+            else:
+                workers = effective_workers(self.max_workers, len(shards))
+                if (
+                    self.backend == "process"
+                    and workers > 1
+                    and len(shards) > 1
+                    and fork_available()
+                ):
+                    # warm persistent children; per-shard spans would
+                    # only exist inside the forked workers (invisible
+                    # to this tracer), so none are opened here.
+                    pool = self._ensure_scatter_pool(workers)
+                    per_shard = pool.map(
+                        [
+                            (position, query, tuple(star_list))
+                            for position in range(len(shards))
+                        ]
+                    )
+                else:
+
+                    def run_shard(position: int) -> dict[int, MatchTable]:
+                        shard = shards[position]
+                        with tracer.span(
+                            names.CLOUD_SHARD_MATCH,
+                            parent=matching_span,
+                            shard=shard.shard_id,
+                        ) as span:
+                            tables = self._match_on_shard(
+                                shard, query, star_list
+                            )
+                            span.set(
+                                results=sum(len(t) for t in tables.values())
+                            )
+                        return tables
+
+                    per_shard = map_batch(
+                        run_shard,
+                        list(range(len(shards))),
+                        self.max_workers,
+                        self.backend,
+                    )
+
+            with tracer.span(names.CLOUD_GATHER) as gather_span:
+                results: dict[int, MatchTable] = {}
+                shard_results = 0
+                budget = self.max_intermediate_results
+                for star in star_list:
+                    tables = [
+                        shard_tables[star.center]
+                        for shard_tables in per_shard
+                        if star.center in shard_tables
+                    ]
+                    shard_results += sum(len(table) for table in tables)
+                    merged = merge_star_tables(
+                        star, tables, self._center_position
+                    )
+                    if budget is not None and len(merged) > budget:
+                        # a shard-local trip would already have raised in
+                        # the scatter; this catches unions that only
+                        # exceed the budget once merged — exactly the
+                        # queries the single server rejects.
+                        raise ResultBudgetExceeded(
+                            "star matching", len(merged), budget
+                        )
+                    results[star.center] = merged
+                    stats.result_sizes[star.center] = len(merged)
+                gather_span.set(
+                    rs_size=stats.total_results, shard_results=shard_results
+                )
+            matching_span.set(rs_size=stats.total_results)
+        stats.seconds = matching_span.duration
+        return results, stats, shard_results
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GoDelta) -> None:
+        """Apply an owner delta and rebuild every shard.
+
+        Same contract as
+        :meth:`~repro.cloud.server.CloudServer.apply_delta`: graph and
+        AVT update, indexes rebuild, caches invalidate (the rebuild
+        replaces them wholesale).  ``Go`` deployments only.
+        """
+        from repro.outsource.delta import apply_go_delta
+        from repro.outsource.outsourced_graph import OutsourcedGraph
+
+        if not self.expand_in_cloud:
+            raise ValueError("deltas apply to Go deployments only")
+        outsourced = OutsourcedGraph(
+            graph=self.graph, block_vertices=self.center_vertices
+        )
+        apply_go_delta(outsourced, delta)
+        self.center_vertices = outsourced.block_vertices
+        if delta.added_avt_rows:
+            rows = [list(row) for row in self.avt.rows()]
+            rows.extend(delta.added_avt_rows)
+            self.avt = AlignmentVertexTable(rows)
+        self.estimator = self._build_estimator()
+        self._center_position = {
+            vid: i for i, vid in enumerate(self.center_vertices)
+        }
+        rebuilt = build_shards(
+            self.graph,
+            self.center_vertices,
+            self.shard_count,
+            star_cache_size=self.star_cache_size,
+            seed=self.partition_seed,
+        )
+        with self._state_lock:
+            self._shards = rebuilt
+            self._shard_version += 1
+            stale, self._scatter_pool = self._scatter_pool, None
+        if stale is not None:
+            # children hold the pre-delta graph copy-on-write; drain
+            # them so the next process scatter forks fresh state.
+            stale.close()
+
+    def close(self) -> None:
+        """Tear down the persistent scatter pool (if one was forked)."""
+        with self._state_lock:
+            stale, self._scatter_pool = self._scatter_pool, None
+        if stale is not None:
+            stale.close()
+
+    def __enter__(self) -> "ShardedCloud":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def index_size_bytes(self) -> int:
+        """Total bytes across every shard's VBV/LBV tables."""
+        with self._state_lock:
+            return sum(shard.index_size_bytes() for shard in self._shards)
+
+    def index_build_seconds(self) -> float:
+        """Summed shard index build time (they build sequentially)."""
+        with self._state_lock:
+            return sum(shard.index.build_seconds for shard in self._shards)

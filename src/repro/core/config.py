@@ -89,6 +89,14 @@ class SystemConfig:
     # (default) keeps the paper's serial loop; results are bit-identical
     # either way.
     star_workers: int = 0
+    # number of cloud shards: 1 (default) deploys the paper's single
+    # CloudServer; N > 1 deploys a ShardedCloud that partitions Go over
+    # N shard servers and scatter-gathers each query.  Answers are
+    # bit-identical at every shard count.
+    shards: int = 1
+    # scatter backend of the sharded cloud ("serial", "thread" or
+    # "process"); ignored when shards == 1.
+    shard_backend: str = "thread"
     # -- serving telemetry (repro.obs.events / repro.obs.windows) -------
     # JSONL event-log destination.  None (default) disables structured
     # event logging entirely; a path makes PrivacyPreservingSystem
@@ -138,6 +146,18 @@ class SystemConfig:
             raise ConfigError("star_cache_size must be >= 0")
         if self.star_workers < 0:
             raise ConfigError("star_workers must be >= 0")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool):
+            raise ConfigError(f"shards must be an int, got {self.shards!r}")
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        # validated against a literal so importing repro.core.config
+        # does not pull the whole cloud package; must stay in sync with
+        # repro.cloud.parallel.BACKENDS (pinned by tests).
+        if self.shard_backend not in ("serial", "thread", "process"):
+            raise ConfigError(
+                "shard_backend must be 'serial', 'thread' or 'process', "
+                f"got {self.shard_backend!r}"
+            )
         if self.event_log_level not in ("debug", "info"):
             raise ConfigError(
                 f"event_log_level must be 'debug' or 'info', "

@@ -12,18 +12,28 @@ setting: results of a few KiB transmit in single-digit milliseconds).
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import GraphError, ProtocolError
 from repro.graph.attributed import AttributedGraph
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match, matches_to_rows, rows_to_matches
+from repro.matching.star import Star
 from repro.matching.table import MatchTable
 from repro.obs import Observability, names
 
 DEFAULT_BANDWIDTH_BYTES_PER_SEC = 1_000_000  # ~1 MB/s effective throughput
 DEFAULT_LATENCY_SECONDS = 0.001
+
+#: The unified malformed-payload envelope: everything a hostile or
+#: truncated message can raise out of ``json.loads`` + the field
+#: accessors + the graph/AVT/table constructors.  Every ``decode_*``
+#: traps exactly this tuple and re-raises :class:`ProtocolError`, so a
+#: bad shard reply (or any other frame) can never surface as a raw
+#: ``TypeError``/``AttributeError`` in the engine.
+_DECODE_ERRORS = (KeyError, ValueError, TypeError, AttributeError, GraphError)
 
 
 @dataclass
@@ -48,14 +58,22 @@ class NetworkChannel:
 
     bandwidth_bytes_per_sec: float = DEFAULT_BANDWIDTH_BYTES_PER_SEC
     latency_seconds: float = DEFAULT_LATENCY_SECONDS
-    transfers: list[TransferRecord] = field(default_factory=list)
+    transfers: list[TransferRecord] = field(default_factory=list)  #: guarded by _lock
+    # R3 (lock discipline): query_batch workers transmit concurrently,
+    # and shard scatter/gather adds one message per shard per query; an
+    # unlocked append racing reset()/total_bytes() mid-batch produced
+    # torn accounting.  All transfers-ledger access goes through _lock.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def transmit(
         self, direction: str, payload: bytes, obs: Observability | None = None
     ) -> float:
         """Record a message; returns the simulated transmission time."""
         seconds = self.latency_seconds + len(payload) / self.bandwidth_bytes_per_sec
-        self.transfers.append(TransferRecord(direction, len(payload), seconds))
+        with self._lock:
+            self.transfers.append(TransferRecord(direction, len(payload), seconds))
         if obs is not None:
             # R2: span names come from the canonical taxonomy, never
             # from runtime data (the direction is validated en route).
@@ -69,21 +87,24 @@ class NetworkChannel:
         return seconds
 
     def total_bytes(self, direction: str | None = None) -> int:
-        return sum(
-            t.payload_bytes
-            for t in self.transfers
-            if direction is None or t.direction == direction
-        )
+        with self._lock:
+            return sum(
+                t.payload_bytes
+                for t in self.transfers
+                if direction is None or t.direction == direction
+            )
 
     def total_seconds(self, direction: str | None = None) -> float:
-        return sum(
-            t.seconds
-            for t in self.transfers
-            if direction is None or t.direction == direction
-        )
+        with self._lock:
+            return sum(
+                t.seconds
+                for t in self.transfers
+                if direction is None or t.direction == direction
+            )
 
     def reset(self) -> None:
-        self.transfers.clear()
+        with self._lock:
+            self.transfers.clear()
 
 
 # ----------------------------------------------------------------------
@@ -103,7 +124,7 @@ def decode_upload(payload: bytes) -> tuple[AttributedGraph, AlignmentVertexTable
         return graph_from_dict(data["graph"]), AlignmentVertexTable.from_dict(
             data["avt"]
         )
-    except (KeyError, ValueError) as exc:
+    except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed upload message: {exc}") from exc
 
 
@@ -115,7 +136,7 @@ def encode_query(query: AttributedGraph) -> bytes:
 def decode_query(payload: bytes) -> AttributedGraph:
     try:
         return graph_from_dict(json.loads(payload.decode("utf-8")))
-    except (KeyError, ValueError) as exc:
+    except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed query message: {exc}") from exc
 
 
@@ -140,7 +161,7 @@ def decode_answer(payload: bytes) -> tuple[list[Match], bool]:
         data = json.loads(payload.decode("utf-8"))
         matches = rows_to_matches(data["rows"], data["order"])
         return matches, bool(data["expanded"])
-    except (KeyError, ValueError) as exc:
+    except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed answer message: {exc}") from exc
 
 
@@ -178,7 +199,7 @@ def decode_answer_table(payload: bytes) -> tuple[MatchTable, bool]:
         data = json.loads(payload.decode("utf-8"))
         table = MatchTable.from_rows(data["order"], data["rows"])
         return table, bool(data["expanded"])
-    except (KeyError, ValueError, TypeError) as exc:
+    except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed answer message: {exc}") from exc
 
 
@@ -210,7 +231,7 @@ def decode_query_batch(payload: bytes) -> list[AttributedGraph]:
         if not isinstance(queries, list):
             raise ValueError("'queries' must be a list")
         return [graph_from_dict(entry) for entry in queries]
-    except (KeyError, ValueError, AttributeError) as exc:
+    except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed query batch message: {exc}") from exc
 
 
@@ -243,5 +264,83 @@ def decode_answer_batch(payload: bytes) -> list[tuple[list[Match], bool]]:
             (rows_to_matches(entry["rows"], entry["order"]), bool(entry["expanded"]))
             for entry in answers
         ]
-    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+    except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed answer batch message: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# shard messages (coordinator <-> shard scatter/gather)
+# ----------------------------------------------------------------------
+def encode_shard_request(query: AttributedGraph, stars: list[Star]) -> bytes:
+    """A scatter frame: the anonymized query plus its decomposition.
+
+    The coordinator decomposes once and ships the same star plan to
+    every shard; each shard matches all stars against its local
+    centers, so the frame carries no shard-specific state.
+    """
+    return json.dumps(
+        {
+            "query": graph_to_dict(query),
+            "stars": [
+                {"center": star.center, "leaves": list(star.leaves)}
+                for star in stars
+            ],
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_shard_request(payload: bytes) -> tuple[AttributedGraph, list[Star]]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        entries = data["stars"]
+        if not isinstance(entries, list):
+            raise ValueError("'stars' must be a list")
+        stars = [
+            Star(
+                center=int(entry["center"]),
+                leaves=tuple(int(leaf) for leaf in entry["leaves"]),
+            )
+            for entry in entries
+        ]
+        return graph_from_dict(data["query"]), stars
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed shard request message: {exc}") from exc
+
+
+def encode_shard_tables(tables: dict[int, MatchTable]) -> bytes:
+    """A gather frame: one shard's star tables, keyed by star center.
+
+    Each table ships with its positional schema so the coordinator can
+    merge per-shard rows without re-deriving column order; rows stay
+    tabular end to end (the shard payload is PR 5's columnar wire
+    format, one frame per shard).
+    """
+    return json.dumps(
+        {
+            "tables": [
+                {
+                    "center": center,
+                    "schema": list(table.schema),
+                    "rows": table.rows,
+                }
+                for center, table in tables.items()
+            ]
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def decode_shard_tables(payload: bytes) -> dict[int, MatchTable]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        entries = data["tables"]
+        if not isinstance(entries, list):
+            raise ValueError("'tables' must be a list")
+        out: dict[int, MatchTable] = {}
+        for entry in entries:
+            table = MatchTable.from_rows(entry["schema"], entry["rows"])
+            out[int(entry["center"])] = table
+        return out
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed shard tables message: {exc}") from exc

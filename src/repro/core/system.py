@@ -34,6 +34,7 @@ from typing import Any
 from repro.client.expansion import expand_rin, expand_rin_table
 from repro.cloud.parallel import effective_workers, map_batch, validate_backend
 from repro.cloud.server import CloudServer
+from repro.cloud.sharding import ShardedCloud
 from repro.core.config import SystemConfig
 from repro.core.data_owner import DataOwner, PublishedData
 from repro.core.protocol import (
@@ -147,7 +148,7 @@ class PrivacyPreservingSystem:
         self,
         owner: DataOwner,
         published: PublishedData,
-        cloud: CloudServer,
+        cloud: CloudServer | ShardedCloud,
         client: QueryClient,
         config: SystemConfig,
         channel: NetworkChannel,
@@ -239,16 +240,34 @@ class PrivacyPreservingSystem:
         cloud_graph, cloud_avt = decode_upload(payload)
 
         with tracer.span(names.CLOUD_INDEX_BUILD) as span:
-            cloud = CloudServer(
-                cloud_graph,
-                cloud_avt,
-                published.center_vertices,
-                expand_in_cloud=published.expand_in_cloud,
-                max_intermediate_results=config.max_intermediate_results,
-                star_cache_size=config.star_cache_size,
-                star_workers=config.star_workers,
-                obs=component_obs,
-            )
+            cloud: CloudServer | ShardedCloud
+            if config.shards > 1:
+                # sharded deployment: Go partitioned over N shard
+                # servers behind a scatter-gather coordinator; answers
+                # stay bit-identical to the single-server pipeline.
+                cloud = ShardedCloud(
+                    cloud_graph,
+                    cloud_avt,
+                    published.center_vertices,
+                    shards=config.shards,
+                    expand_in_cloud=published.expand_in_cloud,
+                    max_intermediate_results=config.max_intermediate_results,
+                    star_cache_size=config.star_cache_size,
+                    backend=config.shard_backend,
+                    partition_seed=config.seed,
+                    obs=component_obs,
+                )
+            else:
+                cloud = CloudServer(
+                    cloud_graph,
+                    cloud_avt,
+                    published.center_vertices,
+                    expand_in_cloud=published.expand_in_cloud,
+                    max_intermediate_results=config.max_intermediate_results,
+                    star_cache_size=config.star_cache_size,
+                    star_workers=config.star_workers,
+                    obs=component_obs,
+                )
             span.set(
                 index_bytes=cloud.index_size_bytes(),
                 build_seconds=cloud.index_build_seconds(),

@@ -74,6 +74,16 @@ CLOUD_STAR_MATCH = "cloud.star_match"
 CLOUD_JOIN = "cloud.join"
 CLOUD_EXPAND = "cloud.expand"
 
+# -- sharded cloud phases (repro.cloud.sharding) ------------------------
+# Under ``cloud.star_matching``, a sharded deployment replaces the
+# per-star loop with scatter -> per-shard match -> gather:
+#   cloud.scatter      shards, bytes (channel mode)
+#   cloud.shard_match  one per shard; shard, stars, results
+#   cloud.gather       rs_size, deduped
+CLOUD_SCATTER = "cloud.scatter"
+CLOUD_SHARD_MATCH = "cloud.shard_match"
+CLOUD_GATHER = "cloud.gather"
+
 # -- protocol / wire ----------------------------------------------------
 ENCODE_QUERY = "protocol.encode_query"
 DECODE_QUERY = "protocol.decode_query"
@@ -83,6 +93,8 @@ ENCODE_UPLOAD = "protocol.encode_upload"
 NETWORK_QUERY = "network.query"
 NETWORK_ANSWER = "network.answer"
 NETWORK_UPLOAD = "network.upload"
+NETWORK_SHARD_QUERY = "network.shard_query"
+NETWORK_SHARD_ANSWER = "network.shard_answer"
 
 #: Wire direction -> canonical network span name, for call sites that
 #: receive the direction as data (:meth:`NetworkChannel.transmit`).
@@ -90,6 +102,8 @@ NETWORK_SPANS = {
     "upload": NETWORK_UPLOAD,
     "query": NETWORK_QUERY,
     "answer": NETWORK_ANSWER,
+    "shard_query": NETWORK_SHARD_QUERY,
+    "shard_answer": NETWORK_SHARD_ANSWER,
 }
 
 #: Every span name above, for validation and documentation tests.
@@ -105,6 +119,7 @@ M_MATCHES = "matches_total"
 M_CANDIDATES = "candidates_total"
 M_FALSE_POSITIVES = "false_positives_filtered_total"
 M_STAR_MATCHES = "star_matches_total"
+M_SHARD_MATCHES = "shard_star_matches_total"
 M_CACHE_HITS = "star_cache_hits_total"
 M_CACHE_MISSES = "star_cache_misses_total"
 M_NETWORK_BYTES = "network_bytes_total"

@@ -19,7 +19,12 @@ from repro import (
     SystemConfig,
 )
 from repro.cloud import CloudServer, fork_available
-from repro.cloud.parallel import effective_workers, map_batch, validate_backend
+from repro.cloud.parallel import (
+    PersistentProcessPool,
+    effective_workers,
+    map_batch,
+    validate_backend,
+)
 from repro.exceptions import ResultBudgetExceeded
 from repro.graph import example_query, example_social_network
 from repro.matching import match_key
@@ -78,6 +83,37 @@ class TestPoolHelpers:
 
         with pytest.raises(ValueError, match="task 3 failed"):
             map_batch(boom, list(range(6)), 3, "thread")
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method required")
+class TestPersistentProcessPool:
+    def test_map_preserves_order_across_calls(self):
+        with PersistentProcessPool(lambda x: x * x, 2) as pool:
+            assert pool.map(list(range(10))) == [x * x for x in range(10)]
+            # the same forked children serve every later call
+            assert pool.map([7, 3]) == [49, 9]
+            assert not pool.closed
+
+    def test_survives_task_exceptions(self):
+        def boom(x):
+            if x == 2:
+                raise ValueError("task 2 failed")
+            return x
+
+        with PersistentProcessPool(boom, 2) as pool:
+            with pytest.raises(ValueError, match="task 2 failed"):
+                pool.map(list(range(4)))
+            # a task exception must not poison the pool
+            assert pool.map([0, 1]) == [0, 1]
+
+    def test_close_is_idempotent_and_final(self):
+        pool = PersistentProcessPool(lambda x: x, 2)
+        assert pool.map([1, 2]) == [1, 2]
+        pool.close()
+        assert pool.closed
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.map([3])
 
 
 class TestParallelStarMatching:

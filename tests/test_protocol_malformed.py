@@ -1,0 +1,239 @@
+"""The protocol decoders' unified exception envelope.
+
+Every ``decode_*`` function promises exactly one failure mode for a
+malformed payload: :class:`~repro.exceptions.ProtocolError`.  Before
+the envelope was unified, wrong-typed fields escaped as ``TypeError``
+or ``AttributeError`` and invalid graph sections as ``GraphError`` —
+callers that caught ``ProtocolError`` (the serve loop, the batch CLI)
+crashed on exactly the payloads the envelope exists for.  This suite
+drives every decoder through every corruption family (truncation,
+invalid UTF-8, non-object JSON, missing fields, wrong-typed fields)
+plus a hypothesis fuzz of arbitrary byte strings, asserting the
+decoder either succeeds or raises ``ProtocolError`` — never a raw
+``KeyError``/``TypeError``/``AttributeError``/``ValueError``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import (
+    decode_answer,
+    decode_answer_batch,
+    decode_answer_table,
+    decode_query,
+    decode_query_batch,
+    decode_shard_request,
+    decode_shard_tables,
+    decode_upload,
+    encode_answer,
+    encode_answer_batch,
+    encode_answer_table,
+    encode_query,
+    encode_query_batch,
+    encode_shard_request,
+    encode_shard_tables,
+    encode_upload,
+)
+from repro.exceptions import ProtocolError, ReproError
+from repro.graph import example_social_network
+from repro.kauto import build_k_automorphic_graph
+from repro.matching import MatchTable
+from repro.matching.star import Star
+from repro.outsource import build_outsourced_graph
+
+
+@pytest.fixture(scope="module")
+def wire():
+    """One valid payload per message type, from a real deployment."""
+    graph, _ = example_social_network()
+    transform = build_k_automorphic_graph(graph, 2, seed=0)
+    outsourced = build_outsourced_graph(transform.gk, transform.avt)
+    table = MatchTable((0, 1), [(3, 4), (5, 6)])
+    matches = [{0: 3, 1: 4}]
+    stars = [Star(center=0, leaves=(1, 2))]
+    return {
+        "upload": encode_upload(outsourced.graph, transform.avt),
+        "query": encode_query(graph),
+        "answer": encode_answer(matches, [0, 1], expanded=True),
+        "answer_table": encode_answer_table(table, [0, 1], expanded=False),
+        "query_batch": encode_query_batch([graph, graph]),
+        "answer_batch": encode_answer_batch([(matches, [0, 1], True)]),
+        "shard_request": encode_shard_request(graph, stars),
+        "shard_tables": encode_shard_tables({0: table}),
+    }
+
+
+DECODERS = {
+    "upload": decode_upload,
+    "query": decode_query,
+    "answer": decode_answer,
+    "answer_table": decode_answer_table,
+    "query_batch": decode_query_batch,
+    "answer_batch": decode_answer_batch,
+    "shard_request": decode_shard_request,
+    "shard_tables": decode_shard_tables,
+}
+
+#: Field corruptions per message type: (path, replacement) pairs.  The
+#: path indexes into the decoded JSON object; the replacement is a
+#: wrong-typed value the decoder must reject as ProtocolError.
+WRONG_TYPED: dict[str, list[tuple[tuple, object]]] = {
+    "upload": [(("graph",), 7), (("avt",), "nope"), (("graph", "vertices"), 1)],
+    "query": [(("vertices",), "x"), (("edges",), {"a": 1})],
+    "answer": [(("rows",), 5), (("order",), None), (("rows",), [1])],
+    "answer_table": [(("rows",), 5), (("rows",), [[1]]), (("order",), 3)],
+    "query_batch": [(("queries",), 5), (("queries",), [7])],
+    "answer_batch": [(("answers",), "x"), (("answers",), [None])],
+    "shard_request": [
+        (("stars",), 5),
+        (("stars",), [None]),
+        (("stars",), [{"center": "x", "leaves": None}]),
+        (("query",), []),
+    ],
+    "shard_tables": [
+        (("tables",), 5),
+        (("tables",), [None]),
+        (("tables",), [{"center": None, "schema": 1, "rows": 2}]),
+        (("tables",), [{"center": 0, "schema": [0, 1], "rows": [[1]]}]),
+    ],
+}
+
+#: Exceptions that must never escape a decoder (the raw errors the
+#: envelope wraps).  ProtocolError is a ReproError, so the assertion
+#: below checks the *concrete* type, not just inheritance.
+RAW_ERRORS = (KeyError, ValueError, TypeError, AttributeError, IndexError)
+
+
+def corrupt(payload: bytes, path: tuple, value: object) -> bytes:
+    data = json.loads(payload.decode("utf-8"))
+    target = data
+    for key in path[:-1]:
+        target = target[key]
+    target[path[-1]] = value
+    return json.dumps(data).encode("utf-8")
+
+
+def drop_field(payload: bytes, field: str) -> bytes:
+    data = json.loads(payload.decode("utf-8"))
+    data.pop(field, None)
+    return json.dumps(data).encode("utf-8")
+
+
+def assert_protocol_error(decoder, payload: bytes) -> None:
+    """The decoder raises ProtocolError — and nothing rawer."""
+    try:
+        decoder(payload)
+    except ProtocolError as exc:
+        assert "malformed" in str(exc)
+        assert exc.__cause__ is not None
+    except RAW_ERRORS as exc:  # pragma: no cover - the failure this pins
+        pytest.fail(
+            f"{decoder.__name__} leaked {type(exc).__name__}: {exc!r}"
+        )
+    else:
+        pytest.fail(f"{decoder.__name__} accepted a corrupted payload")
+
+
+class TestCorruptionFamilies:
+    @pytest.mark.parametrize("kind", sorted(DECODERS))
+    def test_truncated_payload(self, wire, kind):
+        payload = wire[kind]
+        assert_protocol_error(DECODERS[kind], payload[: len(payload) // 2])
+
+    @pytest.mark.parametrize("kind", sorted(DECODERS))
+    def test_invalid_utf8(self, wire, kind):
+        assert_protocol_error(DECODERS[kind], b"\xff\xfe\x00garbage")
+
+    @pytest.mark.parametrize("kind", sorted(DECODERS))
+    @pytest.mark.parametrize(
+        "payload", [b"[]", b'"text"', b"42", b"null", b"true"]
+    )
+    def test_non_object_json(self, wire, kind, payload):
+        assert_protocol_error(DECODERS[kind], payload)
+
+    @pytest.mark.parametrize("kind", sorted(DECODERS))
+    def test_empty_object(self, wire, kind):
+        assert_protocol_error(DECODERS[kind], b"{}")
+
+    @pytest.mark.parametrize("kind", sorted(DECODERS))
+    def test_missing_fields(self, wire, kind):
+        # dropping an *optional* field may legally still decode; what
+        # must never happen is a raw KeyError escaping the envelope.
+        data = json.loads(wire[kind].decode("utf-8"))
+        for field in data:
+            payload = drop_field(wire[kind], field)
+            try:
+                DECODERS[kind](payload)
+            except ProtocolError as exc:
+                assert exc.__cause__ is not None
+            except RAW_ERRORS as exc:  # pragma: no cover
+                pytest.fail(
+                    f"{DECODERS[kind].__name__} leaked "
+                    f"{type(exc).__name__} on missing {field!r}"
+                )
+
+    @pytest.mark.parametrize(
+        "kind,path,value",
+        [
+            (kind, path, value)
+            for kind, cases in sorted(WRONG_TYPED.items())
+            for path, value in cases
+        ],
+    )
+    def test_wrong_typed_fields(self, wire, kind, path, value):
+        assert_protocol_error(
+            DECODERS[kind], corrupt(wire[kind], path, value)
+        )
+
+
+class TestFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=st.binary(max_size=200))
+    def test_arbitrary_bytes_never_leak_raw_errors(self, payload):
+        for decoder in DECODERS.values():
+            try:
+                decoder(payload)
+            except ProtocolError:
+                pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        payload=st.recursive(
+            st.none()
+            | st.booleans()
+            | st.integers()
+            | st.text(max_size=8),
+            lambda inner: st.lists(inner, max_size=4)
+            | st.dictionaries(st.text(max_size=8), inner, max_size=4),
+            max_leaves=12,
+        )
+    )
+    def test_arbitrary_json_never_leaks_raw_errors(self, payload):
+        encoded = json.dumps(payload).encode("utf-8")
+        for decoder in DECODERS.values():
+            try:
+                decoder(encoded)
+            except ProtocolError:
+                pass
+
+
+class TestShardFrameRoundTrip:
+    def test_shard_request_round_trips(self, wire):
+        query, stars = decode_shard_request(wire["shard_request"])
+        assert [star.center for star in stars] == [0]
+        assert stars[0].leaves == (1, 2)
+        assert query.vertex_count > 0
+
+    def test_shard_tables_round_trip(self, wire):
+        tables = decode_shard_tables(wire["shard_tables"])
+        assert set(tables) == {0}
+        assert tables[0].schema == (0, 1)
+        assert tables[0].rows == [(3, 4), (5, 6)]
+
+    def test_protocol_error_is_repro_error(self):
+        assert issubclass(ProtocolError, ReproError)

@@ -1,0 +1,406 @@
+"""Equivalence suite: the sharded cloud is bit-identical to one server.
+
+``ShardedCloud`` partitions ``Go`` over N shard servers (each with its
+own halo, VBV/LBV index and star cache) and scatter-gathers every
+query.  These tests pin its core contract — for every shard count,
+scatter backend and wire mode, :meth:`ShardedCloud.answer` returns
+exactly what :meth:`CloudServer.answer` returns: same table schema,
+same rows, same row order, same per-star result sizes, same budget
+trips.  Structural invariants (halo completeness, center disjointness)
+and the aggregate cache/telemetry surfaces are covered alongside.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import CloudServer, ShardedCloud, build_shards, fork_available
+from repro.cloud.sharding import halo_vertices, merge_star_tables
+from repro.core.config import SystemConfig
+from repro.core.protocol import NetworkChannel
+from repro.core.system import PrivacyPreservingSystem
+from repro.exceptions import ConfigError, ResultBudgetExceeded
+from repro.graph import make_schema, random_attributed_graph
+from repro.kauto import build_k_automorphic_graph
+from repro.outsource import build_outsourced_graph
+from repro.workloads import random_walk_query
+
+EQUIV = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+PARAMS = dict(
+    seed=st.integers(0, 10_000),
+    n=st.integers(16, 40),
+    k=st.integers(2, 4),
+    edges=st.integers(1, 4),
+)
+
+
+def deployment(seed: int, n: int, k: int, edges: int) -> SimpleNamespace:
+    """A random outsourced deployment plus a random query over it."""
+    schema = make_schema(2, 1, 4)
+    graph = random_attributed_graph(schema, n, edges_per_vertex=2, seed=seed)
+    query = random_walk_query(graph, edges, seed=seed + 1)
+    transform = build_k_automorphic_graph(graph, k, seed=seed)
+    outsourced = build_outsourced_graph(transform.gk, transform.avt)
+    return SimpleNamespace(
+        query=query, avt=transform.avt, outsourced=outsourced
+    )
+
+
+def single_server(dep: SimpleNamespace, **kwargs) -> CloudServer:
+    return CloudServer(
+        dep.outsourced.graph,
+        dep.avt,
+        dep.outsourced.block_vertices,
+        **kwargs,
+    )
+
+
+def sharded(dep: SimpleNamespace, shards: int, **kwargs) -> ShardedCloud:
+    return ShardedCloud(
+        dep.outsourced.graph,
+        dep.avt,
+        dep.outsourced.block_vertices,
+        shards=shards,
+        **kwargs,
+    )
+
+
+def assert_answers_identical(reference, candidate) -> None:
+    """Bitwise answer equality: table, order, and telemetry sizes."""
+    assert candidate.table.schema == reference.table.schema
+    assert candidate.table.rows == reference.table.rows
+    assert candidate.expanded == reference.expanded
+    assert (
+        candidate.star_stats.result_sizes == reference.star_stats.result_sizes
+    )
+    assert candidate.join_stats.rin_size == reference.join_stats.rin_size
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @EQUIV
+    @given(**PARAMS)
+    def test_answer_matches_single_server(self, shards, seed, n, k, edges):
+        dep = deployment(seed, n, k, edges)
+        reference = single_server(dep).answer(dep.query)
+        cloud = sharded(dep, shards, backend="serial")
+        assert_answers_identical(reference, cloud.answer(dep.query))
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_every_backend_identical(self, backend):
+        dep = deployment(7, 40, 2, 3)
+        reference = single_server(dep).answer(dep.query)
+        with sharded(dep, 4, backend=backend) as cloud:
+            assert_answers_identical(reference, cloud.answer(dep.query))
+
+    def test_partition_seed_does_not_change_answers(self):
+        dep = deployment(3, 36, 2, 3)
+        reference = single_server(dep).answer(dep.query)
+        for seed in (0, 1, 99):
+            cloud = sharded(dep, 3, partition_seed=seed)
+            assert_answers_identical(reference, cloud.answer(dep.query))
+
+    def test_full_join_strategy_identical(self):
+        dep = deployment(11, 32, 2, 2)
+        reference = single_server(dep, join_strategy="full").answer(dep.query)
+        cloud = sharded(dep, 2, join_strategy="full")
+        assert_answers_identical(reference, cloud.answer(dep.query))
+
+    def test_query_batch_matches_serial_answers(self):
+        dep = deployment(5, 32, 2, 2)
+        queries = [dep.query] * 3
+        cloud = sharded(dep, 2)
+        serial = [cloud.answer(query) for query in queries]
+        batched = cloud.query_batch(queries, backend="thread")
+        for one, other in zip(serial, batched):
+            assert_answers_identical(one, other)
+
+
+class TestShardStructure:
+    def test_halo_gives_every_center_its_full_neighborhood(self):
+        dep = deployment(9, 40, 2, 2)
+        graph = dep.outsourced.graph
+        shards = build_shards(graph, dep.outsourced.block_vertices, 4)
+        for shard in shards:
+            for center in shard.centers:
+                assert shard.graph.neighbors(center) == graph.neighbors(center)
+
+    def test_centers_partition_exactly(self):
+        dep = deployment(13, 36, 3, 2)
+        centers = dep.outsourced.block_vertices
+        shards = build_shards(dep.outsourced.graph, centers, 3)
+        seen: list[int] = []
+        for shard in shards:
+            # shard-local order is the global order, restricted
+            assert shard.centers == [
+                vid for vid in centers if vid in set(shard.centers)
+            ]
+            seen.extend(shard.centers)
+        assert sorted(seen) == sorted(centers)
+        assert len(seen) == len(set(seen))
+
+    def test_halo_vertices_closed_over_neighbors(self):
+        dep = deployment(17, 30, 2, 2)
+        graph = dep.outsourced.graph
+        centers = dep.outsourced.block_vertices[:5]
+        halo = halo_vertices(graph, centers)
+        for center in centers:
+            assert graph.neighbors(center) <= halo
+
+    def test_single_shard_holds_all_centers(self):
+        dep = deployment(19, 30, 2, 2)
+        shards = build_shards(
+            dep.outsourced.graph, dep.outsourced.block_vertices, 1
+        )
+        assert len(shards) == 1
+        assert shards[0].centers == list(dep.outsourced.block_vertices)
+
+    def test_merge_reconstructs_global_order(self):
+        from repro.matching import MatchTable
+        from repro.matching.star import Star
+
+        star = Star(center=0, leaves=(1,))
+        position = {10: 0, 20: 1, 30: 2}
+        shard_a = MatchTable((0, 1), [(10, 99), (30, 98)])
+        shard_b = MatchTable((0, 1), [(20, 97), (20, 96)])
+        merged = merge_star_tables(star, [shard_a, shard_b], position)
+        assert merged.rows == [(10, 99), (20, 97), (20, 96), (30, 98)]
+
+    def test_rejects_zero_shards(self):
+        dep = deployment(1, 20, 2, 1)
+        with pytest.raises(ValueError):
+            sharded(dep, 0)
+        with pytest.raises(ValueError):
+            build_shards(dep.outsourced.graph, dep.outsourced.block_vertices, 0)
+
+
+class TestBudgetParity:
+    @EQUIV
+    @given(**PARAMS)
+    def test_budget_trips_exactly_when_single_server_trips(
+        self, seed, n, k, edges
+    ):
+        dep = deployment(seed, n, k, edges)
+        budget = 5
+        reference = single_server(dep, max_intermediate_results=budget)
+        cloud = sharded(dep, 2, max_intermediate_results=budget)
+        try:
+            expected = reference.answer(dep.query)
+        except ResultBudgetExceeded:
+            with pytest.raises(ResultBudgetExceeded):
+                cloud.answer(dep.query)
+        else:
+            assert_answers_identical(expected, cloud.answer(dep.query))
+
+
+class TestCacheAndTelemetry:
+    def test_cache_counters_aggregate_across_shards(self):
+        dep = deployment(23, 36, 2, 3)
+        cloud = sharded(dep, 3, star_cache_size=64)
+        first = cloud.answer(dep.query)
+        hits_after_first, misses_after_first = cloud.star_cache.counters()
+        assert misses_after_first > 0
+        second = cloud.answer(dep.query)
+        hits_after_second, misses_after_second = cloud.star_cache.counters()
+        # the repeat resolves entirely from the shard caches
+        assert misses_after_second == misses_after_first
+        assert hits_after_second > hits_after_first
+        assert_answers_identical(first, second)
+        assert len(cloud.star_cache) > 0
+        assert 0.0 < cloud.star_cache.hit_rate <= 1.0
+        cloud.star_cache.clear()
+        assert len(cloud.star_cache) == 0
+
+    def test_cached_answers_stay_identical_to_single_server(self):
+        dep = deployment(29, 32, 2, 3)
+        reference = single_server(dep).answer(dep.query)
+        cloud = sharded(dep, 2, star_cache_size=64)
+        assert_answers_identical(reference, cloud.answer(dep.query))
+        assert_answers_identical(reference, cloud.answer(dep.query))
+
+    def test_accounting_sums_over_shards(self):
+        dep = deployment(31, 30, 2, 2)
+        with sharded(dep, 3) as cloud:
+            assert cloud.index_size_bytes() == sum(
+                shard.index_size_bytes() for shard in cloud.shards
+            )
+            assert cloud.index_build_seconds() > 0.0
+
+
+class TestShardWire:
+    def test_channel_mode_identical_and_byte_accounted(self):
+        dep = deployment(37, 36, 2, 3)
+        reference = single_server(dep).answer(dep.query)
+        channel = NetworkChannel()
+        cloud = sharded(dep, 2, backend="serial", channel=channel)
+        assert_answers_identical(reference, cloud.answer(dep.query))
+        directions = [record.direction for record in channel.transfers]
+        shard_count = len(cloud.shards)
+        assert directions.count("shard_query") == shard_count
+        assert directions.count("shard_answer") == shard_count
+        assert channel.total_bytes() > 0
+
+
+class TestSystemPlumbing:
+    def test_system_setup_deploys_sharded_cloud(self):
+        schema = make_schema(2, 1, 4)
+        graph = random_attributed_graph(schema, 36, edges_per_vertex=2, seed=3)
+        queries = [random_walk_query(graph, 2, seed=s) for s in (10, 11)]
+        base = PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+        shard = PrivacyPreservingSystem.setup(
+            graph, schema, SystemConfig(k=2, shards=3)
+        )
+        assert isinstance(shard.cloud, ShardedCloud)
+        for query in queries:
+            expected = base.query(query)
+            got = shard.query(query)
+            key = lambda matches: sorted(
+                tuple(sorted(m.items())) for m in matches
+            )
+            assert key(got.matches) == key(expected.matches)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(shards=0)
+        with pytest.raises(ConfigError):
+            SystemConfig(shards=True)
+        with pytest.raises(ConfigError):
+            SystemConfig(shard_backend="gpu")
+        assert SystemConfig(shards=4, shard_backend="process").shards == 4
+
+    def test_config_backends_stay_in_sync_with_parallel(self):
+        from repro.cloud.parallel import BACKENDS
+
+        # config validates against a literal tuple to avoid importing
+        # the cloud package; this pin keeps the two lists in lockstep.
+        for backend in BACKENDS:
+            assert SystemConfig(shard_backend=backend)
+
+
+class TestDeltaParity:
+    def test_apply_delta_rebuilds_shards(self):
+        from repro.anonymize import (
+            anonymize_query,
+            build_lct,
+            cost_based_grouping,
+        )
+        from repro.graph import compute_statistics, example_social_network
+        from repro.kauto.dynamic import DynamicRelease
+
+        graph, schema = example_social_network()
+        lct = build_lct(
+            schema,
+            2,
+            cost_based_grouping,
+            graph_stats=compute_statistics(graph),
+            seed=2,
+        )
+        transform = build_k_automorphic_graph(
+            lct.apply_to_graph(graph), 2, seed=1
+        )
+        release = DynamicRelease(graph.copy(), transform, lct)
+        outsourced = release.refresh_outsourced()
+        reference = CloudServer(
+            outsourced.graph.copy(),
+            release.avt,
+            list(outsourced.block_vertices),
+        )
+        cloud = ShardedCloud(
+            outsourced.graph.copy(),
+            release.avt,
+            list(outsourced.block_vertices),
+            shards=2,
+        )
+        delta = release.go_delta(release.insert_edge(0, 5))
+        reference.apply_delta(delta)
+        cloud.apply_delta(delta)
+        query = random_walk_query(graph, 2, seed=5)
+        anonymized = anonymize_query(query, release.lct)
+        assert_answers_identical(
+            reference.answer(anonymized), cloud.answer(anonymized)
+        )
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork start method required")
+class TestPersistentScatterPool:
+    """The process backend's warm fork pool: reuse, staleness, teardown."""
+
+    def test_pool_forked_once_and_reused(self):
+        dep = deployment(7, 40, 2, 3)
+        reference = single_server(dep).answer(dep.query)
+        with sharded(dep, 4, backend="process") as cloud:
+            assert cloud._scatter_pool is None  # forked lazily
+            assert_answers_identical(reference, cloud.answer(dep.query))
+            pool = cloud._scatter_pool
+            assert pool is not None and not pool.closed
+            assert_answers_identical(reference, cloud.answer(dep.query))
+            assert cloud._scatter_pool is pool
+        assert pool.closed
+
+    def test_serial_and_thread_backends_never_fork(self):
+        dep = deployment(7, 32, 2, 2)
+        for backend in ("serial", "thread"):
+            with sharded(dep, 2, backend=backend) as cloud:
+                cloud.answer(dep.query)
+                assert cloud._scatter_pool is None
+
+    def test_apply_delta_replaces_stale_pool(self):
+        from repro.anonymize import (
+            anonymize_query,
+            build_lct,
+            cost_based_grouping,
+        )
+        from repro.graph import compute_statistics, example_social_network
+        from repro.kauto.dynamic import DynamicRelease
+
+        graph, schema = example_social_network()
+        lct = build_lct(
+            schema,
+            2,
+            cost_based_grouping,
+            graph_stats=compute_statistics(graph),
+            seed=2,
+        )
+        transform = build_k_automorphic_graph(
+            lct.apply_to_graph(graph), 2, seed=1
+        )
+        release = DynamicRelease(graph.copy(), transform, lct)
+        outsourced = release.refresh_outsourced()
+        reference = CloudServer(
+            outsourced.graph.copy(),
+            release.avt,
+            list(outsourced.block_vertices),
+        )
+        query = anonymize_query(
+            random_walk_query(graph, 2, seed=5), release.lct
+        )
+        with ShardedCloud(
+            outsourced.graph.copy(),
+            release.avt,
+            list(outsourced.block_vertices),
+            shards=2,
+            backend="process",
+        ) as cloud:
+            assert_answers_identical(
+                reference.answer(query), cloud.answer(query)
+            )
+            stale = cloud._scatter_pool
+            delta = release.go_delta(release.insert_edge(0, 5))
+            reference.apply_delta(delta)
+            cloud.apply_delta(delta)
+            # the pre-delta children hold the old graph copy-on-write;
+            # the pool must be drained and re-forked on the next answer
+            assert stale is None or stale.closed
+            assert cloud._scatter_pool is None
+            assert_answers_identical(
+                reference.answer(query), cloud.answer(query)
+            )
