@@ -1,0 +1,283 @@
+"""Gateway serving capacity: sustained QPS and tail latency under load.
+
+Not a paper figure — this measures the :mod:`repro.gateway` front end
+(ISSUE 7).  One BAS-style identity-AVT deployment (k=1, no expansion)
+serves a fixed random-walk query through :class:`QueryGateway` over
+real TCP, driven by an *open-loop* generator: requests fire on a fixed
+schedule regardless of completions, so queueing shows up as latency
+(closed-loop clients would politely self-throttle and hide it).
+
+Arms:
+
+* ``steady``   — offered load at ~half the measured single-stream
+  capacity: everything should be admitted and answered.
+* ``overload`` — offered load at several times capacity against a
+  small admission budget and an armed SLO probe: the gateway must
+  *shed* (typed reject frames, ``gateway_shed_total``) while the
+  admitted requests keep completing.
+
+The shed-vs-collapse contract asserted on the overload arm: zero
+transport errors (every frame either answered or typed-rejected —
+nothing dropped), at least one shed, and at least one admitted answer.
+At full scale (``REPRO_BENCH_SCALE >= 1``) the admitted p99 must also
+stay within 10x the unloaded p50 — overload may not smear the tail of
+the admitted traffic.  The report cell always writes
+``BENCH_gateway.json`` at the repo root (the CI gateway smoke uploads
+it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+from conftest import bench_scale
+
+from repro.bench import format_table, ms, print_report
+from repro.cloud import CloudServer
+from repro.exceptions import GatewayError, GatewayRejected
+from repro.gateway import (
+    AdmissionPolicy,
+    GatewayClient,
+    QueryGateway,
+    SHED_CODES,
+)
+from repro.graph import make_schema, random_attributed_graph
+from repro.kauto import AlignmentVertexTable
+from repro.obs import Observability, names
+from repro.workloads import random_walk_query
+
+CELL = dict(seed=11, n=4_000, edges_per_vertex=6, labels=6, query_edges=2)
+MIN_VERTICES = 800
+WARMUP = 3
+CALIBRATION = 10
+DURATION_SECONDS = 3.0
+OVERLOAD_FACTOR = 4.0  # offered load vs single-worker capacity
+OVERLOAD_BUDGET = 4  # max_inflight during the overload arm
+OVERLOAD_SLO_SECONDS = 0.25  # the armed bound on the admitted tail
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_gateway.json"
+
+
+def _cell_vertices() -> int:
+    return max(MIN_VERTICES, int(CELL["n"] * bench_scale()))
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    schema = make_schema(2, 1, CELL["labels"])
+    graph = random_attributed_graph(
+        schema,
+        _cell_vertices(),
+        edges_per_vertex=CELL["edges_per_vertex"],
+        seed=CELL["seed"],
+    )
+    avt = AlignmentVertexTable([[v] for v in sorted(graph.vertex_ids())])
+    centers = sorted(graph.vertex_ids())
+    query = random_walk_query(graph, CELL["query_edges"], seed=CELL["seed"] + 1)
+    cloud = CloudServer(graph, avt, centers, expand_in_cloud=False)
+    return cloud, query
+
+
+def _quantile(values: list[float], q: float) -> float:
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+async def _open_loop(
+    port: int, query, rate: float, duration: float
+) -> dict[str, object]:
+    """Fire ``rate`` req/s for ``duration`` seconds; never self-throttle."""
+    latencies: list[float] = []
+    shed = 0
+    errors = 0
+
+    async with GatewayClient("127.0.0.1", port, client_id="loadgen") as client:
+
+        async def fire() -> None:
+            nonlocal shed, errors
+            begin = time.perf_counter()
+            try:
+                await client.query(query)
+                latencies.append(time.perf_counter() - begin)
+            except GatewayRejected as exc:
+                if exc.code in SHED_CODES:
+                    shed += 1
+                else:
+                    errors += 1
+            except GatewayError:
+                errors += 1
+
+        total = max(1, int(rate * duration))
+        start = time.perf_counter()
+        tasks = []
+        for i in range(total):
+            delay = start + i / rate - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.create_task(fire()))
+        await asyncio.gather(*tasks)
+        wall = time.perf_counter() - start
+
+    return {
+        "offered_qps": round(rate, 1),
+        "offered": total,
+        "completed": len(latencies),
+        "shed": shed,
+        "errors": errors,
+        "wall_seconds": round(wall, 3),
+        "qps": round(len(latencies) / wall, 1) if wall else 0.0,
+        "p50_seconds": _quantile(latencies, 0.50),
+        "p95_seconds": _quantile(latencies, 0.95),
+        "p99_seconds": _quantile(latencies, 0.99),
+    }
+
+
+def _calibrate(port: int, query) -> float:
+    """Unloaded single-stream latency (best-effort median), seconds."""
+
+    async def run() -> list[float]:
+        samples: list[float] = []
+        async with GatewayClient(
+            "127.0.0.1", port, client_id="calibrate"
+        ) as client:
+            for _ in range(WARMUP):
+                await client.query(query)
+            for _ in range(CALIBRATION):
+                begin = time.perf_counter()
+                await client.query(query)
+                samples.append(time.perf_counter() - begin)
+        return samples
+
+    return _quantile(asyncio.run(run()), 0.50)
+
+
+def test_report_gateway_qps(deployment):
+    """Steady + overload arms; the shed-vs-collapse contract; JSON cell."""
+    cloud, query = deployment
+
+    # steady arm: generous budget, no SLO probe.
+    with QueryGateway(
+        cloud,
+        policy=AdmissionPolicy(max_inflight=64, max_client_inflight=64),
+    ) as gateway:
+        base_latency = max(_calibrate(gateway.port, query), 1e-4)
+        steady_rate = max(2.0, 0.5 / base_latency)
+        steady = asyncio.run(
+            _open_loop(gateway.port, query, steady_rate, DURATION_SECONDS)
+        )
+
+    # overload arm: a single dispatch worker (capacity ~1/base_latency),
+    # offered load at OVERLOAD_FACTOR times that, and a tiny admission
+    # budget with the SLO probe armed.  Shed, never collapse.  The tail
+    # gate reads the *gateway's own* sliding window (seconds each
+    # admitted request spent being served) — the client-observed
+    # latencies also include the open-loop generator's event-loop
+    # backlog, which is the load generator's congestion, not the
+    # server's.  The admitted backlog is bounded by design
+    # (OVERLOAD_BUDGET requests deep on one worker), so the armed SLO
+    # is an absolute bound the admitted tail must honor while the rest
+    # of the offered load bounces off admission control.
+    overload_rate = max(20.0, OVERLOAD_FACTOR / base_latency)
+    slo_seconds = OVERLOAD_SLO_SECONDS
+    obs = Observability()
+    with QueryGateway(
+        cloud,
+        obs=obs,
+        workers=1,
+        policy=AdmissionPolicy(
+            max_inflight=OVERLOAD_BUDGET,
+            max_client_inflight=OVERLOAD_BUDGET,
+            slo_seconds=slo_seconds,
+            slo_quantile=0.99,
+            min_window_count=16,
+        ),
+    ) as gateway:
+        overload = asyncio.run(
+            _open_loop(gateway.port, query, overload_rate, DURATION_SECONDS)
+        )
+        admitted_window = gateway.window.snapshot()
+    shed_total = obs.metrics.counter(names.M_GATEWAY_SHED).total
+
+    steady["arm"] = "steady"
+    overload["arm"] = "overload"
+    arms = [steady, overload]
+
+    rows = [
+        [
+            arm["arm"],
+            arm["offered_qps"],
+            arm["qps"],
+            arm["completed"],
+            arm["shed"],
+            arm["errors"],
+            ms(arm["p50_seconds"]),
+            ms(arm["p99_seconds"]),
+        ]
+        for arm in arms
+    ]
+    print_report(
+        format_table(
+            [
+                "arm",
+                "offered qps",
+                "qps",
+                "answered",
+                "shed",
+                "errors",
+                "p50",
+                "p99",
+            ],
+            rows,
+            title=(
+                f"gateway open-loop serving — n={_cell_vertices()}, "
+                f"|E(Q)|={CELL['query_edges']}, "
+                f"base latency {ms(base_latency)}, "
+                f"{DURATION_SECONDS:.0f}s per arm"
+            ),
+        )
+    )
+
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "segment": "gateway serving (open-loop)",
+                "scale": bench_scale(),
+                "cell": {**CELL, "n": _cell_vertices()},
+                "base_latency_seconds": base_latency,
+                "duration_seconds": DURATION_SECONDS,
+                "overload_budget": OVERLOAD_BUDGET,
+                "slo_seconds": slo_seconds,
+                "shed_not_collapse": {
+                    "sheds": overload["shed"],
+                    "shed_total_metric": shed_total,
+                    "answered": overload["completed"],
+                    "errors": overload["errors"],
+                    "admitted_p99_seconds": admitted_window["p99"],
+                },
+                "arms": arms,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # zero dropped frames anywhere: every request answered or typed-shed.
+    assert steady["errors"] == 0
+    assert overload["errors"] == 0
+    assert steady["completed"] == steady["offered"]
+    # overload sheds instead of collapsing: typed rejects AND progress.
+    assert overload["shed"] > 0
+    assert shed_total >= overload["shed"]
+    assert overload["completed"] > 0
+
+    if bench_scale() < 1:
+        pytest.skip("tail-latency gate runs at full scale only")
+    assert admitted_window["p99"] <= slo_seconds, (
+        "admitted tail breached the armed SLO under overload"
+    )

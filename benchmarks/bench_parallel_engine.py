@@ -26,6 +26,7 @@ from conftest import bench_queries
 
 from repro.bench import format_table, print_report
 from repro.cloud.parallel import fork_available
+from repro.core.options import QueryOptions
 from repro.matching import match_key
 from repro.obs import Observability, SlidingWindow, format_percent
 
@@ -55,14 +56,18 @@ def _match_sets(outcomes):
 def test_batch_backends_bit_identical(sweep):
     """Every backend returns exactly the serial loop's match lists."""
     system, queries = _batch_workload(sweep)
-    serial = system.query_batch(queries, backend="serial")
+    serial = system.query_batch(queries, options=QueryOptions(backend="serial"))
     expected = _match_sets(serial.outcomes)
 
-    threaded = system.query_batch(queries, max_workers=WORKERS, backend="thread")
+    threaded = system.query_batch(
+        queries, options=QueryOptions(workers=WORKERS, backend="thread")
+    )
     assert _match_sets(threaded.outcomes) == expected
 
     if fork_available():
-        forked = system.query_batch(queries, max_workers=WORKERS, backend="process")
+        forked = system.query_batch(
+            queries, options=QueryOptions(workers=WORKERS, backend="process")
+        )
         assert _match_sets(forked.outcomes) == expected
 
 
@@ -77,7 +82,9 @@ def test_batch_throughput_cell(benchmark, sweep):
 
     def run():
         return system.query_batch(
-            queries, max_workers=WORKERS, backend="thread", obs=silent
+            queries,
+            options=QueryOptions(workers=WORKERS, backend="thread"),
+            obs=silent,
         )
 
     outcome = benchmark(run)
@@ -87,7 +94,7 @@ def test_batch_throughput_cell(benchmark, sweep):
 def test_report_parallel_engine(sweep):
     system, queries = _batch_workload(sweep)
 
-    serial = system.query_batch(queries, backend="serial")
+    serial = system.query_batch(queries, options=QueryOptions(backend="serial"))
     serial_wall = serial.metrics.wall_seconds
     expected = _match_sets(serial.outcomes)
 
@@ -107,7 +114,9 @@ def test_report_parallel_engine(sweep):
     measured = {}
     backends = ["thread"] + (["process"] if fork_available() else [])
     for backend in backends:
-        batch = system.query_batch(queries, max_workers=WORKERS, backend=backend)
+        batch = system.query_batch(
+            queries, options=QueryOptions(workers=WORKERS, backend=backend)
+        )
         assert _match_sets(batch.outcomes) == expected
         speedup = batch.metrics.speedup_vs(serial_wall)
         measured[backend] = speedup
@@ -153,7 +162,9 @@ def test_report_steady_state_latency(sweep):
     system, queries = _batch_workload(sweep)
     window = SlidingWindow(capacity=256)
 
-    batch = system.query_batch(queries, max_workers=WORKERS, backend="thread")
+    batch = system.query_batch(
+        queries, options=QueryOptions(workers=WORKERS, backend="thread")
+    )
     for outcome in batch.outcomes:
         window.observe(outcome.metrics.total_seconds)
 

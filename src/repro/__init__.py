@@ -39,12 +39,15 @@ from repro.core import (
     PrivacyPreservingSystem,
     PublishMetrics,
     QueryMetrics,
+    QueryOptions,
     QueryOutcome,
     SystemConfig,
 )
 from repro.exceptions import (
     AnonymizationError,
     ConfigError,
+    GatewayError,
+    GatewayRejected,
     GraphError,
     PartitionError,
     ProtocolError,
@@ -71,6 +74,7 @@ __all__ = [
     "PrivacyPreservingSystem",
     "SystemConfig",
     "MethodConfig",
+    "QueryOptions",
     "QueryOutcome",
     "BatchOutcome",
     "NetworkChannel",
@@ -99,6 +103,8 @@ __all__ = [
     "AnonymizationError",
     "QueryError",
     "ProtocolError",
+    "GatewayError",
+    "GatewayRejected",
     "VerificationError",
     "__version__",
 ]

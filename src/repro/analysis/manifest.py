@@ -44,6 +44,28 @@ LAYERS: dict[str, tuple[str, ...]] = {
         "repro.compat",  # deprecation shim helper (no data)
         "repro.analysis.markers",  # dependency-free lint markers
     ),
+    # The serving gateway runs *on the cloud side* of the trust
+    # boundary: it fronts the cloud engine for remote clients, so it
+    # sees exactly what the cloud sees (Go, the published AVT,
+    # anonymized queries on the wire) and nothing more.  Its surface is
+    # the cloud allowlist plus itself and the per-call QueryOptions
+    # value object (plain tuning knobs, no data).
+    "repro.gateway": (
+        "repro.gateway",  # intra-layer
+        "repro.cloud",
+        "repro.graph",
+        "repro.matching",
+        "repro.anonymize.cost_model",
+        "repro.kauto.avt",
+        "repro.kauto.partition",
+        "repro.obs",
+        "repro.core.protocol",
+        "repro.core.options",  # per-call knobs (no graph data)
+        "repro.outsource",
+        "repro.exceptions",
+        "repro.compat",
+        "repro.analysis.markers",
+    ),
 }
 
 #: Module prefixes whose appearance in a restricted layer gets a

@@ -43,6 +43,7 @@ SPAN_NAMESPACES = (
     "publish.",
     "kauto.",
     "anonymize.",
+    "gateway.",
 )
 
 #: Call attribute names whose first argument is a span name.

@@ -16,7 +16,12 @@ Commands
 ``serve``
     Answer a workload through a deployment while exposing ``/metrics``,
     ``/healthz``, ``/readyz`` and ``/traces`` over HTTP (with optional
-    JSONL event logging and sliding-window SLO gauges).
+    JSONL event logging and sliding-window SLO gauges).  With
+    ``--gateway-port`` it also stands up the :mod:`repro.gateway`
+    frame server so remote clients can query the same cloud engine.
+``call``
+    Send query graphs to a running ``serve --gateway-port`` gateway
+    over TCP and finish them client-side (expand + filter) locally.
 ``audit``
     Quantify a deployment's privacy posture: candidate sets vs ``k``,
     label groups vs ``theta``, outsourced fraction and Algorithm 3's
@@ -378,6 +383,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
     ).start()
+    gateway = None
     try:
         if args.port_file:
             port_file = Path(args.port_file)
@@ -412,6 +418,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 obs=component_obs,
             )
         client = QueryClient(graph, lct, client_avt, obs=component_obs)
+        if args.gateway_port is not None:
+            from repro.gateway import (
+                AdmissionPolicy,
+                AuditLogMiddleware,
+                AuthTokenMiddleware,
+                QueryGateway,
+            )
+
+            middlewares: list = []
+            if args.gateway_token:
+                middlewares.append(
+                    AuthTokenMiddleware(token=args.gateway_token)
+                )
+            if obs.events.enabled:
+                middlewares.append(AuditLogMiddleware(obs.events))
+            gateway = QueryGateway(
+                cloud,
+                host=args.host,
+                port=args.gateway_port,
+                middlewares=middlewares,
+                policy=AdmissionPolicy(
+                    max_inflight=args.gateway_max_inflight,
+                    max_client_inflight=args.gateway_max_inflight,
+                    slo_seconds=args.slo_seconds,
+                ),
+                workers=args.gateway_workers,
+                obs=obs,
+            ).start()
+            if args.gateway_port_file:
+                gateway_port_file = Path(args.gateway_port_file)
+                gateway_port_file.parent.mkdir(parents=True, exist_ok=True)
+                gateway_port_file.write_text(
+                    str(gateway.port), encoding="utf-8"
+                )
+            print(
+                f"gateway listening on {gateway.host}:{gateway.port}",
+                file=sys.stderr,
+            )
         # static privacy posture of the served deployment, as gauges
         # next to the latency metrics (per-query filter counts feed the
         # live ratio callback QueryClient registers).
@@ -493,8 +537,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cloud.close()
         return 0
     finally:
+        if gateway is not None:
+            gateway.stop()
         telemetry.stop()
         obs.events.close()
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """Query a running gateway over TCP, finishing client-side locally.
+
+    Loads the client half of a deployment (the LCT and AVT stay local —
+    the wire only ever carries anonymized queries and ``Rin`` tables),
+    anonymizes each query graph, ships it to the gateway started by
+    ``serve --gateway-port``, and expands + filters the returned table
+    against the original graph.  Typed gateway rejections (auth, rate
+    limit, shedding) print as errors with their reject code.
+    """
+    from repro.exceptions import GatewayError, GatewayRejected
+    from repro.gateway import SyncGatewayClient
+
+    graph = load_graph(args.graph)
+    queries = [load_graph(path) for path in args.queries]
+    lct, client_avt = load_client_side(args.deployment)
+    client = QueryClient(graph, lct, client_avt)
+    results = []
+    try:
+        with SyncGatewayClient(
+            args.host,
+            args.port,
+            client_id=args.client_id,
+            token=args.token,
+            timeout=args.timeout,
+        ) as gateway:
+            for path, query in zip(args.queries, queries):
+                anonymized = client.prepare_query(query)
+                table, expanded = gateway.query(anonymized)
+                outcome = client.process_answer(query, table, expanded)
+                results.append(
+                    {
+                        "query": str(path),
+                        "matches": [
+                            {str(q): v for q, v in sorted(m.items())}
+                            for m in outcome.matches
+                        ],
+                        "candidates": outcome.candidate_count,
+                    }
+                )
+    except GatewayRejected as exc:
+        print(
+            f"gateway rejected request ({exc.code}): {exc.reason}",
+            file=sys.stderr,
+        )
+        return 2
+    except GatewayError as exc:
+        print(f"gateway error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(results, indent=2))
+    return 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -823,7 +922,68 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread", "process"],
         help="scatter backend of the sharded cloud",
     )
+    serve.add_argument(
+        "--gateway-port",
+        type=int,
+        default=None,
+        help="also serve the frame-protocol gateway on this TCP port "
+        "(0 = OS-assigned free port; omit to disable)",
+    )
+    serve.add_argument(
+        "--gateway-port-file",
+        default=None,
+        help="write the gateway's bound port here once listening",
+    )
+    serve.add_argument(
+        "--gateway-token",
+        default=None,
+        help="require this auth token on gateway hello frames",
+    )
+    serve.add_argument(
+        "--gateway-workers",
+        type=int,
+        default=None,
+        help="gateway dispatch pool size (default: cpu count)",
+    )
+    serve.add_argument(
+        "--slo-seconds",
+        type=float,
+        default=None,
+        help="arm gateway load shedding when the sliding-window p99 "
+        "exceeds this many seconds",
+    )
+    serve.add_argument(
+        "--gateway-max-inflight",
+        type=int,
+        default=64,
+        help="global cap on concurrently admitted gateway requests",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    call = sub.add_parser(
+        "call",
+        help="send queries to a running 'serve --gateway-port' gateway",
+    )
+    call.add_argument("deployment", help="deployment directory from 'publish'")
+    call.add_argument("graph", help="original graph JSON (client side)")
+    call.add_argument("queries", nargs="+", help="query graph JSON file(s)")
+    call.add_argument("--host", default="127.0.0.1")
+    call.add_argument(
+        "--port", type=int, required=True, help="gateway TCP port"
+    )
+    call.add_argument(
+        "--client-id", default="cli", help="client identity for middleware"
+    )
+    call.add_argument(
+        "--token", default="", help="auth token for the hello frame"
+    )
+    call.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait per gateway call",
+    )
+    call.set_defaults(func=_cmd_call)
 
     audit = sub.add_parser(
         "audit", help="quantify a deployment's privacy posture"

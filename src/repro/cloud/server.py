@@ -274,7 +274,10 @@ class CloudServer:
     # query answering
     # ------------------------------------------------------------------
     def answer(
-        self, query: AttributedGraph, obs: Observability | None = None
+        self,
+        query: AttributedGraph,
+        obs: Observability | None = None,
+        star_workers: int | None = None,
     ) -> CloudAnswer:
         """Run the full cloud pipeline on an anonymized query ``Qo``.
 
@@ -283,6 +286,10 @@ class CloudServer:
         passes each query's private recording scope here so the spans
         land in that query's trace.  Every timing the answer reports is
         a span duration; no hand-rolled ``perf_counter`` pairs remain.
+
+        ``star_workers`` overrides the configured intra-query star
+        parallelism for this one call (``QueryOptions.star_workers``);
+        results stay bit-identical either way.
         """
         if obs is None:
             obs = self.obs
@@ -298,7 +305,10 @@ class CloudServer:
                 decompose_span.set(stars=len(decomposition.stars))
 
             star_tables, star_stats = self._match_stars(
-                query, decomposition.stars, tracer=tracer
+                query,
+                decomposition.stars,
+                tracer=tracer,
+                star_workers=star_workers,
             )
             full_join = self.join_strategy == "full"
             with tracer.span(names.CLOUD_JOIN) as join_span:
@@ -441,6 +451,24 @@ class CloudServer:
                 self._star_pool_pid = pid
             return self._star_pool
 
+    def _star_executor_for(
+        self, star_workers: int | None
+    ) -> tuple[ThreadPoolExecutor | None, ThreadPoolExecutor | None]:
+        """Resolve a per-call worker override to ``(executor, transient)``.
+
+        ``None`` (or the configured value) reuses the shared lazy pool;
+        a differing override builds a transient pool the caller must
+        shut down (returned as the second element).
+        """
+        if star_workers is None or star_workers == self.star_workers:
+            return self._star_executor(), None
+        if star_workers <= 1:
+            return None, None
+        pool = ThreadPoolExecutor(
+            max_workers=star_workers, thread_name_prefix="repro-stars-call"
+        )
+        return pool, pool
+
     def _match_one_star(self, query: AttributedGraph, star: Star) -> MatchTable:
         return match_star_table(
             query,
@@ -472,6 +500,7 @@ class CloudServer:
         query: AttributedGraph,
         stars: Sequence[Star],
         tracer: NullTracer | None = None,
+        star_workers: int | None = None,
     ) -> tuple[dict[int, MatchTable], StarMatchStats]:
         """Algorithm 1 for every star, through the optional LRU cache.
 
@@ -497,9 +526,27 @@ class CloudServer:
             tracer = self.obs.tracer
         stats = StarMatchStats()
         use_cache = self.star_cache.capacity > 0
-        executor = self._star_executor()
+        executor, transient = self._star_executor_for(star_workers)
         results: dict[int, MatchTable] = {}
 
+        try:
+            return self._match_stars_on(
+                query, stars, tracer, executor, use_cache, stats, results
+            )
+        finally:
+            if transient is not None:
+                transient.shutdown(wait=True)
+
+    def _match_stars_on(
+        self,
+        query: AttributedGraph,
+        stars: Sequence[Star],
+        tracer: NullTracer,
+        executor: ThreadPoolExecutor | None,
+        use_cache: bool,
+        stats: StarMatchStats,
+        results: dict[int, MatchTable],
+    ) -> tuple[dict[int, MatchTable], StarMatchStats]:
         with tracer.span(
             names.CLOUD_STAR_MATCHING, stars=len(stars)
         ) as matching_span:

@@ -41,6 +41,7 @@ from repro.core.protocol import (
     encode_query_batch,
     encode_upload,
 )
+from repro.core.options import DEFAULT_OPTIONS, QueryOptions
 from repro.core.query_client import ClientOutcome, QueryClient
 from repro.core.system import BatchOutcome, PrivacyPreservingSystem, QueryOutcome
 
@@ -49,6 +50,8 @@ __all__ = [
     "MethodConfig",
     "METHOD_NAMES",
     "DEFAULT_THETA",
+    "QueryOptions",
+    "DEFAULT_OPTIONS",
     "DataOwner",
     "PublishedData",
     "QueryClient",

@@ -1,0 +1,94 @@
+"""Per-call query options: one keyword-only dataclass instead of kwarg soup.
+
+Before the API consolidation, tuning knobs for a query run were threaded
+through ``PrivacyPreservingSystem.query``/``query_batch`` as a growing
+pile of positional/keyword arguments (``limit``, ``max_workers``,
+``backend``, ...) that the CLI and benchmarks had to mirror argument by
+argument.  :class:`QueryOptions` gathers them into a single frozen,
+keyword-only value that travels from the caller through
+``PrivacyPreservingSystem.submit`` and the gateway without the
+intermediate layers knowing each field.
+
+The legacy keywords still work on ``query``/``query_batch`` but emit a
+:class:`DeprecationWarning` via :mod:`repro.compat`; the library itself
+always passes ``QueryOptions`` (R5: no internal shim use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.cloud.parallel import validate_backend
+from repro.exceptions import ConfigError
+
+#: Wire modes for the answer leg: ``"table"`` frames the columnar
+#: :class:`~repro.matching.table.MatchTable` directly (the default,
+#: byte-identical to the dict encoding), ``"dict"`` forces the legacy
+#: per-match document path.
+WIRE_MODES = ("table", "dict")
+
+
+@dataclass(frozen=True, kw_only=True)
+class QueryOptions:
+    """Everything tunable about one ``submit`` call.
+
+    Parameters
+    ----------
+    backend:
+        Batch execution backend (``"serial"``, ``"thread"``,
+        ``"process"``); single-query submits degenerate to serial
+        regardless.
+    workers:
+        Batch worker cap (``None`` = backend default).
+    star_workers:
+        Per-call override for the cloud's intra-query star-matching
+        parallelism (``None`` = the deployed engine's configuration).
+    wire:
+        Answer framing mode, one of :data:`WIRE_MODES`.
+    trace:
+        ``False`` disables span/metric recording for this call even
+        when the system has observability attached.
+    max_results:
+        Cap on returned matches per query (``None`` = unlimited);
+        replaces the old ``limit`` keyword.
+    shards:
+        Expected shard count; validated against the deployed topology
+        so a caller scripted for a 4-shard deployment fails loudly on
+        a mismatched single-server system.  ``None`` skips the check.
+    """
+
+    backend: str = "thread"
+    workers: int | None = None
+    star_workers: int | None = None
+    wire: str = "table"
+    trace: bool = True
+    max_results: int | None = None
+    shards: int | None = None
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
+        if self.wire not in WIRE_MODES:
+            raise ConfigError(
+                f"wire must be one of {WIRE_MODES}, got {self.wire!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.star_workers is not None and self.star_workers < 1:
+            raise ConfigError(
+                f"star_workers must be >= 1, got {self.star_workers}"
+            )
+        if self.max_results is not None and self.max_results < 0:
+            raise ConfigError(
+                f"max_results must be >= 0, got {self.max_results}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+
+    def evolve(self, **changes: Any) -> "QueryOptions":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+
+#: The all-defaults options value; ``submit(queries)`` uses this.
+DEFAULT_OPTIONS = QueryOptions()

@@ -12,6 +12,7 @@ setting: results of a few KiB transmit in single-digit milliseconds).
 from __future__ import annotations
 
 import json
+import struct
 import threading
 from dataclasses import dataclass, field
 
@@ -66,6 +67,12 @@ class NetworkChannel:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    # scope() bookkeeping: the parent this child merges into on close,
+    # and whether the merge already happened (close is idempotent).
+    _parent: "NetworkChannel | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _closed: bool = field(default=False, repr=False, compare=False)  #: guarded by _lock
 
     def transmit(
         self, direction: str, payload: bytes, obs: Observability | None = None
@@ -105,6 +112,47 @@ class NetworkChannel:
     def reset(self) -> None:
         with self._lock:
             self.transfers.clear()
+
+    # -- per-connection scoping -----------------------------------------
+    def scope(self) -> "NetworkChannel":
+        """An isolated child channel that merges into this one on close.
+
+        Concurrent gateway connections each transmit on their own child
+        so per-connection accounting never interleaves in one shared
+        ``transfers`` list; :meth:`close` folds the child's records
+        into the parent exactly once, keeping the parent's lifetime
+        totals complete.  Children share the parent's cost model.
+        """
+        return NetworkChannel(
+            bandwidth_bytes_per_sec=self.bandwidth_bytes_per_sec,
+            latency_seconds=self.latency_seconds,
+            _parent=self,
+        )
+
+    def _absorb(self, records: list[TransferRecord]) -> None:
+        """Fold a closed child's transfer records into this ledger."""
+        with self._lock:
+            self.transfers.extend(records)
+
+    def close(self) -> None:
+        """Merge this scope's transfers into its parent (idempotent).
+
+        A no-op for root channels and for already-closed scopes; the
+        child stays readable after close (its own ledger is kept), it
+        just stops being mergeable twice.
+        """
+        with self._lock:
+            if self._parent is None or self._closed:
+                return
+            self._closed = True
+            records = list(self.transfers)
+        self._parent._absorb(records)
+
+    def __enter__(self) -> "NetworkChannel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -344,3 +392,209 @@ def decode_shard_tables(payload: bytes) -> dict[int, MatchTable]:
         return out
     except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed shard tables message: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# gateway framing (length-prefixed binary envelope)
+# ----------------------------------------------------------------------
+# The serving gateway (repro.gateway) multiplexes many requests over
+# one TCP connection, so messages get a self-delimiting envelope:
+#
+#     +-------+------+-----------------+----------------+
+#     | magic | kind | payload length  | payload bytes  |
+#     | 4s    | B    | I (big-endian)  | length bytes   |
+#     +-------+------+-----------------+----------------+
+#
+# The payload of every kind is one of the JSON codecs below; the
+# envelope itself stays binary so a reader can frame without parsing.
+
+FRAME_MAGIC = b"RPG1"
+FRAME_HEADER = struct.Struct(">4sBI")
+#: Frame kind -> wire code.  ``hello`` opens a connection (client
+#: identity + auth token), ``request`` carries anonymized queries,
+#: ``answer``/``reject`` are the two terminal responses per request,
+#: and ``bye`` closes the connection cleanly.
+FRAME_KINDS = {"hello": 1, "request": 2, "answer": 3, "reject": 4, "bye": 5}
+FRAME_CODES = {code: kind for kind, code in FRAME_KINDS.items()}
+#: Upper bound on a single frame payload; a hostile length prefix must
+#: not make the reader allocate unbounded buffers.
+MAX_FRAME_PAYLOAD = 64 * 1024 * 1024
+
+
+def encode_frame(kind: str, payload: bytes) -> bytes:
+    """Wrap ``payload`` in the length-prefixed gateway envelope."""
+    try:
+        code = FRAME_KINDS[kind]
+    except KeyError:
+        raise ProtocolError(f"unknown gateway frame kind: {kind!r}") from None
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise ProtocolError(
+            f"gateway frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_PAYLOAD}-byte cap"
+        )
+    return FRAME_HEADER.pack(FRAME_MAGIC, code, len(payload)) + payload
+
+
+def decode_frame_header(header: bytes) -> tuple[str, int]:
+    """Parse an envelope header into ``(kind, payload_length)``."""
+    try:
+        if len(header) != FRAME_HEADER.size:
+            raise ValueError(
+                f"frame header must be {FRAME_HEADER.size} bytes, "
+                f"got {len(header)}"
+            )
+        magic, code, length = FRAME_HEADER.unpack(header)
+        if magic != FRAME_MAGIC:
+            raise ValueError(f"bad frame magic: {magic!r}")
+        if code not in FRAME_CODES:
+            raise ValueError(f"unknown frame kind code: {code}")
+        if length > MAX_FRAME_PAYLOAD:
+            raise ValueError(
+                f"frame payload length {length} exceeds the "
+                f"{MAX_FRAME_PAYLOAD}-byte cap"
+            )
+        return FRAME_CODES[code], length
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed gateway frame header: {exc}") from exc
+
+
+def decode_frame(data: bytes) -> tuple[str, bytes, bytes]:
+    """Split one complete frame off ``data``: ``(kind, payload, rest)``.
+
+    The sans-I/O counterpart of the gateway's stream reader, used by
+    tests and the sync client; raises :class:`ProtocolError` when the
+    buffer holds less than one whole frame.
+    """
+    kind, length = decode_frame_header(data[: FRAME_HEADER.size])
+    end = FRAME_HEADER.size + length
+    if len(data) < end:
+        raise ProtocolError(
+            f"malformed gateway frame: truncated payload "
+            f"({len(data) - FRAME_HEADER.size} of {length} bytes)"
+        )
+    return kind, data[FRAME_HEADER.size : end], data[end:]
+
+
+# ----------------------------------------------------------------------
+# gateway frame payloads
+# ----------------------------------------------------------------------
+def encode_gateway_hello(client_id: str, token: str = "") -> bytes:
+    """The connection opener: who is calling and with what credential."""
+    return json.dumps(
+        {"client_id": client_id, "token": token}, sort_keys=True
+    ).encode("utf-8")
+
+
+def decode_gateway_hello(payload: bytes) -> tuple[str, str]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        client_id = data["client_id"]
+        if not isinstance(client_id, str) or not client_id:
+            raise ValueError("'client_id' must be a non-empty string")
+        token = data.get("token", "")
+        if not isinstance(token, str):
+            raise ValueError("'token' must be a string")
+        return client_id, token
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed gateway hello message: {exc}") from exc
+
+
+def encode_gateway_request(
+    request_id: str, queries: list[AttributedGraph]
+) -> bytes:
+    """One request: anonymized queries answered as a unit."""
+    return json.dumps(
+        {
+            "id": request_id,
+            "queries": [graph_to_dict(query) for query in queries],
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_gateway_request(payload: bytes) -> tuple[str, list[AttributedGraph]]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        request_id = data["id"]
+        if not isinstance(request_id, str) or not request_id:
+            raise ValueError("'id' must be a non-empty string")
+        queries = data["queries"]
+        if not isinstance(queries, list) or not queries:
+            raise ValueError("'queries' must be a non-empty list")
+        return request_id, [graph_from_dict(entry) for entry in queries]
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed gateway request message: {exc}") from exc
+
+
+def encode_gateway_answer(
+    request_id: str,
+    answers: list[tuple[MatchTable, list[int], bool]],
+) -> bytes:
+    """Answers for one request, one table per query.
+
+    Each entry has exactly the :func:`encode_answer_table` document
+    shape (``order``/``rows``/``expanded``), so a gateway answer is
+    byte-for-byte the in-process wire encoding wrapped in a request
+    envelope — the bit-identity tests compare at this layer.
+    """
+    return json.dumps(
+        {
+            "id": request_id,
+            "answers": [
+                {
+                    "order": order,
+                    "rows": table.project_rows(order),
+                    "expanded": expanded,
+                }
+                for table, order, expanded in answers
+            ],
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def decode_gateway_answer(
+    payload: bytes,
+) -> tuple[str, list[tuple[MatchTable, bool]]]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        request_id = data["id"]
+        if not isinstance(request_id, str):
+            raise ValueError("'id' must be a string")
+        answers = data["answers"]
+        if not isinstance(answers, list):
+            raise ValueError("'answers' must be a list")
+        return request_id, [
+            (
+                MatchTable.from_rows(entry["order"], entry["rows"]),
+                bool(entry["expanded"]),
+            )
+            for entry in answers
+        ]
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed gateway answer message: {exc}") from exc
+
+
+def encode_gateway_reject(request_id: str, code: str, message: str) -> bytes:
+    """A typed refusal: load shedding or policy, never a silent drop."""
+    return json.dumps(
+        {"id": request_id, "code": code, "message": message},
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_gateway_reject(payload: bytes) -> tuple[str, str, str]:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+        request_id = data["id"]
+        if not isinstance(request_id, str):
+            raise ValueError("'id' must be a string")
+        code = data["code"]
+        if not isinstance(code, str) or not code:
+            raise ValueError("'code' must be a non-empty string")
+        message = data["message"]
+        if not isinstance(message, str):
+            raise ValueError("'message' must be a string")
+        return request_id, code, message
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed gateway reject message: {exc}") from exc

@@ -32,11 +32,13 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.client.expansion import expand_rin, expand_rin_table
-from repro.cloud.parallel import effective_workers, map_batch, validate_backend
+from repro.cloud.parallel import effective_workers, map_batch
 from repro.cloud.server import CloudServer
 from repro.cloud.sharding import ShardedCloud
+from repro.compat import warn_renamed
 from repro.core.config import SystemConfig
 from repro.core.data_owner import DataOwner, PublishedData
+from repro.core.options import DEFAULT_OPTIONS, QueryOptions
 from repro.core.protocol import (
     NetworkChannel,
     decode_answer,
@@ -49,6 +51,7 @@ from repro.core.protocol import (
     encode_upload,
 )
 from repro.core.query_client import QueryClient
+from repro.exceptions import ConfigError
 from repro.graph.attributed import AttributedGraph
 from repro.graph.schema import GraphSchema
 from repro.graph.validation import validate_query
@@ -294,22 +297,138 @@ class PrivacyPreservingSystem:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
+    def submit(
+        self,
+        queries: list[AttributedGraph],
+        *,
+        options: QueryOptions | None = None,
+        obs: Observability | None = None,
+    ) -> BatchOutcome:
+        """The single query entry point: answer ``queries`` under ``options``.
+
+        Every way into the system — :meth:`query`, :meth:`query_batch`,
+        the serving gateway — routes through here; the wire, trace and
+        cache plumbing lives in this one method.  A single-element
+        workload runs inline (no batch span, exactly the per-query
+        trace shape of :meth:`query`); larger workloads fan out over
+        the ``options.backend`` worker pool with a ``batch`` span and
+        event wrapping the run.  Outcomes come back in submission
+        order, bit-identical to a serial loop.
+
+        ``obs`` overrides the system scope; ``options.trace=False``
+        forces the disabled scope regardless (raw-throughput serving).
+        """
+        options = options if options is not None else DEFAULT_OPTIONS
+        if options.shards is not None:
+            deployed = max(1, self.config.shards)
+            if options.shards != deployed:
+                raise ConfigError(
+                    f"options.shards={options.shards} does not match the "
+                    f"deployed topology of {deployed} shard(s)"
+                )
+        if not options.trace:
+            base = Observability.disabled()
+        else:
+            base = obs if obs is not None else self.obs
+
+        queries = list(queries)
+        hits_before, misses_before = self.cloud.star_cache.counters()
+
+        if len(queries) == 1:
+            started = time.perf_counter()
+            outcome = self._run_one(queries[0], options=options, obs=base)
+            wall_seconds = time.perf_counter() - started
+            outcomes = [outcome]
+            worker_count = 1
+            cache_shared = True
+            trace = None
+        else:
+            worker_count = effective_workers(options.workers, len(queries))
+            cache_shared = options.backend != "process"
+            scope = base.for_query()
+            run_one = functools.partial(
+                self._run_one, options=options, obs=base
+            )
+            with scope.tracer.span(names.BATCH) as span:
+                started = time.perf_counter()
+                outcomes = map_batch(
+                    run_one, queries, options.workers, options.backend
+                )
+                wall_seconds = time.perf_counter() - started
+                span.set(
+                    backend=options.backend,
+                    workers=1 if options.backend == "serial" else worker_count,
+                    queries=len(queries),
+                    wall_seconds=wall_seconds,
+                )
+            trace = (
+                scope.tracer.take_trace() if scope.tracer.recording else None
+            )
+            if scope.events.enabled:
+                scope.events.emit(
+                    names.BATCH,
+                    backend=options.backend,
+                    workers=1 if options.backend == "serial" else worker_count,
+                    queries=len(queries),
+                    seconds=wall_seconds,
+                )
+
+        hits_after, misses_after = self.cloud.star_cache.counters()
+        metrics = BatchMetrics(
+            backend=options.backend,
+            worker_count=(
+                1
+                if len(queries) == 1 or options.backend == "serial"
+                else worker_count
+            ),
+            wall_seconds=wall_seconds,
+            per_query=[outcome.metrics for outcome in outcomes],
+            cache_hits=hits_after - hits_before,
+            cache_misses=misses_after - misses_before,
+            cache_shared=cache_shared,
+        )
+        return BatchOutcome(outcomes=outcomes, metrics=metrics, trace=trace)
+
     def query(
         self,
         query: AttributedGraph,
         limit: int | None = None,
         obs: Observability | None = None,
+        *,
+        options: QueryOptions | None = None,
     ) -> QueryOutcome:
         """Answer ``query`` exactly, through the privacy pipeline.
 
-        ``limit`` caps the number of returned matches (the client stops
-        filtering early); the cloud-side work is unchanged.
+        A thin delegate of :meth:`submit` for the common one-query
+        case.  Pass tuning knobs via ``options``; the old ``limit``
+        keyword still works but is deprecated in favor of
+        ``QueryOptions(max_results=...)``.
 
         The query runs on a fresh per-query recording scope forked from
         ``obs`` (default: the system scope) — its spans become
         ``outcome.trace`` and the registry aggregates accumulate on the
         shared :class:`~repro.obs.MetricsRegistry`.
         """
+        if limit is not None:
+            if options is not None:
+                raise ConfigError(
+                    "pass QueryOptions or the legacy limit keyword, not both"
+                )
+            warn_renamed(
+                "PrivacyPreservingSystem.query(limit=...)",
+                "QueryOptions(max_results=...)",
+            )
+            options = DEFAULT_OPTIONS.evolve(max_results=limit)
+        return self.submit([query], options=options, obs=obs).outcomes[0]
+
+    def _run_one(
+        self,
+        query: AttributedGraph,
+        *,
+        options: QueryOptions,
+        obs: Observability | None = None,
+    ) -> QueryOutcome:
+        """One query through the full pipeline (the :meth:`submit` core)."""
         validate_query(query)
         base = obs if obs is not None else self.obs
         scope = base.for_query()
@@ -332,10 +451,23 @@ class PrivacyPreservingSystem:
             # cloud: decompose, star-match, join
             with tracer.span(names.DECODE_QUERY):
                 cloud_query = decode_query(query_payload)
-            answer = self.cloud.answer(cloud_query, obs=scope)
+            if options.star_workers is not None and isinstance(
+                self.cloud, CloudServer
+            ):
+                # per-call intra-query parallelism override; sharded
+                # deployments keep their per-shard configuration.
+                answer = self.cloud.answer(
+                    cloud_query, obs=scope, star_workers=options.star_workers
+                )
+            else:
+                answer = self.cloud.answer(cloud_query, obs=scope)
 
             order = sorted(query.vertex_ids())
             table, expanded = answer.table, answer.expanded
+            if options.wire == "dict":
+                # forced legacy framing: the dict fallback below reads
+                # answer.matches (a lazy view over the table).
+                table = None
             if table is not None:
                 # columnar serving path: the result set stays tabular
                 # from the cloud join to the client filter; dicts are
@@ -385,7 +517,11 @@ class PrivacyPreservingSystem:
 
             # client: expand (if needed) + filter
             outcome = self.client.process_answer(
-                query, received, already_expanded, limit=limit, obs=scope
+                query,
+                received,
+                already_expanded,
+                limit=options.max_results,
+                obs=scope,
             )
 
         scope.metrics.counter(
@@ -417,71 +553,60 @@ class PrivacyPreservingSystem:
         self,
         queries: list[AttributedGraph],
         max_workers: int | None = None,
-        backend: str = "thread",
+        backend: str | None = None,
         limit: int | None = None,
         obs: Observability | None = None,
+        *,
+        options: QueryOptions | None = None,
     ) -> BatchOutcome:
         """Answer a workload of queries through a bounded worker pool.
 
-        Every query runs the full pipeline of :meth:`query` —
-        anonymize, encode, decompose, star-match, join, decode, expand,
-        filter — on one of ``max_workers`` workers (default: one per
-        core).  The cloud's VBV/LBV index is shared read-only and the
-        star cache is shared through its lock, so repeated star shapes
-        across the batch are matched once.  Outcomes come back **in
-        submission order** with match sets bit-identical to a serial
-        loop of :meth:`query` calls.
+        A thin delegate of :meth:`submit`: every query runs the full
+        pipeline — anonymize, encode, decompose, star-match, join,
+        decode, expand, filter — on one of ``options.workers`` workers
+        (default: one per core).  The cloud's VBV/LBV index is shared
+        read-only and the star cache is shared through its lock, so
+        repeated star shapes across the batch are matched once.
+        Outcomes come back **in submission order** with match sets
+        bit-identical to a serial loop of :meth:`query` calls.
 
-        ``backend`` is ``"thread"`` (default; shares the cache),
-        ``"process"`` (fork-based, for CPU-bound batches on multi-core
-        hosts; cache/channel/registry updates stay in the children —
-        per-query *traces* still come back, pickled inside each
-        outcome), or ``"serial"`` (the plain loop — the baseline
+        ``QueryOptions.backend`` is ``"thread"`` (default; shares the
+        cache), ``"process"`` (fork-based, for CPU-bound batches on
+        multi-core hosts; cache/channel/registry updates stay in the
+        children — per-query *traces* still come back, pickled inside
+        each outcome), or ``"serial"`` (the plain loop — the baseline
         ``benchmarks/bench_parallel_engine.py`` measures against).
 
+        The legacy ``max_workers``/``backend``/``limit`` keywords still
+        work but are deprecated in favor of ``options``.
+
         ``obs`` overrides the system scope for the whole batch; pass
-        ``Observability.disabled()`` to serve the batch with tracing
-        fully off (raw-throughput benchmarking).
+        ``Observability.disabled()`` (or ``QueryOptions(trace=False)``)
+        to serve the batch with tracing fully off.
         """
-        validate_backend(backend)
-        queries = list(queries)
-        worker_count = effective_workers(max_workers, len(queries))
-        cache_shared = backend != "process"
-        hits_before, misses_before = self.cloud.star_cache.counters()
-
-        base = obs if obs is not None else self.obs
-        scope = base.for_query()
-        run_one = functools.partial(self.query, limit=limit, obs=obs)
-        with scope.tracer.span(names.BATCH) as span:
-            started = time.perf_counter()
-            outcomes = map_batch(run_one, queries, max_workers, backend)
-            wall_seconds = time.perf_counter() - started
-            span.set(
-                backend=backend,
-                workers=1 if backend == "serial" else worker_count,
-                queries=len(queries),
-                wall_seconds=wall_seconds,
+        legacy: dict[str, Any] = {}
+        if max_workers is not None:
+            warn_renamed(
+                "PrivacyPreservingSystem.query_batch(max_workers=...)",
+                "QueryOptions(workers=...)",
             )
-
-        hits_after, misses_after = self.cloud.star_cache.counters()
-        metrics = BatchMetrics(
-            backend=backend,
-            worker_count=1 if backend == "serial" else worker_count,
-            wall_seconds=wall_seconds,
-            per_query=[outcome.metrics for outcome in outcomes],
-            cache_hits=hits_after - hits_before,
-            cache_misses=misses_after - misses_before,
-            cache_shared=cache_shared,
-        )
-        trace = (
-            scope.tracer.take_trace() if scope.tracer.recording else None
-        )
-        if scope.events.enabled:
-            scope.events.emit(
-                names.BATCH,
-                backend=backend,
-                workers=metrics.worker_count,
-                queries=len(queries),
-                seconds=wall_seconds,
+            legacy["workers"] = max_workers
+        if backend is not None:
+            warn_renamed(
+                "PrivacyPreservingSystem.query_batch(backend=...)",
+                "QueryOptions(backend=...)",
             )
-        return BatchOutcome(outcomes=outcomes, metrics=metrics, trace=trace)
+            legacy["backend"] = backend
+        if limit is not None:
+            warn_renamed(
+                "PrivacyPreservingSystem.query_batch(limit=...)",
+                "QueryOptions(max_results=...)",
+            )
+            legacy["max_results"] = limit
+        if legacy:
+            if options is not None:
+                raise ConfigError(
+                    "pass QueryOptions or the legacy keywords, not both"
+                )
+            options = DEFAULT_OPTIONS.evolve(**legacy)
+        return self.submit(queries, options=options, obs=obs)

@@ -45,6 +45,29 @@ class ProtocolError(ReproError):
     """A message exchanged between client and cloud failed to validate."""
 
 
+class GatewayError(ProtocolError):
+    """A gateway frame exchange failed (framing, handshake, transport)."""
+
+
+class GatewayRejected(GatewayError):
+    """The gateway refused a request instead of answering it.
+
+    Carried on the wire as a typed reject frame; the client re-raises
+    it with the machine-readable ``code`` (``"overloaded"``,
+    ``"unauthorized"``, ``"rate_limited"``, ``"budget_exhausted"``,
+    ``"queue_full"``, ``"bad_request"``, ``"internal"``), the
+    human-readable ``reason`` and the ``request_id`` it answers.  A
+    reject is load shedding or policy, not a crash: the connection
+    stays usable and the client may retry later.
+    """
+
+    def __init__(self, code: str, reason: str, request_id: str = ""):
+        super().__init__(f"gateway rejected request: {code}: {reason}")
+        self.code = code
+        self.reason = reason
+        self.request_id = request_id
+
+
 class VerificationError(ReproError):
     """A published artifact failed its privacy/structure verification."""
 

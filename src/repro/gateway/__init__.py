@@ -1,0 +1,60 @@
+"""Serving gateway: the paper's cloud as an actual network service.
+
+The deployment story of the paper (and of the follow-up cloud-service
+systems in PAPERS.md) is many clients issuing anonymized queries
+against one outsourced graph.  This package provides that front end:
+
+- :class:`QueryGateway` — an asyncio server speaking the
+  length-prefixed frames of :mod:`repro.core.protocol`, dispatching
+  into a deployed :class:`~repro.cloud.server.CloudServer` /
+  :class:`~repro.cloud.sharding.ShardedCloud` through a bounded worker
+  pool, with admission control, SLO-driven load shedding and
+  duplicate-query coalescing.
+- :class:`Middleware` / :class:`MiddlewareChain` — pluggable
+  request/response hooks, with stock auth-token, rate-limit,
+  audit-log and privacy-budget middlewares.
+- :class:`GatewayClient` / :class:`SyncGatewayClient` — the matching
+  clients; answers decode to the same columnar
+  :class:`~repro.matching.table.MatchTable` frames the in-process
+  pipeline produces, byte-identical end to end.
+"""
+
+from repro.gateway.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    QueryCoalescer,
+    coalesce_key,
+    query_signature,
+)
+from repro.gateway.client import GatewayClient, SyncGatewayClient
+from repro.gateway.middleware import (
+    AuditLogMiddleware,
+    AuthTokenMiddleware,
+    GatewayRequest,
+    GatewayResponse,
+    Middleware,
+    MiddlewareChain,
+    PrivacyBudgetMiddleware,
+    RateLimitMiddleware,
+)
+from repro.gateway.server import SHED_CODES, QueryGateway
+
+__all__ = [
+    "QueryGateway",
+    "GatewayClient",
+    "SyncGatewayClient",
+    "Middleware",
+    "MiddlewareChain",
+    "GatewayRequest",
+    "GatewayResponse",
+    "AuthTokenMiddleware",
+    "RateLimitMiddleware",
+    "AuditLogMiddleware",
+    "PrivacyBudgetMiddleware",
+    "AdmissionPolicy",
+    "AdmissionController",
+    "QueryCoalescer",
+    "coalesce_key",
+    "query_signature",
+    "SHED_CODES",
+]

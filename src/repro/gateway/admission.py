@@ -1,0 +1,191 @@
+"""Admission control and duplicate-query coalescing for the gateway.
+
+The gateway never queues unboundedly and never collapses under load:
+an :class:`AdmissionController` enforces a global concurrency budget
+and a per-client in-flight cap, and — when wired to a live
+:class:`~repro.obs.windows.SlidingWindow` through
+:meth:`~repro.obs.windows.SlidingWindow.shed_probe` — sheds new work
+the moment the admitted-traffic tail latency breaches the SLO.  Every
+refusal is a typed :class:`~repro.exceptions.GatewayRejected` that the
+server turns into a reject frame; admitted requests are unaffected.
+
+The :class:`QueryCoalescer` deduplicates identical in-flight work: two
+concurrent requests carrying structurally identical query workloads
+share one cloud computation (the same canonical vertex-constraint
+codec the :class:`~repro.cloud.cache.StarMatchCache` keys on), so a
+thundering herd of one hot query costs one star-matching pass.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cloud.cache import vertex_constraint
+from repro.exceptions import GatewayRejected
+from repro.graph.attributed import AttributedGraph
+
+
+@dataclass(frozen=True, kw_only=True)
+class AdmissionPolicy:
+    """Knobs for :class:`AdmissionController`.
+
+    ``slo_seconds`` is the p-quantile latency bound on *admitted*
+    requests; ``None`` disables latency shedding (the concurrency caps
+    still apply).  ``min_window_count`` keeps a cold window from
+    shedding before it has a statistically meaningful tail.
+    """
+
+    max_inflight: int = 64
+    max_client_inflight: int = 16
+    slo_seconds: float | None = None
+    slo_quantile: float = 0.99
+    min_window_count: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_client_inflight < 1:
+            raise ValueError("max_client_inflight must be >= 1")
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive or None")
+        if not 0.0 < self.slo_quantile <= 1.0:
+            raise ValueError("slo_quantile must be in (0, 1]")
+        if self.min_window_count < 1:
+            raise ValueError("min_window_count must be >= 1")
+
+
+class AdmissionController:
+    """Bounded admission: concurrency caps + SLO-driven load shedding.
+
+    ``shed_probe`` is a zero-argument callable (typically
+    ``window.shed_probe(policy.slo_seconds, ...)``) evaluated on every
+    admission attempt; ``True`` refuses with code ``"overloaded"``.
+    :meth:`admit` either raises :class:`GatewayRejected` or reserves a
+    slot the caller must give back via :meth:`release` (the gateway
+    wraps the pair in ``try/finally``).
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        shed_probe: Callable[[], bool] | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.shed_probe = shed_probe
+        self._inflight = 0  #: guarded by _lock
+        self._per_client: dict[str, int] = {}  #: guarded by _lock
+        self._lock = threading.Lock()
+
+    def admit(self, client_id: str, request_id: str = "") -> None:
+        """Reserve one slot for ``client_id`` or raise ``GatewayRejected``."""
+        if self.shed_probe is not None and self.shed_probe():
+            raise GatewayRejected(
+                "overloaded",
+                f"tail latency over the p{int(self.policy.slo_quantile * 100)}"
+                " SLO; shedding new work",
+                request_id,
+            )
+        with self._lock:
+            if self._inflight >= self.policy.max_inflight:
+                raise GatewayRejected(
+                    "overloaded",
+                    f"global concurrency budget of "
+                    f"{self.policy.max_inflight} requests is full",
+                    request_id,
+                )
+            mine = self._per_client.get(client_id, 0)
+            if mine >= self.policy.max_client_inflight:
+                raise GatewayRejected(
+                    "queue_full",
+                    f"client {client_id!r} already has {mine} requests "
+                    "in flight",
+                    request_id,
+                )
+            self._inflight += 1
+            self._per_client[client_id] = mine + 1
+
+    def release(self, client_id: str) -> None:
+        """Give back a slot reserved by :meth:`admit`."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            mine = self._per_client.get(client_id, 0)
+            if mine <= 1:
+                self._per_client.pop(client_id, None)
+            else:
+                self._per_client[client_id] = mine - 1
+
+    def inflight(self, client_id: str | None = None) -> int:
+        with self._lock:
+            if client_id is None:
+                return self._inflight
+            return self._per_client.get(client_id, 0)
+
+
+# ----------------------------------------------------------------------
+# duplicate-query coalescing
+# ----------------------------------------------------------------------
+def query_signature(query: AttributedGraph) -> tuple:
+    """Canonical structural signature of one anonymized query.
+
+    Built from the same per-vertex constraint codec the star cache
+    keys on (:func:`repro.cloud.cache.vertex_constraint`) plus the
+    edge set, so two requests coalesce exactly when the cloud would
+    compute identical answers for them.
+    """
+    vertices = tuple(
+        (vid, vertex_constraint(query.vertex(vid)))
+        for vid in sorted(query.vertex_ids())
+    )
+    edges = tuple(sorted(tuple(sorted(edge)) for edge in query.edges()))
+    return (vertices, edges)
+
+
+def coalesce_key(queries: Sequence[AttributedGraph]) -> tuple:
+    """The in-flight dedup key for a whole request workload."""
+    return tuple(query_signature(query) for query in queries)
+
+
+class QueryCoalescer:
+    """Share one in-flight computation among identical requests.
+
+    The first requester of a key becomes the *leader* (it computes and
+    must call :meth:`complete`); concurrent requesters of the same key
+    are *followers* and await the leader's future.  Keys are retired on
+    completion, so a later identical request computes afresh — the
+    coalescer is a thundering-herd guard, not a result cache.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[tuple, Future[Any]] = {}  #: guarded by _lock
+        self._lock = threading.Lock()
+
+    def lease(self, key: tuple) -> tuple[bool, Future[Any]]:
+        """Return ``(leader, future)`` for ``key``."""
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                return False, existing
+            future: Future[Any] = Future()
+            self._inflight[key] = future
+            return True, future
+
+    def complete(self, key: tuple) -> None:
+        """Retire ``key`` (leader-only, after resolving its future)."""
+        with self._lock:
+            self._inflight.pop(key, None)
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionController",
+    "QueryCoalescer",
+    "query_signature",
+    "coalesce_key",
+]

@@ -1,0 +1,278 @@
+"""Pluggable request/response middleware for the serving gateway.
+
+A :class:`Middleware` sees every request before the gateway admits it
+(:meth:`Middleware.on_request`) and every response on the way out
+(:meth:`Middleware.on_response`).  ``on_request`` may raise
+:class:`~repro.exceptions.GatewayRejected` to short-circuit the chain:
+later middlewares never see the request, the caller receives a typed
+reject frame, and the ``on_response`` hooks of the middlewares that
+*did* run still fire (in reverse order) so auditing stays complete.
+
+Stock middlewares cover the serving concerns the related cloud-service
+papers call out: per-client auth tokens, token-bucket rate limiting,
+JSONL audit logging through :class:`repro.obs.events.EventLog`, and a
+per-client privacy budget capping how many anonymized queries one
+client may issue against the outsourced graph.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import GatewayRejected
+from repro.graph.attributed import AttributedGraph
+from repro.obs import names
+from repro.obs.events import EventLog
+
+
+@dataclass
+class GatewayRequest:
+    """One request frame as the middleware chain sees it."""
+
+    client_id: str
+    request_id: str
+    queries: list[AttributedGraph]
+    token: str = ""
+
+
+@dataclass
+class GatewayResponse:
+    """The outcome the ``on_response`` hooks observe."""
+
+    status: str  # "ok" or the reject code
+    answers: int = 0
+    message: str = ""
+
+    @classmethod
+    def ok(cls, answers: int) -> "GatewayResponse":
+        return cls(status="ok", answers=answers)
+
+    @classmethod
+    def from_rejection(cls, rejection: GatewayRejected) -> "GatewayResponse":
+        return cls(status=rejection.code, message=rejection.reason)
+
+
+class Middleware:
+    """Base middleware: override either hook; both default to no-ops."""
+
+    def on_request(self, request: GatewayRequest) -> None:
+        """Inspect/veto ``request``; raise ``GatewayRejected`` to refuse."""
+
+    def on_response(
+        self, request: GatewayRequest, response: GatewayResponse
+    ) -> None:
+        """Observe the response (runs in reverse registration order)."""
+
+
+class MiddlewareChain:
+    """An ordered middleware stack with short-circuit semantics."""
+
+    def __init__(self, middlewares: Iterable[Middleware] = ()) -> None:
+        self.middlewares: tuple[Middleware, ...] = tuple(middlewares)
+
+    def before(
+        self, request: GatewayRequest
+    ) -> tuple[list[Middleware], GatewayRejected | None]:
+        """Run ``on_request`` hooks in order until one refuses.
+
+        Returns the middlewares that accepted (they are owed an
+        ``on_response`` call) and the rejection, if any.  The refusing
+        middleware is *not* in the entered list — its own ``on_request``
+        never completed.
+        """
+        entered: list[Middleware] = []
+        for middleware in self.middlewares:
+            try:
+                middleware.on_request(request)
+            except GatewayRejected as rejection:
+                return entered, rejection
+            entered.append(middleware)
+        return entered, None
+
+    def after(
+        self,
+        entered: Sequence[Middleware],
+        request: GatewayRequest,
+        response: GatewayResponse,
+    ) -> None:
+        """Run ``on_response`` hooks of ``entered``, innermost first."""
+        for middleware in reversed(entered):
+            middleware.on_response(request, response)
+
+    def process(
+        self,
+        request: GatewayRequest,
+        handler: Callable[[GatewayRequest], GatewayResponse],
+    ) -> GatewayResponse:
+        """Synchronous convenience: before -> handler -> after.
+
+        Used by the tests (and any in-process embedding); the async
+        gateway composes :meth:`before`/:meth:`after` itself around the
+        admission and dispatch steps.  A rejection — from a middleware
+        or from ``handler`` — still reaches the ``on_response`` hooks
+        before re-raising.
+        """
+        entered, rejection = self.before(request)
+        if rejection is None:
+            try:
+                response = handler(request)
+            except GatewayRejected as exc:
+                rejection = exc
+        if rejection is not None:
+            self.after(
+                entered, request, GatewayResponse.from_rejection(rejection)
+            )
+            raise rejection
+        self.after(entered, request, response)
+        return response
+
+
+# ----------------------------------------------------------------------
+# stock middlewares
+# ----------------------------------------------------------------------
+class AuthTokenMiddleware(Middleware):
+    """Refuse requests whose token does not match the expected one.
+
+    ``token`` is a single shared secret; ``tokens`` maps client ids to
+    per-client secrets (and implicitly restricts the client roster).
+    Pass exactly one of the two.
+    """
+
+    def __init__(
+        self,
+        token: str | None = None,
+        tokens: dict[str, str] | None = None,
+    ) -> None:
+        if (token is None) == (tokens is None):
+            raise ValueError("pass exactly one of token= or tokens=")
+        self._token = token
+        self._tokens = tokens
+
+    def on_request(self, request: GatewayRequest) -> None:
+        if self._token is not None:
+            expected: str | None = self._token
+        else:
+            assert self._tokens is not None
+            expected = self._tokens.get(request.client_id)
+        if expected is None or request.token != expected:
+            raise GatewayRejected(
+                "unauthorized",
+                f"invalid token for client {request.client_id!r}",
+                request.request_id,
+            )
+
+
+class RateLimitMiddleware(Middleware):
+    """Per-client token bucket: ``rate`` requests/second, ``burst`` deep."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, tuple[float, float]] = {}  #: guarded by _lock
+        self._lock = threading.Lock()
+
+    def on_request(self, request: GatewayRequest) -> None:
+        now = self._clock()
+        with self._lock:
+            level, last = self._buckets.get(
+                request.client_id, (float(self.burst), now)
+            )
+            level = min(float(self.burst), level + (now - last) * self.rate)
+            if level < 1.0:
+                self._buckets[request.client_id] = (level, now)
+                raise GatewayRejected(
+                    "rate_limited",
+                    f"client {request.client_id!r} exceeded "
+                    f"{self.rate:g} requests/second",
+                    request.request_id,
+                )
+            self._buckets[request.client_id] = (level - 1.0, now)
+
+
+class AuditLogMiddleware(Middleware):
+    """Emit one JSONL audit record per finished request.
+
+    Records land in a :class:`repro.obs.events.EventLog` under the
+    canonical ``gateway.request`` event name: client, request id,
+    query count and final status — the audit trail the honest-but-
+    curious deployment model wants on the serving path.
+    """
+
+    def __init__(self, events: EventLog) -> None:
+        self.events = events
+
+    def on_response(
+        self, request: GatewayRequest, response: GatewayResponse
+    ) -> None:
+        self.events.emit(
+            names.GATEWAY_REQUEST,
+            query_id=request.request_id,
+            client_id=request.client_id,
+            queries=len(request.queries),
+            status=response.status,
+            answers=response.answers,
+        )
+
+
+@dataclass
+class _Budget:
+    remaining: int
+
+
+class PrivacyBudgetMiddleware(Middleware):
+    """Cap how many queries each client may issue over a deployment.
+
+    Privacy leakage against the outsourced graph compounds with every
+    anonymized query a client sends; this middleware enforces a hard
+    per-client budget (each request consumes one unit per query it
+    carries) and refuses with ``budget_exhausted`` once spent.
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = budget
+        self._spent: dict[str, int] = {}  #: guarded by _lock
+        self._lock = threading.Lock()
+
+    def on_request(self, request: GatewayRequest) -> None:
+        cost = len(request.queries)
+        with self._lock:
+            spent = self._spent.get(request.client_id, 0)
+            if spent + cost > self.budget:
+                raise GatewayRejected(
+                    "budget_exhausted",
+                    f"client {request.client_id!r} spent {spent} of a "
+                    f"{self.budget}-query privacy budget",
+                    request.request_id,
+                )
+            self._spent[request.client_id] = spent + cost
+
+    def remaining(self, client_id: str) -> int:
+        with self._lock:
+            return self.budget - self._spent.get(client_id, 0)
+
+
+__all__ = [
+    "GatewayRequest",
+    "GatewayResponse",
+    "Middleware",
+    "MiddlewareChain",
+    "AuthTokenMiddleware",
+    "RateLimitMiddleware",
+    "AuditLogMiddleware",
+    "PrivacyBudgetMiddleware",
+]

@@ -95,6 +95,16 @@ NETWORK_ANSWER = "network.answer"
 NETWORK_UPLOAD = "network.upload"
 NETWORK_SHARD_QUERY = "network.shard_query"
 NETWORK_SHARD_ANSWER = "network.shard_answer"
+NETWORK_GATEWAY_QUERY = "network.gateway_query"
+NETWORK_GATEWAY_ANSWER = "network.gateway_answer"
+
+# -- gateway serving path (repro.gateway) -------------------------------
+# One ``gateway.request`` root per request frame a gateway connection
+# handles (client_id, queries, status); ``gateway.dispatch`` wraps the
+# bounded-pool cloud computation under it (coalesced followers skip
+# the dispatch span — they await the leader's result).
+GATEWAY_REQUEST = "gateway.request"
+GATEWAY_DISPATCH = "gateway.dispatch"
 
 #: Wire direction -> canonical network span name, for call sites that
 #: receive the direction as data (:meth:`NetworkChannel.transmit`).
@@ -104,6 +114,8 @@ NETWORK_SPANS = {
     "answer": NETWORK_ANSWER,
     "shard_query": NETWORK_SHARD_QUERY,
     "shard_answer": NETWORK_SHARD_ANSWER,
+    "gateway_query": NETWORK_GATEWAY_QUERY,
+    "gateway_answer": NETWORK_GATEWAY_ANSWER,
 }
 
 #: Every span name above, for validation and documentation tests.
@@ -128,7 +140,13 @@ M_QUERY_SECONDS = "query_seconds"
 M_CLOUD_SECONDS = "cloud_seconds"
 M_CLIENT_SECONDS = "client_seconds"
 
+# -- gateway serving metrics (repro.gateway) ----------------------------
+M_GATEWAY_REQUESTS = "gateway_requests_total"
+M_GATEWAY_SHED = "gateway_shed_total"
+M_GATEWAY_COALESCED = "gateway_coalesced_total"
+
 # -- sliding-window SLO view prefixes (repro.obs.windows) ---------------
 # Each expands into pull gauges `<prefix>_{p50,p95,p99,rate,count}`.
 W_QUERY_WINDOW = "query_seconds_window"
 W_CLOUD_WINDOW = "cloud_seconds_window"
+W_GATEWAY_WINDOW = "gateway_seconds_window"

@@ -173,6 +173,45 @@ class SlidingWindow:
             "rate": self.rate(now),
         }
 
+    # -- SLO breach probing ---------------------------------------------
+    def breached(
+        self,
+        threshold: float,
+        quantile: float = 0.99,
+        min_count: int = 1,
+        now: float | None = None,
+    ) -> bool:
+        """True when the windowed ``quantile`` exceeds ``threshold``.
+
+        The admission-control primitive: an SLO of "p99 under 250 ms"
+        is ``breached(0.25, quantile=0.99)``.  ``min_count`` guards the
+        cold start — with fewer in-window observations than that the
+        window has no statistical opinion and reports no breach, so a
+        freshly started server never sheds its first requests.
+        """
+        values = [value for _, value in self._current(now)]
+        if len(values) < max(1, min_count):
+            return False
+        return quantile_inclusive(values, quantile) > threshold
+
+    def shed_probe(
+        self, threshold: float, quantile: float = 0.99, min_count: int = 1
+    ) -> Callable[[], bool]:
+        """A zero-argument :meth:`breached` closure for load shedders.
+
+        Handed to admission controllers (e.g.
+        :class:`repro.gateway.AdmissionController`) so the shed
+        decision stays driven by this live window without the
+        controller holding a window reference itself.
+        """
+
+        def probe() -> bool:
+            return self.breached(
+                threshold, quantile=quantile, min_count=min_count
+            )
+
+        return probe
+
     # -- registry integration -------------------------------------------
     def register(
         self, registry: MetricsRegistry, prefix: str, help: str = ""

@@ -16,6 +16,7 @@ from repro import (
     BatchOutcome,
     MethodConfig,
     PrivacyPreservingSystem,
+    QueryOptions,
     SystemConfig,
 )
 from repro.cloud import CloudServer, fork_available
@@ -229,7 +230,9 @@ class TestSystemQueryBatch:
     def test_batch_outcome_shape_and_metrics(self, dataset_workload):
         dataset, workload = dataset_workload
         system = build_system(dataset, workload, star_cache_size=64)
-        batch = system.query_batch(workload, max_workers=4, backend="thread")
+        batch = system.query_batch(
+            workload, options=QueryOptions(workers=4, backend="thread")
+        )
         assert isinstance(batch, BatchOutcome)
         assert len(batch.outcomes) == len(workload)
         metrics = batch.metrics
@@ -249,7 +252,9 @@ class TestSystemQueryBatch:
         dataset, workload = dataset_workload
         system = build_system(dataset, workload, star_cache_size=64)
         serial = [system.query(q) for q in workload]
-        batch = system.query_batch(workload, max_workers=4, backend="thread")
+        batch = system.query_batch(
+            workload, options=QueryOptions(workers=4, backend="thread")
+        )
         assert match_lists(batch.outcomes) == match_lists(serial)
         # submission order: per-query metrics line up with the inputs
         for query, outcome in zip(workload, batch.outcomes):
@@ -266,16 +271,28 @@ class TestSystemQueryBatch:
             ),
             sample_workload=workload,
         )
-        expected = match_lists(system.query_batch(workload, backend="serial").outcomes)
-        threaded = system.query_batch(workload, max_workers=3, backend="thread")
+        expected = match_lists(
+            system.query_batch(
+                workload, options=QueryOptions(backend="serial")
+            ).outcomes
+        )
+        threaded = system.query_batch(
+            workload, options=QueryOptions(workers=3, backend="thread")
+        )
         assert match_lists(threaded.outcomes) == expected
 
     @pytest.mark.skipif(not fork_available(), reason="fork start method unavailable")
     def test_process_backend_reports_unshared_cache(self, dataset_workload):
         dataset, workload = dataset_workload
         system = build_system(dataset, workload, star_cache_size=64)
-        expected = match_lists(system.query_batch(workload, backend="serial").outcomes)
-        batch = system.query_batch(workload[:4], max_workers=2, backend="process")
+        expected = match_lists(
+            system.query_batch(
+                workload, options=QueryOptions(backend="serial")
+            ).outcomes
+        )
+        batch = system.query_batch(
+            workload[:4], options=QueryOptions(workers=2, backend="process")
+        )
         assert match_lists(batch.outcomes) == expected[:4]
         assert batch.metrics.cache_shared is False
         assert batch.metrics.cache_hit_rate is None
@@ -283,7 +300,9 @@ class TestSystemQueryBatch:
     def test_limit_is_honored_in_batches(self, dataset_workload):
         dataset, workload = dataset_workload
         system = build_system(dataset, workload)
-        batch = system.query_batch(workload, max_workers=2, limit=1)
+        batch = system.query_batch(
+            workload, options=QueryOptions(workers=2, max_results=1)
+        )
         for outcome in batch.outcomes:
             assert len(outcome.matches) <= 1
 
@@ -305,9 +324,15 @@ class TestSharedCacheStress:
         # small LRU + repeated workload = constant eviction churn under
         # concurrency; every run must still return identical matches
         stress = (workload * 3)[: max(12, len(workload))]
-        reference = match_lists(system.query_batch(stress, backend="serial").outcomes)
+        reference = match_lists(
+            system.query_batch(
+                stress, options=QueryOptions(backend="serial")
+            ).outcomes
+        )
         for round_ in range(3):
-            batch = system.query_batch(stress, max_workers=4, backend="thread")
+            batch = system.query_batch(
+                stress, options=QueryOptions(workers=4, backend="thread")
+            )
             assert match_lists(batch.outcomes) == reference, f"round {round_}"
 
     def test_raw_threads_share_one_server(self, figure1_pipeline):

@@ -119,6 +119,102 @@ class TestImportSurface:
         assert legacy.AggregatedMetrics is views.AggregatedMetrics
 
 
+@pytest.fixture(scope="module")
+def figure1_system():
+    from repro import PrivacyPreservingSystem, SystemConfig
+    from repro.graph import example_social_network
+
+    graph, schema = example_social_network()
+    return PrivacyPreservingSystem.setup(graph, schema, SystemConfig(k=2))
+
+
+class TestQueryOptionsShims:
+    """The submit()/QueryOptions redesign: keyword soup keeps working.
+
+    ``query(limit=)`` and ``query_batch(max_workers=/backend=/limit=)``
+    are deprecated in favor of ``QueryOptions``; each use warns exactly
+    once with the replacement spelled out, maps onto the same behavior,
+    and mixing old and new spellings is a hard error.
+    """
+
+    def test_query_limit_warns_once_and_limits(self, figure1_system):
+        from repro.graph import example_query
+
+        with pytest.warns(DeprecationWarning, match="max_results") as record:
+            outcome = figure1_system.query(example_query(), limit=1)
+        _one_warning(record)
+        assert len(outcome.matches) == 1
+
+    def test_query_limit_plus_options_is_an_error(self, figure1_system):
+        from repro import QueryOptions
+        from repro.exceptions import ConfigError
+        from repro.graph import example_query
+
+        with pytest.raises(ConfigError, match="not both"):
+            figure1_system.query(
+                example_query(), limit=1, options=QueryOptions(max_results=1)
+            )
+
+    def test_query_batch_max_workers_warns_and_maps(self, figure1_system):
+        from repro.graph import example_query
+
+        queries = [example_query(), example_query()]
+        with pytest.warns(DeprecationWarning, match="workers") as record:
+            outcome = figure1_system.query_batch(queries, max_workers=2)
+        _one_warning(record)
+        assert [len(o.matches) for o in outcome.outcomes] == [2, 2]
+
+    def test_query_batch_backend_warns_and_maps(self, figure1_system):
+        from repro.graph import example_query
+
+        with pytest.warns(DeprecationWarning, match="backend") as record:
+            outcome = figure1_system.query_batch(
+                [example_query()], backend="serial"
+            )
+        _one_warning(record)
+        assert outcome.metrics.backend == "serial"
+
+    def test_query_batch_limit_warns_and_maps(self, figure1_system):
+        from repro.graph import example_query
+
+        with pytest.warns(DeprecationWarning, match="max_results") as record:
+            outcome = figure1_system.query_batch([example_query()], limit=1)
+        _one_warning(record)
+        assert len(outcome.outcomes[0].matches) == 1
+
+    def test_query_batch_legacy_plus_options_is_an_error(
+        self, figure1_system
+    ):
+        from repro import QueryOptions
+        from repro.exceptions import ConfigError
+        from repro.graph import example_query
+
+        with pytest.raises(ConfigError, match="not both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                figure1_system.query_batch(
+                    [example_query()],
+                    backend="serial",
+                    options=QueryOptions(backend="serial"),
+                )
+
+    def test_submit_and_options_paths_are_silent(self, figure1_system):
+        from repro import QueryOptions
+        from repro.graph import example_query
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            outcome = figure1_system.submit(
+                [example_query()],
+                options=QueryOptions(backend="serial", max_results=1),
+            )
+            assert len(outcome.outcomes[0].matches) == 1
+            single = figure1_system.query(
+                example_query(), options=QueryOptions(max_results=1)
+            )
+            assert len(single.matches) == 1
+
+
 class TestPipelineIsWarningClean:
     def test_end_to_end_query_emits_no_deprecation_warnings(self):
         from repro import PrivacyPreservingSystem, SystemConfig

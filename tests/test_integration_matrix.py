@@ -7,7 +7,7 @@ results, sane metrics) in every cell.
 
 import pytest
 
-from repro import MethodConfig, PrivacyPreservingSystem, SystemConfig
+from repro import MethodConfig, PrivacyPreservingSystem, QueryOptions, SystemConfig
 from repro.matching import find_subgraph_matches, match_key
 from repro.workloads import generate_workload, load_dataset
 
@@ -112,7 +112,7 @@ class TestResultLimit:
             dataset.graph, dataset.schema, SystemConfig(k=2), sample_workload=workload
         )
         query, oracle = workload[0], oracles[0]
-        limited = system.query(query, limit=1)
+        limited = system.query(query, options=QueryOptions(max_results=1))
         assert len(limited.matches) == min(1, len(oracle))
         assert {match_key(m) for m in limited.matches} <= oracle
 
@@ -121,5 +121,5 @@ class TestResultLimit:
         system = PrivacyPreservingSystem.setup(
             dataset.graph, dataset.schema, SystemConfig(k=2), sample_workload=workload
         )
-        outcome = system.query(workload[0], limit=10_000)
+        outcome = system.query(workload[0], options=QueryOptions(max_results=10_000))
         assert {match_key(m) for m in outcome.matches} == oracles[0]

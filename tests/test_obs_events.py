@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.core.config import SystemConfig
+from repro.core.options import QueryOptions
 from repro.core.system import PrivacyPreservingSystem, QueryOutcome
 from repro.graph.generators import example_query, example_social_network
 from repro.obs import (
@@ -197,7 +198,9 @@ class TestSystemIntegration:
     def test_batch_emits_batch_event(self, tmp_path):
         path = tmp_path / "events.jsonl"
         system = _demo_system(event_log_path=str(path))
-        system.query_batch([example_query()] * 3, backend="serial")
+        system.query_batch(
+            [example_query()] * 3, options=QueryOptions(backend="serial")
+        )
         system.obs.events.close()
         events = read_events(path)
         batch_events = [e for e in events if e["event"] == names.BATCH]

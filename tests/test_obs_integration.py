@@ -9,7 +9,7 @@ time, and the legacy metric views are derivable from the trace alone.
 
 import pytest
 
-from repro import SystemConfig
+from repro import QueryOptions, SystemConfig
 from repro.cloud.parallel import fork_available
 from repro.core.system import BatchOutcome, PrivacyPreservingSystem, QueryOutcome
 from repro.graph import example_query, example_social_network
@@ -156,7 +156,7 @@ class TestBatchBackends:
     )
     def test_each_outcome_has_its_own_trace(self, deployment, backend):
         batch = deployment.query_batch(
-            self._queries(), max_workers=2, backend=backend
+            self._queries(), options=QueryOptions(workers=2, backend=backend)
         )
         assert batch.metrics.backend == backend
         for outcome in batch.outcomes:
@@ -173,7 +173,9 @@ class TestBatchBackends:
         assert batch_span.attributes["queries"] == 4
 
     def test_batch_dict_round_trip(self, deployment):
-        batch = deployment.query_batch(self._queries(), backend="serial")
+        batch = deployment.query_batch(
+            self._queries(), options=QueryOptions(backend="serial")
+        )
         restored = BatchOutcome.from_dict(batch.to_dict())
         assert restored.matches == batch.matches
         assert restored.metrics.backend == "serial"

@@ -8,6 +8,7 @@ import urllib.request
 import pytest
 
 from repro.core.config import SystemConfig
+from repro.core.options import QueryOptions
 from repro.core.system import PrivacyPreservingSystem
 from repro.graph.generators import example_query, example_social_network
 from repro.obs import (
@@ -137,7 +138,7 @@ class TestScrapeUnderLoad:
             try:
                 for _ in range(4):
                     system.query_batch(
-                        [example_query()] * 4, max_workers=2
+                        [example_query()] * 4, options=QueryOptions(workers=2)
                     )
             finally:
                 done.set()

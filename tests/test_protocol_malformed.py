@@ -25,6 +25,10 @@ from repro.core.protocol import (
     decode_answer,
     decode_answer_batch,
     decode_answer_table,
+    decode_gateway_answer,
+    decode_gateway_hello,
+    decode_gateway_reject,
+    decode_gateway_request,
     decode_query,
     decode_query_batch,
     decode_shard_request,
@@ -33,6 +37,10 @@ from repro.core.protocol import (
     encode_answer,
     encode_answer_batch,
     encode_answer_table,
+    encode_gateway_answer,
+    encode_gateway_hello,
+    encode_gateway_reject,
+    encode_gateway_request,
     encode_query,
     encode_query_batch,
     encode_shard_request,
@@ -65,6 +73,14 @@ def wire():
         "answer_batch": encode_answer_batch([(matches, [0, 1], True)]),
         "shard_request": encode_shard_request(graph, stars),
         "shard_tables": encode_shard_tables({0: table}),
+        "gateway_hello": encode_gateway_hello("alice", "secret"),
+        "gateway_request": encode_gateway_request("alice-1", [graph]),
+        "gateway_answer": encode_gateway_answer(
+            "alice-1", [(table, [0, 1], False)]
+        ),
+        "gateway_reject": encode_gateway_reject(
+            "alice-1", "overloaded", "shedding"
+        ),
     }
 
 
@@ -77,6 +93,10 @@ DECODERS = {
     "answer_batch": decode_answer_batch,
     "shard_request": decode_shard_request,
     "shard_tables": decode_shard_tables,
+    "gateway_hello": decode_gateway_hello,
+    "gateway_request": decode_gateway_request,
+    "gateway_answer": decode_gateway_answer,
+    "gateway_reject": decode_gateway_reject,
 }
 
 #: Field corruptions per message type: (path, replacement) pairs.  The
@@ -100,6 +120,29 @@ WRONG_TYPED: dict[str, list[tuple[tuple, object]]] = {
         (("tables",), [None]),
         (("tables",), [{"center": None, "schema": 1, "rows": 2}]),
         (("tables",), [{"center": 0, "schema": [0, 1], "rows": [[1]]}]),
+    ],
+    "gateway_hello": [
+        (("client_id",), 5),
+        (("client_id",), ""),
+        (("token",), 7),
+    ],
+    "gateway_request": [
+        (("id",), 5),
+        (("queries",), 5),
+        (("queries",), []),
+        (("queries",), [7]),
+    ],
+    "gateway_answer": [
+        (("id",), 5),
+        (("answers",), 5),
+        (("answers",), [None]),
+        (("answers",), [{"order": [0, 1], "rows": [[1]], "expanded": True}]),
+    ],
+    "gateway_reject": [
+        (("id",), 9),
+        (("code",), 5),
+        (("code",), ""),
+        (("message",), None),
     ],
 }
 

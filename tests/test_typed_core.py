@@ -23,7 +23,13 @@ SRC = REPO / "src"
 
 #: The typed core: the packages pyproject's ``[tool.mypy]`` overrides
 #: hold to ``disallow_untyped_defs`` / ``disallow_incomplete_defs``.
-TYPED_PACKAGES = ("repro/core", "repro/cloud", "repro/obs", "repro/matching")
+TYPED_PACKAGES = (
+    "repro/core",
+    "repro/cloud",
+    "repro/obs",
+    "repro/matching",
+    "repro/gateway",
+)
 
 
 def _typed_core_files() -> list[Path]:
