@@ -149,6 +149,72 @@ def test_report_parallel_engine(sweep):
     )
 
 
+def test_report_tracing_overhead(sweep):
+    """Traced vs. untraced: what does distributed tracing cost?
+
+    Runs the same thread-pool batch twice — once with observability
+    fully disabled (the raw-engine configuration of the throughput
+    cell above) and once with a recording tracer retaining every span
+    — and prints the overhead row.  Gates: the match sets are
+    bit-identical with tracing on or off, the tracing-off run really
+    does no tracer work (zero spans retained), and turning tracing ON
+    never makes the tracing-OFF configuration look slow (the off run
+    must stay within noise of the on run — tracing is pay-as-you-go).
+    """
+    system, queries = _batch_workload(sweep)
+    options = QueryOptions(workers=WORKERS, backend="thread")
+
+    silent = Observability.disabled()
+    untraced = system.query_batch(queries, options=options, obs=silent)
+    assert len(silent.tracer.trace()) == 0  # off means off: no spans
+
+    recording = Observability()
+    traced = system.query_batch(queries, options=options, obs=recording)
+    assert all(
+        outcome.trace is not None and len(outcome.trace) > 0
+        for outcome in traced.outcomes
+    )
+    # bit-identity: the answers do not depend on the tracing grade
+    assert _match_sets(traced.outcomes) == _match_sets(untraced.outcomes)
+
+    off_wall = untraced.metrics.wall_seconds
+    on_wall = traced.metrics.wall_seconds
+    overhead = (on_wall / off_wall - 1.0) * 100 if off_wall > 0 else 0.0
+    spans = sum(len(outcome.trace) for outcome in traced.outcomes)
+    print_report(
+        format_table(
+            ["tracing", "wall ms", "qps", "spans", "overhead"],
+            [
+                [
+                    "off",
+                    f"{off_wall * 1000:.1f}",
+                    f"{untraced.metrics.throughput_qps:.1f}",
+                    0,
+                    "—",
+                ],
+                [
+                    "on",
+                    f"{on_wall * 1000:.1f}",
+                    f"{traced.metrics.throughput_qps:.1f}",
+                    spans,
+                    f"{overhead:+.1f}%",
+                ],
+            ],
+            title=(
+                f"tracing overhead — {len(queries)} queries, "
+                f"k={BATCH_K}, thread backend, {WORKERS} workers"
+            ),
+        )
+    )
+
+    # generous noise bound: the untraced configuration must not be
+    # slower than the traced one beyond run-to-run jitter
+    assert off_wall <= on_wall * 2.0, (
+        f"tracing-off wall {off_wall:.4f}s vs traced {on_wall:.4f}s — "
+        "the disabled path is doing work it should not"
+    )
+
+
 def test_report_steady_state_latency(sweep):
     """Steady-state per-query latency through the SLO window.
 

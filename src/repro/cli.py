@@ -22,6 +22,11 @@ Commands
 ``call``
     Send query graphs to a running ``serve --gateway-port`` gateway
     over TCP and finish them client-side (expand + filter) locally.
+``explain``
+    Run one traced query and render its EXPLAIN report (phase
+    timings, per-shard work, wire bytes, cache hits).  With ``--port``
+    the query goes through a running gateway and the report covers the
+    stitched cross-process trace.
 ``audit``
     Quantify a deployment's privacy posture: candidate sets vs ``k``,
     label groups vs ``theta``, outsourced fraction and Algorithm 3's
@@ -445,6 +450,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ),
                 workers=args.gateway_workers,
                 obs=obs,
+                traces=ring,
             ).start()
             if args.gateway_port_file:
                 gateway_port_file = Path(args.gateway_port_file)
@@ -593,6 +599,95 @@ def _cmd_call(args: argparse.Namespace) -> int:
         print(f"gateway error: {exc}", file=sys.stderr)
         return 1
     print(json.dumps(results, indent=2))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """One traced query -> its EXPLAIN report (text or JSON).
+
+    Local mode (default) runs the query in process against the
+    deployment (optionally sharded); with ``--port`` the anonymized
+    query goes through a running ``serve --gateway-port`` gateway via
+    ``submit_traced``, and the report is derived from the stitched
+    cross-process trace (client, gateway, cloud, shard and fork-child
+    spans in one tree).  ``--chrome PATH`` additionally writes the
+    trace as Chrome/Perfetto trace-event JSON.
+    """
+    from repro.obs import ExplainReport, export_chrome_trace
+
+    graph = load_graph(args.graph)
+    query = load_graph(args.query)
+    lct, client_avt = load_client_side(args.deployment)
+    client = QueryClient(graph, lct, client_avt)
+
+    trace: Trace | None
+    if args.port is not None:
+        from repro.exceptions import GatewayError, GatewayRejected
+        from repro.gateway import SyncGatewayClient
+
+        anonymized = client.prepare_query(query)
+        try:
+            with SyncGatewayClient(
+                args.host,
+                args.port,
+                client_id=args.client_id,
+                token=args.token,
+                timeout=args.timeout,
+            ) as gateway:
+                traced = gateway.submit_traced([anonymized])
+        except GatewayRejected as exc:
+            print(
+                f"gateway rejected request ({exc.code}): {exc.reason}",
+                file=sys.stderr,
+            )
+            return 2
+        except GatewayError as exc:
+            print(f"gateway error: {exc}", file=sys.stderr)
+            return 1
+        for table, expanded in traced.answers:
+            client.process_answer(query, table, expanded)
+        trace, query_id = traced.trace, traced.query_id
+    else:
+        cloud_graph, cloud_avt, centers, expand = load_cloud_side(
+            args.deployment
+        )
+        obs = Observability()
+        scope = obs.for_query()
+        cloud: CloudServer | ShardedCloud
+        if args.shards > 1:
+            cloud = ShardedCloud(
+                cloud_graph,
+                cloud_avt,
+                centers,
+                shards=args.shards,
+                expand_in_cloud=expand,
+                backend=args.shard_backend,
+            )
+        else:
+            cloud = CloudServer(
+                cloud_graph, cloud_avt, centers, expand_in_cloud=expand
+            )
+        with scope.tracer.span(names.QUERY) as root:
+            root.set(query_edges=query.edge_count)
+            anonymized = client.prepare_query(query, obs=scope)
+            answer = cloud.answer(anonymized, obs=scope)
+            client.process_answer(
+                query, answer.results, answer.expanded, obs=scope
+            )
+        cloud.close()
+        trace, query_id = scope.tracer.take_trace(), scope.query_id
+
+    report = ExplainReport.from_trace(trace, query_id=query_id)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    if args.chrome:
+        if trace is None:
+            print("no trace to export", file=sys.stderr)
+        else:
+            export_chrome_trace(args.chrome, trace)
+            print(f"chrome trace written to {args.chrome}", file=sys.stderr)
     return 0
 
 
@@ -984,6 +1079,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait per gateway call",
     )
     call.set_defaults(func=_cmd_call)
+
+    explain = sub.add_parser(
+        "explain",
+        help="run one traced query and render its EXPLAIN report",
+    )
+    explain.add_argument(
+        "deployment", help="deployment directory from 'publish'"
+    )
+    explain.add_argument("graph", help="original graph JSON (client side)")
+    explain.add_argument("query", help="query graph JSON")
+    explain.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="local mode: partition the cloud over N shards (1 = single)",
+    )
+    explain.add_argument(
+        "--shard-backend",
+        default="thread",
+        choices=["serial", "thread", "process"],
+        help="local mode: scatter backend of the sharded cloud",
+    )
+    explain.add_argument("--host", default="127.0.0.1")
+    explain.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="query a running gateway on this TCP port instead of "
+        "running locally (the report covers the stitched trace)",
+    )
+    explain.add_argument(
+        "--client-id", default="cli", help="client identity for middleware"
+    )
+    explain.add_argument(
+        "--token", default="", help="auth token for the hello frame"
+    )
+    explain.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="seconds to wait per gateway call",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    explain.add_argument(
+        "--chrome",
+        default=None,
+        help="also write the trace as Chrome/Perfetto trace-event JSON",
+    )
+    explain.set_defaults(func=_cmd_explain)
 
     audit = sub.add_parser(
         "audit", help="quantify a deployment's privacy posture"

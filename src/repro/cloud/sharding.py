@@ -73,6 +73,7 @@ from repro.cloud.server import CloudAnswer
 from repro.cloud.star_matching import StarMatchStats, match_star_table
 from repro.core.protocol import (
     NetworkChannel,
+    TraceContext,
     decode_shard_request,
     decode_shard_tables,
     encode_shard_request,
@@ -86,6 +87,7 @@ from repro.kauto.partition import partition_graph
 from repro.matching.star import Star
 from repro.matching.table import MatchTable, Row, dedupe_rows
 from repro.obs import Observability, SlidingWindow, names
+from repro.obs.tracing import NullTracer, Trace, Tracer
 from repro.outsource.delta import GoDelta
 
 import threading
@@ -527,21 +529,40 @@ class ShardedCloud:
 
     def _make_scatter_worker(
         self, shards: list[CloudShard]
-    ) -> Callable[[tuple[int, AttributedGraph, tuple[Star, ...]]], dict[int, MatchTable]]:
+    ) -> Callable[
+        [tuple[int, AttributedGraph, tuple[Star, ...], dict | None]],
+        tuple[dict[int, MatchTable], dict | None],
+    ]:
         """The fixed callable a persistent scatter pool is bound to.
 
         Captures an explicit shard snapshot rather than reading
         ``self._shards`` so the forked children never touch the
         coordinator's state lock (a lock inherited mid-acquisition
-        would deadlock the child); per task only the payload triple
-        crosses the pipe.
+        would deadlock the child); per task only the payload tuple
+        crosses the pipe.  When the payload carries a trace-context
+        doc, the child records its shard-match span on a private
+        tracer and ships the trace doc back with the tables — the
+        coordinator absorbs it under its ``cloud.star_matching`` span,
+        making fork-child work visible in the stitched trace.
         """
 
         def run(
-            payload: tuple[int, AttributedGraph, tuple[Star, ...]]
-        ) -> dict[int, MatchTable]:
-            position, query, stars = payload
-            return self._match_on_shard(shards[position], query, list(stars))
+            payload: tuple[int, AttributedGraph, tuple[Star, ...], dict | None]
+        ) -> tuple[dict[int, MatchTable], dict | None]:
+            position, query, stars, ctx_doc = payload
+            shard = shards[position]
+            if ctx_doc is None:
+                return self._match_on_shard(shard, query, list(stars)), None
+            context = TraceContext.from_doc(ctx_doc)
+            child_tracer = Tracer(query_id=context.query_id)
+            with child_tracer.span(
+                names.CLOUD_SHARD_MATCH,
+                shard=shard.shard_id,
+                ctx_parent=context.parent_span_id,
+            ) as span:
+                tables = self._match_on_shard(shard, query, list(stars))
+                span.set(results=sum(len(t) for t in tables.values()))
+            return tables, child_tracer.take_trace().to_dict()
 
         return run
 
@@ -591,10 +612,21 @@ class ShardedCloud:
         with tracer.span(
             names.CLOUD_STAR_MATCHING, stars=len(star_list), shards=len(shards)
         ) as matching_span:
+            # the propagated context: shard work (wire frames, fork
+            # children) parents under the coordinator's star-matching
+            # span; absent entirely when the call is untraced.
+            context: TraceContext | None = None
+            if tracer.recording and matching_span.span_id:
+                context = TraceContext(
+                    query_id=tracer.query_id,
+                    parent_span_id=matching_span.span_id,
+                )
             with tracer.span(names.CLOUD_SCATTER, shards=len(shards)) as scatter:
                 payload: bytes | None = None
                 if channel is not None:
-                    payload = encode_shard_request(query, star_list)
+                    payload = encode_shard_request(
+                        query, star_list, context=context
+                    )
                     for _ in shards:
                         channel.transmit("shard_query", payload, obs=obs)
                     scatter.set(bytes=len(payload) * len(shards))
@@ -610,7 +642,11 @@ class ShardedCloud:
                         shard=shard.shard_id,
                     ) as span:
                         assert request is not None
-                        shard_query, shard_stars = decode_shard_request(request)
+                        shard_query, shard_stars, shard_ctx = (
+                            decode_shard_request(request)
+                        )
+                        if shard_ctx is not None:
+                            span.set(ctx_parent=shard_ctx.parent_span_id)
                         tables = self._match_on_shard(
                             shard, shard_query, shard_stars
                         )
@@ -637,16 +673,27 @@ class ShardedCloud:
                     and len(shards) > 1
                     and fork_available()
                 ):
-                    # warm persistent children; per-shard spans would
-                    # only exist inside the forked workers (invisible
-                    # to this tracer), so none are opened here.
+                    # warm persistent children; when tracing, each
+                    # child records its shard-match span on a private
+                    # tracer and ships the trace back for absorption
+                    # under the star-matching span (fresh local ids —
+                    # child counters all start at 1 and would collide).
                     pool = self._ensure_scatter_pool(workers)
-                    per_shard = pool.map(
+                    ctx_doc = context.to_doc() if context is not None else None
+                    shipped = pool.map(
                         [
-                            (position, query, tuple(star_list))
+                            (position, query, tuple(star_list), ctx_doc)
                             for position in range(len(shards))
                         ]
                     )
+                    per_shard = []
+                    for tables, trace_doc in shipped:
+                        per_shard.append(tables)
+                        if trace_doc is not None:
+                            tracer.absorb(
+                                Trace.from_dict(trace_doc),
+                                parent=matching_span,
+                            )
                 else:
 
                     def run_shard(position: int) -> dict[int, MatchTable]:

@@ -49,6 +49,11 @@ class QueryOptions:
     trace:
         ``False`` disables span/metric recording for this call even
         when the system has observability attached.
+    explain:
+        ``True`` derives an :class:`~repro.obs.explain.ExplainReport`
+        from each query's trace and attaches it to the outcome.
+        Explain needs the spans, so ``explain=True`` with
+        ``trace=False`` is a configuration error.
     max_results:
         Cap on returned matches per query (``None`` = unlimited);
         replaces the old ``limit`` keyword.
@@ -63,11 +68,17 @@ class QueryOptions:
     star_workers: int | None = None
     wire: str = "table"
     trace: bool = True
+    explain: bool = False
     max_results: int | None = None
     shards: int | None = None
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        if self.explain and not self.trace:
+            raise ConfigError(
+                "explain=True requires trace=True (the report is derived "
+                "from the query's spans)"
+            )
         if self.wire not in WIRE_MODES:
             raise ConfigError(
                 f"wire must be one of {WIRE_MODES}, got {self.wire!r}"

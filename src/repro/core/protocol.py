@@ -15,6 +15,7 @@ import json
 import struct
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.exceptions import GraphError, ProtocolError
 from repro.graph.attributed import AttributedGraph
@@ -24,9 +25,14 @@ from repro.matching.match import Match, matches_to_rows, rows_to_matches
 from repro.matching.star import Star
 from repro.matching.table import MatchTable
 from repro.obs import Observability, names
+from repro.obs.tracing import Trace
 
 DEFAULT_BANDWIDTH_BYTES_PER_SEC = 1_000_000  # ~1 MB/s effective throughput
 DEFAULT_LATENCY_SECONDS = 0.001
+
+#: Upper bound on a serialized remote trace riding back on an answer
+#: frame; a gateway drops the trace (never the answer) past this.
+MAX_TRACE_PAYLOAD = 4 * 1024 * 1024
 
 #: The unified malformed-payload envelope: everything a hostile or
 #: truncated message can raise out of ``json.loads`` + the field
@@ -317,28 +323,121 @@ def decode_answer_batch(payload: bytes) -> list[tuple[list[Match], bool]]:
 
 
 # ----------------------------------------------------------------------
+# trace context (cross-process span propagation)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceContext:
+    """The compact trace context carried across process boundaries.
+
+    A request frame optionally embeds one so the remote side (gateway,
+    shard server, fork child) can stamp its spans with the caller's
+    ``query_id`` and record which caller span logically encloses its
+    work.  ``parent_span_id`` is only meaningful within the *caller's*
+    id space — remote tracers never adopt it as a literal parent id
+    (their own counters would collide with it); stitching happens on
+    the caller via :meth:`repro.obs.tracing.Tracer.absorb`.
+    """
+
+    query_id: str
+    parent_span_id: int = 0
+    sampled: bool = True
+
+    def to_doc(self) -> dict[str, Any]:
+        """The wire document: short keys, deterministic order."""
+        return {
+            "p": self.parent_span_id,
+            "q": self.query_id,
+            "s": 1 if self.sampled else 0,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "TraceContext":
+        query_id = doc["q"]
+        if not isinstance(query_id, str):
+            raise ValueError("'q' must be a string")
+        parent_span_id = doc["p"]
+        if isinstance(parent_span_id, bool) or not isinstance(
+            parent_span_id, int
+        ):
+            raise ValueError("'p' must be an integer")
+        if parent_span_id < 0:
+            raise ValueError("'p' must be >= 0")
+        sampled = doc.get("s", 1)
+        if sampled not in (0, 1, True, False):
+            raise ValueError("'s' must be 0 or 1")
+        return cls(
+            query_id=query_id,
+            parent_span_id=parent_span_id,
+            sampled=bool(sampled),
+        )
+
+
+def encode_trace_context(context: TraceContext) -> bytes:
+    """Serialize a :class:`TraceContext` as a standalone payload."""
+    return json.dumps(context.to_doc(), sort_keys=True).encode("utf-8")
+
+
+def decode_trace_context(payload: bytes) -> TraceContext:
+    try:
+        return TraceContext.from_doc(json.loads(payload.decode("utf-8")))
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed trace context message: {exc}") from exc
+
+
+def _context_from_field(data: dict[str, Any]) -> TraceContext | None:
+    """Decode the optional embedded ``ctx`` field of a request frame.
+
+    Raises the raw field errors (the caller's envelope wraps them), so
+    a corrupted context fails the whole frame instead of silently
+    degrading to an untraced request.
+    """
+    doc = data.get("ctx")
+    if doc is None:
+        return None
+    return TraceContext.from_doc(doc)
+
+
+def _trace_from_field(data: dict[str, Any]) -> Trace | None:
+    """Decode the optional embedded ``trace`` field of an answer frame."""
+    doc = data.get("trace")
+    if doc is None:
+        return None
+    return Trace.from_dict(doc)
+
+
+# ----------------------------------------------------------------------
 # shard messages (coordinator <-> shard scatter/gather)
 # ----------------------------------------------------------------------
-def encode_shard_request(query: AttributedGraph, stars: list[Star]) -> bytes:
+def encode_shard_request(
+    query: AttributedGraph,
+    stars: list[Star],
+    *,
+    context: TraceContext | None = None,
+) -> bytes:
     """A scatter frame: the anonymized query plus its decomposition.
 
     The coordinator decomposes once and ships the same star plan to
     every shard; each shard matches all stars against its local
-    centers, so the frame carries no shard-specific state.
+    centers, so the frame carries no shard-specific state.  ``context``
+    optionally propagates the caller's trace context (the ``ctx`` key
+    is absent when ``None``, keeping untraced frames byte-identical to
+    the pre-context encoding).
     """
-    return json.dumps(
-        {
-            "query": graph_to_dict(query),
-            "stars": [
-                {"center": star.center, "leaves": list(star.leaves)}
-                for star in stars
-            ],
-        },
-        sort_keys=True,
-    ).encode("utf-8")
+    doc: dict[str, Any] = {
+        "query": graph_to_dict(query),
+        "stars": [
+            {"center": star.center, "leaves": list(star.leaves)}
+            for star in stars
+        ],
+    }
+    if context is not None:
+        doc["ctx"] = context.to_doc()
+    return json.dumps(doc, sort_keys=True).encode("utf-8")
 
 
-def decode_shard_request(payload: bytes) -> tuple[AttributedGraph, list[Star]]:
+def decode_shard_request(
+    payload: bytes,
+) -> tuple[AttributedGraph, list[Star], TraceContext | None]:
     try:
         data = json.loads(payload.decode("utf-8"))
         entries = data["stars"]
@@ -351,7 +450,7 @@ def decode_shard_request(payload: bytes) -> tuple[AttributedGraph, list[Star]]:
             )
             for entry in entries
         ]
-        return graph_from_dict(data["query"]), stars
+        return graph_from_dict(data["query"]), stars, _context_from_field(data)
     except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed shard request message: {exc}") from exc
 
@@ -500,19 +599,29 @@ def decode_gateway_hello(payload: bytes) -> tuple[str, str]:
 
 
 def encode_gateway_request(
-    request_id: str, queries: list[AttributedGraph]
+    request_id: str,
+    queries: list[AttributedGraph],
+    *,
+    context: TraceContext | None = None,
 ) -> bytes:
-    """One request: anonymized queries answered as a unit."""
-    return json.dumps(
-        {
-            "id": request_id,
-            "queries": [graph_to_dict(query) for query in queries],
-        },
-        sort_keys=True,
-    ).encode("utf-8")
+    """One request: anonymized queries answered as a unit.
+
+    ``context`` optionally propagates the client's trace context (the
+    ``ctx`` key is absent when ``None``, so requests from pre-context
+    clients stay byte-identical).
+    """
+    doc: dict[str, Any] = {
+        "id": request_id,
+        "queries": [graph_to_dict(query) for query in queries],
+    }
+    if context is not None:
+        doc["ctx"] = context.to_doc()
+    return json.dumps(doc, sort_keys=True).encode("utf-8")
 
 
-def decode_gateway_request(payload: bytes) -> tuple[str, list[AttributedGraph]]:
+def decode_gateway_request(
+    payload: bytes,
+) -> tuple[str, list[AttributedGraph], TraceContext | None]:
     try:
         data = json.loads(payload.decode("utf-8"))
         request_id = data["id"]
@@ -521,7 +630,11 @@ def decode_gateway_request(payload: bytes) -> tuple[str, list[AttributedGraph]]:
         queries = data["queries"]
         if not isinstance(queries, list) or not queries:
             raise ValueError("'queries' must be a non-empty list")
-        return request_id, [graph_from_dict(entry) for entry in queries]
+        return (
+            request_id,
+            [graph_from_dict(entry) for entry in queries],
+            _context_from_field(data),
+        )
     except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed gateway request message: {exc}") from exc
 
@@ -529,33 +642,38 @@ def decode_gateway_request(payload: bytes) -> tuple[str, list[AttributedGraph]]:
 def encode_gateway_answer(
     request_id: str,
     answers: list[tuple[MatchTable, list[int], bool]],
+    *,
+    trace: Trace | None = None,
 ) -> bytes:
     """Answers for one request, one table per query.
 
     Each entry has exactly the :func:`encode_answer_table` document
     shape (``order``/``rows``/``expanded``), so a gateway answer is
     byte-for-byte the in-process wire encoding wrapped in a request
-    envelope — the bit-identity tests compare at this layer.
+    envelope — the bit-identity tests compare at this layer.  ``trace``
+    optionally carries the gateway-side trace back to the client (the
+    key is absent when ``None``, so untraced answers keep the exact
+    pre-trace bytes).
     """
-    return json.dumps(
-        {
-            "id": request_id,
-            "answers": [
-                {
-                    "order": order,
-                    "rows": table.project_rows(order),
-                    "expanded": expanded,
-                }
-                for table, order, expanded in answers
-            ],
-        },
-        separators=(",", ":"),
-    ).encode("utf-8")
+    doc: dict[str, Any] = {
+        "id": request_id,
+        "answers": [
+            {
+                "order": order,
+                "rows": table.project_rows(order),
+                "expanded": expanded,
+            }
+            for table, order, expanded in answers
+        ],
+    }
+    if trace is not None:
+        doc["trace"] = trace.to_dict()
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8")
 
 
 def decode_gateway_answer(
     payload: bytes,
-) -> tuple[str, list[tuple[MatchTable, bool]]]:
+) -> tuple[str, list[tuple[MatchTable, bool]], Trace | None]:
     try:
         data = json.loads(payload.decode("utf-8"))
         request_id = data["id"]
@@ -564,13 +682,14 @@ def decode_gateway_answer(
         answers = data["answers"]
         if not isinstance(answers, list):
             raise ValueError("'answers' must be a list")
-        return request_id, [
+        decoded = [
             (
                 MatchTable.from_rows(entry["order"], entry["rows"]),
                 bool(entry["expanded"]),
             )
             for entry in answers
         ]
+        return request_id, decoded, _trace_from_field(data)
     except _DECODE_ERRORS as exc:
         raise ProtocolError(f"malformed gateway answer message: {exc}") from exc
 

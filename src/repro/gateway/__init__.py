@@ -26,7 +26,7 @@ from repro.gateway.admission import (
     coalesce_key,
     query_signature,
 )
-from repro.gateway.client import GatewayClient, SyncGatewayClient
+from repro.gateway.client import GatewayClient, SyncGatewayClient, TracedSubmit
 from repro.gateway.middleware import (
     AuditLogMiddleware,
     AuthTokenMiddleware,
@@ -43,6 +43,7 @@ __all__ = [
     "QueryGateway",
     "GatewayClient",
     "SyncGatewayClient",
+    "TracedSubmit",
     "Middleware",
     "MiddlewareChain",
     "GatewayRequest",

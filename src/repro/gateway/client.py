@@ -19,10 +19,12 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+from dataclasses import dataclass
 from typing import Awaitable, Sequence, TypeVar
 
 from repro.core.protocol import (
     FRAME_HEADER,
+    TraceContext,
     decode_frame_header,
     decode_gateway_answer,
     decode_gateway_reject,
@@ -33,11 +35,30 @@ from repro.core.protocol import (
 from repro.exceptions import GatewayError, GatewayRejected, ProtocolError
 from repro.graph.attributed import AttributedGraph
 from repro.matching.table import MatchTable
+from repro.obs import names
+from repro.obs.events import new_query_id
+from repro.obs.tracing import Trace, Tracer
 
 T = TypeVar("T")
 
 #: One decoded answer: the result table and its expanded flag.
 Answer = tuple[MatchTable, bool]
+
+
+@dataclass
+class TracedSubmit:
+    """A traced round trip: the answers plus the stitched trace.
+
+    ``trace`` holds the client's ``client.submit`` root span with the
+    gateway's whole remote trace (request/dispatch/cloud/shard/fork
+    spans) re-rooted under it — one tree, fresh local span ids, every
+    span stamped with ``query_id``.  ``None`` only when the gateway
+    dropped the trace (size cap) or predates trace propagation.
+    """
+
+    answers: list[Answer]
+    trace: Trace | None
+    query_id: str
 
 
 class GatewayClient:
@@ -64,7 +85,9 @@ class GatewayClient:
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task[None] | None = None
-        self._pending: dict[str, asyncio.Future[list[Answer]]] = {}
+        self._pending: dict[
+            str, asyncio.Future[tuple[list[Answer], Trace | None, int]]
+        ] = {}
         self._ids = itertools.count(1)
         self._write_lock = asyncio.Lock()
 
@@ -139,26 +162,83 @@ class GatewayClient:
     # ------------------------------------------------------------------
     # requests
     # ------------------------------------------------------------------
-    async def submit(
-        self, queries: Sequence[AttributedGraph]
-    ) -> list[Answer]:
-        """Send one request frame; await its answers (or typed reject)."""
+    async def _submit_raw(
+        self,
+        queries: Sequence[AttributedGraph],
+        context: TraceContext | None,
+    ) -> tuple[list[Answer], Trace | None, dict[str, int]]:
         writer = self._writer
         if writer is None:
             raise GatewayError("client is not connected")
         request_id = f"{self.client_id}-{next(self._ids)}"
         loop = asyncio.get_running_loop()
-        future: asyncio.Future[list[Answer]] = loop.create_future()
+        future: asyncio.Future[tuple[list[Answer], Trace | None, int]] = (
+            loop.create_future()
+        )
         self._pending[request_id] = future
         try:
-            payload = encode_gateway_request(request_id, list(queries))
+            payload = encode_gateway_request(
+                request_id, list(queries), context=context
+            )
             async with self._write_lock:
                 writer.write(encode_frame("request", payload))
                 await writer.drain()
         except (ConnectionError, OSError) as exc:
             self._pending.pop(request_id, None)
             raise GatewayError(f"request write failed: {exc}") from exc
-        return await future
+        answers, remote, answer_bytes = await future
+        return answers, remote, {
+            "query": len(payload),
+            "answer": answer_bytes,
+        }
+
+    async def submit(
+        self, queries: Sequence[AttributedGraph]
+    ) -> list[Answer]:
+        """Send one request frame; await its answers (or typed reject).
+
+        No trace context is attached, so the request bytes (and the
+        gateway's answer bytes) are identical to a pre-context client.
+        """
+        answers, _, _ = await self._submit_raw(queries, None)
+        return answers
+
+    async def submit_traced(
+        self, queries: Sequence[AttributedGraph]
+    ) -> TracedSubmit:
+        """A traced :meth:`submit`: propagate context, stitch the trace.
+
+        Opens a ``client.submit`` root span, ships its id and a fresh
+        ``query_id`` inside the request frame, and absorbs the remote
+        trace the gateway returns under that root — every remote span
+        gets a fresh local id, so the result is one collision-free tree
+        chaining client -> gateway -> cloud -> shards -> fork children.
+        """
+        tracer = Tracer(query_id=new_query_id())
+        remote: Trace | None = None
+        with tracer.span(names.CLIENT_SUBMIT) as root:
+            root.set(queries=len(queries))
+            context = TraceContext(
+                query_id=tracer.query_id,
+                parent_span_id=root.span_id,
+                sampled=True,
+            )
+            answers, remote, sizes = await self._submit_raw(queries, context)
+            if remote is not None:
+                tracer.absorb(remote, parent=root)
+            root.set(remote_spans=len(remote) if remote is not None else 0)
+            # the gateway serializes its trace *before* transmitting the
+            # answer frame, so the answer-direction bytes can only be
+            # accounted on this side of the wire
+            with tracer.span(
+                names.NETWORK_GATEWAY_ANSWER, parent=root
+            ) as wire:
+                wire.set(bytes=sizes["answer"])
+        return TracedSubmit(
+            answers=answers,
+            trace=tracer.take_trace(),
+            query_id=tracer.query_id,
+        )
 
     async def query(self, query: AttributedGraph) -> Answer:
         """Single-query convenience over :meth:`submit`."""
@@ -185,10 +265,14 @@ class GatewayClient:
             while True:
                 kind, payload = await self._read_frame(reader)
                 if kind == "answer":
-                    request_id, answers = decode_gateway_answer(payload)
+                    request_id, answers, remote_trace = decode_gateway_answer(
+                        payload
+                    )
                     future = self._pending.pop(request_id, None)
                     if future is not None and not future.done():
-                        future.set_result(answers)
+                        future.set_result(
+                            (answers, remote_trace, len(payload))
+                        )
                 elif kind == "reject":
                     request_id, code, message = decode_gateway_reject(payload)
                     future = self._pending.pop(request_id, None)
@@ -285,6 +369,11 @@ class SyncGatewayClient:
     def submit(self, queries: Sequence[AttributedGraph]) -> list[Answer]:
         return self._run(self._client.submit(queries))
 
+    def submit_traced(
+        self, queries: Sequence[AttributedGraph]
+    ) -> TracedSubmit:
+        return self._run(self._client.submit_traced(queries))
+
     def query(self, query: AttributedGraph) -> Answer:
         return self._run(self._client.query(query))
 
@@ -295,4 +384,4 @@ class SyncGatewayClient:
         self.close()
 
 
-__all__ = ["GatewayClient", "SyncGatewayClient", "Answer"]
+__all__ = ["GatewayClient", "SyncGatewayClient", "Answer", "TracedSubmit"]

@@ -26,6 +26,7 @@ into the deployment's channel totals on disconnect.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Sequence
@@ -35,7 +36,9 @@ from repro.cloud.server import CloudServer
 from repro.cloud.sharding import ShardedCloud
 from repro.core.protocol import (
     FRAME_HEADER,
+    MAX_TRACE_PAYLOAD,
     NetworkChannel,
+    TraceContext,
     decode_frame_header,
     decode_gateway_hello,
     decode_gateway_request,
@@ -59,8 +62,8 @@ from repro.gateway.middleware import (
 )
 from repro.graph.attributed import AttributedGraph
 from repro.matching.table import MatchTable, dedupe_rows
-from repro.obs import Observability, SlidingWindow, names
-from repro.obs.tracing import NullSpan, Span
+from repro.obs import Observability, SlidingWindow, TraceRing, names
+from repro.obs.tracing import NullSpan, Span, Trace
 
 #: Reject codes counted as *load shedding* (``gateway_shed_total``);
 #: other rejections (auth, rate limit, budget, bad frames) are policy.
@@ -120,6 +123,11 @@ class QueryGateway:
     obs:
         Observability root; every request runs on its own
         ``obs.for_query()`` scope.
+    traces:
+        Optional :class:`~repro.obs.TraceRing`; when given, each
+        request's trace is retained under its query id so the
+        telemetry server's ``/traces/<query_id>`` endpoint can serve
+        gateway-handled queries too.
     """
 
     def __init__(
@@ -134,6 +142,7 @@ class QueryGateway:
         expansion_site: str = "client",
         channel: NetworkChannel | None = None,
         obs: Observability | None = None,
+        traces: TraceRing | None = None,
     ) -> None:
         if expansion_site not in ("client", "cloud"):
             raise GatewayError(
@@ -146,6 +155,7 @@ class QueryGateway:
         self.expansion_site = expansion_site
         self.channel = channel if channel is not None else NetworkChannel()
         self.obs = obs if obs is not None else Observability()
+        self.traces = traces
         self.middleware = MiddlewareChain(middlewares)
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.window = SlidingWindow(capacity=1024)
@@ -307,7 +317,9 @@ class QueryGateway:
                     )
                     continue
                 try:
-                    request_id, queries = decode_gateway_request(payload)
+                    request_id, queries, context = decode_gateway_request(
+                        payload
+                    )
                 except ProtocolError as exc:
                     await conn.send(
                         "reject",
@@ -315,7 +327,9 @@ class QueryGateway:
                     )
                     continue
                 task = asyncio.create_task(
-                    self._serve_request(conn, request_id, queries, payload)
+                    self._serve_request(
+                        conn, request_id, queries, payload, context
+                    )
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
@@ -367,8 +381,14 @@ class QueryGateway:
         request_id: str,
         queries: list[AttributedGraph],
         payload: bytes,
+        context: TraceContext | None = None,
     ) -> None:
-        scope = self.obs.for_query()
+        # a propagated context re-uses the client's query id so every
+        # gateway/cloud/shard span of this request is correlatable with
+        # the client's root span; pre-context clients get a fresh id.
+        scope = self.obs.for_query(
+            context.query_id if context is not None and context.query_id else None
+        )
         tracer = scope.tracer
         request = GatewayRequest(
             client_id=conn.client_id,
@@ -385,6 +405,12 @@ class QueryGateway:
                 request_id=request_id,
                 queries=len(queries),
             )
+            if context is not None:
+                # the caller's parent id is recorded as data, never
+                # adopted as a literal parent_id — this tracer's own
+                # ids live in a different space; the client re-roots
+                # the returned trace via Tracer.absorb.
+                root.set(ctx_parent=context.parent_span_id)
             conn.channel.transmit("gateway_query", payload, obs=scope)
             entered, rejection = self.middleware.before(request)
             admitted = False
@@ -409,7 +435,10 @@ class QueryGateway:
 
             if rejection is None:
                 response = GatewayResponse.ok(len(answers))
-                answer_payload = encode_gateway_answer(request_id, answers)
+                return_trace = self._return_trace(context, scope, root)
+                answer_payload = encode_gateway_answer(
+                    request_id, answers, trace=return_trace
+                )
                 conn.channel.transmit(
                     "gateway_answer", answer_payload, obs=scope
                 )
@@ -428,6 +457,13 @@ class QueryGateway:
                 pass
             root.set(status=response.status)
 
+        if self.traces is not None and tracer.recording:
+            self.traces.push(
+                tracer.take_trace(),
+                query_id=scope.query_id,
+                client_id=conn.client_id,
+                status=response.status,
+            )
         scope.metrics.counter(
             names.M_GATEWAY_REQUESTS,
             help="Gateway requests by final status.",
@@ -439,6 +475,38 @@ class QueryGateway:
             ).inc(reason=rejection.code)
         if rejection is None and scope.enabled:
             self.window.observe(root.duration)
+
+    def _return_trace(
+        self,
+        context: TraceContext | None,
+        scope: Observability,
+        root: Span | NullSpan,
+    ) -> "Trace | None":
+        """The gateway-side trace to ship back, or ``None``.
+
+        Only requests that propagated a sampled context get one.  The
+        request root span is still open while the answer is encoded, so
+        a snapshot of it (duration as of now) is appended; the client
+        replaces nothing — it re-roots the whole remote trace under its
+        own submit span.  The serialized size is capped (the trace is
+        dropped, never the answer) and byte-accounted.
+        """
+        tracer = scope.tracer
+        if context is None or not context.sampled or not tracer.recording:
+            return None
+        trace = tracer.trace()
+        if isinstance(root, Span):
+            trace.spans.append(tracer.snapshot(root))
+        doc_bytes = len(
+            json.dumps(trace.to_dict(), separators=(",", ":")).encode("utf-8")
+        )
+        if doc_bytes > MAX_TRACE_PAYLOAD:
+            return None
+        scope.metrics.counter(
+            names.M_TRACE_BYTES,
+            help="Serialized trace bytes returned on answer frames.",
+        ).inc(doc_bytes, direction="gateway_answer")
+        return trace
 
     async def _dispatch(
         self,

@@ -27,7 +27,10 @@ from typing import Iterable
 
 from repro.obs import names
 from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog, new_query_id
+from repro.obs.explain import ExplainReport
 from repro.obs.exporters import (
+    chrome_trace_dict,
+    export_chrome_trace,
     export_dict,
     export_json,
     format_summary,
@@ -199,6 +202,9 @@ __all__ = [
     "TelemetryServer",
     "TraceRing",
     "names",
+    "ExplainReport",
+    "chrome_trace_dict",
+    "export_chrome_trace",
     "export_dict",
     "export_json",
     "format_summary",

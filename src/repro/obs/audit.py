@@ -41,6 +41,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 AUDIT_PREFIX = "privacy_audit"
 
+#: Cardinality cap on the per-query FP-ratio gauge: only the newest N
+#: audited query ids keep a labeled series; older ones are evicted on
+#: re-register.  Without the cap a long-lived ``repro serve`` process
+#: re-auditing after every batch would grow one label set per query id
+#: forever — an unbounded ``/metrics`` exposition.
+FP_GAUGE_MAX_QUERIES = 128
+
 
 @dataclass
 class QueryAuditEntry:
@@ -211,9 +218,20 @@ class PrivacyAuditReport:
             f"{prefix}_query_false_positive_ratio",
             help="Per-query Algorithm-3 filter drop ratio.",
         )
-        for entry in self.per_query:
-            if entry.query_id:
-                fp_gauge.set(entry.false_positive_ratio, query_id=entry.query_id)
+        # Bounded cardinality: only the newest FP_GAUGE_MAX_QUERIES
+        # query ids keep a labeled series; everything older (including
+        # series from earlier register() calls on the same registry) is
+        # evicted so the exposition cannot grow one line per query id
+        # forever.
+        labeled = [entry for entry in self.per_query if entry.query_id]
+        kept = labeled[-FP_GAUGE_MAX_QUERIES:]
+        kept_ids = {entry.query_id for entry in kept}
+        for key, _value in fp_gauge.items():
+            labels = dict(key)
+            if labels.get("query_id", "") not in kept_ids:
+                fp_gauge.remove(**labels)
+        for entry in kept:
+            fp_gauge.set(entry.false_positive_ratio, query_id=entry.query_id)
 
 
 # ----------------------------------------------------------------------

@@ -9,7 +9,11 @@ Three formats cover the consumers named in the evaluation plan:
   scraping a long-running serving process;
 * :func:`format_summary` — a fixed-width per-phase table (count,
   total, mean, share of wall time), for terminals and the
-  ``python -m repro profile`` command.
+  ``python -m repro profile`` command;
+* :func:`export_chrome_trace` — the Chrome/Perfetto trace-event JSON
+  (``chrome://tracing``, https://ui.perfetto.dev) with one lane per
+  (process, thread), so a stitched cross-process trace renders as
+  client, gateway, coordinator and fork-child swimlanes.
 """
 
 from __future__ import annotations
@@ -137,6 +141,81 @@ def export_json(
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(export_dict(trace, registry, extra), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return path
+
+
+def chrome_trace_dict(trace: Trace) -> dict[str, Any]:
+    """The trace as a Chrome/Perfetto trace-event document.
+
+    Every span becomes one complete ("X") event on a (pid, tid) lane;
+    timestamps are microseconds relative to the earliest span, so the
+    viewer's timeline starts at zero.  Span ids, parent links and the
+    query id ride along in ``args`` for drill-down.  Metadata ("M")
+    events name each process and thread lane.
+    """
+    spans = list(trace)
+    origin = min((span.started_at for span in spans), default=0.0)
+    # The trace-event format wants integer thread ids; span.thread is a
+    # name, so assign stable small tids per (pid, thread name) pair.
+    tids: dict[tuple[int, str], int] = {}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        lane = (span.pid, span.thread)
+        if lane not in tids:
+            tids[lane] = len(tids) + 1
+        args: dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "depth": span.depth,
+        }
+        if span.query_id:
+            args["query_id"] = span.query_id
+        args.update(span.attributes)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (span.started_at - origin) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": span.pid,
+                "tid": tids[lane],
+                "args": args,
+            }
+        )
+    # Perfetto sorts events itself, but a started_at ordering keeps the
+    # raw JSON readable and diffs deterministic.
+    events.sort(key=lambda event: (event["pid"], event["tid"], event["ts"]))
+    for (pid, thread), tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"{PROM_PREFIX} pid {pid}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread or f"thread {tid}"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(path: str | Path, trace: Trace) -> Path:
+    """Write :func:`chrome_trace_dict` JSON (load in Perfetto/Chrome)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace_dict(trace), indent=2, sort_keys=True),
         encoding="utf-8",
     )
     return path

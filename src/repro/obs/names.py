@@ -65,6 +65,9 @@ CLOUD_INDEX_BUILD = "cloud.index_build"
 CLIENT_ANONYMIZE = "client.anonymize"
 CLIENT_EXPAND = "client.expand"
 CLIENT_FILTER = "client.filter"
+# Root span a GatewayClient opens around one submit() round trip; the
+# gateway's remote trace (when requested) is stitched under it.
+CLIENT_SUBMIT = "client.submit"
 
 # -- cloud phases -------------------------------------------------------
 CLOUD_ANSWER = "cloud.answer"
@@ -144,6 +147,8 @@ M_CLIENT_SECONDS = "client_seconds"
 M_GATEWAY_REQUESTS = "gateway_requests_total"
 M_GATEWAY_SHED = "gateway_shed_total"
 M_GATEWAY_COALESCED = "gateway_coalesced_total"
+#: Serialized trace bytes shipped back on gateway answer frames.
+M_TRACE_BYTES = "trace_bytes_total"
 
 # -- sliding-window SLO view prefixes (repro.obs.windows) ---------------
 # Each expands into pull gauges `<prefix>_{p50,p95,p99,rate,count}`.

@@ -129,6 +129,16 @@ class Gauge(_Metric):
         with self._lock:
             return _label_key(labels) in self._values
 
+    def remove(self, **labels: Any) -> bool:
+        """Drop one labeled series; True if it existed.
+
+        Gauges with unbounded label values (per-query ids) must evict
+        old series or the exposition grows without bound — see the
+        privacy audit's cardinality cap.
+        """
+        with self._lock:
+            return self._values.pop(_label_key(labels), None) is not None
+
     def items(self) -> list[tuple[LabelKey, float]]:
         with self._lock:
             return sorted(self._values.items())
@@ -214,6 +224,9 @@ class NullMetric:
         return 0.0
 
     def present(self, **labels: Any) -> bool:
+        return False
+
+    def remove(self, **labels: Any) -> bool:
         return False
 
     @property

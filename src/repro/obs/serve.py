@@ -28,6 +28,9 @@ Endpoints
 ``GET /traces``
     The :class:`TraceRing` contents: the last N recorded query traces
     (query id, totals, spans) as one JSON document.
+``GET /traces/<query_id>``
+    The newest retained trace for one query id; ``404`` with a JSON
+    error body when the ring holds no trace for that id.
 """
 
 from __future__ import annotations
@@ -85,6 +88,19 @@ class TraceRing:
         with self._lock:
             return [dict(entry) for entry in self._entries]
 
+    def find(self, query_id: str) -> dict[str, Any] | None:
+        """The newest retained trace for ``query_id`` (else ``None``).
+
+        Newest wins: a re-submitted query id (e.g. a retry) shadows the
+        earlier recording, matching what an operator debugging "what
+        just happened to query X" wants to see.
+        """
+        with self._lock:
+            for entry in reversed(self._entries):
+                if entry.get("query_id") == query_id:
+                    return dict(entry)
+        return None
+
     @property
     def pushed(self) -> int:
         """Lifetime pushes, including traces already evicted."""
@@ -135,6 +151,20 @@ class _TelemetryHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, {"count": len(traces), "traces": traces}
                 )
+            elif path.startswith("/traces/"):
+                query_id = path[len("/traces/"):]
+                entry = telemetry.traces.find(query_id)
+                if entry is None:
+                    self._send_json(
+                        404,
+                        {
+                            "error": f"no retained trace for query {query_id!r}",
+                            "query_id": query_id,
+                            "retained": len(telemetry.traces),
+                        },
+                    )
+                else:
+                    self._send_json(200, entry)
             else:
                 self._send_json(404, {"error": f"unknown path {path!r}"})
         except BrokenPipeError:  # pragma: no cover - client went away

@@ -37,7 +37,7 @@ import itertools
 import os
 import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Iterator
 
 
@@ -159,6 +159,50 @@ class Trace:
         self.spans.extend(other.spans)
         return self
 
+    def merge(self, other: "Trace", *, parent_id: int | None = None) -> "Trace":
+        """Graft ``other``'s spans into this trace under fresh span ids.
+
+        Unlike :meth:`extend` (a naive concatenation), ``merge`` is
+        safe across id spaces: every tracer counts span ids from 1, so
+        a fork child's or remote process's ids collide with the local
+        ones.  All of ``other``'s ids are remapped past this trace's
+        maximum, internal ``parent_id`` links are rewritten through the
+        mapping, and ``other``'s root spans (``parent_id is None``) are
+        re-parented under ``parent_id`` when given — stitching the
+        remote tree under a local span.  ``other`` is not mutated.
+        """
+        base = max((span.span_id for span in self.spans), default=0)
+        if parent_id:
+            base = max(base, parent_id)
+        parent = None
+        if parent_id:
+            parent = next(
+                (s for s in self.spans if s.span_id == parent_id), None
+            )
+        base_depth = parent.depth + 1 if parent is not None else 0
+        mapping = {
+            span.span_id: base + offset
+            for offset, span in enumerate(other.spans, start=1)
+        }
+        for span in other.spans:
+            new_parent = (
+                mapping.get(span.parent_id)
+                if span.parent_id is not None
+                else None
+            )
+            if new_parent is None:
+                new_parent = parent_id if parent_id else None
+            self.spans.append(
+                replace(
+                    span,
+                    span_id=mapping[span.span_id],
+                    parent_id=new_parent,
+                    depth=span.depth + base_depth,
+                    attributes=dict(span.attributes),
+                )
+            )
+        return self
+
     def to_dict(self) -> dict[str, Any]:
         return {"spans": [span.to_dict() for span in self.spans]}
 
@@ -217,6 +261,12 @@ class NullTracer:
 
     def reset(self) -> None:
         return None
+
+    def snapshot(self, span: Span) -> Span:
+        return span
+
+    def absorb(self, trace: Trace, parent: Span | None = None) -> list[Span]:
+        return []
 
 
 NULL_TRACER = NullTracer()
@@ -312,6 +362,60 @@ class Tracer(NullTracer):
     def reset(self) -> None:
         with self._lock:
             self._spans.clear()
+
+    def snapshot(self, span: Span) -> Span:
+        """A copy of a still-open span with its duration as of now.
+
+        The gateway encodes its answer while its request root span is
+        still open; the returned trace carries this synthesized
+        snapshot so the client sees the (near-final) root duration.
+        """
+        return replace(
+            span,
+            duration=time.perf_counter() - self._epoch - span.started_at,
+            attributes=dict(span.attributes),
+        )
+
+    def absorb(self, trace: Trace, parent: Span | None = None) -> list[Span]:
+        """Merge a remote/fork-child trace into this tracer's buffer.
+
+        Every absorbed span receives a fresh id from this tracer's own
+        counter (so future local spans can never collide with it),
+        internal ``parent_id`` links are rewritten through the id
+        mapping, and the remote roots are re-parented under ``parent``
+        when given.  Returns the grafted copies; the input trace is not
+        mutated.  No-op (empty list) on a measure-only tracer.
+        """
+        if not self._record:
+            return []
+        parent_id = (
+            parent.span_id if parent is not None and parent.span_id else None
+        )
+        base_depth = parent.depth + 1 if parent_id is not None else 0
+        mapping = {span.span_id: next(self._ids) for span in trace.spans}
+        grafted: list[Span] = []
+        for span in trace.spans:
+            new_parent = (
+                mapping.get(span.parent_id)
+                if span.parent_id is not None
+                else None
+            )
+            if new_parent is None:
+                new_parent = parent_id
+            grafted.append(
+                replace(
+                    span,
+                    span_id=mapping[span.span_id],
+                    parent_id=new_parent,
+                    depth=span.depth + base_depth,
+                    attributes=dict(span.attributes),
+                )
+            )
+        with self._lock:
+            self._spans.extend(grafted)
+            if len(self._spans) > self._max_spans:
+                del self._spans[: len(self._spans) - self._max_spans]
+        return grafted
 
     # -- internals ------------------------------------------------------
     def _stack(self) -> list[Span]:

@@ -490,6 +490,61 @@ class TestServe:
         assert {e["event"] for e in events} == {"serve"}
 
 
+class TestExplain:
+    def _deployment(self, tmp_path, capsys):
+        graph, _ = example_social_network()
+        graph_path = tmp_path / "g.json"
+        query_path = tmp_path / "q.json"
+        save_graph(graph, graph_path)
+        save_graph(example_query(), query_path)
+        deployment = tmp_path / "dep"
+        assert main(["publish", str(graph_path), str(deployment)]) == 0
+        capsys.readouterr()
+        return str(deployment), str(graph_path), str(query_path)
+
+    def test_local_explain_renders_phases(self, tmp_path, capsys):
+        dep, graph, query = self._deployment(tmp_path, capsys)
+        assert main(["explain", dep, graph, query]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN query q-" in out
+        assert "star(s)" in out
+        assert "phases:" in out
+        assert "cloud.answer" in out and "client.filter" in out
+        assert "candidates=" in out and "results=" in out
+
+    def test_sharded_explain_shows_shard_lanes(self, tmp_path, capsys):
+        dep, graph, query = self._deployment(tmp_path, capsys)
+        assert main(["explain", dep, graph, query, "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "shards:" in out
+        assert "shard 0:" in out and "shard 1:" in out
+
+    def test_json_and_chrome_outputs(self, tmp_path, capsys):
+        dep, graph, query = self._deployment(tmp_path, capsys)
+        chrome_path = tmp_path / "trace.chrome.json"
+        assert (
+            main(
+                [
+                    "explain", dep, graph, query,
+                    "--json", "--chrome", str(chrome_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["query_id"].startswith("q-")
+        assert report["span_count"] > 0
+        assert report["total_seconds"] > 0
+        phase_names = [phase["name"] for phase in report["phases"]]
+        assert "query" in phase_names
+        chrome = json.loads(chrome_path.read_text(encoding="utf-8"))
+        events = chrome["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "M" for e in events)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} >= {"query", "cloud.answer"}
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

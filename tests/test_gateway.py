@@ -18,7 +18,15 @@ from types import SimpleNamespace
 import pytest
 
 from repro.cloud import CloudServer, ShardedCloud, fork_available
-from repro.core.protocol import encode_answer_table
+from repro.core.protocol import (
+    FRAME_HEADER,
+    decode_frame_header,
+    encode_answer_table,
+    encode_frame,
+    encode_gateway_answer,
+    encode_gateway_hello,
+    encode_gateway_request,
+)
 from repro.exceptions import GatewayError, GatewayRejected
 from repro.gateway import (
     AdmissionController,
@@ -41,7 +49,7 @@ from repro.gateway import (
 )
 from repro.graph import make_schema, random_attributed_graph
 from repro.kauto import build_k_automorphic_graph
-from repro.obs import EventLog, Observability, names
+from repro.obs import EventLog, Observability, TraceRing, names
 from repro.outsource import build_outsourced_graph
 from repro.workloads import random_walk_query
 
@@ -419,6 +427,153 @@ class TestGatewayRoundTrip:
             answers = asyncio.run(main())
         assert len(answers) == 2
         assert counting.calls == 2
+
+
+class TestDistributedTracing:
+    """Context propagation over the wire and cross-process stitching."""
+
+    def test_traced_and_untraced_answers_are_identical(self, dep):
+        cloud = make_cloud(dep)
+        order = sorted(dep.query.vertex_ids())
+        with QueryGateway(cloud, obs=Observability()) as gateway:
+            with SyncGatewayClient(
+                gateway.host, gateway.port, client_id="pair"
+            ) as client:
+                plain = client.submit([dep.query])
+                traced = client.submit_traced([dep.query])
+        plain_table, plain_expanded = plain[0]
+        traced_table, traced_expanded = traced.answers[0]
+        assert wire_bytes(plain_table, order, plain_expanded) == wire_bytes(
+            traced_table, order, traced_expanded
+        )
+
+    def test_contextless_request_gets_pre_trace_answer_bytes(self, dep):
+        """An old client (no ctx field) receives the exact answer frame
+        bytes a pre-context gateway produced — the trace key is only
+        ever added for requests that asked for it."""
+        cloud = make_cloud(dep)
+        reference = cloud.answer(dep.query)
+        order = sorted(dep.query.vertex_ids())
+        expected = encode_gateway_answer(
+            "old-1", [(reference.table, order, reference.expanded)]
+        )
+
+        async def main():
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", gateway.port
+            )
+
+            async def read_frame():
+                header = await reader.readexactly(FRAME_HEADER.size)
+                kind, length = decode_frame_header(header)
+                payload = await reader.readexactly(length) if length else b""
+                return kind, payload
+
+            writer.write(encode_frame("hello", encode_gateway_hello("old")))
+            await writer.drain()
+            await read_frame()  # hello ack
+            writer.write(
+                encode_frame(
+                    "request", encode_gateway_request("old-1", [dep.query])
+                )
+            )
+            await writer.drain()
+            kind, payload = await read_frame()
+            writer.close()
+            await writer.wait_closed()
+            return kind, payload
+
+        # tracing is fully enabled server-side; the answer must still
+        # be byte-identical because no context was propagated.
+        with QueryGateway(cloud, obs=Observability()) as gateway:
+            kind, payload = asyncio.run(main())
+        assert kind == "answer"
+        assert payload == expected
+        assert b'"trace"' not in payload
+
+    @pytest.mark.skipif(
+        not fork_available(), reason="fork start method required"
+    )
+    def test_stitched_trace_chains_every_span_to_client_root(self, dep):
+        """The acceptance walk: gateway, dispatch, cloud, per-shard and
+        fork-child spans all resolve parent links up to the client's
+        ``client.submit`` root span, with unique span ids and spans
+        from more than one OS process."""
+        cloud = make_cloud(dep, shards=2, backend="process")
+        obs = Observability()
+        with QueryGateway(cloud, obs=obs) as gateway:
+            with SyncGatewayClient(
+                gateway.host, gateway.port, client_id="walker"
+            ) as client:
+                traced = client.submit_traced([dep.query])
+        cloud.close()
+
+        trace = traced.trace
+        assert trace is not None and len(trace) > 0
+        by_id = {span.span_id: span for span in trace}
+        assert len(by_id) == len(trace)  # no span-id collisions
+        root = trace.first(names.CLIENT_SUBMIT)
+        assert root is not None and root.parent_id is None
+        for span in trace:
+            hops, current = 0, span
+            while current.parent_id is not None:
+                assert current.parent_id in by_id, (
+                    f"{current.name} has unresolvable parent "
+                    f"{current.parent_id}"
+                )
+                current = by_id[current.parent_id]
+                hops += 1
+                assert hops <= len(trace)  # cycle guard
+            assert current.span_id == root.span_id, (
+                f"{span.name} does not chain to the client root"
+            )
+        # every serving layer contributed spans
+        assert trace.first(names.GATEWAY_REQUEST) is not None
+        assert trace.first(names.GATEWAY_DISPATCH) is not None
+        assert trace.first(names.CLOUD_ANSWER) is not None
+        shard_spans = trace.named(names.CLOUD_SHARD_MATCH)
+        assert len(shard_spans) == 2
+        assert {s.attributes.get("shard") for s in shard_spans} == {0, 1}
+        # fork children really ran elsewhere: more than one pid
+        assert len({span.pid for span in trace if span.pid}) >= 2
+        # one query id stamps the whole tree (client, gateway, shards)
+        stamped = {span.query_id for span in trace if span.query_id}
+        assert stamped == {traced.query_id}
+
+    def test_traced_request_accounts_trace_bytes(self, dep):
+        cloud = make_cloud(dep)
+        obs = Observability()
+        with QueryGateway(cloud, obs=obs) as gateway:
+            with SyncGatewayClient(
+                gateway.host, gateway.port, client_id="acct"
+            ) as client:
+                traced = client.submit_traced([dep.query])
+        assert traced.trace is not None
+        counter = obs.metrics.counter(names.M_TRACE_BYTES)
+        assert counter.value(direction="gateway_answer") > 0
+
+    def test_gateway_retains_trace_in_ring_by_query_id(self, dep):
+        cloud = make_cloud(dep)
+        ring = TraceRing()
+        with QueryGateway(
+            cloud, obs=Observability(), traces=ring
+        ) as gateway:
+            with SyncGatewayClient(
+                gateway.host, gateway.port, client_id="ring"
+            ) as client:
+                traced = client.submit_traced([dep.query])
+            # the push happens just after the answer frame is sent
+            deadline = time.monotonic() + 5.0
+            while (
+                ring.find(traced.query_id) is None
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        entry = ring.find(traced.query_id)
+        assert entry is not None
+        assert entry["query_id"] == traced.query_id
+        assert entry["spans"]
+        assert ring.find("no-such-query") is None
 
 
 class TestGatewayShedding:

@@ -7,6 +7,8 @@ from repro.core.system import PrivacyPreservingSystem
 from repro.graph.generators import example_query, example_social_network
 from repro.obs import MetricsRegistry, Observability, names, prometheus_text
 from repro.obs.audit import (
+    AUDIT_PREFIX,
+    FP_GAUGE_MAX_QUERIES,
     PrivacyAuditReport,
     QueryAuditEntry,
     audit_system,
@@ -162,6 +164,55 @@ class TestGauges:
             assert needle in text, f"missing: {needle}"
         for line in text.strip().splitlines():
             assert PROM_LINE_RE.match(line), f"unparseable: {line!r}"
+
+    def test_fp_gauge_cardinality_is_bounded(self):
+        """Only the newest FP_GAUGE_MAX_QUERIES query ids keep a
+        labeled series — a long-lived server re-auditing forever must
+        not grow /metrics by one line per query id."""
+        per_query = [
+            QueryAuditEntry(query_id=f"q-{i}", candidates=4, results=2)
+            for i in range(FP_GAUGE_MAX_QUERIES + 40)
+        ]
+        report = PrivacyAuditReport(per_query=per_query)
+        registry = MetricsRegistry()
+        report.register(registry)
+        gauge = registry.gauge(
+            f"{AUDIT_PREFIX}_query_false_positive_ratio"
+        )
+        series = {dict(key)["query_id"] for key, _ in gauge.items()}
+        assert len(series) == FP_GAUGE_MAX_QUERIES
+        # the newest ids survive, the oldest were never exported
+        assert f"q-{FP_GAUGE_MAX_QUERIES + 39}" in series
+        assert "q-0" not in series
+
+    def test_fp_gauge_reregister_evicts_stale_series(self):
+        registry = MetricsRegistry()
+        gauge_name = f"{AUDIT_PREFIX}_query_false_positive_ratio"
+        first = PrivacyAuditReport(
+            per_query=[QueryAuditEntry(query_id="q-old", candidates=2)]
+        )
+        first.register(registry)
+        assert registry.gauge(gauge_name).present(query_id="q-old")
+        fresh = [
+            QueryAuditEntry(query_id=f"q-new-{i}", candidates=2)
+            for i in range(FP_GAUGE_MAX_QUERIES)
+        ]
+        PrivacyAuditReport(per_query=fresh).register(registry)
+        gauge = registry.gauge(gauge_name)
+        assert not gauge.present(query_id="q-old")
+        series = {dict(key)["query_id"] for key, _ in gauge.items()}
+        assert len(series) == FP_GAUGE_MAX_QUERIES
+
+    def test_fp_gauge_skips_entries_without_query_id(self):
+        report = PrivacyAuditReport(
+            per_query=[QueryAuditEntry(candidates=4, results=1)]
+        )
+        registry = MetricsRegistry()
+        report.register(registry)
+        gauge = registry.gauge(
+            f"{AUDIT_PREFIX}_query_false_positive_ratio"
+        )
+        assert gauge.items() == []
 
     def test_live_fp_ratio_callback_tracks_counters(self):
         registry = MetricsRegistry()

@@ -16,6 +16,8 @@ import pytest
 from repro.obs import MetricsRegistry, Span, Trace, prometheus_text
 from repro.obs.exporters import (
     PROM_LINE_RE,
+    chrome_trace_dict,
+    export_chrome_trace,
     export_dict,
     export_json,
     format_summary,
@@ -79,6 +81,20 @@ class TestGauge:
         assert gauge.present(site="cloud")
         assert not gauge.present(site="client")
         assert gauge.value(site="client") == 0.0
+
+    def test_remove_drops_exactly_one_series(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(1.0, query_id="q-1")
+        gauge.set(2.0, query_id="q-2")
+        assert gauge.remove(query_id="q-1") is True
+        assert not gauge.present(query_id="q-1")
+        assert gauge.value(query_id="q-2") == 2.0
+        # removing an absent series reports False and changes nothing
+        assert gauge.remove(query_id="q-1") is False
+        assert gauge.remove(query_id="never-set") is False
+
+    def test_null_gauge_remove_is_inert(self):
+        assert NULL_REGISTRY.gauge("g").remove(query_id="q") is False
 
 
 class TestHistogram:
@@ -282,6 +298,43 @@ class TestExportPaths:
         target = tmp_path / "scrapes" / "deep" / "metrics.prom"
         path = write_prometheus(_golden_registry(), target)
         assert path == target and target.is_file()
+
+
+class TestChromeTrace:
+    def test_event_per_span_with_microsecond_times(self):
+        doc = chrome_trace_dict(_golden_trace())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 3
+        by_name = {e["name"]: e for e in complete}
+        answer = by_name["cloud.answer"]
+        # started_at 0.0 is the origin; durations are microseconds
+        assert answer["ts"] == pytest.approx(0.0)
+        assert answer["dur"] == pytest.approx(10_000.0)
+        assert by_name["client.filter"]["ts"] == pytest.approx(11_000.0)
+        assert answer["cat"] == "cloud"
+        assert answer["args"]["rin_size"] == 4
+        assert answer["args"]["span_id"] == 1
+
+    def test_lanes_get_integer_tids_and_metadata(self):
+        doc = chrome_trace_dict(_golden_trace())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        # one (pid, thread) lane in the golden trace -> one tid
+        assert {e["tid"] for e in complete} == {1}
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        assert all(isinstance(e["tid"], int) for e in complete)
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_empty_trace_exports(self):
+        doc = chrome_trace_dict(Trace())
+        assert doc["traceEvents"] == []
+
+    def test_export_writes_valid_json(self, tmp_path):
+        target = tmp_path / "chrome" / "trace.json"
+        path = export_chrome_trace(target, _golden_trace())
+        assert path == target and target.is_file()
+        doc = json.loads(target.read_text(encoding="utf-8"))
+        assert len(doc["traceEvents"]) == 5  # 3 spans + 2 metadata
 
 
 class TestExportDict:

@@ -41,6 +41,24 @@ class TestTraceRing:
         assert snapshot[1]["matches"] == 2
         assert snapshot[0]["spans"] == []
 
+    def test_find_returns_newest_entry_for_query_id(self):
+        ring = TraceRing(capacity=4)
+        ring.push(None, query_id="q-1", matches=1)
+        ring.push(None, query_id="q-2", matches=2)
+        ring.push(None, query_id="q-1", matches=3)
+        entry = ring.find("q-1")
+        assert entry is not None
+        assert entry["matches"] == 3  # newest wins
+        assert ring.find("q-2")["matches"] == 2
+        assert ring.find("q-missing") is None
+
+    def test_find_after_eviction(self):
+        ring = TraceRing(capacity=1)
+        ring.push(None, query_id="q-old")
+        ring.push(None, query_id="q-new")
+        assert ring.find("q-old") is None
+        assert ring.find("q-new") is not None
+
     def test_push_retains_span_documents(self):
         graph, schema = example_social_network()
         system = PrivacyPreservingSystem.setup(
@@ -89,6 +107,29 @@ class TestEndpoints:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 _get(server.url + "/nope")
             assert excinfo.value.code == 404
+
+    def test_trace_lookup_by_query_id(self):
+        ring = TraceRing()
+        ring.push(None, query_id="q-7", matches=4)
+        ring.push(None, query_id="q-8", matches=5)
+        with TelemetryServer(MetricsRegistry(), traces=ring) as server:
+            status, body = _get(server.url + "/traces/q-7")
+            doc = json.loads(body)
+            assert status == 200
+            assert doc["query_id"] == "q-7"
+            assert doc["matches"] == 4
+
+    def test_trace_lookup_unknown_id_is_json_404(self):
+        ring = TraceRing()
+        ring.push(None, query_id="q-7")
+        with TelemetryServer(MetricsRegistry(), traces=ring) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/traces/q-unknown")
+            assert excinfo.value.code == 404
+            doc = json.loads(excinfo.value.read().decode("utf-8"))
+            assert doc["query_id"] == "q-unknown"
+            assert doc["retained"] == 1
+            assert "no retained trace" in doc["error"]
 
     def test_readyz_flips_with_the_callable(self):
         state = {"ready": False}

@@ -230,6 +230,111 @@ class TestProfilerHook:
         assert "profile" in span.attributes
 
 
+class TestTraceStitching:
+    """Trace.merge / Tracer.absorb: cross-id-space grafting.
+
+    Every tracer counts span ids from 1, so fork children and remote
+    processes produce ids that collide with the local tracer's.  The
+    stitching primitives must remap every foreign id to a fresh local
+    one, rewrite internal parent links through the mapping, and re-root
+    foreign roots under the local parent span.
+    """
+
+    def _foreign_trace(self, label):
+        tracer = Tracer(query_id="q-remote")
+        with tracer.span(f"{label}.root") as root:
+            root.set(ctx_parent=99)
+            with tracer.span(f"{label}.child"):
+                pass
+        return tracer.take_trace()
+
+    def test_merge_remaps_colliding_ids(self):
+        local = Tracer()
+        with local.span("local.root"):
+            pass
+        trace = local.take_trace()
+        foreign = self._foreign_trace("remote")
+        # both tracers allocated ids starting at 1: guaranteed overlap
+        assert {s.span_id for s in trace} & {s.span_id for s in foreign}
+        merged = trace.merge(
+            foreign, parent_id=trace.first("local.root").span_id
+        )
+        ids = [span.span_id for span in merged]
+        assert len(ids) == len(set(ids)) == 3
+
+    def test_merge_preserves_parent_links_and_depths(self):
+        local = Tracer()
+        with local.span("local.root"):
+            pass
+        trace = local.take_trace()
+        root_id = trace.first("local.root").span_id
+        trace.merge(self._foreign_trace("remote"), parent_id=root_id)
+        remote_root = trace.first("remote.root")
+        remote_child = trace.first("remote.child")
+        assert remote_root.parent_id == root_id
+        assert remote_child.parent_id == remote_root.span_id
+        assert remote_root.depth == trace.first("local.root").depth + 1
+        assert remote_child.depth == remote_root.depth + 1
+
+    def test_merge_does_not_mutate_the_input(self):
+        foreign = self._foreign_trace("remote")
+        before = [(s.span_id, s.parent_id) for s in foreign]
+        Trace().merge(foreign, parent_id=None)
+        assert [(s.span_id, s.parent_id) for s in foreign] == before
+
+    def test_fork_children_with_colliding_ids_absorb_uniquely(self):
+        """Regression: two fork children both count span ids from 1;
+        absorbing both into the coordinator must never produce
+        duplicate ids or cross-wired parent links."""
+        coordinator = Tracer()
+        with coordinator.span("cloud.scatter") as parent:
+            for shard in range(2):
+                child = Tracer(query_id="q-1")
+                with child.span("shard.match") as span:
+                    span.set(shard=shard)
+                    with child.span("shard.inner"):
+                        pass
+                # round-trip through the wire encoding, as the real
+                # fork pool does
+                coordinator.absorb(
+                    Trace.from_dict(child.take_trace().to_dict()),
+                    parent=parent,
+                )
+        trace = coordinator.trace()
+        ids = [span.span_id for span in trace]
+        assert len(ids) == len(set(ids))
+        roots = trace.named("shard.match")
+        inners = trace.named("shard.inner")
+        assert len(roots) == 2 and len(inners) == 2
+        assert all(s.parent_id == parent.span_id for s in roots)
+        assert all(s.depth == parent.depth + 1 for s in roots)
+        # each inner chains to its own shard's root — not the other's
+        assert {s.parent_id for s in inners} == {s.span_id for s in roots}
+
+    def test_absorbed_ids_never_collide_with_later_local_spans(self):
+        local = Tracer()
+        with local.span("local.root") as root:
+            local.absorb(self._foreign_trace("remote"), parent=root)
+            with local.span("local.later"):
+                pass
+        ids = [span.span_id for span in local.trace()]
+        assert len(ids) == len(set(ids))
+
+    def test_absorb_is_noop_on_measure_only_tracer(self):
+        tracer = Tracer(record=False)
+        assert tracer.absorb(self._foreign_trace("remote")) == []
+        assert len(tracer.trace()) == 0
+
+    def test_snapshot_of_open_span_has_live_duration(self):
+        tracer = Tracer()
+        with tracer.span("gateway.request") as root:
+            time.sleep(0.002)
+            snap = tracer.snapshot(root)
+            assert snap.duration > 0.0
+            assert snap.span_id == root.span_id
+            assert root.duration == 0.0  # the original is still open
+
+
 class TestObservabilityFacade:
     def test_for_query_shares_registry_not_tracer(self):
         obs = Observability()

@@ -22,6 +22,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.protocol import (
+    TraceContext,
     decode_answer,
     decode_answer_batch,
     decode_answer_table,
@@ -33,6 +34,7 @@ from repro.core.protocol import (
     decode_query_batch,
     decode_shard_request,
     decode_shard_tables,
+    decode_trace_context,
     decode_upload,
     encode_answer,
     encode_answer_batch,
@@ -45,6 +47,7 @@ from repro.core.protocol import (
     encode_query_batch,
     encode_shard_request,
     encode_shard_tables,
+    encode_trace_context,
     encode_upload,
 )
 from repro.exceptions import ProtocolError, ReproError
@@ -81,6 +84,9 @@ def wire():
         "gateway_reject": encode_gateway_reject(
             "alice-1", "overloaded", "shedding"
         ),
+        "trace_context": encode_trace_context(
+            TraceContext(query_id="q-7", parent_span_id=3)
+        ),
     }
 
 
@@ -97,6 +103,7 @@ DECODERS = {
     "gateway_request": decode_gateway_request,
     "gateway_answer": decode_gateway_answer,
     "gateway_reject": decode_gateway_reject,
+    "trace_context": decode_trace_context,
 }
 
 #: Field corruptions per message type: (path, replacement) pairs.  The
@@ -114,6 +121,10 @@ WRONG_TYPED: dict[str, list[tuple[tuple, object]]] = {
         (("stars",), [None]),
         (("stars",), [{"center": "x", "leaves": None}]),
         (("query",), []),
+        # a corrupted embedded trace context fails the whole frame —
+        # it must never silently degrade to an untraced request.
+        (("ctx",), 5),
+        (("ctx",), {"q": 1, "p": 0}),
     ],
     "shard_tables": [
         (("tables",), 5),
@@ -131,12 +142,16 @@ WRONG_TYPED: dict[str, list[tuple[tuple, object]]] = {
         (("queries",), 5),
         (("queries",), []),
         (("queries",), [7]),
+        (("ctx",), []),
+        (("ctx",), {"q": "x", "p": -1}),
     ],
     "gateway_answer": [
         (("id",), 5),
         (("answers",), 5),
         (("answers",), [None]),
         (("answers",), [{"order": [0, 1], "rows": [[1]], "expanded": True}]),
+        (("trace",), 5),
+        (("trace",), {"spans": [7]}),
     ],
     "gateway_reject": [
         (("id",), 9),
@@ -265,12 +280,78 @@ class TestFuzz:
                 pass
 
 
+class TestTraceContext:
+    """The compact codec: round trip + corruption only -> ProtocolError."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        query_id=st.text(max_size=16),
+        parent=st.integers(min_value=0, max_value=2**53),
+        sampled=st.booleans(),
+    )
+    def test_round_trips(self, query_id, parent, sampled):
+        context = TraceContext(
+            query_id=query_id, parent_span_id=parent, sampled=sampled
+        )
+        assert decode_trace_context(encode_trace_context(context)) == context
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        doc=st.dictionaries(
+            st.sampled_from(["q", "p", "s", "junk"]),
+            st.none()
+            | st.booleans()
+            | st.integers()
+            | st.text(max_size=8)
+            | st.lists(st.integers(), max_size=3),
+            max_size=4,
+        )
+    )
+    def test_arbitrary_docs_only_raise_protocol_error(self, doc):
+        payload = json.dumps(doc).encode("utf-8")
+        try:
+            decode_trace_context(payload)
+        except ProtocolError:
+            pass
+
+    def test_embedded_context_round_trips_on_request_frames(self, wire):
+        query, stars, none_context = decode_shard_request(
+            wire["shard_request"]
+        )
+        assert none_context is None
+        context = TraceContext(query_id="q-9", parent_span_id=41)
+        _, _, shard_ctx = decode_shard_request(
+            encode_shard_request(query, list(stars), context=context)
+        )
+        assert shard_ctx == context
+        _, _, gateway_ctx = decode_gateway_request(
+            encode_gateway_request("alice-1", [query], context=context)
+        )
+        assert gateway_ctx == context
+
+    def test_context_field_is_strictly_optional(self, wire):
+        """``context=None`` leaves the frame bytes untouched (old clients)."""
+        query, stars, _ = decode_shard_request(wire["shard_request"])
+        traced = encode_shard_request(
+            query,
+            list(stars),
+            context=TraceContext(query_id="q", parent_span_id=1),
+        )
+        data = json.loads(traced.decode("utf-8"))
+        data.pop("ctx")
+        assert (
+            json.dumps(data, sort_keys=True).encode("utf-8")
+            == encode_shard_request(query, list(stars))
+        )
+
+
 class TestShardFrameRoundTrip:
     def test_shard_request_round_trips(self, wire):
-        query, stars = decode_shard_request(wire["shard_request"])
+        query, stars, context = decode_shard_request(wire["shard_request"])
         assert [star.center for star in stars] == [0]
         assert stars[0].leaves == (1, 2)
         assert query.vertex_count > 0
+        assert context is None
 
     def test_shard_tables_round_trip(self, wire):
         tables = decode_shard_tables(wire["shard_tables"])
