@@ -1,0 +1,57 @@
+"""Lint-runtime guard: the R1-R8 invariant gate must stay cheap.
+
+Not a paper figure — this guards the developer loop.  PR 9 grew
+``repro lint`` from syntactic checks into taint dataflow (R6, with
+fixpoint call summaries), reachability analysis (R7) and structural
+protocol checks (R8); each lands on every commit via
+``scripts/check.py`` and the ``lint-invariants`` CI job.  A gate that
+creeps toward minutes stops being run locally, so this bench pins the
+full-tree wall clock under a deliberately generous ceiling — it fails
+on an accidental O(files x functions^2) regression, not on machine
+noise.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.bench import format_table, print_report
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Generous: the full tree lints in a few seconds on a laptop; only a
+#: complexity regression (not noise, not CI jitter) can reach this.
+CEILING_SECONDS = 60.0
+
+
+def test_report_lint_runtime(benchmark):
+    def run():
+        start = time.perf_counter()
+        result = lint_paths(
+            [REPO / "src", REPO / "tests", REPO / "benchmarks"]
+        )
+        return result, time.perf_counter() - start
+
+    result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["tree", "files", "rules", "wall (s)", "ceiling (s)"],
+        [
+            [
+                "src+tests+benchmarks",
+                result.files_checked,
+                len(result.rules),
+                round(elapsed, 3),
+                CEILING_SECONDS,
+            ]
+        ],
+        title="[Guard] repro lint full-tree runtime (R1-R8)",
+    )
+    print_report(table)
+    assert result.files_checked > 200
+    assert result.ok, "the shipped tree must lint clean"
+    assert elapsed < CEILING_SECONDS, (
+        f"lint took {elapsed:.1f}s (> {CEILING_SECONDS}s): a rule has "
+        "regressed from per-module to superlinear work"
+    )

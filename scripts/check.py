@@ -38,8 +38,21 @@ STEPS: list[tuple[str, list[str], str | None]] = [
         "mypy",
     ),
     (
-        "repro lint (architectural invariants R1-R5)",
-        [sys.executable, "-m", "repro", "lint", "src", "tests", "benchmarks"],
+        # picks up new rules and the checked-in .lint-baseline.json
+        # automatically (cwd is the repo root); gates on severity>=error
+        "repro lint (invariants R1-R8: imports, names, locks, hot path, "
+        "deprecations, taint, async, protocol)",
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "lint",
+            "src",
+            "tests",
+            "benchmarks",
+            "--fail-on",
+            "error",
+        ],
         None,
     ),
     (

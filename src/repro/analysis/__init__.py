@@ -27,15 +27,40 @@ metrics*.  This package machine-checks them on every commit:
 ``R5`` no-internal-deprecated
     ``src/`` must not use the names shimmed in :mod:`repro.compat`
     (:mod:`repro.analysis.rules.deprecated`).
+``R6`` privacy-taint
+    Per-module taint dataflow: plaintext labels, the original graph,
+    credentials and gateway-internal error text must never flow into a
+    wire codec, the network channel, the event log or a
+    boundary-crossing exception without passing a declared sanitizer
+    (:mod:`repro.analysis.rules.privacy_taint`).
+``R7`` async-safety
+    Nothing reachable from a ``repro.gateway`` coroutine may block the
+    event loop — no ``time.sleep``, sync I/O, ``Future.result()`` or
+    inline hot-kernel calls
+    (:mod:`repro.analysis.rules.async_safety`).
+``R8`` protocol-invariants
+    Every ``encode_X`` pairs with ``decode_X``, every codec is
+    registered (and therefore fuzzed), every decoder re-raises through
+    the ``ProtocolError`` envelope, and frame kinds come from the
+    ``FRAME_KINDS`` registry
+    (:mod:`repro.analysis.rules.protocol_invariants`).
 
-Run it as ``repro lint [paths...]`` (``--json`` for machine-readable
-findings) or through :func:`lint_paths`.  Suppress a finding with a
-``# lint: ignore[R?]`` comment on the flagged line; see
-``docs/static-analysis.md`` for the full catalog and rationale.
+Findings carry a severity (``error``/``warning``/``info``); the exit
+code gate is ``--fail-on`` (default ``error``), known debt can be
+parked in ``.lint-baseline.json``, and reports render as text, JSON or
+SARIF 2.1.0.  Run it as ``repro lint [paths...]`` or through
+:func:`lint_paths`.  Suppress a finding with a ``# lint: ignore[R?]``
+comment on the flagged line; see ``docs/static-analysis.md`` for the
+full catalog and rationale.
 """
 
 from __future__ import annotations
 
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.engine import (
     LintResult,
     ModuleInfo,
@@ -49,7 +74,7 @@ from repro.analysis.engine import (
 )
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.markers import hot_path
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = [
     "Finding",
@@ -58,12 +83,16 @@ __all__ = [
     "Rule",
     "Severity",
     "all_rules",
+    "apply_baseline",
     "get_rule",
     "hot_path",
     "iter_python_files",
     "lint_file",
     "lint_paths",
+    "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
+    "write_baseline",
 ]

@@ -1,0 +1,105 @@
+"""Accepted-findings baseline for ``repro lint``.
+
+A baseline lets a new rule land with teeth while known debt is paid
+down incrementally: findings recorded in ``.lint-baseline.json`` are
+subtracted from the result before the exit code is decided, and
+everything *new* still fails the gate.  The shipped baseline is empty
+— real violations get fixed, not grandfathered — but the mechanism is
+what makes "add a stricter rule" a one-PR operation on a moving tree.
+
+Entries match on ``(rule, path, message)`` as a multiset, *not* on
+line numbers: unrelated edits shift lines constantly, and a baseline
+that churns on every commit trains people to regenerate it blindly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
+
+#: Default baseline filename, auto-discovered from the lint cwd.
+BASELINE_NAME = ".lint-baseline.json"
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, str(finding.path), finding.message)
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Load ``path`` into a matchable multiset of accepted findings."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} is not a version-{_VERSION} baseline"
+        )
+    entries = raw.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path} has no entries list")
+    accepted: Counter[tuple[str, str, str]] = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path} has a non-object entry")
+        try:
+            accepted[
+                (
+                    str(entry["rule"]),
+                    str(entry["path"]),
+                    str(entry["message"]),
+                )
+            ] += 1
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path} entry is missing {exc}"
+            ) from exc
+    return accepted
+
+
+def apply_baseline(
+    result: LintResult, accepted: Counter[tuple[str, str, str]]
+) -> tuple[LintResult, int]:
+    """Subtract baselined findings; return (filtered result, #suppressed)."""
+    budget = Counter(accepted)
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in result.findings:
+        key = _key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            kept.append(finding)
+    filtered = LintResult(
+        findings=kept,
+        files_checked=result.files_checked,
+        rules=list(result.rules),
+    )
+    return filtered, suppressed
+
+
+def write_baseline(path: Path, result: LintResult) -> int:
+    """Record every current finding as accepted; return the entry count."""
+    entries = [
+        {"rule": rule, "path": file_path, "message": message}
+        for rule, file_path, message in sorted(
+            _key(finding) for finding in result.findings
+        )
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

@@ -1,0 +1,478 @@
+"""A small per-module taint-propagation engine (the R6 substrate).
+
+This is deliberately *not* a general dataflow framework.  It walks one
+module's AST in source order, keeps a per-function environment mapping
+names (and ``recv.attr`` dotted pairs) to sets of taint kinds, and
+over-approximates joins: taint only ever grows within a function, so
+branchy code needs no path enumeration.  Interprocedural flow stays
+inside the module via call summaries — every locally defined function
+is analyzed once with its parameters seeded with pseudo-kinds
+(``param:<name>``), which yields, per function:
+
+* which parameters reach a sink inside it (flagged at the call site),
+* which parameters flow through to its return value,
+* which concrete taint kinds its return value carries.
+
+Summaries are iterated to a small fixpoint so chains of local helpers
+propagate.  Sources, sinks, sanitizers and declared-neutral calls all
+come from :mod:`repro.analysis.manifest` — the rule is the manifest;
+this module is only the plumbing.
+
+Known over-approximations (by design, suppress with ``# lint:
+ignore[R6]`` if hit): reassigning a clean value to a previously
+tainted name does not clear it, and any call that is neither a
+sanitizer, a declared-neutral call, nor a local summary propagates the
+union of its argument taints to its result.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.manifest import (
+    BOUNDARY_EXCEPTIONS,
+    TAINT_NEUTRAL_CALLS,
+    TAINT_SANITIZERS,
+    TaintSink,
+    TaintSource,
+    sink_for,
+)
+
+PARAM_PREFIX = "param:"
+
+#: kind -> the phrase findings use for it.
+KIND_PHRASES = {
+    "label": "plaintext label values",
+    "graph": "the plaintext graph G",
+    "secret": "a credential",
+    "error": "internal exception text",
+}
+
+
+def _phrase(kinds: Iterable[str]) -> str:
+    return " + ".join(KIND_PHRASES.get(k, k) for k in sorted(kinds))
+
+
+@dataclass
+class SinkHit:
+    """One tainted value reaching one sink (or boundary exception)."""
+
+    node: ast.AST
+    kinds: frozenset[str]
+    sink_name: str
+    sink_what: str
+
+    @property
+    def message(self) -> str:
+        return (
+            f"{_phrase(self.kinds)} flow(s) into {self.sink_what} "
+            f"('{self.sink_name}')"
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """What calling a local function does with its arguments."""
+
+    #: concrete kinds the return value always carries
+    returns_kinds: set[str] = field(default_factory=set)
+    #: parameter names whose taint reaches the return value
+    param_to_return: set[str] = field(default_factory=set)
+    #: parameter name -> sinks its taint reaches inside the body
+    param_sinks: dict[str, list[TaintSink]] = field(default_factory=dict)
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+
+def _is_method(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    names = _param_names(node)
+    return bool(names) and names[0] in ("self", "cls")
+
+
+def _callee_name(func: ast.expr) -> tuple[str | None, bool]:
+    """``(name, via_attr)`` of a call target, or ``(None, ...)``."""
+    if isinstance(func, ast.Name):
+        return func.id, False
+    if isinstance(func, ast.Attribute):
+        return func.attr, True
+    return None, False
+
+
+def _broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches ``Exception``/``BaseException``."""
+    caught = handler.type
+    names: list[ast.expr] = []
+    if caught is None:
+        return True
+    if isinstance(caught, ast.Tuple):
+        names = list(caught.elts)
+    else:
+        names = [caught]
+    for entry in names:
+        target = entry.value if isinstance(entry, ast.Attribute) else entry
+        ident = (
+            entry.attr
+            if isinstance(entry, ast.Attribute)
+            else target.id if isinstance(target, ast.Name) else ""
+        )
+        if ident in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+class _FlowVisitor:
+    """Walk one function (or the module body) in source order."""
+
+    def __init__(
+        self,
+        analyzer: "TaintAnalyzer",
+        summary: FunctionSummary,
+        report: bool,
+    ) -> None:
+        self.analyzer = analyzer
+        self.summary = summary
+        self.report = report
+        self.env: dict[str, set[str]] = {}
+        self.hits: list[SinkHit] = []
+
+    # -- environment ----------------------------------------------------
+    def _key(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            return f"{node.value.id}.{node.attr}"
+        return None
+
+    def taint(self, key: str, kinds: set[str]) -> None:
+        if kinds:
+            self.env.setdefault(key, set()).update(kinds)
+
+    def _assign(self, target: ast.expr, kinds: set[str]) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, kinds)
+            return
+        if isinstance(target, ast.Starred):
+            self._assign(target.value, kinds)
+            return
+        if isinstance(target, ast.Subscript):
+            self._assign(target.value, kinds)
+            return
+        key = self._key(target)
+        if key is not None:
+            self.taint(key, kinds)
+
+    # -- expressions ----------------------------------------------------
+    def eval(self, node: ast.expr | None) -> set[str]:
+        if node is None or isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, ()))
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Compare):
+            for comp in [node.left, *node.comparators]:
+                self.eval(comp)
+            return set()
+        if isinstance(node, ast.Lambda):
+            return set()
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                self._assign(gen.target, self.eval(gen.iter))
+            return self.eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                self._assign(gen.target, self.eval(gen.iter))
+            return self.eval(node.key) | self.eval(node.value)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        # JoinedStr, BinOp, BoolOp, containers, Subscript, Starred,
+        # Await, FormattedValue, UnaryOp, NamedExpr, Slice: union of
+        # child expression taint (string formatting does not sanitize).
+        kinds: set[str] = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                kinds |= self.eval(child)
+        if isinstance(node, ast.NamedExpr):
+            self._assign(node.target, kinds)
+        return kinds
+
+    def _eval_attribute(self, node: ast.Attribute) -> set[str]:
+        kinds = self.eval(node.value)
+        key = self._key(node)
+        if key is not None:
+            kinds |= self.env.get(key, set())
+        for source in self.analyzer.attr_sources:
+            if node.attr == source.attr:
+                kinds.add(source.kind)
+        return kinds
+
+    def _call_arg_kinds(self, node: ast.Call) -> set[str]:
+        kinds: set[str] = set()
+        for arg in node.args:
+            kinds |= self.eval(arg)
+        for keyword in node.keywords:
+            kinds |= self.eval(keyword.value)
+        return kinds
+
+    def _record_hit(
+        self, node: ast.AST, kinds: set[str], name: str, what: str
+    ) -> None:
+        concrete = frozenset(
+            k for k in kinds if not k.startswith(PARAM_PREFIX)
+        )
+        if concrete and self.report:
+            self.hits.append(SinkHit(node, concrete, name, what))
+
+    def _record_param_sink(self, kinds: set[str], sink: TaintSink) -> None:
+        for kind in kinds:
+            if kind.startswith(PARAM_PREFIX):
+                param = kind[len(PARAM_PREFIX):]
+                self.summary.param_sinks.setdefault(param, []).append(sink)
+
+    def _eval_call(self, node: ast.Call) -> set[str]:
+        name, via_attr = _callee_name(node.func)
+        receiver_kinds = (
+            self.eval(node.func.value)
+            if isinstance(node.func, ast.Attribute)
+            else set()
+        )
+        arg_kinds = self._call_arg_kinds(node)
+
+        if name is None:
+            return arg_kinds
+        if name in TAINT_SANITIZERS or name in TAINT_NEUTRAL_CALLS:
+            return set()
+
+        # source calls introduce taint on top of whatever flows through
+        for source in self.analyzer.call_sources:
+            if name == source.attr:
+                return arg_kinds | receiver_kinds | {source.kind}
+
+        # boundary exceptions: constructing one from tainted text IS
+        # the leak — the message ships in a reject frame or surfaces
+        # on the remote caller.
+        if name in BOUNDARY_EXCEPTIONS and not via_attr:
+            flowing = arg_kinds
+            self._record_hit(
+                node, flowing, name, "a trust-boundary exception message"
+            )
+            self._record_param_sink(
+                flowing,
+                TaintSink(name, False, (), "a trust-boundary exception"),
+            )
+            return arg_kinds
+
+        sink = sink_for(name, via_attr)
+        if sink is not None:
+            flowing = {k for k in arg_kinds if k not in sink.allows}
+            self._record_hit(node, flowing, name, sink.what)
+            self._record_param_sink(flowing, sink)
+            # allowed kinds are committed to this encoding by design;
+            # the result no longer counts as carrying them.
+            return flowing
+
+        summary = self.analyzer.summaries.get(name)
+        if summary is not None:
+            return self._eval_local_call(node, name, summary, via_attr)
+        return arg_kinds | receiver_kinds
+
+    def _eval_local_call(
+        self,
+        node: ast.Call,
+        name: str,
+        summary: FunctionSummary,
+        via_attr: bool,
+    ) -> set[str]:
+        definition = self.analyzer.functions[name]
+        params = _param_names(definition)
+        if via_attr and _is_method(definition):
+            params = params[1:]
+        mapping: list[tuple[str, set[str]]] = []
+        for index, arg in enumerate(node.args):
+            kinds = self.eval(arg)
+            if index < len(params):
+                mapping.append((params[index], kinds))
+            else:
+                mapping.append(("*", kinds))
+        for keyword in node.keywords:
+            mapping.append((keyword.arg or "*", self.eval(keyword.value)))
+
+        result: set[str] = set(summary.returns_kinds)
+        for param, kinds in mapping:
+            if not kinds:
+                continue
+            for sink in summary.param_sinks.get(param, ()):
+                flowing = {k for k in kinds if k not in sink.allows}
+                self._record_hit(
+                    node,
+                    flowing,
+                    name,
+                    f"{sink.what} (via '{name}')",
+                )
+                self._record_param_sink(flowing, sink)
+            if param == "*" or param in summary.param_to_return:
+                result |= kinds
+        return result
+
+    # -- statements -----------------------------------------------------
+    def run(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # analyzed as its own function (if module-level)
+        if isinstance(stmt, ast.ClassDef):
+            self.run(stmt.body)
+            return
+        if isinstance(stmt, ast.Assign):
+            kinds = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, kinds)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and stmt.target is not None:
+                self._assign(stmt.target, self.eval(stmt.value))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._assign(stmt.target, self.eval(stmt.value))
+            return
+        if isinstance(stmt, ast.Return):
+            kinds = self.eval(stmt.value)
+            self.summary.returns_kinds |= {
+                k for k in kinds if not k.startswith(PARAM_PREFIX)
+            }
+            self.summary.param_to_return |= {
+                k[len(PARAM_PREFIX):]
+                for k in kinds
+                if k.startswith(PARAM_PREFIX)
+            }
+            return
+        if isinstance(stmt, (ast.Expr, ast.Raise, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self.eval(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._assign(stmt.target, self.eval(stmt.iter))
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                kinds = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, kinds)
+            self.run(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    bound: set[str] = set()
+                    if self.analyzer.error_taint and _broad_handler(handler):
+                        bound = {"error"}
+                    self.env[handler.name] = (
+                        self.env.get(handler.name, set()) | bound
+                    )
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+            return
+        # Import/Global/Nonlocal/Pass/Break/Continue: nothing flows
+
+
+class TaintAnalyzer:
+    """Analyze one parsed module against the taint manifest."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        sources: Iterable[TaintSource],
+        error_taint: bool = False,
+        fixpoint_passes: int = 3,
+    ) -> None:
+        self.tree = tree
+        self.attr_sources = tuple(s for s in sources if not s.via_call)
+        self.call_sources = tuple(s for s in sources if s.via_call)
+        self.error_taint = error_taint
+        self.functions: dict[
+            str, ast.FunctionDef | ast.AsyncFunctionDef
+        ] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions.setdefault(node.name, node)
+        self.summaries: dict[str, FunctionSummary] = {}
+        for _ in range(fixpoint_passes):
+            updated = {
+                name: self._analyze_function(node, report=False)[0]
+                for name, node in self.functions.items()
+            }
+            if self._stable(updated):
+                self.summaries = updated
+                break
+            self.summaries = updated
+
+    def _stable(self, updated: dict[str, FunctionSummary]) -> bool:
+        for name, summary in updated.items():
+            old = self.summaries.get(name)
+            if old is None:
+                return False
+            if (
+                old.returns_kinds != summary.returns_kinds
+                or old.param_to_return != summary.param_to_return
+                or set(old.param_sinks) != set(summary.param_sinks)
+            ):
+                return False
+        return True
+
+    def _analyze_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        report: bool,
+    ) -> tuple[FunctionSummary, list[SinkHit]]:
+        summary = FunctionSummary()
+        visitor = _FlowVisitor(self, summary, report=report)
+        for param in _param_names(node):
+            if param not in ("self", "cls"):
+                visitor.env[param] = {f"{PARAM_PREFIX}{param}"}
+        visitor.run(node.body)
+        return summary, visitor.hits
+
+    def sink_hits(self) -> list[SinkHit]:
+        """Every tainted-value-reaches-sink event in the module."""
+        hits: list[SinkHit] = []
+        for node in self.functions.values():
+            hits.extend(self._analyze_function(node, report=True)[1])
+        module_visitor = _FlowVisitor(self, FunctionSummary(), report=True)
+        module_visitor.run(self.tree.body)
+        hits.extend(module_visitor.hits)
+        seen: set[tuple[int, int, frozenset[str], str]] = set()
+        unique: list[SinkHit] = []
+        for hit in sorted(
+            hits, key=lambda h: (getattr(h.node, "lineno", 0), h.sink_name)
+        ):
+            key = (
+                getattr(hit.node, "lineno", 0),
+                getattr(hit.node, "col_offset", 0),
+                hit.kinds,
+                hit.sink_name,
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(hit)
+        return unique

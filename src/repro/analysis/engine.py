@@ -136,15 +136,20 @@ class ModuleInfo:
         node: ast.AST | None,
         message: str,
         hint: str | None = None,
+        severity: Severity | None = None,
     ) -> Finding:
-        """Build a :class:`Finding` for ``node`` (module-level if None)."""
+        """Build a :class:`Finding` for ``node`` (module-level if None).
+
+        ``severity`` overrides the rule's default — rules with
+        heuristic sub-checks downgrade those to ``WARNING``/``INFO``.
+        """
         return Finding(
             path=self.path.as_posix(),
             line=getattr(node, "lineno", 1) if node is not None else 1,
             col=getattr(node, "col_offset", 0) if node is not None else 0,
             rule=rule.id,
             message=message,
-            severity=rule.severity,
+            severity=rule.severity if severity is None else severity,
             hint=rule.hint if hint is None else hint,
         )
 
@@ -171,6 +176,7 @@ class Rule:
             "id": self.id,
             "name": self.name,
             "hint": self.hint,
+            "severity": str(self.severity),
             "doc": (self.__doc__ or "").strip().splitlines()[0],
         }
 
@@ -228,6 +234,10 @@ class LintResult:
     @property
     def ok(self) -> bool:
         return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def failed(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """Whether any finding is at least ``fail_on`` bad (the CI gate)."""
+        return any(f.severity.at_least(fail_on) for f in self.findings)
 
     def by_rule(self) -> dict[str, int]:
         counts: dict[str, int] = {}

@@ -8,13 +8,31 @@ from typing import Any
 
 
 class Severity(enum.Enum):
-    """How bad a finding is; ``ERROR`` findings fail the gate."""
+    """How bad a finding is; ``ERROR`` findings fail the gate.
+
+    ``WARNING`` marks heuristic findings (review, then fix or
+    suppress); ``INFO`` marks convention nits.  ``repro lint
+    --fail-on`` lowers the gate to either.
+    """
 
     ERROR = "error"
     WARNING = "warning"
+    INFO = "info"
 
     def __str__(self) -> str:
         return self.value
+
+    @property
+    def rank(self) -> int:
+        """Numeric badness: higher is worse (error=2, warning=1, info=0)."""
+        return _SEVERITY_RANK[self]
+
+    def at_least(self, threshold: "Severity") -> bool:
+        """Whether this severity is as bad as ``threshold`` or worse."""
+        return self.rank >= threshold.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
 
 
 @dataclass(frozen=True, order=True)

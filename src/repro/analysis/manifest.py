@@ -16,6 +16,8 @@ outside the boundary, so R1 findings explain themselves.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 #: layer prefix -> the repro-internal import surface it is allowed.
 #: Prefixes match whole dotted components (``repro.obs`` also allows
 #: ``repro.obs.names``, but not ``repro.obscure``).
@@ -106,6 +108,212 @@ FORBIDDEN_REASONS: dict[str, str] = {
         "must not depend on them"
     ),
 }
+
+
+# ----------------------------------------------------------------------
+# R6 privacy-taint manifest: where plaintext enters, where bytes leave,
+# and which transformations launder a value back to cloud-visible.
+# ----------------------------------------------------------------------
+#: Modules where the owner/client hold plaintext: a raw-label accessor
+#: read there yields actual label values, not published group ids.
+#: (The same ``.labels`` read in ``repro.cloud.*`` sees only ``Go``'s
+#: group ids, so it is not a source there.)
+PLAINTEXT_MODULES: tuple[str, ...] = (
+    "repro.core.data_owner",
+    "repro.core.query_client",
+    "repro.client",
+    "repro.anonymize",
+    "repro.kauto.builder",
+)
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One way a tainted value enters a function.
+
+    ``attr`` is the attribute (``via_call=False``) or method
+    (``via_call=True``) whose read/call introduces taint of ``kind``.
+    ``modules`` scopes the source to module prefixes (empty = every
+    ``repro.*`` module).
+    """
+
+    kind: str
+    attr: str
+    via_call: bool
+    modules: tuple[str, ...]
+    why: str
+
+
+#: Taint kinds: ``label`` = plaintext label values, ``graph`` = the
+#: owner/client-held original graph, ``secret`` = credentials,
+#: ``error`` = text of an arbitrary internal exception.
+TAINT_SOURCES: tuple[TaintSource, ...] = (
+    TaintSource(
+        "label",
+        "labels",
+        via_call=False,
+        modules=PLAINTEXT_MODULES,
+        why="per-attribute raw label sets of a plaintext vertex",
+    ),
+    TaintSource(
+        "label",
+        "label_items",
+        via_call=True,
+        modules=PLAINTEXT_MODULES,
+        why="raw (attribute, label) pairs of a plaintext vertex",
+    ),
+    TaintSource(
+        "label",
+        "members",
+        via_call=True,
+        modules=(),
+        why="LCT.members de-anonymizes a group id to raw labels "
+        "(the LCT is the client-side secret)",
+    ),
+    TaintSource(
+        "graph",
+        "graph",
+        via_call=False,
+        modules=("repro.core.data_owner", "repro.core.query_client"),
+        why="the owner/client-held original graph G (paper Section 3)",
+    ),
+    TaintSource(
+        "secret",
+        "token",
+        via_call=False,
+        modules=(),
+        why="a client credential; must never appear in logs or errors",
+    ),
+    TaintSource(
+        "secret",
+        "gateway_token",
+        via_call=False,
+        modules=(),
+        why="the gateway auth secret (SystemConfig / CLI flag)",
+    ),
+)
+
+#: Attribute/function names whose *call* clears taint: each provably
+#: maps plaintext to the published/cloud-visible domain.
+TAINT_SANITIZERS: dict[str, str] = {
+    # LCT grouping: raw labels -> published group ids (Section 4.1)
+    "generalize_label_map": "LCT grouping",
+    "group_of": "LCT grouping",
+    "apply_to_graph": "LCT grouping applied to a whole graph",
+    "anonymize_query": "query anonymization (Q -> Qo)",
+    # AVT remapping: vertex ids -> alignment-table images (Section 5)
+    "remap_rows": "AVT row remap",
+    "apply_to_match": "AVT match remap",
+    "to_block_anchor": "AVT block anchor",
+    # k-automorphism publication: G -> Gk/Go
+    "build_kauto": "k-automorphic transformation",
+    # one-way digests
+    "sha256": "cryptographic hash",
+    "blake2b": "cryptographic hash",
+    "hexdigest": "cryptographic hash",
+    "query_signature": "structural query digest",
+    "coalesce_key": "structural query digest",
+}
+
+#: Calls whose result is declared taint-free even when handed tainted
+#: arguments: they return metadata/verdicts, never embedded content.
+#: (``before``/``after`` are the reviewed middleware-chain hooks — a
+#: rejection they return carries policy text, not request payloads.)
+TAINT_NEUTRAL_CALLS: frozenset[str] = frozenset(
+    {
+        "len",
+        "type",
+        "bool",
+        "int",
+        "float",
+        "range",
+        "enumerate",
+        "id",
+        "isinstance",
+        "hash",
+        "compare_digest",
+        "before",
+        "after",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TaintSink:
+    """One way bytes leave toward the cloud/telemetry boundary.
+
+    ``name`` matches the called function (``via_attr=False``) or the
+    called attribute/method (``via_attr=True``); a ``*`` suffix is a
+    prefix match.  ``allows`` lists taint kinds the sink may
+    legitimately carry (the hello frame *is* the credential carrier).
+    """
+
+    name: str
+    via_attr: bool
+    allows: tuple[str, ...]
+    what: str
+
+
+TAINT_SINKS: tuple[TaintSink, ...] = (
+    TaintSink(
+        "encode_gateway_hello",
+        via_attr=False,
+        allows=("secret",),
+        what="the gateway hello frame (carries the credential by design)",
+    ),
+    TaintSink("encode_*", via_attr=False, allows=(), what="a wire codec"),
+    TaintSink(
+        "transmit",
+        via_attr=True,
+        allows=(),
+        what="the simulated network channel",
+    ),
+    TaintSink("emit", via_attr=True, allows=(), what="the JSONL event log"),
+    TaintSink(
+        "emit_query", via_attr=True, allows=(), what="the JSONL event log"
+    ),
+    TaintSink(
+        "emit_spans", via_attr=True, allows=(), what="the JSONL event log"
+    ),
+)
+
+#: Exceptions whose text crosses the trust boundary (they are framed
+#: into reject messages or surface on the remote caller); constructing
+#: one from tainted text is a sink.
+BOUNDARY_EXCEPTIONS: frozenset[str] = frozenset(
+    {"ProtocolError", "GatewayError", "GatewayRejected"}
+)
+
+#: Modules where ``except Exception as e`` binds *internal* error text
+#: that remote clients must never see (the gateway fronts untrusted
+#: callers; the in-process cloud layers share one trust domain).
+ERROR_TAINT_MODULES: tuple[str, ...] = ("repro.gateway",)
+
+
+def sources_for(module: str) -> tuple[TaintSource, ...]:
+    """The taint sources applicable inside ``module``."""
+    return tuple(
+        source
+        for source in TAINT_SOURCES
+        if not source.modules
+        or any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in source.modules
+        )
+    )
+
+
+def sink_for(name: str, via_attr: bool) -> TaintSink | None:
+    """The sink matching a called ``name``, or ``None``."""
+    for sink in TAINT_SINKS:
+        if sink.via_attr is not via_attr:
+            continue
+        if sink.name.endswith("*"):
+            if name.startswith(sink.name[:-1]):
+                return sink
+        elif name == sink.name:
+            return sink
+    return None
 
 
 def allowed_for(module: str) -> tuple[str, ...] | None:

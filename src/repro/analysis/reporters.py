@@ -1,11 +1,12 @@
-"""Render a :class:`~repro.analysis.engine.LintResult` as text or JSON."""
+"""Render a :class:`~repro.analysis.engine.LintResult` as text/JSON/SARIF."""
 
 from __future__ import annotations
 
 import json
 from typing import Any
 
-from repro.analysis.engine import LintResult
+from repro.analysis.engine import LintResult, all_rules
+from repro.analysis.findings import Severity
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:
@@ -46,3 +47,79 @@ def result_to_dict(result: LintResult) -> dict[str, Any]:
 def render_json(result: LintResult, indent: int | None = 2) -> str:
     """Machine-readable report (stable key order; CI artifact format)."""
     return json.dumps(result_to_dict(result), indent=indent, sort_keys=True)
+
+
+# SARIF 2.1.0 has only three result levels; INFO maps to "note".
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def result_to_sarif(result: LintResult) -> dict[str, Any]:
+    """SARIF 2.1.0 log for ``result`` (one run, one driver)."""
+    rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.describe()["doc"]},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[rule.severity],
+            },
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            # SARIF columns are 1-based; AST cols are 0-based
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult, indent: int | None = 2) -> str:
+    """SARIF 2.1.0 report (GitHub code-scanning upload format)."""
+    return json.dumps(result_to_sarif(result), indent=indent, sort_keys=True)

@@ -796,17 +796,36 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the invariant linter (``repro.analysis``) over source trees.
 
-    Exit status: 0 when clean, 1 when findings exist, 2 on a bad
-    ``--rule``.  ``--json`` emits the machine-readable findings
-    document (the CI artifact format); ``--out`` writes it to a file
-    as well.  See ``docs/static-analysis.md`` for the rule catalog.
+    Exit status: 0 when clean at the ``--fail-on`` threshold (default:
+    ``error``), 1 when gating findings exist, 2 on a bad ``--rule`` or
+    unusable ``--baseline``.  ``--json`` emits the machine-readable
+    findings document (the CI artifact format); ``--out`` writes it to
+    a file as well; ``--sarif`` writes a SARIF 2.1.0 report.  A
+    ``.lint-baseline.json`` in the working directory (or ``--baseline``)
+    subtracts accepted findings before the gate; ``--update-baseline``
+    rewrites it from the current findings.  See
+    ``docs/static-analysis.md`` for the rule catalog.
     """
-    from repro.analysis import all_rules, lint_paths, render_json, render_text
+    from repro.analysis import (
+        Severity,
+        all_rules,
+        apply_baseline,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
+    from repro.analysis.baseline import BASELINE_NAME, BaselineError
 
     rules = all_rules()
     if args.list_rules:
         for rule in rules:
-            print(f"{rule.id}  {rule.name}: {rule.describe()['doc']}")
+            meta = rule.describe()
+            print(
+                f"{rule.id}  {rule.name} [{meta['severity']}]: {meta['doc']}"
+            )
         return 0
     if args.rule:
         wanted = {r.strip() for part in args.rule for r in part.split(",")}
@@ -820,15 +839,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
         rules = [rule for rule in rules if rule.id in wanted]
     result = lint_paths(args.paths, rules=rules)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else Path(BASELINE_NAME)
+    )
+    if args.update_baseline:
+        count = write_baseline(baseline_path, result)
+        print(f"baseline: recorded {count} finding(s) in {baseline_path}")
+        return 0
+    suppressed = 0
+    if not args.no_baseline and (args.baseline or baseline_path.is_file()):
+        try:
+            accepted = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        result, suppressed = apply_baseline(result, accepted)
+
     if args.out:
         out_path = Path(args.out)
         out_path.parent.mkdir(parents=True, exist_ok=True)
         out_path.write_text(render_json(result) + "\n", encoding="utf-8")
+    if args.sarif:
+        sarif_path = Path(args.sarif)
+        sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        sarif_path.write_text(render_sarif(result) + "\n", encoding="utf-8")
     if args.json:
         print(render_json(result))
     else:
         print(render_text(result, verbose=args.verbose))
-    return 0 if result.ok else 1
+        if suppressed:
+            print(f"({suppressed} baselined finding(s) suppressed)")
+    fail_on = Severity(args.fail_on)
+    return 1 if result.failed(fail_on) else 0
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -1189,6 +1232,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--out", default=None, help="also write the JSON findings here"
+    )
+    lint.add_argument(
+        "--sarif", default=None, help="also write a SARIF 2.1.0 report here"
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="lowest severity that fails the run (default: error)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="accepted-findings file (default: ./.lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current findings as the accepted baseline and exit",
     )
     lint.add_argument(
         "--verbose", action="store_true", help="print per-finding fix hints"

@@ -426,8 +426,13 @@ class QueryGateway:
                 except GatewayRejected as exc:
                     rejection = exc
                 except Exception as exc:  # noqa: BLE001 - shed, never collapse
+                    # R6: only the exception *type* crosses the wire.
+                    # str(exc) can embed internal state (file paths,
+                    # label values, config) the remote client must
+                    # never see; the full text stays in local logs via
+                    # the span/metrics pipeline.
                     rejection = GatewayRejected(
-                        "internal", f"{type(exc).__name__}: {exc}", request_id
+                        "internal", type(exc).__name__, request_id
                     )
                 finally:
                     if admitted:

@@ -1,0 +1,30 @@
+# lint: module=repro.gateway.fixture_component
+"""R7 fixture (clean): async-native waiting and executor dispatch."""
+
+import asyncio
+
+from repro.analysis.markers import hot_path
+
+
+@hot_path
+def score_rows(rows):
+    return sum(len(row) for row in rows)
+
+
+async def serve(request, loop, pool):
+    await asyncio.sleep(0.05)
+    # referencing a blocking/hot function is the sanctioned pattern;
+    # the pool runs it off the loop
+    return await loop.run_in_executor(pool, score_rows, request)
+
+
+async def report(parts, worker):
+    text = ", ".join(parts)  # str.join with an argument is fine
+    await asyncio.wrap_future(worker)
+    return text
+
+
+def offline_loader(path):
+    # not reachable from any coroutine: sync callers may block
+    with open(path) as handle:
+        return handle.read()

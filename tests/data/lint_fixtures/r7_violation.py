@@ -1,0 +1,34 @@
+# lint: module=repro.gateway.fixture_component
+"""R7 fixture (violating): blocking work on the gateway event loop."""
+
+import subprocess
+import time
+
+from repro.analysis.markers import hot_path
+
+
+@hot_path
+def score_rows(rows):
+    return sum(len(row) for row in rows)
+
+
+async def serve(request, pool):
+    time.sleep(0.1)  # blocking sleep on the loop
+    data = open("payload.bin").read()  # sync file I/O on the loop
+    scored = pool.submit(score_rows, data).result()  # blocking wait
+    _relay(scored)
+    return scored
+
+
+def _relay(scored):
+    # sync helper, but reachable from async serve()
+    subprocess.run(["notify", str(scored)])
+
+
+async def rank(rows):
+    # direct hot-kernel call on the loop (WARNING severity)
+    return score_rows(rows)
+
+
+async def drain(worker):
+    worker.join()  # thread join on the loop

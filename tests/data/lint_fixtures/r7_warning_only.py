@@ -1,0 +1,14 @@
+# lint: module=repro.gateway.fixture_component
+"""R7 fixture (warning-only): used by the --fail-on CLI tests."""
+
+from repro.analysis.markers import hot_path
+
+
+@hot_path
+def kernel(rows):
+    return sum(len(row) for row in rows)
+
+
+async def serve(rows):
+    # the only finding: a WARNING-severity hot-kernel call
+    return kernel(rows)

@@ -1,0 +1,37 @@
+# lint: module=repro.core.protocol
+"""R8 fixture (clean): paired, registered, enveloped codecs."""
+
+_DECODE_ERRORS = (KeyError, ValueError, TypeError)
+
+
+class ProtocolError(Exception):
+    pass
+
+
+def encode_query(query):
+    return {"query": query}
+
+
+def decode_query(payload):
+    """A docstring before the envelope is allowed."""
+    try:
+        return payload["query"]
+    except _DECODE_ERRORS as exc:
+        raise ProtocolError(f"malformed query message: {exc}") from exc
+
+
+def encode_upload(rows):
+    return {"rows": rows}
+
+
+def decode_upload(payload):
+    try:
+        return [tuple(row) for row in payload["rows"]]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"malformed upload message: {exc}") from exc
+
+
+def route(kind, payload):
+    if kind == "answer":  # a registered frame kind
+        return encode_frame("answer", payload)
+    return None

@@ -1,0 +1,61 @@
+# lint: module=repro.core.protocol
+"""R8 fixture (violating): envelope, pairing and registry breakage."""
+
+_DECODE_ERRORS = (KeyError, ValueError, TypeError)
+
+
+class ProtocolError(Exception):
+    pass
+
+
+def encode_ping(seq):
+    # one-sided (no decode_ping) AND unregistered ("ping" not in CODEC_TABLE)
+    return {"seq": seq}
+
+
+def encode_query(query):
+    return {"query": query}
+
+
+def decode_query(payload):
+    return payload["query"]  # raw KeyError leaks: no envelope at all
+
+
+def encode_upload(rows):
+    return {"rows": rows}
+
+
+def decode_upload(payload):
+    try:
+        return payload["rows"]
+    except KeyError as exc:  # too narrow: ValueError/TypeError leak
+        raise ProtocolError(f"malformed upload message: {exc}") from exc
+
+
+def encode_answer(rows):
+    return {"rows": rows}
+
+
+def decode_answer(payload):
+    try:
+        return payload["rows"]
+    except _DECODE_ERRORS as exc:
+        # INFO: the message does not follow the "malformed ..." convention
+        raise ProtocolError(f"bad answer frame: {exc}") from exc
+
+
+def encode_trace_context(span_id):
+    return {"span": span_id}
+
+
+def decode_trace_context(payload):
+    try:
+        return payload["span"]
+    except _DECODE_ERRORS as exc:
+        raise ValueError(f"malformed trace: {exc}") from exc  # wrong envelope
+
+
+def route(kind, payload):
+    if kind == "heartbeat":  # not in FRAME_KINDS
+        return None
+    return encode_frame("pong", payload)  # not in FRAME_KINDS

@@ -82,3 +82,96 @@ def test_lint_list_rules_names_the_catalog(capsys):
     for rule_id in rule_ids():
         assert rule_id in out
     assert "trust-boundary" in out
+    assert "privacy-taint" in out
+    assert "async-safety" in out
+    assert "protocol-invariants" in out
+    # every catalog line carries the rule's default severity
+    assert "[error]" in out
+
+
+def test_lint_fail_on_lowers_the_gate(capsys):
+    path = str(FIXTURES / "r7_warning_only.py")
+    # the only finding is a WARNING: passes the default error gate...
+    code, out, _ = run_cli(capsys, "lint", path)
+    assert code == 0
+    assert "[R7]" in out
+    # ... and fails once the gate is lowered
+    code, _, _ = run_cli(capsys, "lint", "--fail-on", "warning", path)
+    assert code == 1
+
+
+def test_lint_update_baseline_then_gate_passes(tmp_path, capsys):
+    baseline = tmp_path / "accepted.json"
+    target = str(FIXTURES / "r1_violation.py")
+    code, out, _ = run_cli(
+        capsys,
+        "lint",
+        target,
+        "--baseline",
+        str(baseline),
+        "--update-baseline",
+    )
+    assert code == 0
+    assert "recorded" in out
+    doc = json.loads(baseline.read_text(encoding="utf-8"))
+    assert doc["version"] == 1 and doc["entries"]
+    # baselined findings no longer gate ...
+    code, out, _ = run_cli(
+        capsys, "lint", target, "--baseline", str(baseline)
+    )
+    assert code == 0
+    assert "baselined finding(s) suppressed" in out
+    # ... but --no-baseline restores the raw verdict
+    code, _, _ = run_cli(
+        capsys,
+        "lint",
+        target,
+        "--baseline",
+        str(baseline),
+        "--no-baseline",
+    )
+    assert code == 1
+
+
+def test_lint_unreadable_baseline_exits_two(tmp_path, capsys):
+    baseline = tmp_path / "bad.json"
+    baseline.write_text("[]", encoding="utf-8")
+    code, _, err = run_cli(
+        capsys, "lint", "src", "--baseline", str(baseline)
+    )
+    assert code == 2
+    assert "baseline" in err
+
+
+def test_lint_shipped_baseline_is_empty():
+    doc = json.loads(
+        (REPO / ".lint-baseline.json").read_text(encoding="utf-8")
+    )
+    assert doc == {"entries": [], "version": 1}, (
+        "the shipped baseline must stay empty: fix findings, do not "
+        "grandfather them"
+    )
+
+
+def test_lint_sarif_artifact(tmp_path, capsys):
+    sarif_path = tmp_path / "report" / "lint.sarif"
+    code, _, _ = run_cli(
+        capsys,
+        "lint",
+        str(FIXTURES / "r8_violation.py"),
+        "--sarif",
+        str(sarif_path),
+    )
+    assert code == 1
+    doc = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert {rule["id"] for rule in run["tool"]["driver"]["rules"]} == set(
+        rule_ids()
+    )
+    levels = {result["level"] for result in run["results"]}
+    assert "error" in levels and "note" in levels  # INFO maps to note
+    first = run["results"][0]["locations"][0]["physicalLocation"]
+    assert first["region"]["startLine"] >= 1
+    assert first["region"]["startColumn"] >= 1
