@@ -17,7 +17,10 @@ shrink with it.
 
 import random
 
+import pytest
 from conftest import bench_datasets, bench_scale
+
+pytest.importorskip("scipy", reason="spectral partitioning needs the solver stack")
 
 from repro.bench import format_table, print_report
 from repro.kauto import (

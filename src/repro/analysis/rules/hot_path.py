@@ -18,6 +18,14 @@ wherever it lives.  Inside those functions R4 forbids:
   allocation in a loop that runs |candidates| times.  (f-strings in
   ``raise`` statements are fine: they only evaluate on the error
   path.)
+* ``for`` statements iterating a ``.rows`` attribute (a
+  :class:`~repro.matching.table.MatchTable`'s tuple rows) — hot
+  kernels operate on the flat column vectors; reading ``.rows``
+  materializes one tuple per match.  A sanctioned tuple fallback
+  hoists the list once (``rows = table.rows``) so the
+  materialization point is explicit; comprehensions at the
+  representation boundary (``to_matches``, codecs) are exempt by
+  design.
 """
 
 from __future__ import annotations
@@ -44,6 +52,22 @@ LOGGER_NAMES = frozenset({"logging", "logger", "log"})
 
 def is_hot_module(module: ModuleInfo) -> bool:
     return module.module in HOT_MODULES
+
+
+def _iterates_table_rows(expr: ast.expr) -> bool:
+    """Whether a loop iterable reads a ``.rows`` attribute.
+
+    Catches the attribute itself, slices of it (``table.rows[:n]``)
+    and wrapper calls over it (``enumerate(table.rows)``); method
+    calls *named* rows (``avt.rows()``) are a different API and pass.
+    """
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "rows"
+    if isinstance(expr, ast.Subscript):
+        return _iterates_table_rows(expr.value)
+    if isinstance(expr, ast.Call):
+        return any(_iterates_table_rows(arg) for arg in expr.args)
+    return False
 
 
 def has_hot_path_decorator(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -78,6 +102,13 @@ class _HotBodyChecker(ast.NodeVisitor):
 
     # -- loops ----------------------------------------------------------
     def visit_For(self, node: ast.For) -> None:
+        if _iterates_table_rows(node.iter):
+            self._flag(
+                node,
+                "iterates a .rows attribute per Python row (use the "
+                "flat-column kernels; a sanctioned tuple fallback "
+                "hoists the list into a local first)",
+            )
         self._visit_loop(node)
 
     def visit_While(self, node: ast.While) -> None:

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.analysis.markers import hot_path
 from repro.kauto.avt import AlignmentVertexTable
 from repro.matching.match import Match, dedupe_matches
-from repro.matching.table import MatchTable, dedupe_rows
+from repro.matching.table import MatchTable
 
 
 @dataclass
@@ -45,17 +45,19 @@ def expand_rin_table(
     """Columnar Lines 1-5: ``Rin ∪ F_1(Rin) ∪ ... ∪ F_{k-1}(Rin)``.
 
     The automorphic functions are applied as per-shift id-lookup remaps
-    over the row columns (one dict hit per value), and dedupe keys are
-    the row tuples themselves — no per-match dict builds or
-    ``match_key`` sorts.  The surviving rows equal
-    :func:`expand_rin` of the same matches, in the same order; unknown
-    vertex ids are dropped up front exactly as there.
+    over the row columns — with the vector backend, one dense-LUT
+    gather per column per shift and a single first-seen dedupe pass
+    (see :meth:`~repro.kauto.avt.AlignmentVertexTable
+    .expand_known_table`) — and dedupe keys are the row tuples
+    themselves; no per-match dict builds or ``match_key`` sorts.  The
+    surviving rows equal :func:`expand_rin` of the same matches, in
+    the same order; unknown vertex ids are dropped up front exactly as
+    there.
     """
     started = time.perf_counter()
-    usable = avt.known_rows(rin.rows)
-    full = dedupe_rows(avt.expand_rows(usable))
+    full = avt.expand_known_table(rin)
     return TableExpansionResult(
-        table=MatchTable(rin.schema, full),
+        table=full,
         seconds=time.perf_counter() - started,
         rin_size=len(rin),
         rout_size=len(full) - len(rin),

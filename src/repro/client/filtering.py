@@ -20,7 +20,9 @@ import time
 from dataclasses import dataclass
 
 from repro.analysis.markers import hot_path
+from repro.cloud.index import GraphCSR
 from repro.graph.attributed import AttributedGraph, VertexData
+from repro.matching import vec
 from repro.matching.match import Match
 from repro.matching.table import MatchTable, Row
 
@@ -63,6 +65,33 @@ class ClientFilter:
         self.query = original_query
         self._vertex_set = original_graph.vertex_id_set()
         self._query_edges = list(original_query.edges())
+        # CSR over G for the bulk filter kernel: built lazily on the
+        # first vectorized scan (None = unbuilt, False = ineligible).
+        self._csr: GraphCSR | None | bool = None
+
+    def _graph_csr(self) -> GraphCSR | None:
+        """The (lazily built) CSR of ``G``, or ``None`` if ineligible."""
+        cached = self._csr
+        if cached is False:
+            return None
+        if isinstance(cached, GraphCSR):
+            return cached
+        built = GraphCSR.build(self.graph)
+        self._csr = built if built is not None else False
+        return built
+
+    def _bulk_pays_off(self, n_rows: int) -> bool:
+        """Whether the bulk kernel amortizes its CSR build for ``n_rows``.
+
+        A filter instance lives for one query, so building the O(V+E)
+        CSR of ``G`` only pays when the candidate table is large
+        relative to the graph; a selective workload stays on the tuple
+        scan.  An already-built CSR (earlier call on this instance) and
+        the pinned-numpy test mode skip the cost model.
+        """
+        if isinstance(self._csr, GraphCSR) or vec.mode() == "numpy":
+            return True
+        return n_rows >= 256 and n_rows * 4 >= self.graph.vertex_count
 
     def filter(self, candidates: list[Match], limit: int | None = None) -> FilterResult:
         """Keep exactly the candidates that are matches of Q over G.
@@ -134,18 +163,38 @@ class ClientFilter:
         edge_pairs = [
             (column_of(q1), column_of(q2)) for q1, q2 in self._query_edges
         ]
+        query_vertices = [query.vertex(q) for q in candidates.schema]
+
+        if vec.vectorize(len(candidates)) and self._bulk_pays_off(
+            len(candidates)
+        ):
+            bulk = self._filter_columns(
+                candidates, edge_pairs, query_vertices, limit
+            )
+            if bulk is not None:
+                table, dropped_vertex, dropped_edge, dropped_label = bulk
+                return TableFilterResult(
+                    table=table,
+                    seconds=time.perf_counter() - started,
+                    candidates=len(candidates),
+                    dropped_vertex=dropped_vertex,
+                    dropped_edge=dropped_edge,
+                    dropped_label=dropped_label,
+                )
+
         # (column, query vertex, memo) per schema column: the label
         # check depends only on (query vertex, data vertex), never on
         # the row, so it is cached across the whole scan.
         label_checks: list[tuple[int, VertexData, dict[int, bool]]] = [
-            (i, query.vertex(q), {}) for i, q in enumerate(candidates.schema)
+            (i, qv, {}) for i, qv in enumerate(query_vertices)
         ]
 
         kept: list[Row] = []
         append = kept.append
         dropped_vertex = dropped_edge = dropped_label = 0
 
-        for row in candidates.rows:
+        candidate_rows = candidates.rows
+        for row in candidate_rows:
             if limit is not None and len(kept) >= limit:
                 break
             # Lines 9-12: every matched vertex must exist in G.
@@ -188,6 +237,76 @@ class ClientFilter:
             dropped_edge=dropped_edge,
             dropped_label=dropped_label,
         )
+
+    @hot_path
+    def _filter_columns(
+        self,
+        candidates: MatchTable,
+        edge_pairs: list[tuple[int, int]],
+        query_vertices: list[VertexData],
+        limit: int | None,
+    ) -> tuple[MatchTable, int, int, int] | None:
+        """The bulk column kernel behind :meth:`filter_table`.
+
+        Each of the three checks becomes one boolean mask over all
+        rows: vertex existence is a bounds-guarded flag gather, the
+        edge checks are packed-key membership tests against the CSR's
+        sorted edge array, and the exact-label check is a sorted-
+        membership test against each query vertex's precomputed
+        candidate-id array.  Drop counters come from priority-masked
+        combinations (vertex, then edge, then label) and ``limit``
+        truncates the scan at the row that produced the limit-th keep
+        — exactly the rows the tuple loop would have visited.  Returns
+        ``None`` when the CSR or the flat columns are unavailable.
+        """
+        csr = self._graph_csr()
+        if csr is None or not candidates.schema:
+            return None
+        cols_raw = candidates.as_columns()
+        if cols_raw is None:
+            return None
+        np = vec.np
+        cols = [vec.as_ndarray(col) for col in cols_raw]
+
+        vflags = csr.vertex_flags()
+        vert_ok = vec.bounded_flags(vflags, cols[0])
+        for col in cols[1:]:
+            vert_ok &= vec.bounded_flags(vflags, col)
+
+        edge_ok = np.ones(len(candidates), dtype=bool)
+        for c1, c2 in edge_pairs:
+            edge_ok &= csr.edge_flags(cols[c1], cols[c2])
+
+        label_ok = np.ones(len(candidates), dtype=bool)
+        for col, query_vertex in zip(cols, query_vertices):
+            label_ok &= vec.isin_sorted(
+                col, csr.candidate_array(query_vertex)
+            )
+
+        passes = vert_ok & edge_ok & label_ok
+        prefix = len(passes)
+        if limit is not None:
+            # the tuple loop stops *after* the row producing the
+            # limit-th keep: rows past it contribute to no counter
+            if limit <= 0:
+                prefix = 0
+            else:
+                hits = np.flatnonzero(passes)
+                if len(hits) >= limit:
+                    prefix = int(hits[limit - 1]) + 1
+        if prefix < len(passes):
+            vert_ok = vert_ok[:prefix]
+            edge_ok = edge_ok[:prefix]
+            label_ok = label_ok[:prefix]
+            passes = passes[:prefix]
+        dropped_vertex = int((~vert_ok).sum())
+        dropped_edge = int((vert_ok & ~edge_ok).sum())
+        dropped_label = int((vert_ok & edge_ok & ~label_ok).sum())
+        kept_cols = [col[:prefix][passes] for col in cols]
+        table = MatchTable.from_columns(
+            candidates.schema, kept_cols, int(passes.sum())
+        )
+        return table, dropped_vertex, dropped_edge, dropped_label
 
 
 def filter_candidates(

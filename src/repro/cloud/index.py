@@ -22,12 +22,163 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
+from repro.analysis.markers import hot_path
 from repro.graph.attributed import AttributedGraph, VertexData
+from repro.matching import vec
 
 # a label-group coordinate as it appears on vertices: (attribute, group id)
 GroupBitKey = tuple[str, str]
+
+
+@dataclass
+class GraphCSR:
+    """Compressed sparse-row adjacency + inverted label/type indexes.
+
+    The flat companion to a published graph: neighbor lists
+    concatenated into one int64 ``indices`` array (each per-vertex
+    slice **ascending**, matching ``sorted(graph.neighbors(v))``),
+    packed sorted edge keys for bulk edge-membership tests, and sorted
+    vertex-id arrays per vertex type and per ``(attribute, group)``
+    label so a query vertex's full candidate set is a chain of sorted
+    intersections instead of per-vertex ``matches`` calls.
+
+    Only built when numpy is available and the id space is dense
+    enough for the position LUT and small enough for 63-bit packed
+    edge keys (:meth:`build` returns ``None`` otherwise) — every
+    consumer treats a missing CSR as "use the tuple kernels".
+    """
+
+    source: AttributedGraph
+    ids: Any  # sorted vertex ids, int64
+    pos: Any  # dense id -> row LUT (-1 = unknown vertex)
+    indptr: Any
+    indices: Any  # neighbor ids, ascending within each row slice
+    edge_keys: Any  # sorted packed min*stride+max keys
+    stride: int
+    type_ids: dict[str, Any]
+    label_ids: dict[GroupBitKey, Any]
+
+    @classmethod
+    def build(cls, graph: AttributedGraph) -> "GraphCSR | None":
+        """The CSR of ``graph``, or ``None`` when ineligible.
+
+        Eligibility: numpy importable, all vertex ids non-negative and
+        below both :data:`repro.matching.vec.PACKED_ID_LIMIT` (packed
+        edge keys stay within int64) and
+        :data:`repro.matching.vec.DENSE_LUT_LIMIT` (the dense position
+        LUT stays small).
+        """
+        if not vec.HAVE_NUMPY:
+            return None
+        np = vec.np
+        ids = sorted(graph.vertex_ids())
+        if ids and (
+            ids[0] < 0
+            or ids[-1] >= min(vec.PACKED_ID_LIMIT, vec.DENSE_LUT_LIMIT)
+        ):
+            return None
+        max_id = ids[-1] if ids else -1
+        stride = max_id + 1 if max_id >= 0 else 1
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        pos = np.full(max_id + 1, -1, dtype=np.int64)
+        pos[ids_arr] = np.arange(len(ids), dtype=np.int64)
+
+        indptr = np.zeros(len(ids) + 1, dtype=np.int64)
+        flat_neighbors: list[int] = []
+        type_lists: dict[str, list[int]] = {}
+        label_lists: dict[GroupBitKey, list[int]] = {}
+        for row, vid in enumerate(ids):
+            flat_neighbors.extend(sorted(graph.neighbors(vid)))
+            indptr[row + 1] = len(flat_neighbors)
+            data = graph.vertex(vid)
+            type_lists.setdefault(data.vertex_type, []).append(vid)
+            for attr, groups in data.labels.items():
+                for group in groups:
+                    label_lists.setdefault((attr, group), []).append(vid)
+        indices = np.asarray(flat_neighbors, dtype=np.int64)
+
+        edge_keys = np.fromiter(
+            (u * stride + v for u, v in graph.edges()),
+            dtype=np.int64,
+            count=graph.edge_count,
+        )
+        edge_keys.sort()
+
+        # ids were walked in ascending order, so every inverted list is
+        # already sorted and unique
+        return cls(
+            source=graph,
+            ids=ids_arr,
+            pos=pos,
+            indptr=indptr,
+            indices=indices,
+            edge_keys=edge_keys,
+            stride=stride,
+            type_ids={
+                t: np.asarray(lst, dtype=np.int64)
+                for t, lst in type_lists.items()
+            },
+            label_ids={
+                k: np.asarray(lst, dtype=np.int64)
+                for k, lst in label_lists.items()
+            },
+        )
+
+    @hot_path
+    def neighbor_slice(self, vid: int) -> Any:
+        """The ascending neighbor-id array of ``vid`` (empty if unknown)."""
+        np = vec.np
+        if vid < 0 or vid >= len(self.pos):
+            return np.empty(0, dtype=np.int64)
+        row = int(self.pos[vid])
+        if row < 0:
+            return np.empty(0, dtype=np.int64)
+        return self.indices[self.indptr[row] : self.indptr[row + 1]]
+
+    @hot_path
+    def candidate_array(self, query_vertex: VertexData) -> Any:
+        """Sorted data-vertex ids that ``query_vertex`` can map to.
+
+        Exactly the set ``{v : query_vertex.matches(graph.vertex(v))}``:
+        the type's id list intersected with the id list of every
+        ``(attribute, group)`` the query vertex requires.
+        """
+        np = vec.np
+        empty = np.empty(0, dtype=np.int64)
+        out = self.type_ids.get(query_vertex.vertex_type)
+        if out is None:
+            return empty
+        for attr, groups in query_vertex.labels.items():
+            for group in groups:
+                have = self.label_ids.get((attr, group))
+                if have is None:
+                    return empty
+                out = vec.intersect_sorted(out, have)
+                if len(out) == 0:
+                    return out
+        return out
+
+    @hot_path
+    def vertex_flags(self) -> Any:
+        """A dense ``id -> exists`` boolean array (bounds-guarded reads)."""
+        return self.pos >= 0
+
+    @hot_path
+    def edge_flags(self, u_col: Any, v_col: Any) -> Any:
+        """Bulk ``has_edge``: a boolean mask over aligned id columns.
+
+        Unknown or out-of-range ids read ``False``, like the dict
+        adjacency's ``.get`` fallback on the tuple path.
+        """
+        np = vec.np
+        bound = self.stride
+        valid = (u_col >= 0) & (u_col < bound) & (v_col >= 0) & (v_col < bound)
+        lo = np.minimum(u_col, v_col)
+        hi = np.maximum(u_col, v_col)
+        keys = np.where(valid, lo * bound + hi, -1)
+        return valid & vec.isin_sorted(keys, self.edge_keys)
 
 
 @dataclass
@@ -40,6 +191,7 @@ class CloudIndex:
     vbv: dict[GroupBitKey, int]
     group_bit: dict[GroupBitKey, int]
     lbv: dict[int, int]
+    csr: GraphCSR | None = None
     build_seconds: float = 0.0
     _full_mask: int = field(default=0)
 
@@ -99,6 +251,7 @@ class CloudIndex:
             vbv=vbv,
             group_bit=group_bit,
             lbv=lbv,
+            csr=GraphCSR.build(graph),
         )
         index._full_mask = (1 << len(vertices)) - 1
         index.build_seconds = time.perf_counter() - started

@@ -33,13 +33,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.analysis.markers import hot_path
 from repro.exceptions import QueryError, ResultBudgetExceeded
 from repro.kauto.avt import AlignmentVertexTable
+from repro.matching import vec
 from repro.matching.match import Match, dedupe_matches, is_injective
 from repro.matching.star import Star
 from repro.matching.table import MatchTable, Row, dedupe_rows, row_getter
+
+#: Pairwise-disjointness checks are broadcast over (pairs × left width ×
+#: right width) boolean blocks; chunking bounds the peak allocation.
+_PAIR_CHUNK = 1 << 18
 
 
 @dataclass
@@ -65,7 +71,15 @@ def expand_star_table(
     under a fixed schema the row tuple is already the canonical dedupe
     key, so no per-match sort is performed.  Output rows equal
     :func:`expand_star_matches` of the same matches, in the same order.
+
+    With the vector backend each ``F_m`` is one LUT gather over every
+    column and the dedupe one first-seen pass; ids unknown to the AVT
+    drop to the tuple path so its ``KeyError`` contract is preserved.
     """
+    if vec.vectorize(len(table)):
+        expanded = avt.expand_table(table)
+        if expanded is not None:
+            return expanded.deduped()
     return MatchTable(table.schema, dedupe_rows(avt.expand_rows(table.rows)))
 
 
@@ -82,16 +96,40 @@ def _hash_join_tables(
     non-shared columns in their schema order.  A merged row is
     injective iff the left row is injective, the right row's *new*
     values are pairwise distinct, and the two value sets are disjoint —
-    the first two are precomputed per row, leaving one ``isdisjoint``
-    per candidate pair.  With no shared vertices this degenerates to a
-    cross product (still injectivity-filtered); connected queries never
-    hit that path.  ``budget`` caps the output size (quota
-    enforcement), checked per emitted row.
+    the first two are precomputed per row, leaving one disjointness
+    test per candidate pair.  With no shared vertices this degenerates
+    to a cross product (still injectivity-filtered); connected queries
+    never hit that path.  ``budget`` caps the output size (quota
+    enforcement).
+
+    Dispatches to the flat-column kernel when the vec mode allows and
+    the key columns fit a packed int64 sort key; the tuple-row kernel
+    is the fallback and the executable specification — emission order
+    (left order, then right row order within a key bucket) and the
+    budget-exception point are identical.
     """
     shared_set = set(shared)
     out_schema = left.schema + tuple(
         q for q in right.schema if q not in shared_set
     )
+    if shared and vec.vectorize(len(left) + len(right)):
+        joined = _hash_join_columns(
+            left, right, shared, shared_set, out_schema, budget
+        )
+        if joined is not None:
+            return joined
+    return _hash_join_rows(left, right, shared, shared_set, out_schema, budget)
+
+
+def _hash_join_rows(
+    left: MatchTable,
+    right: MatchTable,
+    shared: tuple[int, ...],
+    shared_set: set[int],
+    out_schema: tuple[int, ...],
+    budget: int | None,
+) -> MatchTable:
+    """The tuple-row join kernel (reference path)."""
     left_key = row_getter([left.column_of(q) for q in shared])
     right_key = row_getter([right.column_of(q) for q in shared])
     new_vals_of = row_getter(
@@ -102,7 +140,9 @@ def _hash_join_tables(
     # in row order, so emission order matches the legacy nested loops
     buckets: dict[Row, list[tuple[Row, bool]]] = {}
     setdefault = buckets.setdefault
-    for rrow in right.rows:
+    right_rows = right.rows
+    left_rows = left.rows
+    for rrow in right_rows:
         new_vals = new_vals_of(rrow)
         setdefault(right_key(rrow), []).append(
             (new_vals, len(set(new_vals)) == len(new_vals))
@@ -112,7 +152,7 @@ def _hash_join_tables(
     append = out_rows.append
     get = buckets.get
     count = 0
-    for lrow in left.rows:
+    for lrow in left_rows:
         hits = get(left_key(lrow))
         if not hits:
             continue
@@ -129,6 +169,106 @@ def _hash_join_tables(
                 if budget is not None and count > budget:
                     raise ResultBudgetExceeded("result join", count, budget)
     return MatchTable(out_schema, out_rows)
+
+
+@hot_path
+def _packed_keys(cols: list[Any], stride: int) -> Any:
+    """One int64 sort key per row from the aligned key columns."""
+    key = cols[0]
+    for col in cols[1:]:
+        key = key * stride + col
+    return key
+
+
+@hot_path
+def _hash_join_columns(
+    left: MatchTable,
+    right: MatchTable,
+    shared: tuple[int, ...],
+    shared_set: set[int],
+    out_schema: tuple[int, ...],
+    budget: int | None,
+) -> MatchTable | None:
+    """The flat-column join kernel, or ``None`` when inapplicable.
+
+    The legacy bucket map becomes a stable argsort of packed right
+    keys plus a ``searchsorted`` range per left key; the per-pair
+    injectivity test becomes per-row distinctness flags plus a chunked
+    broadcast disjointness mask.  ``None`` when the key values are
+    negative or too wide for a collision-free packed int64 key (the
+    tuple kernel then runs).
+    """
+    lcols_raw = left.as_columns()
+    rcols_raw = right.as_columns()
+    if lcols_raw is None or rcols_raw is None:
+        return None
+    np = vec.np
+    nl, nr = len(left), len(right)
+    new_idx = [i for i, q in enumerate(right.schema) if q not in shared_set]
+    if nl == 0 or nr == 0:
+        width = len(left.schema) + len(new_idx)
+        return MatchTable.from_columns(
+            out_schema, [np.empty(0, dtype=np.int64) for _ in range(width)], 0
+        )
+    lcols = [vec.as_ndarray(col) for col in lcols_raw]
+    rcols = [vec.as_ndarray(col) for col in rcols_raw]
+    lk_cols = [lcols[left.column_of(q)] for q in shared]
+    rk_cols = [rcols[right.column_of(q)] for q in shared]
+
+    low = min(int(col.min()) for col in lk_cols + rk_cols)
+    high = max(int(col.max()) for col in lk_cols + rk_cols)
+    stride = high + 1
+    if low < 0 or stride ** len(shared) >= 1 << 63:
+        return None
+
+    l_ok = vec.distinct_within_rows(lcols)
+    r_new = [rcols[i] for i in new_idx]
+    if r_new:
+        r_ok = vec.distinct_within_rows(r_new)
+    else:
+        r_ok = np.ones(nr, dtype=bool)
+
+    lkey = _packed_keys(lk_cols, stride)
+    rkey = _packed_keys(rk_cols, stride)
+    order_r = np.argsort(rkey, kind="stable")
+    rkey_sorted = rkey[order_r]
+    lo = np.searchsorted(rkey_sorted, lkey, side="left")
+    hi = np.searchsorted(rkey_sorted, lkey, side="right")
+    counts = np.where(l_ok, hi - lo, 0)
+    total = int(counts.sum())
+    if total == 0:
+        width = len(left.schema) + len(new_idx)
+        return MatchTable.from_columns(
+            out_schema, [np.empty(0, dtype=np.int64) for _ in range(width)], 0
+        )
+
+    # pair index arrays: for each left row its [lo, hi) bucket range,
+    # flattened — left order outer, right original row order inner
+    # (stable argsort keeps equal keys in row order)
+    cum = np.cumsum(counts)
+    left_idx = np.repeat(np.arange(nl, dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    right_idx = order_r[np.repeat(lo, counts) + within]
+
+    keep = r_ok[right_idx]
+    if r_new:
+        left_mat = np.column_stack(lcols)
+        new_mat = np.column_stack(r_new)
+        for start in range(0, total, _PAIR_CHUNK):
+            chunk = slice(start, min(start + _PAIR_CHUNK, total))
+            clash = (
+                left_mat[left_idx[chunk]][:, :, None]
+                == new_mat[right_idx[chunk]][:, None, :]
+            ).any(axis=(1, 2))
+            keep[chunk] &= ~clash
+
+    count = int(keep.sum())
+    if budget is not None and count > budget:
+        raise ResultBudgetExceeded("result join", budget + 1, budget)
+    kept_l = left_idx[keep]
+    kept_r = right_idx[keep]
+    out_cols = [col[kept_l] for col in lcols] + [col[kept_r] for col in r_new]
+    return MatchTable.from_columns(out_schema, out_cols, count)
 
 
 def join_star_tables(

@@ -30,13 +30,16 @@ loop: a single high-degree center cannot blow past the budget before
 from __future__ import annotations
 
 import time
+from array import array
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.analysis.markers import hot_path
 from repro.cloud.index import CloudIndex
 from repro.exceptions import ResultBudgetExceeded
 from repro.graph.attributed import AttributedGraph
+from repro.matching import vec
 from repro.matching.match import Match
 from repro.matching.star import Star
 from repro.matching.table import MatchTable, Row
@@ -101,6 +104,7 @@ def _query_mask(
     return mask
 
 
+@hot_path
 def match_star_table(
     query: AttributedGraph,
     star: Star,
@@ -115,26 +119,67 @@ def match_star_table(
     The table schema is ``star.vertex_order`` (center first, then the
     sorted leaves).  Results are bit-identical to :func:`match_star`
     (same rows, same order); only the representation differs.
+
+    When the index carries a :class:`~repro.cloud.index.GraphCSR` for
+    ``data`` (and the vec mode allows it), the per-leaf candidate
+    lists come from edge-candidate arrays — the CSR neighbor slice of
+    the center intersected with the leaf's precomputed global
+    candidate array — and rows are emitted straight into a flat
+    row-major int64 buffer.  Otherwise the per-vertex memoized scan
+    runs; either way the resumable-cursor enumeration below is shared,
+    so the emission order (and the budget-exception point) is
+    bit-identical across all three representations.
     """
     schema = (star.center, *star.leaves)
-    rows: list[Row] = []
 
-    candidates = _center_candidates(query, star, index, data, use_vbv)
-    if candidates is None:
-        return MatchTable(schema, rows)
+    candidate_iter = _center_candidates(query, star, index, data, use_vbv)
+    if candidate_iter is None:
+        return MatchTable(schema, [])
     query_mask = _query_mask(query, star, index, use_lbv)
     if query_mask is None:
-        return MatchTable(schema, rows)
+        return MatchTable(schema, [])
+    candidates = list(candidate_iter)
+    if not candidates:
+        return MatchTable(schema, [])
 
     leaf_order = _leaf_order(query, star)
     leaf_count = len(leaf_order)
-    column_of = {q: i for i, q in enumerate(schema)}
-    leaf_cols = [column_of[leaf] for leaf in leaf_order]
+    leaf_cols = [schema.index(leaf) for leaf in leaf_order]
     leaf_vertices = [query.vertex(leaf) for leaf in leaf_order]
-    # (leaf, data vertex) label checks are center-independent: memoize
-    # them across centers (high-degree graphs revisit the same vertices
-    # from many centers).
-    leaf_memos: list[dict[int, bool]] = [{} for _ in leaf_order]
+
+    csr = index.csr
+    # the CSR branch pays one numpy intersection per (center, leaf), so
+    # it is gated on the candidate-center count — a selective query over
+    # a huge graph stays on the memoized tuple scan
+    use_csr = (
+        csr is not None
+        and csr.source is data
+        and vec.vectorize(len(candidates))
+    )
+    if use_csr:
+        assert csr is not None
+        # global per-leaf candidate arrays, computed once per star: the
+        # sorted ids every center's neighbor slice is intersected with
+        leaf_globals = [csr.candidate_array(lv) for lv in leaf_vertices]
+        if any(len(g) == 0 for g in leaf_globals):
+            return MatchTable(schema, [])
+        # flat row-major emission: ids are CSR-validated < 2^31, so the
+        # array('q') buffer cannot overflow
+        out_buf: array = array("q")
+        emit = out_buf.extend
+        rows: list[Row] = []
+    else:
+        # (leaf, data vertex) label checks are center-independent:
+        # memoize them across centers — but only when enough centers
+        # can revisit the same vertices to repay the per-check dict
+        # traffic (a selective query with a handful of candidate
+        # centers is cheaper checking labels inline).
+        use_memo = len(candidates) >= 8
+        leaf_memos: list[dict[int, bool]] = (
+            [{} for _ in leaf_order] if use_memo else []
+        )
+        rows = []
+        emit = None  # type: ignore[assignment]
 
     neighbors = data.neighbors
     degree = data.degree
@@ -153,43 +198,69 @@ def match_star_table(
         if degree(center_candidate) < leaf_count:
             continue
         if leaf_count == 0:
-            rows.append((center_candidate,))
             count += 1
+            if use_csr:
+                emit((center_candidate,))
+            else:
+                rows.append((center_candidate,))
             if max_results is not None and count > max_results:
                 raise ResultBudgetExceeded("star matching", count, max_results)
             continue
 
-        # the neighbour list is sorted once per center — every depth of
-        # the legacy backtracking re-sorted the same set
-        nbrs = sorted(neighbors(center_candidate))
-        viable = True
-        for li in range(leaf_count):
-            memo = leaf_memos[li]
-            leaf_vertex = leaf_vertices[li]
-            lst = cand_lists[li]
-            lst.clear()
-            for v in nbrs:
-                hit = memo.get(v)
-                if hit is None:
-                    hit = leaf_vertex.matches(vertex(v))
-                    memo[v] = hit
-                if hit:
-                    lst.append(v)
-            if not lst:
-                viable = False
-                break
-        if not viable:
-            continue
+        if use_csr:
+            assert csr is not None
+            # the CSR slice is already ascending — the same order the
+            # legacy path gets from sorting the neighbour set
+            nbr = csr.neighbor_slice(center_candidate)
+            nbrs: list[int] = []
+        else:
+            # the neighbour list is sorted once per center — every
+            # depth of the legacy backtracking re-sorted the same set
+            nbrs = sorted(neighbors(center_candidate))
 
-        # iterative DFS over the per-leaf candidate lists, writing into
-        # the reusable row buffer; injectivity via the ``used`` set
+        # iterative DFS with resumable cursors over the per-leaf
+        # candidate lists, writing into the reusable row buffer;
+        # injectivity via the ``used`` set.  Candidate lists are
+        # center-global (path-independent), so they are built lazily at
+        # the first visit to each depth: a center whose first leaf has
+        # no candidates never pays for the deeper scans, and an empty
+        # list at any depth kills the whole center.
         row_buf[0] = center_candidate
         used = {center_candidate}
         depth = 0
         positions[0] = 0
         last = leaf_count - 1
+        built = 0
         while True:
-            lst = cand_lists[depth]
+            if built <= depth:
+                if use_csr:
+                    cand = nbr[vec.isin_sorted(nbr, leaf_globals[depth])]
+                    lst = cand.tolist()
+                    cand_lists[depth] = lst
+                elif use_memo:
+                    memo = leaf_memos[depth]
+                    leaf_vertex = leaf_vertices[depth]
+                    lst = cand_lists[depth]
+                    lst.clear()
+                    for v in nbrs:
+                        hit = memo.get(v)
+                        if hit is None:
+                            hit = leaf_vertex.matches(vertex(v))
+                            memo[v] = hit
+                        if hit:
+                            lst.append(v)
+                else:
+                    leaf_vertex = leaf_vertices[depth]
+                    lst = cand_lists[depth]
+                    lst.clear()
+                    for v in nbrs:
+                        if leaf_vertex.matches(vertex(v)):
+                            lst.append(v)
+                built = depth + 1
+                if not lst:
+                    break
+            else:
+                lst = cand_lists[depth]
             i = positions[depth]
             limit = len(lst)
             chosen = -1
@@ -203,8 +274,11 @@ def match_star_table(
                 positions[depth] = i
                 row_buf[leaf_cols[depth]] = chosen
                 if depth == last:
-                    rows.append(tuple(row_buf))
                     count += 1
+                    if use_csr:
+                        emit(row_buf)
+                    else:
+                        rows.append(tuple(row_buf))
                     if max_results is not None and count > max_results:
                         raise ResultBudgetExceeded(
                             "star matching", count, max_results
@@ -218,6 +292,8 @@ def match_star_table(
                     break
                 depth -= 1
                 used.discard(row_buf[leaf_cols[depth]])
+    if use_csr:
+        return MatchTable.from_flat_rows(schema, out_buf, 1 + leaf_count)
     return MatchTable(schema, rows)
 
 

@@ -61,7 +61,7 @@ from repro.gateway.middleware import (
     MiddlewareChain,
 )
 from repro.graph.attributed import AttributedGraph
-from repro.matching.table import MatchTable, dedupe_rows
+from repro.matching.table import MatchTable
 from repro.obs import Observability, SlidingWindow, TraceRing, names
 from repro.obs.tracing import NullSpan, Span, Trace
 
@@ -570,11 +570,9 @@ class QueryGateway:
             if self.expansion_site == "cloud" and not expanded:
                 # the same three-step kernel as the client's Rin
                 # expansion (known rows -> AVT expansion -> dedupe),
-                # inlined so the gateway layer never reaches into
-                # repro.client.
-                avt = self.cloud.avt
-                rows = dedupe_rows(avt.expand_rows(avt.known_rows(table.rows)))
-                table = MatchTable(table.schema, rows)
+                # via the AVT so the gateway layer never reaches into
+                # repro.client (vectorized when the backend allows).
+                table = self.cloud.avt.expand_known_table(table)
                 expanded = True
             out.append((table, order, expanded))
         return out

@@ -16,8 +16,9 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.analysis.markers import hot_path
 from repro.exceptions import VerificationError
+from repro.matching import vec
 from repro.matching.match import Match
-from repro.matching.table import Row
+from repro.matching.table import MatchTable, Row, dedupe_rows
 
 
 class AlignmentVertexTable:
@@ -47,6 +48,12 @@ class AlignmentVertexTable:
         # benign (both threads compute identical tables; the final
         # assignment is atomic under the GIL).
         self._luts: list[dict[int, int]] | None = None
+        # Dense per-shift int64 gather LUTs (``_vluts[0][m][vid]`` ==
+        # ``F_m(vid)``, -1 = unknown) plus a membership flag array; the
+        # vectorized expansion applies ``F_m`` to a whole column as one
+        # fancy-indexing gather.  ``False`` = ineligible (no numpy, or
+        # the id space is negative/too sparse); ``None`` = not built yet.
+        self._vluts: tuple[list[Any], Any] | None | bool = None
 
     # ------------------------------------------------------------------
     # shape
@@ -187,6 +194,109 @@ class AlignmentVertexTable:
         """Rows whose every vertex id is in the AVT (order preserved)."""
         position = self._position
         return [row for row in rows if all(v in position for v in row)]
+
+    # ------------------------------------------------------------------
+    # vectorized (flat-column) kernels
+    # ------------------------------------------------------------------
+    def _vector_luts(self) -> tuple[list[Any], Any] | None:
+        """Dense gather LUTs ``(luts, in_avt)``, or ``None`` if ineligible.
+
+        ``luts[m]`` is an int64 array with ``luts[m][vid] == F_m(vid)``
+        and -1 for ids not in the AVT; ``in_avt`` is the matching
+        boolean membership array.  Built once (the AVT is immutable);
+        ineligible when numpy is absent or the id space is negative or
+        too sparse for a dense array.
+        """
+        cached = self._vluts
+        if cached is False:
+            return None
+        if isinstance(cached, tuple):
+            return cached
+        if not vec.HAVE_NUMPY:
+            self._vluts = False
+            return None
+        max_id = max(self._position)
+        if min(self._position) < 0 or max_id >= vec.DENSE_LUT_LIMIT:
+            self._vluts = False
+            return None
+        size = max_id + 1
+        luts = [
+            vec.dense_lut(lut.items(), size, -1) for lut in self._remap_luts()
+        ]
+        flags = vec.membership_flags(self._position, size)
+        built = (luts, flags)
+        self._vluts = built
+        return built
+
+    @hot_path
+    def expand_table(self, table: MatchTable) -> MatchTable | None:
+        """:meth:`expand_rows` as per-shift column gathers, or ``None``.
+
+        Returns a flat-column table with the same rows (duplicates
+        kept, ``F_0`` block first) — or ``None`` when the vector LUTs
+        are unavailable or some id is unknown to the AVT, in which case
+        the caller must run :meth:`expand_rows` (whose ``KeyError``
+        semantics are part of the contract).
+        """
+        built = self._vector_luts()
+        if built is None or not table.schema:
+            return None
+        cols = table.as_columns()
+        if cols is None:
+            return None
+        np = vec.np
+        luts, _ = built
+        nd_cols = [vec.as_ndarray(col) for col in cols]
+        out_cols: list[Any] = []
+        for col in nd_cols:
+            parts = [col]
+            for m in range(1, self._k):
+                mapped = vec.bounded_lookup(luts[m], col, -1)
+                if len(mapped) and bool((mapped == -1).any()):
+                    return None
+                parts.append(mapped)
+            out_cols.append(np.concatenate(parts) if parts else col)
+        return MatchTable.from_columns(
+            table.schema, out_cols, len(table) * self._k
+        )
+
+    @hot_path
+    def expand_known_table(self, table: MatchTable) -> MatchTable:
+        """Known rows → ``F_0..F_{k-1}`` expansion → dedupe, as a table.
+
+        The three-step kernel shared by the client's Rin expansion and
+        the gateway's cloud-side expansion.  Vectorized when the vec
+        mode and the LUTs allow: the known-row filter is a bulk
+        membership gather, each ``F_m`` a column gather, the dedupe a
+        single first-seen pass.  Rows are identical (same order) to
+        ``dedupe_rows(self.expand_rows(self.known_rows(table.rows)))``.
+        """
+        if table.schema and vec.vectorize(len(table)):
+            built = self._vector_luts()
+            cols = table.as_columns() if built is not None else None
+            if built is not None and cols is not None:
+                np = vec.np
+                luts, flags = built
+                nd_cols = [vec.as_ndarray(col) for col in cols]
+                known = vec.bounded_flags(flags, nd_cols[0])
+                for col in nd_cols[1:]:
+                    known &= vec.bounded_flags(flags, col)
+                kept = [col[known] for col in nd_cols]
+                out_cols = [
+                    np.concatenate(
+                        [col]
+                        + [luts[m][col] for m in range(1, self._k)]
+                    )
+                    for col in kept
+                ]
+                expanded = MatchTable.from_columns(
+                    table.schema, out_cols, len(kept[0]) * self._k
+                )
+                return expanded.deduped()
+        usable = self.known_rows(table.rows)
+        return MatchTable(
+            table.schema, dedupe_rows(self.expand_rows(usable))
+        )
 
     def to_block_anchor(self, vid: int) -> tuple[int, int]:
         """Return ``(m, v)`` with ``v in B1`` and ``F_m(v) == vid``."""

@@ -10,17 +10,33 @@ multilevel scheme is faster and more robust on irregular ones —
 
 Uses scipy's sparse eigensolver; falls back to a balanced index split
 for components too small for the solver.
+
+numpy and scipy are optional dependencies of the package (the matching
+pipeline degrades to ``array('q')`` kernels without them — see
+:mod:`repro.matching.vec`); this module stays importable either way and
+raises :class:`~repro.exceptions.PartitionError` at call time when the
+solver stack is missing.
 """
 
 from __future__ import annotations
 
-import numpy as np
-from scipy.sparse import csr_matrix
-from scipy.sparse.linalg import eigsh
+from typing import Any
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as np
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.linalg import eigsh
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
+    csr_matrix: Any = None
+    eigsh: Any = None
 
 from repro.exceptions import PartitionError
 from repro.graph.attributed import AttributedGraph
 from repro.kauto.partition import _level_from_graph, _refine
+
+#: Whether the sparse eigensolver stack (numpy + scipy) is importable.
+HAVE_SPECTRAL: bool = np is not None
 
 
 def fiedler_order(graph: AttributedGraph, vertices: list[int]) -> list[int]:
@@ -75,6 +91,12 @@ def spectral_partition(
     balance_tolerance: float = 0.10,
 ) -> list[list[int]]:
     """Recursive spectral bisection into ``k`` blocks + FM polish."""
+    if not HAVE_SPECTRAL:
+        raise PartitionError(
+            "spectral partitioning requires numpy and scipy "
+            "(install the package's 'fast' extra); the multilevel "
+            "partitioner has no such dependency"
+        )
     if k < 1:
         raise PartitionError("k must be >= 1")
     vertices = sorted(graph.vertex_ids())

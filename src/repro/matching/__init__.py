@@ -1,5 +1,6 @@
 """Subgraph matching substrate: VF2-style matcher, stars, match records."""
 
+from repro.matching import vec
 from repro.matching.bitset import BitsetMatcher, find_subgraph_matches_bitset
 from repro.matching.isomorphism import (
     are_isomorphic,
@@ -50,4 +51,5 @@ __all__ = [
     "star_of",
     "star_as_graph",
     "Decomposition",
+    "vec",
 ]

@@ -32,10 +32,12 @@ wire format are unchanged and bit-identical to the dict pipeline.
 
 from __future__ import annotations
 
+from array import array
 from operator import itemgetter
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.analysis.markers import hot_path
+from repro.matching import vec
 from repro.matching.match import Match
 
 #: One match in tabular form: the data vertex ids, in schema order.
@@ -121,9 +123,20 @@ class MatchTable:
     """A result set ``R(·)`` in columnar form.
 
     ``schema`` is the tuple of query vertex ids defining the column
-    order; ``rows`` is a list of equally wide tuples of data vertex
-    ids.  The constructor **trusts** its arguments on the hot path —
-    rows must already be tuples of the schema's width (use
+    order.  A table holds its matches in one of two physical layouts:
+
+    * **tuple rows** — a list of equally wide tuples of data vertex
+      ids (the reference layout every consumer understands), or
+    * **flat columns** — one int64 vector per column
+      (:mod:`repro.matching.vec`: ``array('q')`` or an ndarray), which
+      is what the vectorized kernels produce and consume.
+
+    The two are interchangeable: reading :attr:`rows` on a
+    flat-column table materializes the tuple rows (as Python ints, so
+    hashing, JSON framing and the cache codecs are bit-identical to
+    the tuple pipeline) and the table stays rows-backed from then on.
+    The constructor **trusts** its arguments on the hot path — rows
+    must already be tuples of the schema's width (use
     :meth:`from_rows` for validated construction from untrusted data).
 
     Tables returned by the pipeline kernels are always freshly
@@ -131,18 +144,70 @@ class MatchTable:
     threads (or caching it) needs no defensive copying.
     """
 
-    __slots__ = ("schema", "rows", "_column")
+    __slots__ = ("schema", "_column", "_rows", "_cols", "_length")
 
     def __init__(
         self, schema: Iterable[int], rows: list[Row] | None = None
     ) -> None:
         self.schema: tuple[int, ...] = tuple(schema)
-        self._column: dict[int, int] = {
-            q: i for i, q in enumerate(self.schema)
-        }
-        if len(self._column) != len(self.schema):
+        if len(set(self.schema)) != len(self.schema):
             raise ValueError("duplicate query vertex in MatchTable schema")
-        self.rows: list[Row] = rows if rows is not None else []
+        # the column-index map is built on first lookup: the star
+        # matching kernel constructs one table per star call and many
+        # of them are never probed by name
+        self._column: dict[int, int] | None = None
+        self._rows: list[Row] | None = rows if rows is not None else []
+        self._cols: list[vec.Flat] | None = None
+        self._length: int = len(self._rows) if self._rows is not None else 0
+
+    # ------------------------------------------------------------------
+    # physical layout
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> list[Row]:
+        """The matches as tuple rows (materialized from columns lazily).
+
+        The returned list is the table's own storage — callers that
+        mutate it (the shard merge does) leave the table consistently
+        rows-backed, because materialization drops the column vectors.
+        """
+        if self._rows is None:
+            cols = self._cols
+            assert cols is not None
+            self._rows = vec.rows_from_columns(cols, self._length)
+            self._cols = None
+        return self._rows
+
+    @rows.setter
+    def rows(self, rows: list[Row]) -> None:
+        self._rows = rows
+        self._cols = None
+        self._length = len(rows)
+
+    def is_columnar(self) -> bool:
+        """Whether the table currently holds flat column vectors."""
+        return self._cols is not None
+
+    def columns(self) -> list[vec.Flat] | None:
+        """The flat column vectors, or ``None`` when rows-backed.
+
+        The vectors are the table's storage — treat them as read-only.
+        """
+        return self._cols
+
+    def as_columns(self) -> list[vec.Flat] | None:
+        """Flat column vectors of this table, converting if needed.
+
+        Rows-backed tables are converted (without caching, so a later
+        ``rows.extend`` cannot go stale); ``None`` means the rows are
+        not representable as int64 (untrusted decoded values) and the
+        caller must stay on the tuple path.
+        """
+        if self._cols is not None:
+            return self._cols
+        rows = self._rows
+        assert rows is not None
+        return vec.columns_from_rows(rows, len(self.schema))
 
     # ------------------------------------------------------------------
     # construction / boundary adapters
@@ -175,6 +240,36 @@ class MatchTable:
         table.rows = out
         return table
 
+    @classmethod
+    def from_columns(
+        cls, schema: Iterable[int], cols: list[vec.Flat], length: int
+    ) -> "MatchTable":
+        """A flat-column table over per-column int64 vectors (trusted)."""
+        table = cls(schema)
+        if not cols:
+            # width-0 tables stay rows-backed: there is no vector to
+            # carry the row count, only the count itself.
+            table.rows = [() for _ in range(length)]
+            return table
+        table._rows = None
+        table._cols = cols
+        table._length = length
+        return table
+
+    @classmethod
+    def from_flat_rows(
+        cls, schema: Iterable[int], buf: array, width: int
+    ) -> "MatchTable":
+        """A flat-column table from a row-major ``array('q')`` buffer."""
+        if width == 0:
+            return cls(tuple(schema), [])
+        length, rem = divmod(len(buf), width)
+        if rem:
+            raise ValueError("row-major buffer length not a multiple of width")
+        return cls.from_columns(
+            schema, vec.columns_from_flat_rows(buf, width), length
+        )
+
     @hot_path
     def to_matches(self) -> list[Match]:
         """The boundary adapter back to dict-form matches."""
@@ -184,15 +279,26 @@ class MatchTable:
     # ------------------------------------------------------------------
     # shape
     # ------------------------------------------------------------------
+    def _column_map(self) -> dict[int, int]:
+        column = self._column
+        if column is None:
+            column = self._column = {
+                q: i for i, q in enumerate(self.schema)
+            }
+        return column
+
     def column_of(self, q: int) -> int:
         """Column index of query vertex ``q`` (raises ``KeyError``)."""
-        return self._column[q]
+        return self._column_map()[q]
 
     def has_column(self, q: int) -> bool:
-        return q in self._column
+        return q in self._column_map()
 
     def __len__(self) -> int:
-        return len(self.rows)
+        rows = self._rows
+        if rows is not None:
+            return len(rows)
+        return self._length
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
@@ -203,7 +309,7 @@ class MatchTable:
         return self.schema == other.schema and self.rows == other.rows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"MatchTable(schema={self.schema}, rows={len(self.rows)})"
+        return f"MatchTable(schema={self.schema}, rows={len(self)})"
 
     # ------------------------------------------------------------------
     # columnar kernels
@@ -213,16 +319,36 @@ class MatchTable:
         """Rows with columns re-ordered to ``order`` (a schema subset)."""
         if tuple(order) == self.schema:
             return list(self.rows)
-        column = self._column
-        getter = row_getter([column[q] for q in order])
+        column = self._column_map()
+        indices = [column[q] for q in order]
+        cols = self._cols
+        if cols is not None:
+            return vec.rows_from_columns(
+                [cols[i] for i in indices], self._length
+            )
+        getter = row_getter(indices)
         return [getter(row) for row in self.rows]
 
     def projected(self, order: Sequence[int]) -> "MatchTable":
         """A new table over the same matches with columns in ``order``."""
-        return MatchTable(order, self.project_rows(order))
+        order_t = tuple(order)
+        cols = self._cols
+        if cols is not None:
+            column = self._column_map()
+            return MatchTable.from_columns(
+                order_t, [cols[column[q]] for q in order_t], self._length
+            )
+        return MatchTable(order_t, self.project_rows(order_t))
 
     def deduped(self) -> "MatchTable":
         """A new table with duplicate rows dropped (first-seen order)."""
+        cols = self._cols
+        if cols is not None and vec.vectorize(self._length):
+            nd_cols = [vec.as_ndarray(col) for col in cols]
+            keep = vec.first_seen_row_indices(nd_cols)
+            return MatchTable.from_columns(
+                self.schema, [col[keep] for col in nd_cols], len(keep)
+            )
         return MatchTable(self.schema, dedupe_rows(self.rows))
 
     def interned(self, interner: RowInterner) -> "MatchTable":

@@ -1,0 +1,40 @@
+"""R4 rows fixture (clean): hot code that stays off the tuple rows.
+
+The hot function consumes flat columns; the sanctioned tuple fallback
+hoists the materialized list into a local before looping; adapters at
+the representation boundary use comprehensions, which are exempt.
+"""
+
+from repro.analysis.markers import hot_path
+
+
+@hot_path
+def sum_first_column(cols: list[list[int]]) -> int:
+    total = 0
+    for value in cols[0]:  # flat column, not tuple rows
+        total += value
+    return total
+
+
+@hot_path
+def tuple_fallback(table) -> int:
+    rows = table.rows  # explicit materialization point
+    total = 0
+    for row in rows:
+        total += row[0]
+    return total
+
+
+@hot_path
+def boundary_adapter(table) -> list[dict[int, int]]:
+    # comprehensions over .rows are the boundary idiom (to_matches,
+    # codecs) and exempt by design
+    return [dict(enumerate(row)) for row in table.rows]
+
+
+def cold_scan(table) -> int:
+    # not decorated, not a hot module: direct iteration is fine here
+    total = 0
+    for row in table.rows:
+        total += row[0]
+    return total

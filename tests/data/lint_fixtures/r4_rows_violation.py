@@ -1,0 +1,27 @@
+"""R4 rows fixture (violating): per-row loops over MatchTable.rows."""
+
+from repro.analysis.markers import hot_path
+
+
+@hot_path
+def scan(table) -> int:
+    total = 0
+    for row in table.rows:  # line 9: direct per-row iteration
+        total += row[0]
+    return total
+
+
+@hot_path
+def scan_prefix(table, n: int) -> int:
+    total = 0
+    for row in table.rows[:n]:  # line 17: a slice is still tuple rows
+        total += row[0]
+    return total
+
+
+@hot_path
+def scan_enumerated(table) -> int:
+    total = 0
+    for i, row in enumerate(table.rows):  # line 25: wrapped iteration
+        total += i + row[0]
+    return total

@@ -102,6 +102,15 @@ def test_r4_distinguishes_loop_and_raise_fstrings():
     assert "repr" in kinds
 
 
+def test_r4_rows_loop_sub_check():
+    # the clean fixture hoists .rows into a local (sanctioned fallback)
+    # and uses comprehensions at the boundary: both must pass
+    assert findings_for("r4_rows_clean.py", "R4") == []
+    found = findings_for("r4_rows_violation.py", "R4")
+    assert {f.line for f in found} == {9, 17, 25}
+    assert all("iterates a .rows attribute" in f.message for f in found)
+
+
 def test_r5_ignores_canonical_total_seconds_receivers():
     assert findings_for("r5_clean.py", "R5") == []
     found = findings_for("r5_violation.py", "R5")

@@ -12,6 +12,7 @@ end.
 
 from __future__ import annotations
 
+import json
 from types import SimpleNamespace
 
 import pytest
@@ -24,6 +25,7 @@ from repro.client.filtering import ClientFilter
 from repro.cloud import (
     CloudIndex,
     CloudServer,
+    ShardedCloud,
     decompose_query,
     join_star_matches,
     join_star_matches_legacy,
@@ -32,12 +34,24 @@ from repro.cloud import (
     match_star,
     match_star_table,
 )
+from repro.cloud.cache import leaf_role_order, roles_to_table, table_to_roles
+from repro.core.protocol import (
+    NetworkChannel,
+    encode_answer,
+    encode_answer_table,
+    encode_shard_tables,
+)
 from repro.exceptions import QueryError, ResultBudgetExceeded
 from repro.graph import AttributedGraph, make_schema, random_attributed_graph
 from repro.kauto import build_k_automorphic_graph
-from repro.matching import MatchTable, star_of
+from repro.matching import MatchTable, star_of, vec
 from repro.outsource import build_outsourced_graph
 from repro.workloads import random_walk_query
+
+#: The representation arms: tuple reference kernels, ``array('q')``
+#: storage with tuple kernels, and (when installed) the numpy vector
+#: kernels forced on regardless of input size.
+ARMS = ("rows", "flat") + (("numpy",) if vec.HAVE_NUMPY else ())
 
 EQUIV = settings(
     max_examples=10,
@@ -53,9 +67,20 @@ PARAMS = dict(
 )
 
 
-def deployment(seed: int, n: int, k: int, edges: int) -> SimpleNamespace:
-    """A random outsourced deployment plus a random query over it."""
-    schema = make_schema(2, 1, 4)
+def deployment(
+    seed: int,
+    n: int,
+    k: int,
+    edges: int,
+    schema_shape: tuple[int, int, int] = (2, 1, 4),
+) -> SimpleNamespace:
+    """A random outsourced deployment plus a random query over it.
+
+    ``schema_shape`` is ``(types, attributes, labels)``; ``(1, 1, 1)``
+    produces the duplicate-label regime where every vertex carries the
+    same type and the same single label group.
+    """
+    schema = make_schema(*schema_shape)
     graph = random_attributed_graph(schema, n, edges_per_vertex=2, seed=seed)
     query = random_walk_query(graph, edges, seed=seed + 1)
     transform = build_k_automorphic_graph(graph, k, seed=seed)
@@ -315,3 +340,306 @@ class TestColumnarEdgeCases:
         assert len(rin) == 0
         assert stats.rin_size == 0
         assert stats.intermediate_sizes == [0]
+
+
+# ----------------------------------------------------------------------
+# three-way equivalence: dict vs tuple vs vector representations
+# ----------------------------------------------------------------------
+def table_pipeline(dep: SimpleNamespace) -> SimpleNamespace:
+    """The full table pipeline under the *active* representation mode.
+
+    Runs star matching, the join, the AVT expansion and the client
+    filter, then snapshots everything an arm could disagree on: rows,
+    telemetry counters, the cache codec's role tuples (and their JSON
+    bytes), and the wire frames of both the shard scatter-gather and
+    the final answer.
+    """
+    star_tables = {
+        star.center: match_star_table(
+            dep.query, star, dep.index, dep.outsourced.graph
+        )
+        for star in dep.stars
+    }
+    rin, stats = join_star_tables(dep.stars, star_tables, dep.avt)
+    expanded = expand_rin_table(rin, dep.avt)
+    filtered = ClientFilter(dep.graph, dep.query).filter_table(expanded.table)
+    order = sorted(dep.query.vertex_ids())
+    roles = {
+        star.center: table_to_roles(
+            star_tables[star.center], star, leaf_role_order(dep.query, star)
+        )
+        for star in dep.stars
+    }
+    return SimpleNamespace(
+        star_rows={c: list(t.rows) for c, t in star_tables.items()},
+        shard_frame=encode_shard_tables(star_tables),
+        roles=roles,
+        roles_bytes=json.dumps(roles, separators=(",", ":")).encode("utf-8"),
+        rin_rows=list(rin.rows),
+        rin_matches=rin.to_matches(),
+        rin_size=stats.rin_size,
+        intermediate_sizes=stats.intermediate_sizes,
+        answer_frame=encode_answer_table(rin, list(order), True),
+        expanded_rows=list(expanded.table.rows),
+        rout_size=expanded.rout_size,
+        filtered_schema=filtered.table.schema,
+        filtered_rows=list(filtered.table.rows),
+        drop_counters=(
+            filtered.dropped_vertex,
+            filtered.dropped_edge,
+            filtered.dropped_label,
+        ),
+    )
+
+
+def dict_reference(dep: SimpleNamespace) -> SimpleNamespace:
+    """The dict-kernel pipeline (never touches the vec shim)."""
+    star_matches, _ = match_all_stars(
+        dep.query, dep.stars, dep.index, dep.outsourced.graph
+    )
+    rin, stats = join_star_matches_legacy(dep.stars, star_matches, dep.avt)
+    expanded = expand_rin(rin, dep.avt)
+    filtered = ClientFilter(dep.graph, dep.query).filter(expanded.matches)
+    order = sorted(dep.query.vertex_ids())
+    return SimpleNamespace(
+        rin_matches=rin,
+        rin_size=stats.rin_size,
+        intermediate_sizes=stats.intermediate_sizes,
+        answer_frame=encode_answer(rin, list(order), True),
+        expanded_matches=expanded.matches,
+        rout_size=expanded.rout_size,
+        filtered_matches=filtered.matches,
+        drop_counters=(
+            filtered.dropped_vertex,
+            filtered.dropped_edge,
+            filtered.dropped_label,
+        ),
+    )
+
+
+def assert_arms_identical(dep: SimpleNamespace) -> None:
+    """Every representation arm is bit-identical to the dict pipeline
+    and to every other arm — rows, order, telemetry, codec and wire
+    bytes."""
+    reference = dict_reference(dep)
+    outputs = {}
+    for arm in ARMS:
+        with vec.override(arm):
+            outputs[arm] = table_pipeline(dep)
+
+    baseline = outputs["rows"]
+    # the tuple arm reproduces the dict pipeline exactly, including the
+    # answer frame bytes (encode_answer_table vs encode_answer)
+    assert baseline.rin_matches == reference.rin_matches
+    assert baseline.rin_size == reference.rin_size
+    assert baseline.intermediate_sizes == reference.intermediate_sizes
+    assert baseline.answer_frame == reference.answer_frame
+    assert baseline.rout_size == reference.rout_size
+    assert baseline.drop_counters == reference.drop_counters
+    assert [
+        dict(zip(baseline.filtered_schema, row))
+        for row in baseline.filtered_rows
+    ] == reference.filtered_matches
+
+    # every other arm is byte-identical to the tuple arm
+    for arm in ARMS[1:]:
+        out = outputs[arm]
+        assert out.star_rows == baseline.star_rows
+        assert out.shard_frame == baseline.shard_frame
+        assert out.roles == baseline.roles
+        assert out.roles_bytes == baseline.roles_bytes
+        assert out.rin_rows == baseline.rin_rows
+        assert out.rin_size == baseline.rin_size
+        assert out.intermediate_sizes == baseline.intermediate_sizes
+        assert out.answer_frame == baseline.answer_frame
+        assert out.expanded_rows == baseline.expanded_rows
+        assert out.rout_size == baseline.rout_size
+        assert out.filtered_rows == baseline.filtered_rows
+        assert out.drop_counters == baseline.drop_counters
+
+
+class TestThreeWayEquivalence:
+    """Satellite: vectorized vs tuple vs dict, compared byte for byte.
+
+    :data:`ARMS` pins each representation through
+    :func:`repro.matching.vec.override`; the numpy arm forces the
+    vector kernels regardless of input size, so even tiny hypothesis
+    graphs exercise them.
+    """
+
+    @EQUIV
+    @given(**PARAMS)
+    def test_pipeline_arms_bit_identical(self, seed, n, k, edges):
+        assert_arms_identical(deployment(seed, n, k, edges))
+
+    @EQUIV
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(16, 32),
+        k=st.integers(2, 3),
+        edges=st.integers(1, 3),
+    )
+    def test_duplicate_label_graph_arms_agree(self, seed, n, k, edges):
+        """Every vertex shares one type and one label group — maximal
+        candidate sets and duplicate-heavy inverted lists."""
+        assert_arms_identical(
+            deployment(seed, n, k, edges, schema_shape=(1, 1, 1))
+        )
+
+    @EQUIV
+    @given(**PARAMS, budget=st.integers(0, 4))
+    def test_star_budget_outcome_identical(self, seed, n, k, edges, budget):
+        """``max_results`` trips at the same row with the same telemetry
+        in every arm — or no arm trips at all."""
+        dep = deployment(seed, n, k, edges)
+
+        def dict_outcome():
+            try:
+                matches = [
+                    match_star(
+                        dep.query,
+                        star,
+                        dep.index,
+                        dep.outsourced.graph,
+                        max_results=budget,
+                    )
+                    for star in dep.stars
+                ]
+            except ResultBudgetExceeded as exc:
+                return ("raise", exc.stage, exc.size, exc.budget)
+            return ("ok", matches)
+
+        def table_outcome():
+            try:
+                tables = [
+                    match_star_table(
+                        dep.query,
+                        star,
+                        dep.index,
+                        dep.outsourced.graph,
+                        max_results=budget,
+                    )
+                    for star in dep.stars
+                ]
+            except ResultBudgetExceeded as exc:
+                return ("raise", exc.stage, exc.size, exc.budget)
+            return ("ok", [t.to_matches() for t in tables])
+
+        reference = dict_outcome()
+        for arm in ARMS:
+            with vec.override(arm):
+                assert table_outcome() == reference
+
+    @EQUIV
+    @given(**PARAMS, budget=st.integers(1, 4))
+    def test_join_budget_outcome_identical(self, seed, n, k, edges, budget):
+        dep = deployment(seed, n, k, edges)
+
+        def outcome():
+            tables = {
+                star.center: match_star_table(
+                    dep.query, star, dep.index, dep.outsourced.graph
+                )
+                for star in dep.stars
+            }
+            try:
+                rin, stats = join_star_tables(
+                    dep.stars, tables, dep.avt, max_intermediate=budget
+                )
+            except ResultBudgetExceeded as exc:
+                return ("raise", exc.stage, exc.size, exc.budget)
+            return ("ok", list(rin.rows), stats.intermediate_sizes)
+
+        results = {}
+        for arm in ARMS:
+            with vec.override(arm):
+                results[arm] = outcome()
+        assert all(r == results["rows"] for r in results.values())
+
+    def test_empty_tables_identical_across_arms(self, figure1_pipeline):
+        """A star with zero matches flows through join, expansion and
+        filter as an empty table in every arm, with identical frames."""
+        pipe = figure1_pipeline
+        index = CloudIndex.build(
+            pipe.outsourced.graph, pipe.outsourced.block_vertices
+        )
+        query = AttributedGraph()
+        query.add_vertex(0, "no-such-type", {})
+        star = star_of(query, 0)
+        frames = set()
+        for arm in ARMS:
+            with vec.override(arm):
+                table = match_star_table(
+                    query, star, index, pipe.outsourced.graph
+                )
+                assert len(table) == 0
+                rin, stats = join_star_tables(
+                    [star], {0: table}, pipe.transform.avt
+                )
+                assert len(rin) == 0
+                assert stats.rin_size == 0
+                expanded = expand_rin_table(rin, pipe.transform.avt)
+                assert len(expanded.table) == 0
+                filtered = ClientFilter(pipe.graph, query).filter_table(
+                    expanded.table
+                )
+                assert len(filtered.table) == 0
+                frames.add(encode_answer_table(rin, [0], True))
+                frames.add(encode_shard_tables({0: table}))
+        assert len(frames) == 2  # one answer frame + one shard frame
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_shard_topologies_arms_agree(self, shards):
+        """1-shard and 4-shard scatter-gather return the single-server
+        answer in every arm, with identical per-message wire sizes."""
+        dep = deployment(21, 36, 2, 3)
+        reference = CloudServer(
+            dep.outsourced.graph, dep.avt, dep.outsourced.block_vertices
+        ).answer(dep.query)
+        wire_logs = []
+        for arm in ARMS:
+            with vec.override(arm):
+                channel = NetworkChannel()
+                with ShardedCloud(
+                    dep.outsourced.graph,
+                    dep.avt,
+                    dep.outsourced.block_vertices,
+                    shards=shards,
+                    backend="serial",
+                    channel=channel,
+                ) as cloud:
+                    answer = cloud.answer(dep.query)
+                assert answer.table.schema == reference.table.schema
+                assert answer.table.rows == reference.table.rows
+                wire_logs.append(
+                    [
+                        (record.direction, record.payload_bytes)
+                        for record in channel.transfers
+                    ]
+                )
+        assert wire_logs, "no arms ran"
+        assert all(log == wire_logs[0] for log in wire_logs[1:])
+        assert wire_logs[0], "channel saw no shard traffic"
+
+    @EQUIV
+    @given(**PARAMS)
+    def test_cache_codec_round_trips_in_every_arm(self, seed, n, k, edges):
+        """``roles_to_table(table_to_roles(t))`` is ``t`` in every arm,
+        and the role payload bytes never vary by representation."""
+        dep = deployment(seed, n, k, edges)
+        star = dep.stars[0]
+        order = leaf_role_order(dep.query, star)
+        payloads = set()
+        for arm in ARMS:
+            with vec.override(arm):
+                table = match_star_table(
+                    dep.query, star, dep.index, dep.outsourced.graph
+                )
+                roles = table_to_roles(table, star, order)
+                restored = roles_to_table(roles, star, order)
+                assert restored.schema == table.schema
+                assert restored.rows == table.rows
+                payloads.add(
+                    json.dumps(roles, separators=(",", ":")).encode("utf-8")
+                )
+        assert len(payloads) == 1

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("scipy", reason="spectral partitioning needs the solver stack")
+
 from repro.exceptions import PartitionError
 from repro.graph import (
     AttributedGraph,

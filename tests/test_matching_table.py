@@ -1,5 +1,7 @@
 """Unit tests for the columnar MatchTable representation and codecs."""
 
+from array import array
+
 import pytest
 
 from repro.cloud.cache import (
@@ -24,6 +26,7 @@ from repro.matching import (
     dedupe_rows,
     row_getter,
     star_of,
+    vec,
 )
 
 
@@ -85,6 +88,87 @@ class TestMatchTable:
         table = MatchTable((1, 2), [(10, 20), (11, 21)])
         assert len(table) == 2
         assert list(table) == [(10, 20), (11, 21)]
+
+
+class TestFlatColumnStorage:
+    """The flat-column physical layout behind the same MatchTable API."""
+
+    def _columnar(self):
+        cols = [vec.flat_of([10, 11, 12]), vec.flat_of([20, 21, 22])]
+        return MatchTable.from_columns((1, 2), cols, 3)
+
+    def test_from_columns_is_columnar_until_rows_read(self):
+        table = self._columnar()
+        assert table.is_columnar()
+        assert len(table) == 3
+        # materializing .rows yields Python-int tuples and drops the
+        # column vectors for good (mutation through .rows stays safe)
+        rows = table.rows
+        assert rows == [(10, 20), (11, 21), (12, 22)]
+        assert all(type(v) is int for row in rows for v in row)
+        assert not table.is_columnar()
+        assert table.columns() is None
+
+    def test_from_columns_width_zero_stays_rows_backed(self):
+        table = MatchTable.from_columns((), [], 4)
+        assert not table.is_columnar()
+        assert table.rows == [(), (), (), ()]
+
+    def test_from_flat_rows_row_major(self):
+        buf = array("q", [10, 20, 11, 21, 12, 22])
+        table = MatchTable.from_flat_rows((1, 2), buf, 2)
+        assert len(table) == 3
+        assert table.rows == [(10, 20), (11, 21), (12, 22)]
+
+    def test_from_flat_rows_rejects_ragged_buffer(self):
+        with pytest.raises(ValueError):
+            MatchTable.from_flat_rows((1, 2), array("q", [10, 20, 11]), 2)
+
+    def test_as_columns_converts_without_caching(self):
+        table = MatchTable((1, 2), [(10, 20), (11, 21)])
+        cols = table.as_columns()
+        assert cols is not None
+        assert [vec.ints(col) for col in cols] == [[10, 11], [20, 21]]
+        assert not table.is_columnar()  # conversion never caches
+        # later row mutations therefore cannot go stale
+        table.rows.append((12, 22))
+        cols2 = table.as_columns()
+        assert cols2 is not None
+        assert [vec.ints(col) for col in cols2] == [[10, 11, 12], [20, 21, 22]]
+
+    def test_as_columns_none_for_non_int64_rows(self):
+        table = MatchTable((1,), [(1 << 70,)])
+        assert table.as_columns() is None
+        table = MatchTable((1,), [("nope",)])  # untrusted decoded value
+        assert table.as_columns() is None
+
+    def test_projected_preserves_columnar_layout(self):
+        table = self._columnar()
+        swapped = table.projected((2, 1))
+        assert swapped.is_columnar()
+        assert swapped.rows == [(20, 10), (21, 11), (22, 12)]
+
+    def test_project_rows_from_columns(self):
+        table = self._columnar()
+        assert table.project_rows([2]) == [(20,), (21,), (22,)]
+
+    def test_deduped_matches_row_kernel(self):
+        rows = [(3, 1), (1, 2), (3, 1), (2, 2), (1, 2)]
+        reference = MatchTable((1, 2), list(rows)).deduped().rows
+        cols = [vec.flat_of(c) for c in zip(*rows)]
+        table = MatchTable.from_columns((1, 2), cols, len(rows))
+        if vec.HAVE_NUMPY:
+            with vec.override("numpy"):
+                assert table.deduped().rows == reference
+        else:
+            assert table.deduped().rows == reference
+
+    def test_to_matches_from_columns(self):
+        assert self._columnar().to_matches() == [
+            {1: 10, 2: 20},
+            {1: 11, 2: 21},
+            {1: 12, 2: 22},
+        ]
 
 
 class TestRowInterner:
